@@ -1,0 +1,100 @@
+//! Figure 2: growth of the PSL and suffix-component breakdown over time.
+
+use psl_history::{GrowthSeries, History};
+use psl_iana::{RootZoneDb, SuffixClass};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One row of the Figure 2 series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Row {
+    /// Version date (ISO text; `Date` itself serialises as an integer).
+    pub date: String,
+    /// Fractional year, for plotting.
+    pub year: f64,
+    /// Total rules.
+    pub total: usize,
+    /// Rules with 1 component.
+    pub c1: usize,
+    /// Rules with 2 components.
+    pub c2: usize,
+    /// Rules with 3 components.
+    pub c3: usize,
+    /// Rules with 4+ components.
+    pub c4: usize,
+}
+
+/// The Figure 2 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Report {
+    /// One row per version.
+    pub series: Vec<Fig2Row>,
+    /// Final component shares (1, 2, 3, 4+).
+    pub final_shares: [f64; 4],
+    /// The largest single-version jump (date, added rules) — the JP spike.
+    pub largest_jump: Option<(String, usize)>,
+    /// Latest-list rule counts by IANA suffix class.
+    pub category_counts: BTreeMap<String, usize>,
+}
+
+/// Run the Figure 2 experiment.
+pub fn run(history: &History, db: &RootZoneDb) -> Fig2Report {
+    let series = GrowthSeries::compute(history);
+    let rows = series
+        .points
+        .iter()
+        .map(|p| Fig2Row {
+            date: p.date.to_string(),
+            year: p.date.year_fraction(),
+            total: p.total,
+            c1: p.by_components[0],
+            c2: p.by_components[1],
+            c3: p.by_components[2],
+            c4: p.by_components[3],
+        })
+        .collect();
+    let latest = history.latest_snapshot();
+    let mut category_counts = BTreeMap::new();
+    for (class, n) in psl_iana::classify_rules(db, latest.rules()) {
+        let key = match class {
+            SuffixClass::Tld(cat) => format!("tld:{cat}"),
+            SuffixClass::PrivateDomain => "private".to_string(),
+        };
+        category_counts.insert(key, n);
+    }
+    Fig2Report {
+        series: rows,
+        final_shares: series.final_shares(),
+        largest_jump: series.largest_jump().map(|(d, n)| (d.to_string(), n)),
+        category_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psl_history::{generate, GeneratorConfig};
+
+    #[test]
+    fn report_has_expected_shape() {
+        let h = generate(&GeneratorConfig::small(111));
+        let report = run(&h, &RootZoneDb::embedded());
+        assert_eq!(report.series.len(), h.version_count());
+        assert!(report.series.last().unwrap().total > report.series[0].total);
+        let shares: f64 = report.final_shares.iter().sum();
+        assert!((shares - 1.0).abs() < 1e-9);
+        assert!(report.largest_jump.is_some());
+        assert!(report.category_counts.values().sum::<usize>() > 0);
+        assert!(report.category_counts.contains_key("private"));
+    }
+
+    #[test]
+    fn rows_sum_components() {
+        let h = generate(&GeneratorConfig::small(113));
+        let report = run(&h, &RootZoneDb::embedded());
+        for row in &report.series {
+            assert_eq!(row.c1 + row.c2 + row.c3 + row.c4, row.total);
+            assert!(row.year > 2006.0 && row.year < 2023.1);
+        }
+    }
+}

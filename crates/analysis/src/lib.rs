@@ -1,0 +1,46 @@
+//! # psl-analysis — the paper's experiments
+//!
+//! Reproduces every table and figure of *"A First Look at the Privacy Harms
+//! of the Public Suffix List"* (IMC 2023) over the synthetic substrates:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig2`] | Figure 2 — list growth + component breakdown |
+//! | [`table1`] | Table 1 — usage taxonomy of 273 repositories |
+//! | [`fig3`] | Figure 3 — embedded-list age ECDFs (medians 871/915/825) |
+//! | [`fig4`] | Figure 4 — list age vs. activity, sized by stars |
+//! | [`figs567`] | Figures 5–7 — per-version sites / third-party / moved hosts |
+//! | [`table2`] | Table 2 — largest missing eTLDs |
+//! | [`table3`] | Table 3 — per-project harm |
+//!
+//! [`mod@sweep`] is the shared hot path (parallel per-version corpus
+//! interpretation); [`pipeline`] glues substrate generation and all
+//! experiments together; [`report`] renders text tables and CSV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod browser_replay;
+pub mod category_shift;
+pub mod cert_harm;
+pub mod cookie_harm;
+pub mod dbound_exp;
+pub mod fig2;
+pub mod markdown;
+pub mod fig3;
+pub mod fig4;
+pub mod figs567;
+pub mod pipeline;
+pub mod report;
+pub mod sweep;
+pub mod sweep_incremental;
+pub mod table1;
+pub mod walker;
+pub mod table2;
+pub mod table3;
+pub mod update_failure;
+
+pub use markdown::render_markdown;
+pub use pipeline::{build_substrates, run_all, FullReport, PipelineConfig, Substrates};
+pub use sweep::{stats_for_single_list, sweep, SweepConfig, VersionStats};
+pub use sweep_incremental::sweep_incremental;

@@ -1,0 +1,112 @@
+//! Plain-text table rendering and CSV export for experiment reports.
+
+/// Render an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render rows as CSV (RFC-4180-style quoting for cells containing commas,
+/// quotes, or newlines).
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let quote = |cell: &str| -> String {
+        if cell.contains([',', '"', '\n']) {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Downsample a long series to at most `n` evenly-spaced rows (keeps first
+/// and last). Reports print per-version series; 1,142 rows is too many for
+/// a terminal.
+pub fn downsample<T: Clone>(items: &[T], n: usize) -> Vec<T> {
+    if items.len() <= n || n < 2 {
+        return items.to_vec();
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let idx = i * (items.len() - 1) / (n - 1);
+        out.push(items[idx].clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["name", "n"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer-name"));
+        // Number column aligned to same offset in all rows.
+        let off = lines[3].find("22").unwrap();
+        assert_eq!(lines[2].as_bytes()[off] as char, '1');
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let c = render_csv(
+            &["a", "b"],
+            &[vec!["x,y".into(), "say \"hi\"".into()]],
+        );
+        assert!(c.contains("\"x,y\""));
+        assert!(c.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let xs: Vec<usize> = (0..100).collect();
+        let d = downsample(&xs, 10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d[0], 0);
+        assert_eq!(*d.last().unwrap(), 99);
+        assert_eq!(downsample(&xs, 200).len(), 100);
+    }
+}

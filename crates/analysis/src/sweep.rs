@@ -1,0 +1,270 @@
+//! The per-version corpus sweep — the pipeline's hot path.
+//!
+//! The paper's §5 methodology: "determine the suffix for each *unique*
+//! domain name in the dataset using each version of the PSL", then group
+//! into sites. For every published version we compute the number of sites
+//! formed (Figure 5), the number of requests classified third-party
+//! (Figure 6), and the number of hostnames mapped to a different site than
+//! under the most recent list (Figure 7).
+//!
+//! Hostname label splits are computed once; versions are swept in parallel
+//! with crossbeam scoped threads.
+
+use psl_core::{Date, List, MatchOpts};
+use psl_history::History;
+use psl_webcorpus::WebCorpus;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-version sweep results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionStats {
+    /// Version date.
+    pub date: Date,
+    /// Rules live at this version.
+    pub rule_count: usize,
+    /// Distinct sites formed from the corpus's unique hostnames.
+    pub sites: usize,
+    /// Requests whose page and resource fall in different sites.
+    pub third_party_requests: u64,
+    /// Hostnames whose site differs from the latest version's grouping.
+    pub hosts_in_different_site_vs_latest: usize,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Matching options (browsers: defaults).
+    pub opts: MatchOpts,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig { opts: MatchOpts::default(), threads: 0 }
+    }
+}
+
+/// Compute each host's site string under `list`. The site of host `h` is
+/// its registrable domain, or `h` itself when `h` is a bare public suffix
+/// (or unmatched in strict mode).
+fn site_suffix_lens(list: &List, reversed: &[Vec<&str>], opts: MatchOpts) -> Vec<u32> {
+    reversed
+        .iter()
+        .map(|labels| {
+            let n = labels.len();
+            match list.disposition_reversed(labels, opts) {
+                Some(d) => {
+                    // Site = suffix + 1 label, clamped to the whole host.
+                    (d.suffix_len.min(n.saturating_sub(1)) + 1).min(n) as u32
+                }
+                None => n as u32,
+            }
+        })
+        .collect()
+}
+
+/// Dense site ids for each host, given per-host site lengths (in labels,
+/// counted from the right). Hosts share a site id iff their site strings
+/// are equal.
+fn site_ids(corpus: &WebCorpus, site_lens: &[u32]) -> (Vec<u32>, usize) {
+    let mut interner: HashMap<&str, u32> = HashMap::with_capacity(corpus.host_count());
+    let mut ids = Vec::with_capacity(corpus.host_count());
+    for (host, &len) in corpus.hosts().iter().zip(site_lens) {
+        let site = host
+            .suffix_of_len(len as usize)
+            .unwrap_or_else(|| host.as_str());
+        let next = interner.len() as u32;
+        let id = *interner.entry(site).or_insert(next);
+        ids.push(id);
+    }
+    let count = interner.len();
+    (ids, count)
+}
+
+/// Statistics for a single list against the corpus, given the latest
+/// grouping for comparison.
+fn stats_for_list(
+    corpus: &WebCorpus,
+    reversed: &[Vec<&str>],
+    list: &List,
+    latest_lens: Option<&[u32]>,
+    opts: MatchOpts,
+) -> (usize, u64, usize) {
+    let lens = site_suffix_lens(list, reversed, opts);
+    let (ids, sites) = site_ids(corpus, &lens);
+    let third_party = corpus
+        .requests()
+        .iter()
+        .filter(|r| ids[r.page as usize] != ids[r.request as usize])
+        .count() as u64;
+    // A host's site is always one of its own suffixes, so the site string
+    // changes iff the suffix length does.
+    let moved = match latest_lens {
+        Some(l_lens) => lens.iter().zip(l_lens).filter(|(a, b)| a != b).count(),
+        None => 0,
+    };
+    (sites, third_party, moved)
+}
+
+/// Run the sweep over every version of the history.
+pub fn sweep(history: &History, corpus: &WebCorpus, config: &SweepConfig) -> Vec<VersionStats> {
+    let reversed = corpus.reversed_labels();
+    let opts = config.opts;
+
+    // The latest grouping, for the Figure 7 comparison. Two hostnames are
+    // "in a different site" when their site *string* changes; since a
+    // host's site is always one of its own suffixes, comparing suffix
+    // lengths is equivalent and cheaper.
+    let latest = history.latest_snapshot();
+    let latest_lens = site_suffix_lens(&latest, &reversed, opts);
+
+    let versions = history.versions();
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(versions.len().max(1))
+    } else {
+        config.threads
+    };
+
+    let mut out: Vec<Option<VersionStats>> = vec![None; versions.len()];
+    let chunk = versions.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, version_chunk) in out.chunks_mut(chunk).zip(versions.chunks(chunk)) {
+            let reversed = &reversed;
+            let latest_lens = &latest_lens;
+            scope.spawn(move |_| {
+                for (slot, &vdate) in slot_chunk.iter_mut().zip(version_chunk) {
+                    let list = history.snapshot_at(vdate);
+                    let (sites, third_party, moved) =
+                        stats_for_list(corpus, reversed, &list, Some(latest_lens), opts);
+                    *slot = Some(VersionStats {
+                        date: vdate,
+                        rule_count: list.len(),
+                        sites,
+                        third_party_requests: third_party,
+                        hosts_in_different_site_vs_latest: moved,
+                    });
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    out.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+/// Stats for one specific list (used by Table 3's per-project counts and
+/// by tests).
+pub fn stats_for_single_list(
+    corpus: &WebCorpus,
+    list: &List,
+    latest: &List,
+    opts: MatchOpts,
+) -> VersionStats {
+    let reversed = corpus.reversed_labels();
+    let latest_lens = site_suffix_lens(latest, &reversed, opts);
+    let (sites, third_party, moved) =
+        stats_for_list(corpus, &reversed, list, Some(&latest_lens), opts);
+    VersionStats {
+        date: Date::from_days_since_epoch(0),
+        rule_count: list.len(),
+        sites,
+        third_party_requests: third_party,
+        hosts_in_different_site_vs_latest: moved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psl_history::{generate, GeneratorConfig};
+    use psl_webcorpus::{generate_corpus, CorpusConfig};
+
+    fn fixture() -> (History, WebCorpus) {
+        let h = generate(&GeneratorConfig::small(101));
+        let c = generate_corpus(&h, &CorpusConfig::small(13));
+        (h, c)
+    }
+
+    #[test]
+    fn sweep_covers_every_version() {
+        let (h, c) = fixture();
+        let stats = sweep(&h, &c, &SweepConfig::default());
+        assert_eq!(stats.len(), h.version_count());
+        for (s, &v) in stats.iter().zip(h.versions()) {
+            assert_eq!(s.date, v);
+        }
+    }
+
+    #[test]
+    fn newer_lists_form_more_sites() {
+        let (h, c) = fixture();
+        let stats = sweep(&h, &c, &SweepConfig::default());
+        let first = stats.first().unwrap();
+        let last = stats.last().unwrap();
+        assert!(
+            last.sites > first.sites + 100,
+            "sites {} -> {}",
+            first.sites,
+            last.sites
+        );
+    }
+
+    #[test]
+    fn latest_version_has_zero_moved_hosts() {
+        let (h, c) = fixture();
+        let stats = sweep(&h, &c, &SweepConfig::default());
+        assert_eq!(stats.last().unwrap().hosts_in_different_site_vs_latest, 0);
+        // And older versions move more hosts than newer ones, broadly.
+        let first = stats.first().unwrap().hosts_in_different_site_vs_latest;
+        let mid = stats[stats.len() / 2].hosts_in_different_site_vs_latest;
+        assert!(first >= mid, "first {first} < mid {mid}");
+        assert!(first > 0);
+    }
+
+    #[test]
+    fn third_party_shape_is_u_curved() {
+        // Figure 6: early drop (exception formalisation), later rise
+        // (private-suffix splits).
+        let (h, c) = fixture();
+        let stats = sweep(&h, &c, &SweepConfig::default());
+        let first = stats.first().unwrap().third_party_requests;
+        let last = stats.last().unwrap().third_party_requests;
+        let min = stats.iter().map(|s| s.third_party_requests).min().unwrap();
+        assert!(min < first, "no early drop: first {first}, min {min}");
+        assert!(last > min, "no late rise: min {min}, last {last}");
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let (h, c) = fixture();
+        let par = sweep(&h, &c, &SweepConfig::default());
+        let ser = sweep(&h, &c, &SweepConfig { threads: 1, ..Default::default() });
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn single_list_stats_agree_with_sweep_endpoints() {
+        let (h, c) = fixture();
+        let stats = sweep(&h, &c, &SweepConfig::default());
+        let latest = h.latest_snapshot();
+        let first = h.snapshot_at(h.first_version());
+        let opts = MatchOpts::default();
+        let s_first = stats_for_single_list(&c, &first, &latest, opts);
+        assert_eq!(s_first.sites, stats.first().unwrap().sites);
+        assert_eq!(
+            s_first.third_party_requests,
+            stats.first().unwrap().third_party_requests
+        );
+        assert_eq!(
+            s_first.hosts_in_different_site_vs_latest,
+            stats.first().unwrap().hosts_in_different_site_vs_latest
+        );
+        let s_last = stats_for_single_list(&c, &latest, &latest, opts);
+        assert_eq!(s_last.hosts_in_different_site_vs_latest, 0);
+    }
+}

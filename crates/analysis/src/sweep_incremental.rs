@@ -1,0 +1,274 @@
+//! Incremental per-version sweep.
+//!
+//! The naive sweep rebuilds a trie and re-matches every hostname for each
+//! of the 1,142 versions. But consecutive versions differ by a handful of
+//! rules, and a rule addition can only change the disposition of hosts
+//! *under* that rule. This engine maintains a mutable trie plus per-host
+//! state, and per version touches only the affected hosts — turning the
+//! sweep from O(versions × corpus) into O(versions × affected). The
+//! `ablation_sweep_impl` bench measures the win; tests assert exact
+//! equality with [`crate::sweep::sweep`].
+
+use crate::sweep::{SweepConfig, VersionStats};
+use psl_core::{MatchOpts, Rule, SuffixTrie};
+use psl_history::History;
+use psl_webcorpus::WebCorpus;
+use std::collections::HashMap;
+
+/// Run the incremental sweep. Semantically identical to
+/// [`crate::sweep::sweep`] (single-threaded; the per-version work is too
+/// small to shard).
+pub fn sweep_incremental(
+    history: &History,
+    corpus: &WebCorpus,
+    config: &SweepConfig,
+) -> Vec<VersionStats> {
+    let opts = config.opts;
+    let reversed: Vec<Vec<&str>> = corpus.reversed_labels();
+    let n_hosts = reversed.len();
+
+    // ---- Latest-list site lengths (Figure 7 reference). ------------------
+    let latest = history.latest_snapshot();
+    let latest_lens: Vec<u32> = reversed
+        .iter()
+        .map(|labels| site_len_for(&latest_trie_disposition(&latest, labels, opts), labels.len()))
+        .collect();
+
+    // ---- Version diffs. ----------------------------------------------------
+    // Events sorted by date; each version consumes its slice.
+    let mut events: Vec<(psl_core::Date, bool, &Rule)> = Vec::new();
+    for span in history.spans() {
+        events.push((span.added, true, &span.rule));
+        if let Some(r) = span.removed {
+            events.push((r, false, &span.rule));
+        }
+    }
+    events.sort_by_key(|e| e.0);
+
+    // ---- Host index: TLD -> host ids (for affected-host lookup). ---------
+    let mut by_tld: HashMap<&str, Vec<u32>> = HashMap::new();
+    for (i, labels) in reversed.iter().enumerate() {
+        if let Some(&tld) = labels.first() {
+            by_tld.entry(tld).or_default().push(i as u32);
+        }
+    }
+
+    // ---- Request adjacency (for third-party maintenance). ----------------
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n_hosts];
+    for (ri, r) in corpus.requests().iter().enumerate() {
+        adj[r.page as usize].push(ri as u32);
+        if r.request != r.page {
+            adj[r.request as usize].push(ri as u32);
+        }
+    }
+
+    // ---- Mutable state. ----------------------------------------------------
+    let mut trie = SuffixTrie::default();
+    let mut rule_count: usize = 0;
+    // Per-host current site length; 0 = uninitialised.
+    let mut site_lens: Vec<u32> = vec![0; n_hosts];
+    // Site occupancy: site string -> number of hosts in it.
+    let mut site_refs: HashMap<String, u32> = HashMap::new();
+    let mut sites: usize = 0;
+    // Per-request third-party status.
+    let mut req_tp: Vec<bool> = vec![false; corpus.request_count()];
+    let mut tp_count: u64 = 0;
+    // Per-host "differs from latest" flag count.
+    let mut moved: usize = 0;
+
+    let site_string = |host_idx: usize, len: u32| -> String {
+        let host = corpus.host(host_idx as u32);
+        host.suffix_of_len(len as usize)
+            .unwrap_or_else(|| host.as_str())
+            .to_string()
+    };
+
+    let mut out = Vec::with_capacity(history.version_count());
+    let mut ei = 0;
+    let mut first_version = true;
+
+    for &vdate in history.versions() {
+        // Apply this version's rule changes and collect affected hosts.
+        let mut affected: Vec<u32> = Vec::new();
+        while ei < events.len() && events[ei].0 <= vdate {
+            let (_, is_add, rule) = events[ei];
+            ei += 1;
+            let changed = if is_add {
+                let before = trie.len();
+                trie.insert(rule);
+                trie.len() > before
+            } else {
+                trie.remove(rule)
+            };
+            if changed {
+                if is_add {
+                    rule_count += 1;
+                } else {
+                    rule_count -= 1;
+                }
+            }
+            if first_version {
+                continue; // everything is affected anyway
+            }
+            // Hosts under the rule: reversed labels start with the rule's
+            // reversed labels.
+            let rl: Vec<&str> = rule.labels().iter().rev().map(String::as_str).collect();
+            if let Some(bucket) = rl.first().and_then(|t| by_tld.get(t)) {
+                for &h in bucket {
+                    let labels = &reversed[h as usize];
+                    if labels.len() >= rl.len() && labels[..rl.len()] == rl[..] {
+                        affected.push(h);
+                    }
+                }
+            }
+        }
+        if first_version {
+            affected = (0..n_hosts as u32).collect();
+            first_version = false;
+        } else {
+            affected.sort_unstable();
+            affected.dedup();
+        }
+
+        // Recompute affected hosts.
+        for &h in &affected {
+            let hi = h as usize;
+            let labels = &reversed[hi];
+            let new_len = site_len_for(
+                &trie.disposition(labels, opts),
+                labels.len(),
+            );
+            let old_len = site_lens[hi];
+            if new_len == old_len {
+                continue;
+            }
+            // Site occupancy bookkeeping.
+            if old_len != 0 {
+                let old_site = site_string(hi, old_len);
+                if let Some(refs) = site_refs.get_mut(&old_site) {
+                    *refs -= 1;
+                    if *refs == 0 {
+                        site_refs.remove(&old_site);
+                        sites -= 1;
+                    }
+                }
+            }
+            let new_site = site_string(hi, new_len);
+            let entry = site_refs.entry(new_site).or_insert(0);
+            if *entry == 0 {
+                sites += 1;
+            }
+            *entry += 1;
+
+            // Moved-vs-latest bookkeeping.
+            let was_moved = old_len != 0 && old_len != latest_lens[hi];
+            let is_moved = new_len != latest_lens[hi];
+            if old_len == 0 {
+                if is_moved {
+                    moved += 1;
+                }
+            } else {
+                match (was_moved, is_moved) {
+                    (false, true) => moved += 1,
+                    (true, false) => moved -= 1,
+                    _ => {}
+                }
+            }
+
+            site_lens[hi] = new_len;
+
+            // Third-party bookkeeping for every request touching h.
+            for &ri in &adj[hi] {
+                let r = corpus.requests()[ri as usize];
+                let (p, q) = (r.page as usize, r.request as usize);
+                // Both endpoints must be initialised for the status to be
+                // meaningful; during the first version we defer to the
+                // final fix-up below.
+                if site_lens[p] == 0 || site_lens[q] == 0 {
+                    continue;
+                }
+                let now_tp = !same_site(corpus, &site_lens, p, q);
+                if now_tp != req_tp[ri as usize] {
+                    req_tp[ri as usize] = now_tp;
+                    if now_tp {
+                        tp_count += 1;
+                    } else {
+                        tp_count -= 1;
+                    }
+                }
+            }
+        }
+
+        out.push(VersionStats {
+            date: vdate,
+            rule_count,
+            sites,
+            third_party_requests: tp_count,
+            hosts_in_different_site_vs_latest: moved,
+        });
+    }
+    out
+}
+
+fn same_site(corpus: &WebCorpus, site_lens: &[u32], a: usize, b: usize) -> bool {
+    if a == b {
+        return true;
+    }
+    let (la, lb) = (site_lens[a], site_lens[b]);
+    let ha = corpus.host(a as u32);
+    let hb = corpus.host(b as u32);
+    let sa = ha.suffix_of_len(la as usize).unwrap_or_else(|| ha.as_str());
+    let sb = hb.suffix_of_len(lb as usize).unwrap_or_else(|| hb.as_str());
+    sa == sb
+}
+
+fn site_len_for(disposition: &Option<psl_core::Disposition>, n: usize) -> u32 {
+    match disposition {
+        Some(d) => (d.suffix_len.min(n.saturating_sub(1)) + 1).min(n) as u32,
+        None => n as u32,
+    }
+}
+
+fn latest_trie_disposition(
+    latest: &psl_core::List,
+    labels: &[&str],
+    opts: MatchOpts,
+) -> Option<psl_core::Disposition> {
+    latest.disposition_reversed(labels, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::sweep;
+    use psl_history::{generate, GeneratorConfig};
+    use psl_webcorpus::{generate_corpus, CorpusConfig};
+
+    #[test]
+    fn incremental_matches_naive_exactly() {
+        let h = generate(&GeneratorConfig::small(601));
+        let c = generate_corpus(&h, &CorpusConfig::small(101));
+        let config = SweepConfig::default();
+        let naive = sweep(&h, &c, &config);
+        let incremental = sweep_incremental(&h, &c, &config);
+        assert_eq!(naive.len(), incremental.len());
+        for (a, b) in naive.iter().zip(&incremental) {
+            assert_eq!(a, b, "diverged at {}", a.date);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_under_strict_opts() {
+        let h = generate(&GeneratorConfig::small(603));
+        let c = generate_corpus(&h, &CorpusConfig::small(103));
+        let config = SweepConfig {
+            opts: MatchOpts { include_private: false, implicit_wildcard: true },
+            threads: 1,
+        };
+        let naive = sweep(&h, &c, &config);
+        let incremental = sweep_incremental(&h, &c, &config);
+        for (a, b) in naive.iter().zip(&incremental) {
+            assert_eq!(a, b, "diverged at {}", a.date);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Table 2: the largest eTLDs created by subsequent rule additions that at
+//! least one fixed/production project is missing.
+//!
+//! For every suffix in the latest list that was added after the first
+//! version, we count (i) the corpus hostnames living strictly under it and
+//! (ii) how many projects of each class embed a list copy lacking the
+//! rule. Rows are ranked by impacted hostnames; the paper reports the top
+//! 15 of 1,313 eTLDs affecting 50,750 hostnames (ours scale with the
+//! corpus).
+
+use psl_core::MatchOpts;
+use psl_history::{DatingIndex, History};
+use psl_repocorpus::{detect, DetectorConfig, RepoCorpus, UsageClass};
+use psl_webcorpus::WebCorpus;
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+
+/// One Table 2 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// The eTLD (rule text).
+    pub etld: String,
+    /// Corpus hostnames strictly under it.
+    pub hostnames: usize,
+    /// Dependency projects missing the rule.
+    pub dependency: usize,
+    /// Fixed/production projects missing the rule.
+    pub fixed_production: usize,
+    /// Fixed test-or-other projects missing the rule.
+    pub fixed_test_other: usize,
+    /// Updated projects missing the rule.
+    pub updated: usize,
+}
+
+/// The Table 2 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Report {
+    /// Top rows, ranked by impacted hostnames.
+    pub rows: Vec<Table2Row>,
+    /// Total eTLDs missing from at least one fixed/production project.
+    pub total_etlds: usize,
+    /// Total hostnames under those eTLDs.
+    pub total_hostnames: usize,
+}
+
+/// Run the Table 2 experiment. `top` bounds the number of rows reported
+/// (paper: 15).
+pub fn run(
+    history: &History,
+    corpus: &WebCorpus,
+    repos: &RepoCorpus,
+    index: &DatingIndex<'_>,
+    detector: &DetectorConfig,
+    top: usize,
+) -> Table2Report {
+    let latest = history.latest_snapshot();
+    let opts = MatchOpts::default();
+
+    // ---- Hostnames per public suffix under the latest list. --------------
+    let mut hosts_per_suffix: HashMap<String, usize> = HashMap::new();
+    for host in corpus.hosts() {
+        let Some(suffix) = latest.public_suffix(host, opts) else {
+            continue;
+        };
+        if suffix.len() == host.as_str().len() {
+            continue; // the bare suffix itself is not an impacted hostname
+        }
+        *hosts_per_suffix.entry(suffix.to_string()).or_insert(0) += 1;
+    }
+
+    // ---- Suffixes added after the first version. --------------------------
+    let first = history.first_version();
+    let late_added: HashSet<String> = history
+        .spans()
+        .iter()
+        .filter(|s| s.added > first && s.removed.is_none())
+        .map(|s| s.rule.as_text())
+        .collect();
+
+    // ---- Each project's embedded rule-text set. ---------------------------
+    // (Classified once; the embedded set is reconstructed from the dated
+    // version so truncated copies still resolve to a consistent set.)
+    struct ProjectSet {
+        class: UsageClass,
+        texts: HashSet<String>,
+    }
+    let mut projects = Vec::new();
+    for repo in &repos.repos {
+        let detection = detect(repo, &latest, index, detector);
+        let (Some(class), Some(dated)) = (detection.class, detection.dated) else {
+            continue;
+        };
+        let texts = history
+            .rules_at(dated.version)
+            .iter()
+            .map(|r| r.as_text())
+            .collect();
+        projects.push(ProjectSet { class, texts });
+    }
+
+    // ---- Assemble rows. -----------------------------------------------------
+    let mut rows = Vec::new();
+    for (suffix, &hostnames) in &hosts_per_suffix {
+        if !late_added.contains(suffix) {
+            continue;
+        }
+        let mut row = Table2Row {
+            etld: suffix.clone(),
+            hostnames,
+            dependency: 0,
+            fixed_production: 0,
+            fixed_test_other: 0,
+            updated: 0,
+        };
+        for p in &projects {
+            if p.texts.contains(suffix) {
+                continue;
+            }
+            match p.class {
+                UsageClass::Dependency(_) => row.dependency += 1,
+                UsageClass::Fixed(k) => {
+                    if p.class.is_fixed_production() {
+                        row.fixed_production += 1;
+                    } else {
+                        let _ = k;
+                        row.fixed_test_other += 1;
+                    }
+                }
+                UsageClass::Updated(_) => row.updated += 1,
+            }
+        }
+        // Paper inclusion criterion: at least one fixed/production
+        // project is missing the rule.
+        if row.fixed_production > 0 {
+            rows.push(row);
+        }
+    }
+    rows.sort_by(|a, b| b.hostnames.cmp(&a.hostnames).then(a.etld.cmp(&b.etld)));
+    let total_etlds = rows.len();
+    let total_hostnames = rows.iter().map(|r| r.hostnames).sum();
+    rows.truncate(top);
+
+    Table2Report { rows, total_etlds, total_hostnames }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psl_history::{generate, GeneratorConfig};
+    use psl_repocorpus::{generate_repos, RepoGenConfig};
+    use psl_webcorpus::{generate_corpus, CorpusConfig};
+
+    #[test]
+    fn table2_ranks_platform_etlds() {
+        let h = generate(&GeneratorConfig::small(161));
+        let corpus = generate_corpus(&h, &CorpusConfig::small(17));
+        let repos = generate_repos(&h, &RepoGenConfig::default());
+        let index = DatingIndex::build(&h);
+        let report = run(&h, &corpus, &repos, &index, &DetectorConfig::default(), 15);
+
+        assert!(!report.rows.is_empty());
+        assert!(report.rows.len() <= 15);
+        assert!(report.total_etlds >= report.rows.len());
+        assert!(report.total_hostnames > 0);
+
+        // Rows are sorted by hostname impact.
+        for w in report.rows.windows(2) {
+            assert!(w[0].hostnames >= w[1].hostnames);
+        }
+        // The headline platforms appear (they carry the paper-calibrated
+        // hostname populations and are missing from old embedded lists).
+        let etlds: Vec<&str> = report.rows.iter().map(|r| r.etld.as_str()).collect();
+        assert!(etlds.contains(&"myshopify.com"), "{etlds:?}");
+        assert!(etlds.contains(&"digitaloceanspaces.com"), "{etlds:?}");
+        // myshopify.com (largest paper row) ranks first among Table 2
+        // seeds at any scale.
+        let shopify_rank = etlds.iter().position(|&e| e == "myshopify.com").unwrap();
+        let docean_rank = etlds
+            .iter()
+            .position(|&e| e == "digitaloceanspaces.com")
+            .unwrap();
+        assert!(shopify_rank < docean_rank);
+
+        // Every row has at least one fixed/production project missing it.
+        for row in &report.rows {
+            assert!(row.fixed_production > 0, "{}", row.etld);
+        }
+    }
+}

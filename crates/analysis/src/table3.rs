@@ -1,0 +1,138 @@
+//! Table 3: per-project harm — fixed-usage repositories with their
+//! popularity, embedded-list age, and the number of corpus hostnames their
+//! copy misclassifies relative to the latest list.
+
+use crate::sweep::stats_for_single_list;
+use psl_core::MatchOpts;
+use psl_history::{DatingIndex, History};
+use psl_repocorpus::{detect, DetectorConfig, FixedKind, RepoCorpus, UsageClass};
+use psl_webcorpus::WebCorpus;
+use serde::Serialize;
+
+/// One Table 3 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Repository slug.
+    pub name: String,
+    /// Stars.
+    pub stars: u32,
+    /// Forks.
+    pub forks: u32,
+    /// Embedded-list age (days at t).
+    pub list_age_days: i32,
+    /// Corpus hostnames whose site differs under the embedded copy vs. the
+    /// latest list.
+    pub missing_hostnames: usize,
+    /// Fixed sub-category (`Production` / `Test` / `Other`).
+    pub block: String,
+}
+
+/// The Table 3 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Report {
+    /// Rows grouped by block (production first), stars descending within.
+    pub rows: Vec<Table3Row>,
+}
+
+/// Run the Table 3 experiment.
+pub fn run(
+    history: &History,
+    corpus: &WebCorpus,
+    repos: &RepoCorpus,
+    index: &DatingIndex<'_>,
+    detector: &DetectorConfig,
+) -> Table3Report {
+    let latest = history.latest_snapshot();
+    let t = repos.observed_at;
+    let opts = MatchOpts::default();
+    let mut rows = Vec::new();
+    for repo in &repos.repos {
+        let detection = detect(repo, &latest, index, detector);
+        let (Some(UsageClass::Fixed(kind)), Some(dated)) = (detection.class, detection.dated)
+        else {
+            continue;
+        };
+        let embedded = history.snapshot_at(dated.version);
+        let stats = stats_for_single_list(corpus, &embedded, &latest, opts);
+        rows.push(Table3Row {
+            name: repo.name.clone(),
+            stars: repo.stars,
+            forks: repo.forks,
+            list_age_days: dated.age_days(t),
+            missing_hostnames: stats.hosts_in_different_site_vs_latest,
+            block: match kind {
+                FixedKind::Production => "Production".to_string(),
+                FixedKind::Test => "Test".to_string(),
+                FixedKind::Other => "Other".to_string(),
+            },
+        });
+    }
+    let block_order = |b: &str| match b {
+        "Production" => 0,
+        "Test" => 1,
+        _ => 2,
+    };
+    rows.sort_by(|a, b| {
+        block_order(&a.block)
+            .cmp(&block_order(&b.block))
+            .then(b.stars.cmp(&a.stars))
+            .then(a.name.cmp(&b.name))
+    });
+    Table3Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psl_history::{generate, GeneratorConfig};
+    use psl_repocorpus::{generate_repos, RepoGenConfig};
+    use psl_webcorpus::{generate_corpus, CorpusConfig};
+
+    #[test]
+    fn table3_reproduces_named_rows_and_age_harm_relation() {
+        let h = generate(&GeneratorConfig::small(171));
+        let corpus = generate_corpus(&h, &CorpusConfig::small(19));
+        let repos = generate_repos(&h, &RepoGenConfig::default());
+        let index = DatingIndex::build(&h);
+        let report = run(&h, &corpus, &repos, &index, &DetectorConfig::default());
+
+        // All 68 fixed repos appear.
+        assert_eq!(report.rows.len(), 68);
+        // Production block first, stars descending.
+        assert_eq!(report.rows[0].name, "bitwarden/server");
+        assert_eq!(report.rows[0].stars, 10959);
+        assert_eq!(report.rows[0].block, "Production");
+
+        // bitwarden's old copy (≈1596 days) misses more hostnames than
+        // Yubico/python-fido2's fresh copy (≈188 days).
+        let get = |n: &str| report.rows.iter().find(|r| r.name == n).unwrap();
+        let bw = get("bitwarden/server");
+        let fido = get("Yubico/python-fido2");
+        assert!(bw.list_age_days > fido.list_age_days);
+        assert!(
+            bw.missing_hostnames > fido.missing_hostnames,
+            "bitwarden {} vs fido {}",
+            bw.missing_hostnames,
+            fido.missing_hostnames
+        );
+        // bitwarden/server and bitwarden/mobile share a list age, so they
+        // miss the same hostnames (paper: both 36,326).
+        let mobile = get("bitwarden/mobile");
+        assert!((bw.list_age_days - mobile.list_age_days).abs() <= 60);
+    }
+
+    #[test]
+    fn older_lists_miss_weakly_more_hostnames() {
+        let h = generate(&GeneratorConfig::small(173));
+        let corpus = generate_corpus(&h, &CorpusConfig::small(21));
+        let repos = generate_repos(&h, &RepoGenConfig::default());
+        let index = DatingIndex::build(&h);
+        let report = run(&h, &corpus, &repos, &index, &DetectorConfig::default());
+        // Rank correlation between age and missing hostnames should be
+        // strongly positive.
+        let ages: Vec<f64> = report.rows.iter().map(|r| r.list_age_days as f64).collect();
+        let missing: Vec<f64> = report.rows.iter().map(|r| r.missing_hostnames as f64).collect();
+        let rho = psl_stats::spearman(&ages, &missing).unwrap();
+        assert!(rho > 0.8, "spearman {rho}");
+    }
+}

@@ -1,0 +1,100 @@
+//! An incremental walker over list versions.
+//!
+//! Several experiments need "for every version, ask the list a few cheap
+//! questions". Building a full [`psl_core::List`] snapshot per version is
+//! O(rules) each; this walker maintains one mutable [`SuffixTrie`] and
+//! applies each version's diff, yielding the trie at every version.
+
+use psl_core::{Date, SuffixTrie};
+use psl_history::History;
+
+/// Iterate `(version_date, &trie)` over a history, applying diffs
+/// incrementally. The callback receives the trie state *at* each version.
+pub fn walk_versions<F>(history: &History, mut visit: F)
+where
+    F: FnMut(Date, &SuffixTrie),
+{
+    let mut events: Vec<(Date, bool, &psl_core::Rule)> = Vec::new();
+    for span in history.spans() {
+        events.push((span.added, true, &span.rule));
+        if let Some(r) = span.removed {
+            events.push((r, false, &span.rule));
+        }
+    }
+    events.sort_by_key(|e| e.0);
+
+    let mut trie = SuffixTrie::default();
+    let mut ei = 0;
+    for &v in history.versions() {
+        while ei < events.len() && events[ei].0 <= v {
+            let (_, is_add, rule) = events[ei];
+            if is_add {
+                trie.insert(rule);
+            } else {
+                trie.remove(rule);
+            }
+            ei += 1;
+        }
+        visit(v, &trie);
+    }
+}
+
+/// Is the name given as reversed labels a public suffix under the trie?
+/// (Mirrors `List::is_public_suffix` semantics with the given options.)
+pub fn is_public_suffix_reversed(
+    trie: &SuffixTrie,
+    reversed: &[&str],
+    opts: psl_core::MatchOpts,
+) -> bool {
+    trie.disposition(reversed, opts)
+        .map_or(false, |d| d.suffix_len == reversed.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psl_core::MatchOpts;
+    use psl_history::{generate, GeneratorConfig};
+
+    #[test]
+    fn walker_matches_snapshots() {
+        let h = generate(&GeneratorConfig::small(611));
+        let opts = MatchOpts::default();
+        // Probe names: a seeded late suffix and a base suffix.
+        let probes: Vec<Vec<&str>> = vec![
+            vec!["com", "myshopify"],
+            vec!["uk", "co"],
+            vec!["com"],
+        ];
+        let mut results: Vec<Vec<bool>> = Vec::new();
+        walk_versions(&h, |_, trie| {
+            results.push(
+                probes
+                    .iter()
+                    .map(|p| is_public_suffix_reversed(trie, p, opts))
+                    .collect(),
+            );
+        });
+        assert_eq!(results.len(), h.version_count());
+        // Cross-check a sample of versions against full snapshots.
+        for (i, &v) in h.versions().iter().enumerate().step_by(17) {
+            let list = h.snapshot_at(v);
+            for (j, p) in probes.iter().enumerate() {
+                let name = {
+                    let mut labels: Vec<&str> = p.clone();
+                    labels.reverse();
+                    psl_core::DomainName::parse(&labels.join(".")).unwrap()
+                };
+                assert_eq!(
+                    results[i][j],
+                    list.is_public_suffix(&name, opts),
+                    "probe {name} at {v}"
+                );
+            }
+        }
+        // myshopify.com flips from false to true over the history.
+        let shopify: Vec<bool> = results.iter().map(|r| r[0]).collect();
+        assert!(!shopify[0]);
+        assert!(*shopify.last().unwrap());
+    }
+}

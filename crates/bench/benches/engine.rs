@@ -1,0 +1,115 @@
+//! Engine micro-benches: the PSL primitives everything else is built on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psl_bench::world;
+use psl_core::{parse_dat, punycode, DomainName, List, MatchOpts, SuffixTrie};
+use psl_history::DatingIndex;
+
+fn bench_parse_dat(c: &mut Criterion) {
+    let w = world();
+    let text = w.history.latest_snapshot().to_dat();
+    c.bench_function("parse_dat_full_list", |b| {
+        b.iter(|| std::hint::black_box(parse_dat(&text).len()))
+    });
+}
+
+fn bench_trie_build(c: &mut Criterion) {
+    let w = world();
+    let rules = w.history.rules_at(w.history.latest_version());
+    c.bench_function("trie_build_full_list", |b| {
+        b.iter(|| std::hint::black_box(SuffixTrie::from_rules(&rules).len()))
+    });
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let w = world();
+    let list = w.history.latest_snapshot();
+    let opts = MatchOpts::default();
+    let hosts: Vec<Vec<&str>> = w
+        .corpus
+        .hosts()
+        .iter()
+        .take(1000)
+        .map(|h| h.labels_reversed())
+        .collect();
+    c.bench_function("disposition_1000_hosts", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for h in &hosts {
+                if let Some(d) = list.disposition_reversed(h, opts) {
+                    acc += d.suffix_len;
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    let miss = DomainName::parse("deep.sub.never-a-suffix.unknowntld").unwrap();
+    let miss_rev = miss.labels_reversed();
+    c.bench_function("disposition_miss", |b| {
+        b.iter(|| std::hint::black_box(list.disposition_reversed(&miss_rev, opts)))
+    });
+}
+
+fn bench_registrable_domain(c: &mut Criterion) {
+    let list = List::parse("com\nuk\nco.uk\n*.ck\n!www.ck\ngithub.io\n");
+    let opts = MatchOpts::default();
+    let d = DomainName::parse("a.b.example.co.uk").unwrap();
+    c.bench_function("registrable_domain", |b| {
+        b.iter(|| std::hint::black_box(list.registrable_domain(&d, opts)))
+    });
+}
+
+fn bench_punycode(c: &mut Criterion) {
+    c.bench_function("punycode_encode", |b| {
+        b.iter(|| std::hint::black_box(punycode::encode("bücher-straße").unwrap()))
+    });
+    c.bench_function("punycode_decode", |b| {
+        b.iter(|| std::hint::black_box(punycode::decode("bcher-strae-fcb1e").ok()))
+    });
+}
+
+fn bench_domain_parse(c: &mut Criterion) {
+    c.bench_function("domain_parse_ascii", |b| {
+        b.iter(|| std::hint::black_box(DomainName::parse("WWW.Shop.Example.CO.UK").unwrap()))
+    });
+    c.bench_function("domain_parse_idn", |b| {
+        b.iter(|| std::hint::black_box(DomainName::parse("bücher.example.de").unwrap()))
+    });
+}
+
+fn bench_dating(c: &mut Criterion) {
+    let w = world();
+    let mut g = c.benchmark_group("dating");
+    g.sample_size(10);
+    g.bench_function("index_build", |b| {
+        b.iter(|| {
+            let index = DatingIndex::build(&w.history);
+            std::hint::black_box(&index);
+        })
+    });
+    let index = DatingIndex::build(&w.history);
+    let mid = w.history.versions()[w.history.version_count() / 2];
+    let exact = w.history.rules_at(mid);
+    g.bench_function("date_exact_copy", |b| {
+        b.iter(|| std::hint::black_box(index.date_rules(&exact)))
+    });
+    let mut truncated = exact.clone();
+    truncated.truncate(truncated.len() - truncated.len() / 20);
+    g.bench_function("date_truncated_copy", |b| {
+        b.iter(|| std::hint::black_box(index.date_rules(&truncated)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    engine,
+    bench_parse_dat,
+    bench_trie_build,
+    bench_lookup,
+    bench_registrable_domain,
+    bench_punycode,
+    bench_domain_parse,
+    bench_dating,
+);
+criterion_main!(engine);

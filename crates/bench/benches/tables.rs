@@ -1,0 +1,63 @@
+//! One bench per paper table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psl_bench::world;
+use psl_history::DatingIndex;
+use psl_repocorpus::DetectorConfig;
+
+fn bench_table1_taxonomy(c: &mut Criterion) {
+    let w = world();
+    let reference = w.history.latest_snapshot();
+    let index = DatingIndex::build(&w.history);
+    let detector = DetectorConfig::default();
+    let mut g = c.benchmark_group("table1_taxonomy");
+    g.sample_size(10);
+    g.bench_function("classify_273_repos", |b| {
+        b.iter(|| {
+            let report = psl_analysis::table1::run(&w.repos, &reference, &index, &detector);
+            std::hint::black_box(report.classified)
+        })
+    });
+    g.finish();
+}
+
+fn bench_table2_missing_etlds(c: &mut Criterion) {
+    let w = world();
+    let index = DatingIndex::build(&w.history);
+    let detector = DetectorConfig::default();
+    let mut g = c.benchmark_group("table2_missing_etlds");
+    g.sample_size(10);
+    g.bench_function("impact_ranking", |b| {
+        b.iter(|| {
+            let report = psl_analysis::table2::run(
+                &w.history, &w.corpus, &w.repos, &index, &detector, 15,
+            );
+            std::hint::black_box(report.total_hostnames)
+        })
+    });
+    g.finish();
+}
+
+fn bench_table3_projects(c: &mut Criterion) {
+    let w = world();
+    let index = DatingIndex::build(&w.history);
+    let detector = DetectorConfig::default();
+    let mut g = c.benchmark_group("table3_projects");
+    g.sample_size(10);
+    g.bench_function("per_project_harm", |b| {
+        b.iter(|| {
+            let report =
+                psl_analysis::table3::run(&w.history, &w.corpus, &w.repos, &index, &detector);
+            std::hint::black_box(report.rows.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    tables,
+    bench_table1_taxonomy,
+    bench_table2_missing_etlds,
+    bench_table3_projects,
+);
+criterion_main!(tables);

@@ -1,0 +1,164 @@
+//! A password-manager vault with PSL-scoped autofill.
+//!
+//! The paper's §2 second scenario: "consider a password manager that has
+//! stored credentials for good.example.co.uk … if the password manager
+//! is using PSL v1, then they will also be prompted to autofill their
+//! credentials on bad.example.co.uk." [`Vault`] implements the standard
+//! behaviour (credentials are offered to any page in the same *site* as
+//! the page they were saved on), parameterised by a [`List`] so the harm
+//! is executable.
+
+use psl_core::{DomainName, List, MatchOpts};
+use serde::{Deserialize, Serialize};
+
+/// One stored credential.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Credential {
+    /// The hostname the credential was saved on.
+    pub saved_on: DomainName,
+    /// Username.
+    pub username: String,
+    /// Password (this is a simulation; nothing is hashed).
+    pub password: String,
+}
+
+/// A password vault bound to a list snapshot.
+#[derive(Debug, Clone)]
+pub struct Vault<'l> {
+    list: &'l List,
+    opts: MatchOpts,
+    credentials: Vec<Credential>,
+}
+
+impl<'l> Vault<'l> {
+    /// An empty vault enforcing `list`.
+    pub fn new(list: &'l List, opts: MatchOpts) -> Self {
+        Vault { list, opts, credentials: Vec::new() }
+    }
+
+    /// Number of stored credentials.
+    pub fn len(&self) -> usize {
+        self.credentials.len()
+    }
+
+    /// True if the vault is empty.
+    pub fn is_empty(&self) -> bool {
+        self.credentials.is_empty()
+    }
+
+    /// Save a credential for a hostname.
+    pub fn save(&mut self, host: &DomainName, username: &str, password: &str) {
+        // Same (site, username) replaces — the standard update flow.
+        let site = self.list.site(host, self.opts);
+        if let Some(existing) = self.credentials.iter_mut().find(|c| {
+            c.username == username && self.list.site(&c.saved_on, self.opts) == site
+        }) {
+            existing.saved_on = host.clone();
+            existing.password = password.to_string();
+            return;
+        }
+        self.credentials.push(Credential {
+            saved_on: host.clone(),
+            username: username.to_string(),
+            password: password.to_string(),
+        });
+    }
+
+    /// Credentials the manager would offer on `host`: those saved on any
+    /// hostname in the same site.
+    pub fn offers(&self, host: &DomainName) -> Vec<&Credential> {
+        let site = self.list.site(host, self.opts);
+        self.credentials
+            .iter()
+            .filter(|c| self.list.site(&c.saved_on, self.opts) == site)
+            .collect()
+    }
+
+    /// Would any credential leak to `host` — i.e. be offered although it
+    /// was saved on a hostname that the *reference* list places in a
+    /// different site? This is the per-credential harm check experiments
+    /// aggregate.
+    pub fn leaks_to(&self, host: &DomainName, reference: &List) -> Vec<&Credential> {
+        self.offers(host)
+            .into_iter()
+            .filter(|c| {
+                reference.site(&c.saved_on, self.opts) != reference.site(host, self.opts)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn v1() -> List {
+        List::parse("uk\nco.uk\n") // pre example.co.uk
+    }
+
+    fn v2() -> List {
+        List::parse("uk\nco.uk\nexample.co.uk\n")
+    }
+
+    #[test]
+    fn paper_scenario_verbatim() {
+        // §2: credentials for good.example.co.uk; under PSL v1 the user
+        // is also prompted on bad.example.co.uk.
+        let old = v1();
+        let new = v2();
+        let opts = MatchOpts::default();
+
+        let mut vault_old = Vault::new(&old, opts);
+        vault_old.save(&d("good.example.co.uk"), "alice", "hunter2");
+        assert_eq!(vault_old.offers(&d("bad.example.co.uk")).len(), 1);
+
+        let mut vault_new = Vault::new(&new, opts);
+        vault_new.save(&d("good.example.co.uk"), "alice", "hunter2");
+        assert!(vault_new.offers(&d("bad.example.co.uk")).is_empty());
+        assert_eq!(vault_new.offers(&d("login.good.example.co.uk")).len(), 1);
+    }
+
+    #[test]
+    fn leak_detection_against_reference() {
+        let old = v1();
+        let new = v2();
+        let opts = MatchOpts::default();
+        let mut vault = Vault::new(&old, opts);
+        vault.save(&d("good.example.co.uk"), "alice", "hunter2");
+        vault.save(&d("shop.other.co.uk"), "alice", "xyzzy");
+
+        let leaks = vault.leaks_to(&d("bad.example.co.uk"), &new);
+        assert_eq!(leaks.len(), 1);
+        assert_eq!(leaks[0].saved_on, d("good.example.co.uk"));
+        // The same query under the new list's own vault finds nothing to
+        // leak (nothing is offered in the first place).
+        let mut vault_new = Vault::new(&new, opts);
+        vault_new.save(&d("good.example.co.uk"), "alice", "hunter2");
+        assert!(vault_new.leaks_to(&d("bad.example.co.uk"), &new).is_empty());
+    }
+
+    #[test]
+    fn save_replaces_same_site_same_user() {
+        let new = v2();
+        let mut vault = Vault::new(&new, MatchOpts::default());
+        vault.save(&d("good.example.co.uk"), "alice", "old-pass");
+        vault.save(&d("www.good.example.co.uk"), "alice", "new-pass");
+        assert_eq!(vault.len(), 1);
+        assert_eq!(vault.offers(&d("good.example.co.uk"))[0].password, "new-pass");
+        // Different user on the same site is a separate entry.
+        vault.save(&d("good.example.co.uk"), "bob", "b");
+        assert_eq!(vault.len(), 2);
+    }
+
+    #[test]
+    fn empty_vault_offers_nothing() {
+        let new = v2();
+        let vault = Vault::new(&new, MatchOpts::default());
+        assert!(vault.is_empty());
+        assert!(vault.offers(&d("good.example.co.uk")).is_empty());
+    }
+}

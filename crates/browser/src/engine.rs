@@ -1,0 +1,261 @@
+//! The browser engine: navigation, subresource loads, and a privacy
+//! decision log.
+//!
+//! [`Browser`] glues the pieces together the way a real engine does —
+//! cookie jar (set on response, attached on request), site-partitioned
+//! storage, frame ancestry for `SameSite`, and referrer trimming — all
+//! driven by one [`List`]. Every decision is recorded so experiments can
+//! diff the decision stream produced by two list versions and count the
+//! privacy-relevant flips.
+
+use crate::frames::FrameContext;
+use crate::origin::Origin;
+use crate::referrer::{referrer_for, Referrer};
+use crate::storage::{PartitionedStorage, StorageKey};
+use psl_core::jar::{CookieJar, StoreError};
+use psl_core::{List, MatchOpts, Url};
+use serde::Serialize;
+
+/// One privacy-relevant decision taken while loading.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum Decision {
+    /// A Set-Cookie was accepted (cookie name, scope domain).
+    CookieAccepted(String, String),
+    /// A Set-Cookie was refused.
+    CookieRefused(String),
+    /// Cookies attached to a request (target host, count).
+    CookiesAttached(String, usize),
+    /// A SameSite cookie context was judged same-site (target host).
+    SameSiteContext(String, bool),
+    /// The referrer sent to a target host.
+    ReferrerSent(String, Referrer),
+}
+
+/// The result of a subresource load.
+#[derive(Debug, Clone)]
+pub struct LoadResult {
+    /// Cookies attached to the request.
+    pub cookies_attached: usize,
+    /// Whether the context was same-site with the target.
+    pub same_site: bool,
+    /// The referrer sent.
+    pub referrer: Referrer,
+    /// The storage key the target's scripts would use.
+    pub storage_key: StorageKey,
+}
+
+/// A minimal browser.
+pub struct Browser<'l> {
+    list: &'l List,
+    opts: MatchOpts,
+    /// The cookie jar.
+    pub jar: CookieJar<'l>,
+    /// Partitioned storage.
+    pub storage: PartitionedStorage,
+    decisions: Vec<Decision>,
+}
+
+impl<'l> Browser<'l> {
+    /// A fresh browser enforcing `list`.
+    pub fn new(list: &'l List, opts: MatchOpts) -> Self {
+        Browser {
+            list,
+            opts,
+            jar: CookieJar::new(list, opts),
+            storage: PartitionedStorage::new(),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// The decision log.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// Navigate a tab to `url`, returning its top-level frame context.
+    pub fn navigate(&mut self, url: &str) -> Option<(FrameContext, Url)> {
+        let parsed = Url::parse(url).ok()?;
+        let origin = Origin::of_url(&parsed)?;
+        Some((FrameContext::top_level(origin), parsed))
+    }
+
+    /// Receive a `Set-Cookie` header on a response from `host`.
+    pub fn receive_set_cookie(&mut self, host: &psl_core::DomainName, header: &str) {
+        match self.jar.set_from_header(host, header) {
+            Ok(()) => {
+                let c = self.jar.cookies().last().expect("just stored");
+                self.decisions.push(Decision::CookieAccepted(
+                    c.name.clone(),
+                    c.domain.as_str().to_string(),
+                ));
+            }
+            Err(StoreError::Refused | StoreError::BadDomain | StoreError::Malformed) => {
+                self.decisions.push(Decision::CookieRefused(header.to_string()));
+            }
+        }
+    }
+
+    /// Load a subresource from `target_url` inside `context`, where the
+    /// page currently at `page_url` initiates the request.
+    pub fn load_subresource(
+        &mut self,
+        context: &FrameContext,
+        page_url: &Url,
+        target_url: &str,
+    ) -> Option<LoadResult> {
+        let target = Url::parse(target_url).ok()?;
+        let target_origin = Origin::of_url(&target)?;
+        let host = target_origin.host.clone();
+
+        let same_site = context.request_is_same_site(self.list, &target_origin, self.opts);
+        self.decisions
+            .push(Decision::SameSiteContext(host.as_str().to_string(), same_site));
+
+        // Cookie attachment: all domain-matching cookies; SameSite ones
+        // only in same-site contexts. (The jar does not store the
+        // SameSite attribute; we model the conservative engine that
+        // treats every cookie as SameSite=Lax, so cross-site subresource
+        // loads get none.)
+        let attached = if same_site {
+            self.jar
+                .cookies_for(&host, &target.path_and_rest, target.scheme == "https")
+                .len()
+        } else {
+            0
+        };
+        self.decisions
+            .push(Decision::CookiesAttached(host.as_str().to_string(), attached));
+
+        let referrer = referrer_for(self.list, page_url, &target_origin, self.opts);
+        self.decisions
+            .push(Decision::ReferrerSent(host.as_str().to_string(), referrer.clone()));
+
+        let storage_key = StorageKey {
+            partition: context.top().site(self.list, self.opts),
+            origin: target_origin,
+        };
+        Some(LoadResult {
+            cookies_attached: attached,
+            same_site,
+            referrer,
+            storage_key,
+        })
+    }
+}
+
+/// Count the decisions that differ between two browsers replaying the
+/// same interaction script — the per-version "wrong decision" metric.
+pub fn decision_divergence(a: &Browser<'_>, b: &Browser<'_>) -> usize {
+    let n = a.decisions.len().max(b.decisions.len());
+    let mut diff = n - a.decisions.len().min(b.decisions.len());
+    diff += a
+        .decisions
+        .iter()
+        .zip(&b.decisions)
+        .filter(|(x, y)| x != y)
+        .count();
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psl_core::DomainName;
+
+    fn current() -> List {
+        List::parse("com\nio\n// ===BEGIN PRIVATE DOMAINS===\ngithub.io\n")
+    }
+
+    fn stale() -> List {
+        List::parse("com\nio\n")
+    }
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    /// Replay the paper's platform scenario in a browser.
+    fn replay(list: &List) -> (usize, bool, Referrer) {
+        let mut b = Browser::new(list, MatchOpts::default());
+        // Visit alice's store; alice's server sets a platform-wide cookie
+        // (legitimate under stale lists, refused under current).
+        let (ctx, page) = b.navigate("https://alice.github.io/cart?step=2").unwrap();
+        b.receive_set_cookie(&d("alice.github.io"), "sid=abc; Domain=github.io");
+        // The page then loads a widget from bob's site.
+        let result = b
+            .load_subresource(&ctx, &page, "https://bob.github.io/widget.js")
+            .unwrap();
+        (result.cookies_attached, result.same_site, result.referrer)
+    }
+
+    #[test]
+    fn current_list_isolates_customers() {
+        let l = current();
+        let (cookies, same_site, referrer) = replay(&l);
+        assert_eq!(cookies, 0);
+        assert!(!same_site);
+        assert!(matches!(referrer, Referrer::OriginOnly(_)));
+    }
+
+    #[test]
+    fn stale_list_leaks_in_three_ways_at_once() {
+        let l = stale();
+        let (cookies, same_site, referrer) = replay(&l);
+        // The platform cookie was accepted AND attached cross-customer.
+        assert_eq!(cookies, 1);
+        // The context is judged same-site.
+        assert!(same_site);
+        // The full path (cart?step=2) leaks.
+        assert_eq!(
+            referrer,
+            Referrer::Full("https://alice.github.io/cart?step=2".into())
+        );
+    }
+
+    #[test]
+    fn decision_log_captures_the_difference() {
+        let cur = current();
+        let sta = stale();
+        let mut a = Browser::new(&cur, MatchOpts::default());
+        let mut b = Browser::new(&sta, MatchOpts::default());
+        for browser in [&mut a, &mut b] {
+            let (ctx, page) = browser.navigate("https://alice.github.io/").unwrap();
+            browser.receive_set_cookie(&d("alice.github.io"), "sid=abc; Domain=github.io");
+            browser
+                .load_subresource(&ctx, &page, "https://bob.github.io/w.js")
+                .unwrap();
+        }
+        let divergence = decision_divergence(&a, &b);
+        assert!(divergence >= 3, "divergence {divergence}");
+        // And identical browsers do not diverge.
+        let mut c = Browser::new(&cur, MatchOpts::default());
+        let (ctx, page) = c.navigate("https://alice.github.io/").unwrap();
+        c.receive_set_cookie(&d("alice.github.io"), "sid=abc; Domain=github.io");
+        c.load_subresource(&ctx, &page, "https://bob.github.io/w.js").unwrap();
+        assert_eq!(decision_divergence(&a, &c), 0);
+    }
+
+    #[test]
+    fn storage_key_partitions_by_top_level_site() {
+        let cur = current();
+        let mut b = Browser::new(&cur, MatchOpts::default());
+        let (ctx_a, page_a) = b.navigate("https://alice.github.io/").unwrap();
+        let ra = b
+            .load_subresource(&ctx_a, &page_a, "https://widget.tracker.com/t.js")
+            .unwrap();
+        let (ctx_b, page_b) = b.navigate("https://bob.github.io/").unwrap();
+        let rb = b
+            .load_subresource(&ctx_b, &page_b, "https://widget.tracker.com/t.js")
+            .unwrap();
+        assert_ne!(ra.storage_key.partition, rb.storage_key.partition);
+        assert_eq!(ra.storage_key.origin, rb.storage_key.origin);
+    }
+
+    #[test]
+    fn navigation_rejects_bad_urls() {
+        let l = current();
+        let mut b = Browser::new(&l, MatchOpts::default());
+        assert!(b.navigate("not-a-url").is_none());
+        assert!(b.navigate("https://192.168.0.1/").is_none());
+    }
+}

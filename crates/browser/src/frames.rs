@@ -1,0 +1,124 @@
+//! Frame trees and the "site for cookies" computation.
+//!
+//! `SameSite` cookie attachment (RFC 6265bis §5.2) depends on whether a
+//! request's target is same-site with *every ancestor frame*, not just
+//! the top level: one cross-site ancestor makes the whole context
+//! cross-site. All of those comparisons are PSL site comparisons.
+
+use crate::origin::Origin;
+use psl_core::{List, MatchOpts};
+
+/// A frame in a page, with its ancestor chain (top level first).
+#[derive(Debug, Clone)]
+pub struct FrameContext {
+    /// Origins from the top-level document down to (and including) the
+    /// frame making the request.
+    pub ancestors: Vec<Origin>,
+}
+
+impl FrameContext {
+    /// A top-level browsing context.
+    pub fn top_level(origin: Origin) -> FrameContext {
+        FrameContext { ancestors: vec![origin] }
+    }
+
+    /// Nest a child frame inside this context.
+    pub fn nest(&self, child: Origin) -> FrameContext {
+        let mut ancestors = self.ancestors.clone();
+        ancestors.push(child);
+        FrameContext { ancestors }
+    }
+
+    /// The top-level origin.
+    pub fn top(&self) -> &Origin {
+        &self.ancestors[0]
+    }
+
+    /// The initiating frame's origin.
+    pub fn initiator(&self) -> &Origin {
+        self.ancestors.last().expect("contexts are never empty")
+    }
+
+    /// Is a request from this context to `target` same-site (RFC 6265bis
+    /// "site for cookies" semantics)? True iff the target and every
+    /// ancestor share a schemeful site.
+    pub fn request_is_same_site(
+        &self,
+        list: &List,
+        target: &Origin,
+        opts: MatchOpts,
+    ) -> bool {
+        let site = target.site(list, opts);
+        self.ancestors.iter().all(|a| a.site(list, opts) == site)
+    }
+}
+
+/// Should a `SameSite=Lax`/`Strict` cookie be attached to a subresource
+/// request from `context` to `target`?
+pub fn samesite_cookie_attached(
+    list: &List,
+    context: &FrameContext,
+    target: &Origin,
+    opts: MatchOpts,
+) -> bool {
+    context.request_is_same_site(list, target, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list() -> List {
+        List::parse("com\n// ===BEGIN PRIVATE DOMAINS===\ngithub.io\n")
+    }
+
+    fn o(url: &str) -> Origin {
+        Origin::parse(url).unwrap()
+    }
+
+    #[test]
+    fn same_site_subresource_in_top_level() {
+        let l = list();
+        let opts = MatchOpts::default();
+        let ctx = FrameContext::top_level(o("https://www.example.com"));
+        assert!(ctx.request_is_same_site(&l, &o("https://cdn.example.com"), opts));
+        assert!(!ctx.request_is_same_site(&l, &o("https://tracker.com"), opts));
+    }
+
+    #[test]
+    fn one_cross_site_ancestor_poisons_the_chain() {
+        let l = list();
+        let opts = MatchOpts::default();
+        // example.com embeds tracker.com which embeds example.com again:
+        // the innermost request to example.com is NOT same-site.
+        let ctx = FrameContext::top_level(o("https://www.example.com"))
+            .nest(o("https://frame.tracker.com"))
+            .nest(o("https://inner.example.com"));
+        assert!(!ctx.request_is_same_site(&l, &o("https://www.example.com"), opts));
+        assert_eq!(ctx.top().host.as_str(), "www.example.com");
+        assert_eq!(ctx.initiator().host.as_str(), "inner.example.com");
+    }
+
+    #[test]
+    fn stale_list_attaches_samesite_cookies_across_customers() {
+        // alice.github.io embeds bob.github.io. Current list: cross-site,
+        // SameSite cookies withheld. Stale list: "same site", attached —
+        // bob's SameSite protection is silently voided.
+        let current = list();
+        let stale = List::parse("com\nio\n");
+        let opts = MatchOpts::default();
+        let ctx = FrameContext::top_level(o("https://alice.github.io"));
+        let bob = o("https://bob.github.io");
+        assert!(!samesite_cookie_attached(&current, &ctx, &bob, opts));
+        assert!(samesite_cookie_attached(&stale, &ctx, &bob, opts));
+    }
+
+    #[test]
+    fn nesting_preserves_ancestry_order() {
+        let ctx = FrameContext::top_level(o("https://a.com"))
+            .nest(o("https://b.com"))
+            .nest(o("https://c.com"));
+        let hosts: Vec<&str> = ctx.ancestors.iter().map(|a| a.host.as_str()).collect();
+        assert_eq!(hosts, ["a.com", "b.com", "c.com"]);
+    }
+}

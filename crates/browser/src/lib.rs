@@ -1,0 +1,36 @@
+//! # psl-browser — a mini web-privacy engine
+//!
+//! The paper's primary PSL consumer is the web browser: cookie isolation,
+//! `SameSite` contexts, storage partitioning, referrer trimming, and the
+//! address-bar eTLD+1 highlight are all PSL decisions (§1–§2). This crate
+//! models that consumer concretely so the out-of-date-list harms can be
+//! *executed*, not just counted:
+//!
+//! - [`origin`]: origins, schemeful sites, address-bar highlighting;
+//! - [`storage`]: top-level-site-partitioned storage (stale lists merge
+//!   partitions and restore cross-site linkage);
+//! - [`frames`]: frame ancestry and the site-for-cookies computation
+//!   (one cross-site ancestor poisons the chain);
+//! - [`referrer`]: `strict-origin-when-cross-origin` trimming with
+//!   site-level cross-ness;
+//! - [`autofill`]: the §2 password-manager scenario as a library;
+//! - [`engine`]: [`Browser`] gluing it all together with a decision log,
+//!   plus [`engine::decision_divergence`] for diffing two list versions'
+//!   behaviour on the same interaction script.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autofill;
+pub mod engine;
+pub mod frames;
+pub mod origin;
+pub mod referrer;
+pub mod storage;
+
+pub use autofill::{Credential, Vault};
+pub use engine::{decision_divergence, Browser, Decision, LoadResult};
+pub use frames::{samesite_cookie_attached, FrameContext};
+pub use origin::{address_bar_highlight, Origin, Site};
+pub use referrer::{referrer_for, Referrer};
+pub use storage::{PartitionedStorage, StorageKey};

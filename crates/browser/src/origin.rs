@@ -1,0 +1,165 @@
+//! Origins and schemeful sites.
+//!
+//! Browsers key security decisions on the *origin* (scheme, host, port)
+//! and privacy decisions on the *site* (scheme + registrable domain, per
+//! the PSL). This module provides both, with the site computation
+//! parameterised by a [`List`] so a stale list visibly merges sites.
+
+use psl_core::{DomainName, List, MatchOpts, Url};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A web origin (scheme, host, port).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Origin {
+    /// Lowercase scheme.
+    pub scheme: String,
+    /// Hostname.
+    pub host: DomainName,
+    /// Effective port (defaulted from the scheme when absent).
+    pub port: u16,
+}
+
+impl Origin {
+    /// The origin of a URL. Returns `None` for non-domain hosts (IP
+    /// literals have no PSL site and this engine does not model them).
+    pub fn of_url(url: &Url) -> Option<Origin> {
+        let host = url.host.domain()?.clone();
+        let port = url.port.unwrap_or(match url.scheme.as_str() {
+            "https" => 443,
+            "http" => 80,
+            _ => 0,
+        });
+        Some(Origin { scheme: url.scheme.clone(), host, port })
+    }
+
+    /// Parse an origin from a URL string.
+    pub fn parse(url: &str) -> Option<Origin> {
+        Origin::of_url(&Url::parse(url).ok()?)
+    }
+
+    /// The schemeful site of this origin under `list`.
+    pub fn site(&self, list: &List, opts: MatchOpts) -> Site {
+        Site {
+            scheme: self.scheme.clone(),
+            registrable_domain: list.site(&self.host, opts),
+        }
+    }
+
+    /// Same-origin check (exact triple equality).
+    pub fn same_origin(&self, other: &Origin) -> bool {
+        self == other
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}:{}", self.scheme, self.host, self.port)
+    }
+}
+
+/// A schemeful site: scheme plus registrable domain.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Site {
+    /// Scheme.
+    pub scheme: String,
+    /// The eTLD+1 (or bare host for unregistrable names).
+    pub registrable_domain: DomainName,
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}", self.scheme, self.registrable_domain)
+    }
+}
+
+/// The eTLD+1 highlight split the browser UI shows in the address bar
+/// (the paper's "cosmetic uses … grouping domains together in the web
+/// browser UI"): returns `(dimmed_prefix, highlighted_etld_plus_one)`.
+pub fn address_bar_highlight<'h>(
+    list: &List,
+    host: &'h DomainName,
+    opts: MatchOpts,
+) -> (&'h str, &'h str) {
+    let site = list.site(host, opts);
+    let full = host.as_str();
+    let tail_len = site.as_str().len();
+    let split = full.len() - tail_len;
+    let prefix = &full[..split];
+    let tail = &full[split..];
+    (prefix, tail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn list() -> List {
+        List::parse("com\nco.uk\n// ===BEGIN PRIVATE DOMAINS===\ngithub.io\n")
+    }
+
+    fn o(url: &str) -> Origin {
+        Origin::parse(url).unwrap()
+    }
+
+    #[test]
+    fn origin_parsing_and_ports() {
+        let a = o("https://www.example.com/page");
+        assert_eq!(a.scheme, "https");
+        assert_eq!(a.port, 443);
+        assert_eq!(o("http://www.example.com").port, 80);
+        assert_eq!(o("https://www.example.com:8443").port, 8443);
+        assert_eq!(a.to_string(), "https://www.example.com:443");
+        assert!(Origin::parse("https://192.168.0.1/").is_none());
+        assert!(Origin::parse("not a url").is_none());
+    }
+
+    #[test]
+    fn same_origin_is_exact() {
+        assert!(o("https://a.example.com").same_origin(&o("https://a.example.com/x")));
+        assert!(!o("https://a.example.com").same_origin(&o("http://a.example.com")));
+        assert!(!o("https://a.example.com").same_origin(&o("https://a.example.com:8443")));
+    }
+
+    #[test]
+    fn schemeful_site() {
+        let l = list();
+        let opts = MatchOpts::default();
+        let a = o("https://maps.google.com").site(&l, opts);
+        let b = o("https://www.google.com").site(&l, opts);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "https://google.com");
+        // Schemeful: http and https are different sites.
+        let c = o("http://www.google.com").site(&l, opts);
+        assert_ne!(a, c);
+        // Platform customers are different sites.
+        let alice = o("https://alice.github.io").site(&l, opts);
+        let bob = o("https://bob.github.io").site(&l, opts);
+        assert_ne!(alice, bob);
+    }
+
+    #[test]
+    fn address_bar_highlighting() {
+        let l = list();
+        let opts = MatchOpts::default();
+        let host = DomainName::parse("login.bank.example.co.uk.evil.com").unwrap();
+        let (prefix, tail) = address_bar_highlight(&l, &host, opts);
+        assert_eq!(tail, "evil.com");
+        assert_eq!(prefix, "login.bank.example.co.uk.");
+        let short = DomainName::parse("example.com").unwrap();
+        let (prefix, tail) = address_bar_highlight(&l, &short, opts);
+        assert_eq!(prefix, "");
+        assert_eq!(tail, "example.com");
+    }
+
+    proptest! {
+        #[test]
+        fn highlight_reassembles_host(host in "[a-z]{1,5}(\\.[a-z]{1,5}){0,3}") {
+            let l = list();
+            let h = DomainName::parse(&host).unwrap();
+            let (prefix, tail) = address_bar_highlight(&l, &h, MatchOpts::default());
+            prop_assert_eq!(format!("{prefix}{tail}"), host);
+        }
+    }
+}

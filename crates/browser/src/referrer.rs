@@ -1,0 +1,116 @@
+//! Referrer trimming (`strict-origin-when-cross-origin`, the web's
+//! default policy) with a site-aware variant.
+//!
+//! The default policy sends the full URL same-origin and only the origin
+//! cross-origin. Some browsers additionally trim to the origin only when
+//! the request is cross-*site* — which makes the decision a PSL decision,
+//! and a stale list leaks full referrer paths to what are actually
+//! unrelated parties.
+
+use crate::origin::Origin;
+use psl_core::{List, MatchOpts, Url};
+use serde::Serialize;
+
+/// What the Referer header carries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum Referrer {
+    /// The full URL (path and query included).
+    Full(String),
+    /// Origin only.
+    OriginOnly(String),
+    /// Nothing (downgrade to insecure target).
+    None,
+}
+
+/// Compute the referrer for a navigation from `from_url` to `to`, under
+/// `strict-origin-when-cross-origin` with the cross-ness decided at the
+/// *site* level by `list`.
+pub fn referrer_for(
+    list: &List,
+    from_url: &Url,
+    to: &Origin,
+    opts: MatchOpts,
+) -> Referrer {
+    let Some(from) = Origin::of_url(from_url) else {
+        return Referrer::None;
+    };
+    // Downgrade: HTTPS source, non-HTTPS target sends nothing.
+    if from.scheme == "https" && to.scheme != "https" {
+        return Referrer::None;
+    }
+    if from.site(list, opts) == to.site(list, opts) {
+        Referrer::Full(from_url.to_string())
+    } else {
+        Referrer::OriginOnly(format!("{}://{}", from.scheme, from.host))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list() -> List {
+        List::parse("com\n// ===BEGIN PRIVATE DOMAINS===\ngithub.io\n")
+    }
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn o(s: &str) -> Origin {
+        Origin::parse(s).unwrap()
+    }
+
+    #[test]
+    fn same_site_sends_full_url() {
+        let l = list();
+        let r = referrer_for(
+            &l,
+            &u("https://www.example.com/account?id=7"),
+            &o("https://api.example.com"),
+            MatchOpts::default(),
+        );
+        assert_eq!(r, Referrer::Full("https://www.example.com/account?id=7".into()));
+    }
+
+    #[test]
+    fn cross_site_sends_origin_only() {
+        let l = list();
+        let r = referrer_for(
+            &l,
+            &u("https://www.example.com/account?id=7"),
+            &o("https://tracker.com"),
+            MatchOpts::default(),
+        );
+        assert_eq!(r, Referrer::OriginOnly("https://www.example.com".into()));
+    }
+
+    #[test]
+    fn downgrade_sends_nothing() {
+        let l = list();
+        let r = referrer_for(
+            &l,
+            &u("https://www.example.com/secret"),
+            &o("http://www.example.com"),
+            MatchOpts::default(),
+        );
+        assert_eq!(r, Referrer::None);
+    }
+
+    #[test]
+    fn stale_list_leaks_paths_across_platform_customers() {
+        let current = list();
+        let stale = List::parse("com\nio\n");
+        let opts = MatchOpts::default();
+        let from = u("https://alice.github.io/private/report?token=abc");
+        let to = o("https://bob.github.io");
+        // Current list: cross-site, origin only.
+        assert!(matches!(referrer_for(&current, &from, &to, opts), Referrer::OriginOnly(_)));
+        // Stale list: treated same-site — the full URL (with token) leaks
+        // to an unrelated operator.
+        assert_eq!(
+            referrer_for(&stale, &from, &to, opts),
+            Referrer::Full("https://alice.github.io/private/report?token=abc".into())
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Site-partitioned storage.
+//!
+//! Modern browsers partition client-side storage by the *top-level site*:
+//! an embedded widget gets separate storage under every site that embeds
+//! it, so it cannot link visits. The partition key is a site — i.e. a PSL
+//! decision — so an out-of-date list merges partitions that should be
+//! separate (every `github.io` customer shares one partition, say) and a
+//! tracker regains cross-site linkage.
+
+use crate::origin::{Origin, Site};
+use std::collections::HashMap;
+
+/// Key of one storage bucket: (top-level site partition, accessing
+/// origin).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StorageKey {
+    /// The partition: the top-level site of the tab.
+    pub partition: Site,
+    /// The origin whose script accesses the storage.
+    pub origin: Origin,
+}
+
+/// A key-value store partitioned by [`StorageKey`].
+#[derive(Debug, Clone, Default)]
+pub struct PartitionedStorage {
+    buckets: HashMap<StorageKey, HashMap<String, String>>,
+}
+
+impl PartitionedStorage {
+    /// Empty storage.
+    pub fn new() -> Self {
+        PartitionedStorage::default()
+    }
+
+    /// Write a value.
+    pub fn set(&mut self, key: &StorageKey, item: &str, value: &str) {
+        self.buckets
+            .entry(key.clone())
+            .or_default()
+            .insert(item.to_string(), value.to_string());
+    }
+
+    /// Read a value.
+    pub fn get(&self, key: &StorageKey, item: &str) -> Option<&str> {
+        self.buckets.get(key)?.get(item).map(String::as_str)
+    }
+
+    /// Number of non-empty buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Can a script at `origin` embedded under top-level `partition_a`
+    /// observe a value written by the *same origin* embedded under
+    /// `partition_b`? True iff the partitions are the same site — the
+    /// linkage test the partition scheme exists to prevent.
+    pub fn linkable(&self, partition_a: &Site, partition_b: &Site) -> bool {
+        partition_a == partition_b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psl_core::{List, MatchOpts};
+
+    fn key(list: &List, top: &str, origin: &str) -> StorageKey {
+        let opts = MatchOpts::default();
+        let top = Origin::parse(top).unwrap();
+        let origin = Origin::parse(origin).unwrap();
+        StorageKey { partition: top.site(list, opts), origin }
+    }
+
+    #[test]
+    fn same_partition_same_origin_shares() {
+        let l = List::parse("com\n");
+        let mut s = PartitionedStorage::new();
+        let k = key(&l, "https://news.example.com", "https://widget.vendor.com");
+        s.set(&k, "uid", "123");
+        assert_eq!(s.get(&k, "uid"), Some("123"));
+        // Same partition site via another subdomain of the top-level.
+        let k2 = key(&l, "https://sports.example.com", "https://widget.vendor.com");
+        assert_eq!(s.get(&k2, "uid"), Some("123"), "same top-level site shares");
+    }
+
+    #[test]
+    fn different_partitions_are_isolated() {
+        let l = List::parse("com\n");
+        let mut s = PartitionedStorage::new();
+        let ka = key(&l, "https://a-shop.com", "https://widget.vendor.com");
+        let kb = key(&l, "https://b-shop.com", "https://widget.vendor.com");
+        s.set(&ka, "uid", "123");
+        assert_eq!(s.get(&kb, "uid"), None);
+        assert_eq!(s.bucket_count(), 1);
+        assert!(!s.linkable(&ka.partition, &kb.partition));
+    }
+
+    #[test]
+    fn stale_list_merges_platform_partitions() {
+        // Two independent stores on a shared platform embed the same
+        // tracker widget. Current list: separate partitions. Stale list
+        // (no myshopify.com rule): one partition — the tracker links the
+        // user across both stores.
+        let current = List::parse("com\n// ===BEGIN PRIVATE DOMAINS===\nmyshopify.com\n");
+        let stale = List::parse("com\n");
+        let tracker = "https://widget.tracker.com";
+
+        for (list, expect_linkable) in [(&current, false), (&stale, true)] {
+            let mut s = PartitionedStorage::new();
+            let ka = key(list, "https://storea.myshopify.com", tracker);
+            let kb = key(list, "https://storeb.myshopify.com", tracker);
+            s.set(&ka, "uid", "123");
+            let observed = s.get(&kb, "uid").is_some();
+            assert_eq!(observed, expect_linkable);
+            assert_eq!(s.linkable(&ka.partition, &kb.partition), expect_linkable);
+        }
+    }
+
+    #[test]
+    fn origins_within_a_partition_are_still_separate() {
+        let l = List::parse("com\n");
+        let mut s = PartitionedStorage::new();
+        let ka = key(&l, "https://news.example.com", "https://w1.vendor.com");
+        let kb = key(&l, "https://news.example.com", "https://w2.vendor.com");
+        s.set(&ka, "uid", "1");
+        assert_eq!(s.get(&kb, "uid"), None);
+    }
+}

@@ -1,0 +1,170 @@
+//! CA wildcard-issuance policy, parameterised by the PSL.
+//!
+//! The CA/Browser Forum Baseline Requirements forbid issuing a wildcard
+//! certificate whose wildcard sits immediately above a *registry-
+//! controlled* label: `*.co.uk` would cover every UK company. The check
+//! is: the wildcard's base must not be a public suffix. This is the
+//! paper's §4 "validation systems (such as SSL wildcard issuance)" use
+//! case — a CA running an out-of-date list will mis-issue wildcards over
+//! newly added suffixes (e.g. `*.<platform>.com` covering every customer
+//! of a shared-hosting platform).
+
+use crate::name::{CertName, Certificate};
+use psl_core::{DomainName, List, MatchOpts};
+use serde::Serialize;
+
+/// Why issuance was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum IssuanceError {
+    /// The wildcard's base is a public suffix (`*.co.uk`).
+    WildcardOverPublicSuffix,
+    /// The name is itself a bare public suffix (`co.uk`): registry
+    /// labels are not issuable to subscribers.
+    BarePublicSuffix,
+}
+
+/// A CA issuance decision for one requested name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum IssuanceDecision {
+    /// The name may be issued.
+    Allow,
+    /// The name must be refused.
+    Refuse(IssuanceError),
+}
+
+/// Evaluate one requested certificate name under a list.
+pub fn evaluate_name(list: &List, name: &CertName, opts: MatchOpts) -> IssuanceDecision {
+    if name.is_wildcard() {
+        if list.is_public_suffix(name.base(), opts) {
+            return IssuanceDecision::Refuse(IssuanceError::WildcardOverPublicSuffix);
+        }
+    } else if list.is_public_suffix(name.base(), opts) {
+        return IssuanceDecision::Refuse(IssuanceError::BarePublicSuffix);
+    }
+    IssuanceDecision::Allow
+}
+
+/// Evaluate a whole certificate request: refused if any name is refused.
+pub fn evaluate_request(
+    list: &List,
+    cert: &Certificate,
+    opts: MatchOpts,
+) -> Result<(), (CertName, IssuanceError)> {
+    for name in &cert.names {
+        if let IssuanceDecision::Refuse(err) = evaluate_name(list, name, opts) {
+            return Err((name.clone(), err));
+        }
+    }
+    Ok(())
+}
+
+/// The mis-issuance harm of a stale CA list: names that a CA pinned to
+/// `stale` would issue but a CA on `current` refuses.
+pub fn misissued_names(
+    current: &List,
+    stale: &List,
+    requests: &[CertName],
+    opts: MatchOpts,
+) -> Vec<CertName> {
+    requests
+        .iter()
+        .filter(|n| {
+            evaluate_name(stale, n, opts) == IssuanceDecision::Allow
+                && matches!(evaluate_name(current, n, opts), IssuanceDecision::Refuse(_))
+        })
+        .cloned()
+        .collect()
+}
+
+/// Hostnames (from a corpus) that a mis-issued wildcard would cover.
+pub fn coverage_of<'h>(
+    name: &CertName,
+    hosts: impl IntoIterator<Item = &'h DomainName>,
+) -> usize {
+    hosts.into_iter().filter(|h| name.matches(h)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list() -> List {
+        List::parse("com\nuk\nco.uk\n// ===BEGIN PRIVATE DOMAINS===\ngithub.io\nmyshopify.com\n")
+    }
+
+    fn n(s: &str) -> CertName {
+        CertName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn ordinary_wildcards_are_issued() {
+        let l = list();
+        let opts = MatchOpts::default();
+        assert_eq!(evaluate_name(&l, &n("*.example.com"), opts), IssuanceDecision::Allow);
+        assert_eq!(evaluate_name(&l, &n("*.example.co.uk"), opts), IssuanceDecision::Allow);
+        assert_eq!(evaluate_name(&l, &n("www.example.com"), opts), IssuanceDecision::Allow);
+    }
+
+    #[test]
+    fn registry_spanning_wildcards_are_refused() {
+        let l = list();
+        let opts = MatchOpts::default();
+        assert_eq!(
+            evaluate_name(&l, &n("*.co.uk"), opts),
+            IssuanceDecision::Refuse(IssuanceError::WildcardOverPublicSuffix)
+        );
+        assert_eq!(
+            evaluate_name(&l, &n("*.com"), opts),
+            IssuanceDecision::Refuse(IssuanceError::WildcardOverPublicSuffix)
+        );
+        assert_eq!(
+            evaluate_name(&l, &n("*.github.io"), opts),
+            IssuanceDecision::Refuse(IssuanceError::WildcardOverPublicSuffix)
+        );
+        assert_eq!(
+            evaluate_name(&l, &n("co.uk"), opts),
+            IssuanceDecision::Refuse(IssuanceError::BarePublicSuffix)
+        );
+    }
+
+    #[test]
+    fn request_fails_on_any_bad_name() {
+        let l = list();
+        let opts = MatchOpts::default();
+        let good = Certificate::new(&["example.com", "*.example.com"]).unwrap();
+        assert!(evaluate_request(&l, &good, opts).is_ok());
+        let bad = Certificate::new(&["example.com", "*.github.io"]).unwrap();
+        let (name, err) = evaluate_request(&l, &bad, opts).unwrap_err();
+        assert_eq!(name.to_string(), "*.github.io");
+        assert_eq!(err, IssuanceError::WildcardOverPublicSuffix);
+    }
+
+    #[test]
+    fn stale_ca_misissues_platform_wildcards() {
+        // Before myshopify.com joined the list, `*.myshopify.com` was an
+        // issuable name — covering every store on the platform.
+        let current = list();
+        let stale = List::parse("com\nuk\nco.uk\n");
+        let opts = MatchOpts::default();
+        let requests = vec![
+            n("*.myshopify.com"),
+            n("*.github.io"),
+            n("*.example.com"), // fine under both
+            n("*.co.uk"),       // refused under both
+        ];
+        let bad = misissued_names(&current, &stale, &requests, opts);
+        let texts: Vec<String> = bad.iter().map(|x| x.to_string()).collect();
+        assert_eq!(texts, ["*.myshopify.com", "*.github.io"]);
+    }
+
+    #[test]
+    fn coverage_counts_victims() {
+        let hosts: Vec<DomainName> = ["a.myshopify.com", "b.myshopify.com", "x.example.com"]
+            .iter()
+            .map(|s| DomainName::parse(s).unwrap())
+            .collect();
+        assert_eq!(coverage_of(&n("*.myshopify.com"), &hosts), 2);
+        assert_eq!(coverage_of(&n("*.example.com"), &hosts), 1);
+        assert_eq!(coverage_of(&n("*.other.com"), &hosts), 0);
+    }
+}

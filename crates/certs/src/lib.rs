@@ -1,0 +1,22 @@
+//! # psl-certs — wildcard certificates and PSL-guarded issuance
+//!
+//! The paper (§4) lists "validation systems (such as SSL wildcard
+//! issuance)" among the applications that must know administrative
+//! boundaries. This crate models that consumer: RFC 6125 name matching
+//! for (simplified) certificates, and the CA/Browser-Forum rule that a
+//! wildcard must not sit directly above a public suffix. A CA pinned to
+//! an out-of-date list mis-issues wildcards over newly added suffixes —
+//! `*.myshopify.com` covering every store on the platform —
+//! [`issuance::misissued_names`] quantifies exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod issuance;
+pub mod name;
+
+pub use issuance::{
+    coverage_of, evaluate_name, evaluate_request, misissued_names, IssuanceDecision,
+    IssuanceError,
+};
+pub use name::{CertName, Certificate};

@@ -1,0 +1,168 @@
+//! Certificate presented identifiers and RFC 6125 name matching.
+//!
+//! A certificate carries DNS names (possibly with a leftmost `*` wildcard
+//! label). Matching a reference hostname against them follows RFC 6125
+//! §6.4.3: the wildcard matches exactly one leftmost label, never spans a
+//! dot, and must not be combined with other characters (we take the
+//! conservative "whole-label wildcard only" rule that CAs enforce).
+
+use psl_core::{DomainName, Error};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A DNS identifier in a certificate (subjectAltName dNSName).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CertName {
+    /// True if the leftmost label is `*`.
+    wildcard: bool,
+    /// The non-wildcard part (for `*.example.com`, this is `example.com`;
+    /// for plain names the whole name).
+    base: DomainName,
+}
+
+impl CertName {
+    /// Parse a certificate name: `example.com` or `*.example.com`.
+    pub fn parse(s: &str) -> Result<CertName, Error> {
+        if let Some(rest) = s.strip_prefix("*.") {
+            if rest.contains('*') {
+                return Err(Error::InvalidDomain {
+                    input: s.to_string(),
+                    reason: psl_core::error::DomainErrorKind::ForbiddenCharacter,
+                });
+            }
+            Ok(CertName { wildcard: true, base: DomainName::parse(rest)? })
+        } else if s.contains('*') {
+            // Partial-label or embedded wildcards are not issued by
+            // public CAs.
+            Err(Error::InvalidDomain {
+                input: s.to_string(),
+                reason: psl_core::error::DomainErrorKind::ForbiddenCharacter,
+            })
+        } else {
+            Ok(CertName { wildcard: false, base: DomainName::parse(s)? })
+        }
+    }
+
+    /// Is this a wildcard identifier?
+    pub fn is_wildcard(&self) -> bool {
+        self.wildcard
+    }
+
+    /// The base name (wildcard stripped).
+    pub fn base(&self) -> &DomainName {
+        &self.base
+    }
+
+    /// RFC 6125 matching: does this identifier cover `host`?
+    pub fn matches(&self, host: &DomainName) -> bool {
+        if self.wildcard {
+            // Exactly one extra label to the left of the base.
+            host.label_count() == self.base.label_count() + 1
+                && host.is_subdomain_of(&self.base)
+                && host != &self.base
+        } else {
+            host == &self.base
+        }
+    }
+}
+
+impl fmt::Display for CertName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.wildcard {
+            write!(f, "*.{}", self.base)
+        } else {
+            write!(f, "{}", self.base)
+        }
+    }
+}
+
+/// A (much simplified) leaf certificate: its DNS identifiers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// Presented identifiers.
+    pub names: Vec<CertName>,
+}
+
+impl Certificate {
+    /// Build from name strings; any unparsable name is an error.
+    pub fn new(names: &[&str]) -> Result<Certificate, Error> {
+        Ok(Certificate {
+            names: names.iter().map(|n| CertName::parse(n)).collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Does the certificate cover `host`?
+    pub fn covers(&self, host: &DomainName) -> bool {
+        self.names.iter().any(|n| n.matches(host))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn plain_names_match_exactly() {
+        let n = CertName::parse("www.example.com").unwrap();
+        assert!(!n.is_wildcard());
+        assert!(n.matches(&d("www.example.com")));
+        assert!(!n.matches(&d("example.com")));
+        assert!(!n.matches(&d("a.www.example.com")));
+        assert_eq!(n.to_string(), "www.example.com");
+    }
+
+    #[test]
+    fn wildcards_match_one_label() {
+        let n = CertName::parse("*.example.com").unwrap();
+        assert!(n.is_wildcard());
+        assert!(n.matches(&d("www.example.com")));
+        assert!(n.matches(&d("api.example.com")));
+        assert!(!n.matches(&d("example.com")), "wildcard must not match the base");
+        assert!(!n.matches(&d("a.b.example.com")), "wildcard spans one label only");
+        assert_eq!(n.to_string(), "*.example.com");
+    }
+
+    #[test]
+    fn partial_wildcards_are_rejected() {
+        assert!(CertName::parse("w*.example.com").is_err());
+        assert!(CertName::parse("*.*.example.com").is_err());
+        assert!(CertName::parse("www.*.com").is_err());
+        assert!(CertName::parse("*").is_err());
+    }
+
+    #[test]
+    fn certificate_covers_any_san() {
+        let cert = Certificate::new(&["example.com", "*.example.com"]).unwrap();
+        assert!(cert.covers(&d("example.com")));
+        assert!(cert.covers(&d("shop.example.com")));
+        assert!(!cert.covers(&d("deep.shop.example.com")));
+        assert!(!cert.covers(&d("other.com")));
+    }
+
+    #[test]
+    fn case_insensitive_via_canonicalisation() {
+        let n = CertName::parse("*.EXAMPLE.Com").unwrap();
+        assert!(n.matches(&d("WWW.example.COM")));
+    }
+
+    proptest! {
+        #[test]
+        fn parse_never_panics(s in "\\PC{0,40}") {
+            let _ = CertName::parse(&s);
+        }
+
+        #[test]
+        fn wildcard_match_iff_parent(host in "[a-z]{1,6}(\\.[a-z]{1,6}){1,3}") {
+            let h = d(&host);
+            if let Some(parent) = h.parent() {
+                let n = CertName::parse(&format!("*.{parent}")).unwrap();
+                prop_assert!(n.matches(&h));
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! RFC 6265 cookie domain-matching with PSL supercookie rejection.
+//!
+//! One of the canonical uses of the PSL (paper §2): browsers must refuse a
+//! `Set-Cookie` whose `Domain` attribute is a public suffix — otherwise a
+//! page at `evil.co.uk` could set a cookie for all of `.co.uk` (a
+//! *supercookie*) and track users across unrelated sites. This module
+//! implements the checks a cookie jar performs, parameterised by a [`List`],
+//! so the harm analysis can count the cookie decisions an out-of-date list
+//! gets wrong.
+
+use crate::domain::DomainName;
+use crate::list::List;
+use crate::trie::MatchOpts;
+
+/// Why a cookie set was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CookieRejection {
+    /// The `Domain` attribute is a public suffix (supercookie attempt).
+    PublicSuffix,
+    /// The request host does not domain-match the `Domain` attribute
+    /// (RFC 6265 §5.3 step 6).
+    DomainMismatch,
+}
+
+/// The decision for a `Set-Cookie` carrying a `Domain` attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CookieDecision {
+    /// The cookie may be set, scoped to the given domain.
+    Allow,
+    /// The cookie must be refused.
+    Reject(CookieRejection),
+}
+
+/// RFC 6265 §5.1.3 domain-matching: does `host` domain-match `domain`?
+///
+/// True when the strings are identical, or `host` is a dot-separated
+/// subdomain of `domain`.
+pub fn domain_match(host: &DomainName, domain: &DomainName) -> bool {
+    host.is_subdomain_of(domain)
+}
+
+/// Decide whether `request_host` may set a cookie with the given `Domain`
+/// attribute under `list`.
+///
+/// The order of checks matters and mirrors real cookie jars: the public
+/// suffix check runs first (with the special case that a host may set a
+/// host-only cookie for itself even if it *is* a suffix — RFC 6265 §5.3
+/// step 5), then domain-matching.
+pub fn evaluate_set_cookie(
+    list: &List,
+    request_host: &DomainName,
+    cookie_domain: &DomainName,
+    opts: MatchOpts,
+) -> CookieDecision {
+    if list.is_public_suffix(cookie_domain, opts) {
+        if request_host == cookie_domain {
+            // Host-only carve-out: the suffix operator's own page may set a
+            // cookie for exactly itself.
+            return CookieDecision::Allow;
+        }
+        return CookieDecision::Reject(CookieRejection::PublicSuffix);
+    }
+    if !domain_match(request_host, cookie_domain) {
+        return CookieDecision::Reject(CookieRejection::DomainMismatch);
+    }
+    CookieDecision::Allow
+}
+
+/// Can a cookie set by `setter` with `Domain=cookie_domain` be *read* by a
+/// page on `reader`? Used by the harm model: with an out-of-date list, the
+/// set is allowed and unrelated hosts can read it.
+pub fn cookie_visible_to(
+    list: &List,
+    setter: &DomainName,
+    cookie_domain: &DomainName,
+    reader: &DomainName,
+    opts: MatchOpts,
+) -> bool {
+    matches!(
+        evaluate_set_cookie(list, setter, cookie_domain, opts),
+        CookieDecision::Allow
+    ) && domain_match(reader, cookie_domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn list() -> List {
+        List::parse("com\nuk\nco.uk\ngithub.io\nio\n")
+    }
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn rejects_supercookies() {
+        let l = list();
+        let opts = MatchOpts::default();
+        assert_eq!(
+            evaluate_set_cookie(&l, &d("evil.co.uk"), &d("co.uk"), opts),
+            CookieDecision::Reject(CookieRejection::PublicSuffix)
+        );
+        assert_eq!(
+            evaluate_set_cookie(&l, &d("evil.com"), &d("com"), opts),
+            CookieDecision::Reject(CookieRejection::PublicSuffix)
+        );
+    }
+
+    #[test]
+    fn allows_registrable_domain_cookies() {
+        let l = list();
+        let opts = MatchOpts::default();
+        assert_eq!(
+            evaluate_set_cookie(&l, &d("www.example.co.uk"), &d("example.co.uk"), opts),
+            CookieDecision::Allow
+        );
+    }
+
+    #[test]
+    fn rejects_cross_site_domain() {
+        let l = list();
+        let opts = MatchOpts::default();
+        assert_eq!(
+            evaluate_set_cookie(&l, &d("a.example.com"), &d("other.com"), opts),
+            CookieDecision::Reject(CookieRejection::DomainMismatch)
+        );
+    }
+
+    #[test]
+    fn host_only_carveout_for_suffix_operator() {
+        let l = list();
+        let opts = MatchOpts::default();
+        assert_eq!(
+            evaluate_set_cookie(&l, &d("github.io"), &d("github.io"), opts),
+            CookieDecision::Allow
+        );
+        assert_eq!(
+            evaluate_set_cookie(&l, &d("alice.github.io"), &d("github.io"), opts),
+            CookieDecision::Reject(CookieRejection::PublicSuffix)
+        );
+    }
+
+    #[test]
+    fn outdated_list_permits_tracking() {
+        // The paper's core harm scenario: before github.io was added to the
+        // list, alice.github.io could set a cookie readable by
+        // bob.github.io.
+        let old = List::parse("com\nio\n");
+        let new = list();
+        let opts = MatchOpts::default();
+        let alice = d("alice.github.io");
+        let bob = d("bob.github.io");
+        let scope = d("github.io");
+        assert!(cookie_visible_to(&old, &alice, &scope, &bob, opts));
+        assert!(!cookie_visible_to(&new, &alice, &scope, &bob, opts));
+    }
+
+    proptest! {
+        #[test]
+        fn allowed_cookies_always_domain_match(
+            host in "[a-z]{1,5}(\\.[a-z]{1,5}){0,3}",
+            dom in "[a-z]{1,5}(\\.[a-z]{1,5}){0,2}",
+        ) {
+            let l = list();
+            let (h, dd) = (d(&host), d(&dom));
+            if evaluate_set_cookie(&l, &h, &dd, MatchOpts::default()) == CookieDecision::Allow {
+                prop_assert!(domain_match(&h, &dd));
+            }
+        }
+
+        #[test]
+        fn newer_list_never_widens_visibility(
+            sub_a in "[a-z]{1,5}", sub_b in "[a-z]{1,5}",
+        ) {
+            // Adding a suffix rule can only *restrict* cookie visibility
+            // between sibling subdomains, never widen it.
+            let old = List::parse("io\n");
+            let new = List::parse("io\ngithub.io\n");
+            let a = d(&format!("{sub_a}.github.io"));
+            let b = d(&format!("{sub_b}.github.io"));
+            let scope = d("github.io");
+            let opts = MatchOpts::default();
+            let vis_new = cookie_visible_to(&new, &a, &scope, &b, opts);
+            let vis_old = cookie_visible_to(&old, &a, &scope, &b, opts);
+            prop_assert!(!vis_new || vis_old);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! A minimal proleptic-Gregorian calendar date.
+//!
+//! The measurement pipeline reasons about list ages in *days* relative to an
+//! explicit observation date (the paper uses t = 2022-12-08). To keep the
+//! workspace dependency-free we implement a small, well-tested civil date
+//! type using the days-from-civil / civil-from-days algorithms popularised by
+//! Howard Hinnant. Library code never reads the wall clock: "today" is always
+//! a parameter.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A calendar date, stored as days since the Unix epoch (1970-01-01).
+///
+/// Supports dates far outside the range this project needs; arithmetic is
+/// checked in debug builds via plain `i32` semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Date {
+    days_since_epoch: i32,
+}
+
+impl Date {
+    /// Construct a date from a civil year/month/day triple.
+    ///
+    /// Returns an error if the month or day is out of range for the given
+    /// year (leap years are handled).
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Result<Self> {
+        if !(1..=12).contains(&month) {
+            return Err(Error::InvalidDate(format!("month {month} out of range")));
+        }
+        let dim = days_in_month(year, month);
+        if day == 0 || day > dim {
+            return Err(Error::InvalidDate(format!(
+                "day {day} out of range for {year}-{month:02}"
+            )));
+        }
+        Ok(Date {
+            days_since_epoch: days_from_civil(year, month, day),
+        })
+    }
+
+    /// Construct directly from a days-since-epoch count.
+    pub fn from_days_since_epoch(days: i32) -> Self {
+        Date {
+            days_since_epoch: days,
+        }
+    }
+
+    /// The number of days since 1970-01-01 (negative for earlier dates).
+    pub fn days_since_epoch(self) -> i32 {
+        self.days_since_epoch
+    }
+
+    /// Parse an ISO-8601 calendar date (`YYYY-MM-DD`).
+    pub fn parse(s: &str) -> Result<Self> {
+        let bad = || Error::InvalidDate(s.to_string());
+        let mut parts = s.splitn(3, '-');
+        let y: i32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let m: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let d: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        Date::from_ymd(y, m, d)
+    }
+
+    /// The civil (year, month, day) triple for this date.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.days_since_epoch)
+    }
+
+    /// The calendar year.
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// The calendar month (1–12).
+    pub fn month(self) -> u32 {
+        self.ymd().1
+    }
+
+    /// The day of the month (1-based).
+    pub fn day(self) -> u32 {
+        self.ymd().2
+    }
+
+    /// Days between two dates (`self - other`).
+    pub fn days_since(self, other: Date) -> i32 {
+        self.days_since_epoch - other.days_since_epoch
+    }
+
+    /// The fractional year (e.g. 2012.5 ≈ mid-2012), useful for plotting.
+    pub fn year_fraction(self) -> f64 {
+        let (y, _, _) = self.ymd();
+        let start = days_from_civil(y, 1, 1);
+        let end = days_from_civil(y + 1, 1, 1);
+        y as f64 + (self.days_since_epoch - start) as f64 / (end - start) as f64
+    }
+}
+
+impl Add<i32> for Date {
+    type Output = Date;
+    fn add(self, rhs: i32) -> Date {
+        Date::from_days_since_epoch(self.days_since_epoch + rhs)
+    }
+}
+
+impl Sub<i32> for Date {
+    type Output = Date;
+    fn sub(self, rhs: i32) -> Date {
+        Date::from_days_since_epoch(self.days_since_epoch - rhs)
+    }
+}
+
+impl Sub<Date> for Date {
+    type Output = i32;
+    fn sub(self, rhs: Date) -> i32 {
+        self.days_since(rhs)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// True if `year` is a leap year in the proleptic Gregorian calendar.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in the given month of the given year.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (Hinnant's `days_from_civil`).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i32 - 719468
+}
+
+/// Civil date for a days-since-epoch count (Hinnant's `civil_from_days`).
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        let d = Date::from_ymd(1970, 1, 1).unwrap();
+        assert_eq!(d.days_since_epoch(), 0);
+        assert_eq!(d.to_string(), "1970-01-01");
+    }
+
+    #[test]
+    fn known_dates_roundtrip() {
+        // Paper-relevant dates.
+        for (s, _) in [
+            ("2007-03-22", ()), // first PSL version
+            ("2022-10-20", ()), // last PSL version in the dataset
+            ("2022-12-08", ()), // measurement date t
+            ("2022-07-01", ()), // HTTP Archive snapshot month
+        ] {
+            let d = Date::parse(s).unwrap();
+            assert_eq!(d.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn paper_interval_lengths() {
+        let first = Date::parse("2007-03-22").unwrap();
+        let last = Date::parse("2022-10-20").unwrap();
+        assert_eq!(last - first, 5691);
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2012));
+        assert!(!is_leap_year(2022));
+        assert_eq!(days_in_month(2020, 2), 29);
+        assert_eq!(days_in_month(2021, 2), 28);
+    }
+
+    #[test]
+    fn rejects_invalid_dates() {
+        assert!(Date::from_ymd(2021, 2, 29).is_err());
+        assert!(Date::from_ymd(2021, 13, 1).is_err());
+        assert!(Date::from_ymd(2021, 0, 1).is_err());
+        assert!(Date::from_ymd(2021, 4, 31).is_err());
+        assert!(Date::parse("2021-1").is_err());
+        assert!(Date::parse("not-a-date").is_err());
+        assert!(Date::parse("").is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let d = Date::parse("2022-12-08").unwrap();
+        assert_eq!((d - 500).to_string(), "2021-07-26");
+        assert_eq!((d + 1).to_string(), "2022-12-09");
+        assert_eq!(d - (d - 825), 825);
+    }
+
+    #[test]
+    fn year_fraction_midpoints() {
+        let mid = Date::parse("2012-07-02").unwrap();
+        let f = mid.year_fraction();
+        assert!((f - 2012.5).abs() < 0.01, "{f}");
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_days(days in -1_000_000i32..1_000_000i32) {
+            let d = Date::from_days_since_epoch(days);
+            let (y, m, dd) = d.ymd();
+            let back = Date::from_ymd(y, m, dd).unwrap();
+            prop_assert_eq!(back.days_since_epoch(), days);
+        }
+
+        #[test]
+        fn parse_display_roundtrip(y in 1600i32..3000, m in 1u32..=12, d in 1u32..=28) {
+            let date = Date::from_ymd(y, m, d).unwrap();
+            let s = date.to_string();
+            prop_assert_eq!(Date::parse(&s).unwrap(), date);
+        }
+
+        #[test]
+        fn ordering_matches_day_count(a in -500_000i32..500_000, b in -500_000i32..500_000) {
+            let da = Date::from_days_since_epoch(a);
+            let db = Date::from_days_since_epoch(b);
+            prop_assert_eq!(da < db, a < b);
+        }
+    }
+}

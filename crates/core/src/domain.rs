@@ -1,0 +1,345 @@
+//! Domain name parsing, validation, and normalisation.
+//!
+//! [`DomainName`] is the canonical form used everywhere in the pipeline: a
+//! lowercase, ASCII (punycode-encoded) dotted name with validated labels.
+//! Parsing applies a pragmatic IDNA-lite mapping: Unicode labels are
+//! lowercased and punycode-encoded; ASCII labels are validated against
+//! hostname rules (with underscore permitted, as real-world request corpora
+//! contain `_dmarc`-style names).
+
+use crate::error::{truncate_for_error, DomainErrorKind, Error, Result};
+use crate::punycode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum length of a full domain name in octets (RFC 1035, presentation
+/// form without trailing dot).
+pub const MAX_NAME_LEN: usize = 253;
+
+/// Maximum length of a single label in octets.
+pub const MAX_LABEL_LEN: usize = 63;
+
+/// A validated, canonicalised domain name.
+///
+/// Invariants (enforced at construction):
+/// - lowercase ASCII, punycode form for internationalised labels;
+/// - 1..=127 labels, each 1..=63 octets, total <= 253 octets;
+/// - no leading/trailing/consecutive dots (a single trailing dot on input is
+///   accepted and stripped);
+/// - not an IPv4 or IPv6 address literal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DomainName {
+    canonical: String,
+}
+
+impl DomainName {
+    /// Parse and canonicalise a domain name.
+    pub fn parse(input: &str) -> Result<Self> {
+        let reject = |reason| Error::InvalidDomain {
+            input: truncate_for_error(input),
+            reason,
+        };
+
+        let trimmed = input.strip_suffix('.').unwrap_or(input);
+        if trimmed.is_empty() {
+            return Err(reject(DomainErrorKind::Empty));
+        }
+
+        // Reject IP literals up front: `[::1]`, bare IPv6 (contains ':'),
+        // and dotted-quad IPv4.
+        if trimmed.contains(':') || trimmed.starts_with('[') {
+            return Err(reject(DomainErrorKind::IpAddress));
+        }
+        if trimmed.parse::<std::net::Ipv4Addr>().is_ok() {
+            return Err(reject(DomainErrorKind::IpAddress));
+        }
+
+        let mut canonical = String::with_capacity(trimmed.len());
+        let mut first = true;
+        for raw_label in trimmed.split('.') {
+            if !first {
+                canonical.push('.');
+            }
+            first = false;
+            let ascii = canonicalise_label(raw_label, &reject)?;
+            canonical.push_str(&ascii);
+        }
+
+        if canonical.len() > MAX_NAME_LEN {
+            return Err(reject(DomainErrorKind::NameTooLong));
+        }
+
+        Ok(DomainName { canonical })
+    }
+
+    /// The canonical (lowercase, punycode) dotted name.
+    pub fn as_str(&self) -> &str {
+        &self.canonical
+    }
+
+    /// Iterate over the labels, left to right.
+    pub fn labels(&self) -> impl DoubleEndedIterator<Item = &str> + '_ {
+        self.canonical.split('.')
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.canonical.bytes().filter(|&b| b == b'.').count() + 1
+    }
+
+    /// The labels collected right-to-left (TLD first). This is the order the
+    /// suffix trie consumes.
+    pub fn labels_reversed(&self) -> Vec<&str> {
+        self.labels().rev().collect()
+    }
+
+    /// The name formed by the last `n` labels, or `None` if the name has
+    /// fewer than `n` labels.
+    pub fn suffix_of_len(&self, n: usize) -> Option<&str> {
+        let count = self.label_count();
+        if n == 0 || n > count {
+            return None;
+        }
+        let mut idx = self.canonical.len();
+        let bytes = self.canonical.as_bytes();
+        let mut remaining = n;
+        while remaining > 0 {
+            match bytes[..idx].iter().rposition(|&b| b == b'.') {
+                Some(dot) if remaining == 1 => return Some(&self.canonical[dot + 1..]),
+                Some(dot) => {
+                    idx = dot;
+                    remaining -= 1;
+                }
+                None => return Some(&self.canonical),
+            }
+        }
+        Some(&self.canonical)
+    }
+
+    /// The immediate parent domain (this name minus its leftmost label), or
+    /// `None` for a single-label name.
+    pub fn parent(&self) -> Option<DomainName> {
+        self.canonical.split_once('.').map(|(_, rest)| DomainName {
+            canonical: rest.to_string(),
+        })
+    }
+
+    /// True if `self` equals `other` or is a (dot-separated) subdomain of it.
+    pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
+        let s = &self.canonical;
+        let o = &other.canonical;
+        s == o || (s.len() > o.len() && s.ends_with(o.as_str()) && s.as_bytes()[s.len() - o.len() - 1] == b'.')
+    }
+
+    /// Render the name in Unicode form (decoding `xn--` labels). Labels that
+    /// fail to decode are left in ASCII form.
+    pub fn to_unicode(&self) -> String {
+        self.labels()
+            .map(|l| punycode::to_unicode_label(l).unwrap_or_else(|_| l.to_string()))
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+
+    /// Construct from pre-validated canonical text. Used internally by code
+    /// that derives names from existing `DomainName`s.
+    pub(crate) fn from_canonical_unchecked(canonical: String) -> Self {
+        debug_assert!(DomainName::parse(&canonical).is_ok(), "bad canonical: {canonical}");
+        DomainName { canonical }
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical)
+    }
+}
+
+impl std::str::FromStr for DomainName {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self> {
+        DomainName::parse(s)
+    }
+}
+
+/// Validate and canonicalise one label.
+fn canonicalise_label(
+    raw: &str,
+    reject: &impl Fn(DomainErrorKind) -> Error,
+) -> Result<String> {
+    if raw.is_empty() {
+        return Err(reject(DomainErrorKind::EmptyLabel));
+    }
+
+    let lowered: String = if raw.is_ascii() {
+        raw.to_ascii_lowercase()
+    } else {
+        raw.chars().flat_map(|c| c.to_lowercase()).collect()
+    };
+
+    let ascii = if lowered.is_ascii() {
+        // If it claims to be punycode, it must decode.
+        if let Some(rest) = lowered.strip_prefix(punycode::ACE_PREFIX) {
+            if punycode::decode(rest).is_err() {
+                return Err(reject(DomainErrorKind::BadPunycodeLabel));
+            }
+        }
+        lowered
+    } else {
+        punycode::to_ascii_label(&lowered)
+            .map_err(|_| reject(DomainErrorKind::BadPunycodeLabel))?
+    };
+
+    if ascii.len() > MAX_LABEL_LEN {
+        return Err(reject(DomainErrorKind::LabelTooLong));
+    }
+    for b in ascii.bytes() {
+        let ok = b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_';
+        if !ok {
+            return Err(reject(DomainErrorKind::ForbiddenCharacter));
+        }
+    }
+    if ascii.starts_with('-') || ascii.ends_with('-') {
+        return Err(reject(DomainErrorKind::BadHyphen));
+    }
+    Ok(ascii)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_and_lowercases() {
+        let d = DomainName::parse("WWW.Example.COM").unwrap();
+        assert_eq!(d.as_str(), "www.example.com");
+        assert_eq!(d.label_count(), 3);
+        assert_eq!(d.labels().collect::<Vec<_>>(), ["www", "example", "com"]);
+        assert_eq!(d.labels_reversed(), ["com", "example", "www"]);
+    }
+
+    #[test]
+    fn strips_single_trailing_dot() {
+        assert_eq!(DomainName::parse("example.com.").unwrap().as_str(), "example.com");
+        assert!(DomainName::parse("example.com..").is_err());
+        assert!(DomainName::parse(".").is_err());
+    }
+
+    #[test]
+    fn idna_mapping() {
+        let d = DomainName::parse("Bücher.example").unwrap();
+        assert_eq!(d.as_str(), "xn--bcher-kva.example");
+        assert_eq!(d.to_unicode(), "bücher.example");
+    }
+
+    #[test]
+    fn rejects_bad_punycode_label() {
+        assert!(DomainName::parse("xn--!!!.example").is_err());
+    }
+
+    #[test]
+    fn rejects_ip_literals() {
+        for bad in ["192.168.0.1", "1.2.3.4", "[::1]", "fe80::1", "::"] {
+            assert!(
+                matches!(
+                    DomainName::parse(bad),
+                    Err(Error::InvalidDomain { reason: DomainErrorKind::IpAddress, .. })
+                ),
+                "{bad} should be rejected as an IP"
+            );
+        }
+        // Looks numeric but is not a valid IPv4 literal — it is a (weird but
+        // legal) domain name.
+        assert!(DomainName::parse("1.2.3.4.5").is_ok());
+        assert!(DomainName::parse("999.999.999.999").is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert!(DomainName::parse("").is_err());
+        assert!(DomainName::parse("a..b").is_err());
+        assert!(DomainName::parse(".example").is_err());
+        assert!(DomainName::parse("-bad.example").is_err());
+        assert!(DomainName::parse("bad-.example").is_err());
+        assert!(DomainName::parse("ex ample.com").is_err());
+        let long_label = format!("{}.com", "a".repeat(64));
+        assert!(DomainName::parse(&long_label).is_err());
+        let ok_label = format!("{}.com", "a".repeat(63));
+        assert!(DomainName::parse(&ok_label).is_ok());
+    }
+
+    #[test]
+    fn rejects_overlong_names() {
+        let name = (0..64).map(|_| "abc").collect::<Vec<_>>().join(".");
+        assert!(name.len() > MAX_NAME_LEN);
+        assert!(DomainName::parse(&name).is_err());
+    }
+
+    #[test]
+    fn allows_underscore_labels() {
+        let d = DomainName::parse("_dmarc.example.com").unwrap();
+        assert_eq!(d.as_str(), "_dmarc.example.com");
+    }
+
+    #[test]
+    fn suffix_of_len() {
+        let d = DomainName::parse("a.b.c.example.co.uk").unwrap();
+        assert_eq!(d.suffix_of_len(1), Some("uk"));
+        assert_eq!(d.suffix_of_len(2), Some("co.uk"));
+        assert_eq!(d.suffix_of_len(3), Some("example.co.uk"));
+        assert_eq!(d.suffix_of_len(6), Some("a.b.c.example.co.uk"));
+        assert_eq!(d.suffix_of_len(7), None);
+        assert_eq!(d.suffix_of_len(0), None);
+    }
+
+    #[test]
+    fn parent_and_subdomain() {
+        let d = DomainName::parse("maps.google.com").unwrap();
+        let p = d.parent().unwrap();
+        assert_eq!(p.as_str(), "google.com");
+        assert!(d.is_subdomain_of(&p));
+        assert!(d.is_subdomain_of(&d));
+        assert!(!p.is_subdomain_of(&d));
+        // Not a label-boundary match:
+        let e = DomainName::parse("evilgoogle.com").unwrap();
+        let g = DomainName::parse("google.com").unwrap();
+        assert!(!e.is_subdomain_of(&g));
+        assert_eq!(DomainName::parse("com").unwrap().parent(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn parse_never_panics(s in "\\PC{0,80}") {
+            let _ = DomainName::parse(&s);
+        }
+
+        #[test]
+        fn canonical_form_is_idempotent(s in "[a-zA-Z0-9._-]{1,40}") {
+            if let Ok(d) = DomainName::parse(&s) {
+                let re = DomainName::parse(d.as_str()).unwrap();
+                prop_assert_eq!(re.as_str(), d.as_str());
+            }
+        }
+
+        #[test]
+        fn label_count_matches_labels(s in "[a-z]{1,8}(\\.[a-z]{1,8}){0,5}") {
+            let d = DomainName::parse(&s).unwrap();
+            prop_assert_eq!(d.label_count(), d.labels().count());
+        }
+
+        #[test]
+        fn suffix_of_len_agrees_with_labels(s in "[a-z]{1,6}(\\.[a-z]{1,6}){0,4}", n in 1usize..=6) {
+            let d = DomainName::parse(&s).unwrap();
+            let labels: Vec<&str> = d.labels().collect();
+            match d.suffix_of_len(n) {
+                Some(suffix) => {
+                    prop_assert!(n <= labels.len());
+                    let expect = labels[labels.len() - n..].join(".");
+                    prop_assert_eq!(suffix, expect);
+                }
+                None => prop_assert!(n > labels.len()),
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! An embedded real-world snapshot of the Public Suffix List.
+//!
+//! A hand-curated subset (~500 rules) of the real list: legacy and new
+//! gTLDs, every two-letter ccTLD in common use, the well-known registry
+//! second-levels, the Cook Islands and Japanese-geographic wildcard
+//! clusters, and the famous PRIVATE-section platform suffixes. It makes
+//! the library usable out of the box (demos, the CLI `suffix` command,
+//! tests against real names) — production consumers should still fetch
+//! and refresh the live list, which is rather the point of this project.
+
+use crate::list::List;
+
+/// The raw `.dat` text of the embedded snapshot.
+pub const MINI_PSL_DAT: &str = include_str!("../data/mini_psl.dat");
+
+/// Parse the embedded snapshot.
+pub fn embedded_list() -> List {
+    List::parse(MINI_PSL_DAT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainName;
+    use crate::trie::MatchOpts;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn snapshot_parses_cleanly() {
+        let parsed = crate::parser::parse_dat(MINI_PSL_DAT);
+        assert!(parsed.errors.is_empty(), "{:?}", parsed.errors);
+        assert!(parsed.len() > 450, "{} rules", parsed.len());
+        let list = embedded_list();
+        let (icann, private) = list.section_counts();
+        assert!(icann > 400);
+        assert!(private > 30);
+    }
+
+    #[test]
+    fn real_world_lookups() {
+        let list = embedded_list();
+        let opts = MatchOpts::default();
+        let cases = [
+            ("www.google.com", "com", Some("google.com")),
+            ("maps.google.co.uk", "co.uk", Some("google.co.uk")),
+            ("alice.github.io", "github.io", Some("alice.github.io")),
+            ("shop.example.myshopify.com", "myshopify.com", Some("example.myshopify.com")),
+            ("media.example.sp.gov.br", "sp.gov.br", Some("example.sp.gov.br")),
+            ("www.city.kobe.jp", "kobe.jp", Some("city.kobe.jp")),
+            ("x.anything.kobe.jp", "anything.kobe.jp", Some("x.anything.kobe.jp")),
+            ("anything.kobe.jp", "anything.kobe.jp", None),
+            ("www.ck", "ck", Some("www.ck")),
+            ("bucket.region.digitaloceanspaces.com", "digitaloceanspaces.com", Some("region.digitaloceanspaces.com")),
+        ];
+        for (host, suffix, registrable) in cases {
+            let dom = d(host);
+            assert_eq!(list.public_suffix(&dom, opts), Some(suffix), "{host}");
+            assert_eq!(
+                list.registrable_domain(&dom, opts).map(|r| r.as_str().to_string()),
+                registrable.map(str::to_string),
+                "{host}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_lints_clean() {
+        let list = embedded_list();
+        let findings = crate::lint::lint(&list);
+        // `r.appspot.com` under `appspot.com` is genuine real-list
+        // structure and not a lint class we flag; the snapshot should be
+        // entirely clean.
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn famous_site_separations_hold() {
+        let list = embedded_list();
+        let opts = MatchOpts::default();
+        assert!(!list.same_site(&d("alice.github.io"), &d("bob.github.io"), opts));
+        assert!(!list.same_site(&d("a.myshopify.com"), &d("b.myshopify.com"), opts));
+        assert!(list.same_site(&d("www.google.com"), &d("maps.google.com"), opts));
+        assert!(!list.same_site(&d("google.co.uk"), &d("yahoo.co.uk"), opts));
+        assert!(!list.same_site(&d("x.s3.amazonaws.com"), &d("y.s3.amazonaws.com"), opts));
+    }
+}

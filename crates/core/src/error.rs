@@ -1,0 +1,172 @@
+//! Error types for the PSL engine.
+//!
+//! All fallible operations in `psl-core` return [`Error`]. The engine never
+//! panics on untrusted input (domain names, list text, URLs); property tests
+//! in each module enforce this.
+
+use std::fmt;
+
+/// Errors produced by the PSL engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A domain name failed syntactic validation.
+    InvalidDomain {
+        /// The offending input (possibly truncated for very long inputs).
+        input: String,
+        /// Why it was rejected.
+        reason: DomainErrorKind,
+    },
+    /// A suffix rule line could not be parsed.
+    InvalidRule {
+        /// The offending line.
+        line: String,
+        /// Why it was rejected.
+        reason: RuleErrorKind,
+    },
+    /// Punycode decoding failed (RFC 3492).
+    PunycodeDecode(PunycodeErrorKind),
+    /// Punycode encoding failed (RFC 3492 overflow).
+    PunycodeEncode(PunycodeErrorKind),
+    /// A URL could not be parsed.
+    InvalidUrl {
+        /// The offending input (possibly truncated).
+        input: String,
+        /// Why it was rejected.
+        reason: UrlErrorKind,
+    },
+    /// A date string or component was invalid.
+    InvalidDate(String),
+}
+
+/// Reasons a domain name is rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainErrorKind {
+    /// The input was empty (or empty after removing a trailing dot).
+    Empty,
+    /// A label was empty (consecutive dots, or leading dot).
+    EmptyLabel,
+    /// A label exceeded 63 octets.
+    LabelTooLong,
+    /// The full name exceeded 253 octets.
+    NameTooLong,
+    /// A label contained a forbidden code point.
+    ForbiddenCharacter,
+    /// A label started or ended with a hyphen.
+    BadHyphen,
+    /// The name is an IP address literal, not a domain.
+    IpAddress,
+    /// Punycode label (`xn--`) failed to decode.
+    BadPunycodeLabel,
+}
+
+/// Reasons a rule line is rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleErrorKind {
+    /// The rule was empty after trimming.
+    Empty,
+    /// The rule's domain part failed validation.
+    BadDomain,
+    /// A wildcard label appeared in a position we do not support.
+    BadWildcard,
+    /// An exception rule (`!`) had fewer than two labels.
+    BadException,
+}
+
+/// Reasons punycode encoding/decoding fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PunycodeErrorKind {
+    /// Arithmetic overflow while decoding/encoding deltas.
+    Overflow,
+    /// An invalid basic code point or digit appeared in the input.
+    InvalidDigit,
+    /// Decoded output would contain a non-Unicode scalar value.
+    InvalidCodePoint,
+}
+
+/// Reasons a URL is rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UrlErrorKind {
+    /// The input was empty.
+    Empty,
+    /// No scheme separator (`:`) was found.
+    MissingScheme,
+    /// The scheme contained invalid characters.
+    BadScheme,
+    /// The authority/host component was empty or malformed.
+    BadHost,
+    /// The port was not a valid u16.
+    BadPort,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidDomain { input, reason } => {
+                write!(f, "invalid domain name {input:?}: {reason:?}")
+            }
+            Error::InvalidRule { line, reason } => {
+                write!(f, "invalid suffix rule {line:?}: {reason:?}")
+            }
+            Error::PunycodeDecode(kind) => write!(f, "punycode decode error: {kind:?}"),
+            Error::PunycodeEncode(kind) => write!(f, "punycode encode error: {kind:?}"),
+            Error::InvalidUrl { input, reason } => {
+                write!(f, "invalid URL {input:?}: {reason:?}")
+            }
+            Error::InvalidDate(s) => write!(f, "invalid date: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout `psl-core`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Truncate an arbitrary input string for inclusion in an error value.
+pub(crate) fn truncate_for_error(input: &str) -> String {
+    const MAX: usize = 80;
+    if input.len() <= MAX {
+        input.to_string()
+    } else {
+        let mut end = MAX;
+        while !input.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &input[..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = Error::InvalidDomain {
+            input: "ex ample.com".into(),
+            reason: DomainErrorKind::ForbiddenCharacter,
+        };
+        let s = e.to_string();
+        assert!(s.contains("ex ample.com"));
+        assert!(s.contains("ForbiddenCharacter"));
+    }
+
+    #[test]
+    fn truncation_preserves_char_boundaries() {
+        let long = "é".repeat(200);
+        let t = truncate_for_error(&long);
+        assert!(t.len() < long.len());
+        assert!(t.ends_with('…'));
+    }
+
+    #[test]
+    fn truncation_keeps_short_inputs_intact() {
+        assert_eq!(truncate_for_error("short"), "short");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&Error::InvalidDate("x".into()));
+    }
+}

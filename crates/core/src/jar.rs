@@ -1,0 +1,381 @@
+//! A cookie jar with RFC 6265 storage/retrieval semantics, parameterised
+//! by a Public Suffix List.
+//!
+//! This is the browser-side substrate the paper's harm model reasons
+//! about: cookies are stored with domain/path/host-only attributes; the
+//! PSL check runs at *set* time, so a jar built against an out-of-date
+//! list accepts supercookies that a current list refuses — and every later
+//! retrieval leaks them across unrelated sites. [`CookieJar`] exposes
+//! exactly that behaviour so experiments can count wrongly-shared cookies
+//! per list version.
+
+use crate::cookie::{evaluate_set_cookie, CookieDecision};
+use crate::domain::DomainName;
+use crate::list::List;
+use crate::trie::MatchOpts;
+use serde::{Deserialize, Serialize};
+
+/// A stored cookie.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cookie {
+    /// Cookie name.
+    pub name: String,
+    /// Cookie value.
+    pub value: String,
+    /// The domain the cookie is scoped to.
+    pub domain: DomainName,
+    /// True if the cookie is host-only (no `Domain` attribute was given):
+    /// it is only returned to exactly `domain`.
+    pub host_only: bool,
+    /// Path scope (default `/`).
+    pub path: String,
+    /// `Secure` attribute.
+    pub secure: bool,
+}
+
+/// Parsed form of a `Set-Cookie` header value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetCookie {
+    /// Cookie name.
+    pub name: String,
+    /// Cookie value.
+    pub value: String,
+    /// `Domain=` attribute, if present (leading dot stripped).
+    pub domain: Option<String>,
+    /// `Path=` attribute, if present.
+    pub path: Option<String>,
+    /// `Secure` attribute.
+    pub secure: bool,
+}
+
+impl SetCookie {
+    /// Parse a `Set-Cookie` header value (the subset of RFC 6265 §5.2 the
+    /// pipeline needs: name=value plus Domain/Path/Secure attributes;
+    /// unknown attributes are ignored).
+    pub fn parse(header: &str) -> Option<SetCookie> {
+        let mut parts = header.split(';');
+        let pair = parts.next()?.trim();
+        let (name, value) = pair.split_once('=')?;
+        let name = name.trim();
+        if name.is_empty() {
+            return None;
+        }
+        let mut out = SetCookie {
+            name: name.to_string(),
+            value: value.trim().to_string(),
+            domain: None,
+            path: None,
+            secure: false,
+        };
+        for attr in parts {
+            let attr = attr.trim();
+            let (key, val) = match attr.split_once('=') {
+                Some((k, v)) => (k.trim().to_ascii_lowercase(), v.trim()),
+                None => (attr.to_ascii_lowercase(), ""),
+            };
+            match key.as_str() {
+                "domain" => {
+                    let v = val.strip_prefix('.').unwrap_or(val);
+                    if !v.is_empty() {
+                        out.domain = Some(v.to_ascii_lowercase());
+                    }
+                }
+                "path" => {
+                    if val.starts_with('/') {
+                        out.path = Some(val.to_string());
+                    }
+                }
+                "secure" => out.secure = true,
+                _ => {}
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Why a `Set-Cookie` was refused by the jar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// The header could not be parsed.
+    Malformed,
+    /// The `Domain` attribute was not a valid domain name.
+    BadDomain,
+    /// Refused by the PSL / domain-match checks
+    /// ([`crate::cookie::evaluate_set_cookie`]).
+    Refused,
+}
+
+/// A cookie jar bound to one list snapshot.
+#[derive(Debug, Clone)]
+pub struct CookieJar<'l> {
+    list: &'l List,
+    opts: MatchOpts,
+    cookies: Vec<Cookie>,
+}
+
+impl<'l> CookieJar<'l> {
+    /// A jar enforcing the given list.
+    pub fn new(list: &'l List, opts: MatchOpts) -> Self {
+        CookieJar { list, opts, cookies: Vec::new() }
+    }
+
+    /// Number of stored cookies.
+    pub fn len(&self) -> usize {
+        self.cookies.len()
+    }
+
+    /// True if no cookies are stored.
+    pub fn is_empty(&self) -> bool {
+        self.cookies.is_empty()
+    }
+
+    /// The stored cookies.
+    pub fn cookies(&self) -> &[Cookie] {
+        &self.cookies
+    }
+
+    /// Process a `Set-Cookie` header received from `request_host`.
+    ///
+    /// Implements RFC 6265 §5.3: a `Domain` attribute scopes the cookie to
+    /// that domain (subject to the public-suffix and domain-match checks);
+    /// no attribute makes it host-only. A new cookie replaces an existing
+    /// one with the same (name, domain, path).
+    pub fn set_from_header(
+        &mut self,
+        request_host: &DomainName,
+        header: &str,
+    ) -> Result<(), StoreError> {
+        let parsed = SetCookie::parse(header).ok_or(StoreError::Malformed)?;
+        self.set(request_host, &parsed)
+    }
+
+    /// Process a parsed `Set-Cookie`.
+    pub fn set(&mut self, request_host: &DomainName, sc: &SetCookie) -> Result<(), StoreError> {
+        let (domain, host_only) = match &sc.domain {
+            Some(d) => {
+                let domain = DomainName::parse(d).map_err(|_| StoreError::BadDomain)?;
+                match evaluate_set_cookie(self.list, request_host, &domain, self.opts) {
+                    CookieDecision::Allow => (domain, false),
+                    CookieDecision::Reject(_) => return Err(StoreError::Refused),
+                }
+            }
+            None => (request_host.clone(), true),
+        };
+        let cookie = Cookie {
+            name: sc.name.clone(),
+            value: sc.value.clone(),
+            domain,
+            host_only,
+            path: sc.path.clone().unwrap_or_else(|| "/".to_string()),
+            secure: sc.secure,
+        };
+        if let Some(existing) = self.cookies.iter_mut().find(|c| {
+            c.name == cookie.name && c.domain == cookie.domain && c.path == cookie.path
+        }) {
+            *existing = cookie;
+        } else {
+            self.cookies.push(cookie);
+        }
+        Ok(())
+    }
+
+    /// Cookies that would be sent with a request to `host` at `path` over
+    /// a connection that is `secure` or not (RFC 6265 §5.4).
+    pub fn cookies_for(&self, host: &DomainName, path: &str, secure: bool) -> Vec<&Cookie> {
+        self.cookies
+            .iter()
+            .filter(|c| {
+                let domain_ok = if c.host_only {
+                    host == &c.domain
+                } else {
+                    host.is_subdomain_of(&c.domain)
+                };
+                domain_ok && path_match(path, &c.path) && (secure || !c.secure)
+            })
+            .collect()
+    }
+}
+
+/// RFC 6265 §5.1.4 path matching.
+fn path_match(request_path: &str, cookie_path: &str) -> bool {
+    if request_path == cookie_path {
+        return true;
+    }
+    if request_path.starts_with(cookie_path) {
+        return cookie_path.ends_with('/')
+            || request_path.as_bytes().get(cookie_path.len()) == Some(&b'/');
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn list() -> List {
+        List::parse("com\nio\nco.uk\n// ===BEGIN PRIVATE DOMAINS===\ngithub.io\n")
+    }
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_set_cookie_header() {
+        let sc = SetCookie::parse("sid=abc123; Domain=.Example.COM; Path=/app; Secure; HttpOnly")
+            .unwrap();
+        assert_eq!(sc.name, "sid");
+        assert_eq!(sc.value, "abc123");
+        assert_eq!(sc.domain.as_deref(), Some("example.com"));
+        assert_eq!(sc.path.as_deref(), Some("/app"));
+        assert!(sc.secure);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(SetCookie::parse("").is_none());
+        assert!(SetCookie::parse("no-equals-sign").is_none());
+        assert!(SetCookie::parse("=value-without-name").is_none());
+        // Bad Path (not absolute) and empty Domain are ignored, not fatal.
+        let sc = SetCookie::parse("a=b; Path=relative; Domain=").unwrap();
+        assert_eq!(sc.path, None);
+        assert_eq!(sc.domain, None);
+    }
+
+    #[test]
+    fn host_only_cookies_stay_on_host() {
+        let l = list();
+        let mut jar = CookieJar::new(&l, MatchOpts::default());
+        jar.set_from_header(&d("app.example.com"), "sid=1").unwrap();
+        assert_eq!(jar.cookies_for(&d("app.example.com"), "/", false).len(), 1);
+        assert_eq!(jar.cookies_for(&d("other.example.com"), "/", false).len(), 0);
+        assert_eq!(jar.cookies_for(&d("example.com"), "/", false).len(), 0);
+    }
+
+    #[test]
+    fn domain_cookies_cover_subdomains() {
+        let l = list();
+        let mut jar = CookieJar::new(&l, MatchOpts::default());
+        jar.set_from_header(&d("app.example.com"), "sid=1; Domain=example.com")
+            .unwrap();
+        assert_eq!(jar.cookies_for(&d("app.example.com"), "/", false).len(), 1);
+        assert_eq!(jar.cookies_for(&d("www.example.com"), "/", false).len(), 1);
+        assert_eq!(jar.cookies_for(&d("example.com"), "/", false).len(), 1);
+        assert_eq!(jar.cookies_for(&d("evil.com"), "/", false).len(), 0);
+    }
+
+    #[test]
+    fn supercookies_are_refused() {
+        let l = list();
+        let mut jar = CookieJar::new(&l, MatchOpts::default());
+        assert_eq!(
+            jar.set_from_header(&d("evil.co.uk"), "track=1; Domain=co.uk"),
+            Err(StoreError::Refused)
+        );
+        assert_eq!(
+            jar.set_from_header(&d("alice.github.io"), "track=1; Domain=github.io"),
+            Err(StoreError::Refused)
+        );
+        assert!(jar.is_empty());
+    }
+
+    #[test]
+    fn outdated_jar_leaks_across_customers() {
+        // The quantified harm: a jar built on a pre-github.io list accepts
+        // the platform-wide cookie and serves it to every customer.
+        let old = List::parse("com\nio\n");
+        let mut jar = CookieJar::new(&old, MatchOpts::default());
+        jar.set_from_header(&d("alice.github.io"), "track=evil; Domain=github.io")
+            .unwrap();
+        assert_eq!(jar.cookies_for(&d("bob.github.io"), "/", false).len(), 1);
+        assert_eq!(jar.cookies_for(&d("carol.github.io"), "/", false).len(), 1);
+    }
+
+    #[test]
+    fn replacement_semantics() {
+        let l = list();
+        let mut jar = CookieJar::new(&l, MatchOpts::default());
+        let host = d("www.example.com");
+        jar.set_from_header(&host, "sid=old").unwrap();
+        jar.set_from_header(&host, "sid=new").unwrap();
+        assert_eq!(jar.len(), 1);
+        assert_eq!(jar.cookies()[0].value, "new");
+        // Different path = different cookie.
+        jar.set_from_header(&host, "sid=scoped; Path=/app").unwrap();
+        assert_eq!(jar.len(), 2);
+    }
+
+    #[test]
+    fn path_matching_rules() {
+        assert!(path_match("/", "/"));
+        assert!(path_match("/app/x", "/app"));
+        assert!(path_match("/app/x", "/app/"));
+        assert!(!path_match("/application", "/app"));
+        assert!(!path_match("/", "/app"));
+    }
+
+    #[test]
+    fn secure_cookies_need_secure_channel() {
+        let l = list();
+        let mut jar = CookieJar::new(&l, MatchOpts::default());
+        let host = d("www.example.com");
+        jar.set_from_header(&host, "sid=1; Secure").unwrap();
+        assert_eq!(jar.cookies_for(&host, "/", false).len(), 0);
+        assert_eq!(jar.cookies_for(&host, "/", true).len(), 1);
+    }
+
+    #[test]
+    fn bad_domain_attribute_is_an_error() {
+        let l = list();
+        let mut jar = CookieJar::new(&l, MatchOpts::default());
+        assert_eq!(
+            jar.set_from_header(&d("a.example.com"), "x=1; Domain=ex ample.com"),
+            Err(StoreError::BadDomain)
+        );
+        assert_eq!(
+            jar.set_from_header(&d("a.example.com"), ""),
+            Err(StoreError::Malformed)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn stored_cookies_always_domain_match_their_setter(
+            sub in "[a-z]{1,6}", base in "[a-z]{1,6}",
+            dom_sub in proptest::bool::ANY,
+        ) {
+            let l = list();
+            let mut jar = CookieJar::new(&l, MatchOpts::default());
+            let host = d(&format!("{sub}.{base}.com"));
+            let header = if dom_sub {
+                format!("x=1; Domain={base}.com")
+            } else {
+                "x=1".to_string()
+            };
+            if jar.set_from_header(&host, &header).is_ok() {
+                for c in jar.cookies() {
+                    prop_assert!(host.is_subdomain_of(&c.domain));
+                }
+            }
+        }
+
+        #[test]
+        fn retrieval_respects_host_only(
+            a in "[a-z]{1,6}", b in "[a-z]{1,6}",
+        ) {
+            let l = list();
+            let mut jar = CookieJar::new(&l, MatchOpts::default());
+            let host_a = d(&format!("{a}.example.com"));
+            let host_b = d(&format!("{b}.example.com"));
+            jar.set_from_header(&host_a, "x=1").unwrap();
+            let visible_to_b = !jar.cookies_for(&host_b, "/", false).is_empty();
+            prop_assert_eq!(visible_to_b, host_a == host_b);
+        }
+
+        #[test]
+        fn set_cookie_parse_never_panics(s in "\\PC{0,100}") {
+            let _ = SetCookie::parse(&s);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! A Public Suffix List linter.
+//!
+//! The real list is community-maintained; submissions are reviewed for a
+//! set of well-known authoring mistakes. This module checks a parsed list
+//! for them — useful both for validating generated lists and for the
+//! repository detector (a file that lints badly is probably not a PSL).
+
+use crate::list::List;
+use crate::rule::{RuleKind, Section};
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum Finding {
+    /// The same rule text appears in both sections.
+    CrossSectionDuplicate(String),
+    /// An exception rule has no wildcard rule that it could carve out of.
+    OrphanException(String),
+    /// A rule is unreachable: an identical-suffix rule shadows it (e.g.
+    /// `foo.bar` plus `*.bar` — the wildcard already matches, so the
+    /// normal rule only changes metadata).
+    ShadowedByWildcard(String),
+    /// A private-section rule sits directly under a missing TLD: its own
+    /// TLD is not in the list, so the implicit rule already splits there.
+    PrivateUnderUnknownTld(String),
+    /// A multi-label rule whose parent label chain contains no rule at
+    /// all — legal, but usually a typo in real submissions (e.g.
+    /// `a.b.c.d.example` with no `example`).
+    DeepRuleWithoutAncestor(String),
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::CrossSectionDuplicate(r) => {
+                write!(f, "rule {r:?} appears in both ICANN and PRIVATE sections")
+            }
+            Finding::OrphanException(r) => {
+                write!(f, "exception {r:?} has no matching wildcard rule")
+            }
+            Finding::ShadowedByWildcard(r) => {
+                write!(f, "rule {r:?} is shadowed by a wildcard with the same coverage")
+            }
+            Finding::PrivateUnderUnknownTld(r) => {
+                write!(f, "private rule {r:?} sits under a TLD absent from the list")
+            }
+            Finding::DeepRuleWithoutAncestor(r) => {
+                write!(f, "rule {r:?} has 3+ labels but no ancestor rule")
+            }
+        }
+    }
+}
+
+/// Lint a list. Returns all findings (empty = clean).
+pub fn lint(list: &List) -> Vec<Finding> {
+    let rules = list.rules();
+    let mut findings = Vec::new();
+
+    // Index rule bodies by text for cross-section and ancestor checks.
+    let mut sections_by_body: HashMap<String, HashSet<Section>> = HashMap::new();
+    let mut wildcard_bases: HashSet<String> = HashSet::new();
+    let mut all_bodies: HashSet<String> = HashSet::new();
+    let mut tlds: HashSet<String> = HashSet::new();
+    for rule in rules {
+        let body = rule.labels().join(".");
+        sections_by_body.entry(body.clone()).or_default().insert(rule.section());
+        all_bodies.insert(body.clone());
+        if rule.kind() == RuleKind::Wildcard {
+            wildcard_bases.insert(body.clone());
+        }
+        if rule.labels().len() == 1 && rule.kind() == RuleKind::Normal {
+            tlds.insert(body);
+        }
+    }
+
+    let mut seen_cross: HashSet<String> = HashSet::new();
+    for rule in rules {
+        let body = rule.labels().join(".");
+        let text = rule.as_text();
+
+        // Cross-section duplicates (same body in both sections under any
+        // kind).
+        if sections_by_body.get(&body).map_or(false, |s| s.len() > 1)
+            && seen_cross.insert(body.clone())
+        {
+            findings.push(Finding::CrossSectionDuplicate(body.clone()));
+        }
+
+        match rule.kind() {
+            RuleKind::Exception => {
+                // `!x.y.z` needs `*.y.z`.
+                let parent = rule.labels()[1..].join(".");
+                if !wildcard_bases.contains(&parent) {
+                    findings.push(Finding::OrphanException(text.clone()));
+                }
+            }
+            RuleKind::Normal => {
+                // `x.y.z` shadowed by `*.y.z` (same match coverage for
+                // hosts at that depth).
+                if rule.labels().len() >= 2 {
+                    let parent = rule.labels()[1..].join(".");
+                    if wildcard_bases.contains(&parent) {
+                        findings.push(Finding::ShadowedByWildcard(text.clone()));
+                    }
+                }
+                if rule.section() == Section::Private && rule.labels().len() >= 2 {
+                    let tld = rule.labels().last().expect("non-empty").clone();
+                    if !tlds.contains(&tld) {
+                        findings.push(Finding::PrivateUnderUnknownTld(text.clone()));
+                    }
+                }
+                if rule.labels().len() >= 3 {
+                    let has_ancestor = (1..rule.labels().len())
+                        .any(|i| all_bodies.contains(&rule.labels()[i..].join(".")));
+                    if !has_ancestor {
+                        findings.push(Finding::DeepRuleWithoutAncestor(text.clone()));
+                    }
+                }
+            }
+            RuleKind::Wildcard => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(text: &str) -> Vec<Finding> {
+        lint(&List::parse(text))
+    }
+
+    #[test]
+    fn clean_list_has_no_findings() {
+        let f = findings("com\nuk\nco.uk\nck\n*.ck\n!www.ck\n");
+        // `*.ck` + `ck` coexist in the real list shape; `ck` is 1-label,
+        // so no shadowing finding for it.
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn orphan_exception_detected() {
+        let f = findings("jp\n!city.kobe.jp\n");
+        assert!(f.contains(&Finding::OrphanException("!city.kobe.jp".into())), "{f:?}");
+        let ok = findings("jp\n*.kobe.jp\n!city.kobe.jp\n");
+        assert!(!ok.iter().any(|x| matches!(x, Finding::OrphanException(_))));
+    }
+
+    #[test]
+    fn shadowed_rule_detected() {
+        let f = findings("jp\n*.kobe.jp\nfoo.kobe.jp\n");
+        assert!(
+            f.contains(&Finding::ShadowedByWildcard("foo.kobe.jp".into())),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn cross_section_duplicate_detected() {
+        let text = "com\nshared.com\n// ===BEGIN PRIVATE DOMAINS===\nshared.com\n";
+        // parse_dat dedups identical texts; craft via rules directly.
+        use crate::rule::Rule;
+        let rules = vec![
+            Rule::parse("com", Section::Icann).unwrap(),
+            Rule::parse("shared.com", Section::Icann).unwrap(),
+            Rule::parse("shared.com", Section::Private).unwrap(),
+        ];
+        let _ = text;
+        let list = List::from_rules(rules);
+        // from_rules also dedups by text... duplicates with different
+        // sections share a text, so only one survives; the lint target is
+        // therefore wildcards/normals sharing a *body* across kinds:
+        let rules = vec![
+            Rule::parse("com", Section::Icann).unwrap(),
+            Rule::parse("shared.com", Section::Icann).unwrap(),
+            Rule::parse("*.shared.com", Section::Private).unwrap(),
+        ];
+        let list2 = List::from_rules(rules);
+        let f = lint(&list2);
+        assert!(
+            f.contains(&Finding::CrossSectionDuplicate("shared.com".into())),
+            "{f:?}"
+        );
+        let _ = list;
+    }
+
+    #[test]
+    fn private_under_unknown_tld_detected() {
+        let f = findings("com\n// ===BEGIN PRIVATE DOMAINS===\nplatform.zz\n");
+        assert!(
+            f.contains(&Finding::PrivateUnderUnknownTld("platform.zz".into())),
+            "{f:?}"
+        );
+        let ok = findings("com\nzz\n// ===BEGIN PRIVATE DOMAINS===\nplatform.zz\n");
+        assert!(!ok.iter().any(|x| matches!(x, Finding::PrivateUnderUnknownTld(_))));
+    }
+
+    #[test]
+    fn deep_rule_without_ancestor_detected() {
+        let f = findings("com\na.b.c.example\n");
+        assert!(
+            f.contains(&Finding::DeepRuleWithoutAncestor("a.b.c.example".into())),
+            "{f:?}"
+        );
+        let ok = findings("com\nexample\na.b.c.example\n");
+        assert!(!ok.iter().any(|x| matches!(x, Finding::DeepRuleWithoutAncestor(_))));
+    }
+
+    #[test]
+    fn findings_display_readably() {
+        for f in findings("jp\n!city.kobe.jp\n") {
+            assert!(!f.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn generated_histories_lint_mostly_clean() {
+        // The generator's output is a realistic list; it should produce
+        // only the benign finding classes (shadowing can occur when a
+        // synthetic 3-label rule lands under a wildcard zone).
+        let h = psl_history_free_standing_check();
+        for f in &h {
+            assert!(
+                matches!(
+                    f,
+                    Finding::ShadowedByWildcard(_) | Finding::DeepRuleWithoutAncestor(_)
+                ),
+                "unexpected finding class: {f}"
+            );
+        }
+    }
+
+    /// Build a list similar to generator output without depending on
+    /// psl-history (which would be a dependency cycle): seeds + JP-style
+    /// zone cluster.
+    fn psl_history_free_standing_check() -> Vec<Finding> {
+        findings(
+            "com\nuk\nco.uk\njp\n*.zone.jp\n!city.zone.jp\ncity2.pref.jp\npref.jp\n\
+             // ===BEGIN PRIVATE DOMAINS===\nplatform.com\n",
+        )
+    }
+}

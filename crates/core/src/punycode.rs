@@ -1,0 +1,320 @@
+//! Punycode (RFC 3492) encoding and decoding, implemented from scratch.
+//!
+//! The PSL contains internationalised suffixes both in Unicode form and in
+//! their ASCII-compatible (`xn--`) form; domain normalisation needs to map
+//! between the two. This module implements the bootstring algorithm with the
+//! standard Punycode parameters and is exercised against the RFC 3492 sample
+//! strings.
+
+use crate::error::{Error, PunycodeErrorKind, Result};
+
+const BASE: u32 = 36;
+const TMIN: u32 = 1;
+const TMAX: u32 = 26;
+const SKEW: u32 = 38;
+const DAMP: u32 = 700;
+const INITIAL_BIAS: u32 = 72;
+const INITIAL_N: u32 = 128;
+const DELIMITER: char = '-';
+
+/// The ACE prefix marking a punycode-encoded DNS label.
+pub const ACE_PREFIX: &str = "xn--";
+
+/// Bias adaptation (RFC 3492 §6.1).
+fn adapt(mut delta: u32, num_points: u32, first_time: bool) -> u32 {
+    delta /= if first_time { DAMP } else { 2 };
+    delta += delta / num_points;
+    let mut k = 0;
+    while delta > ((BASE - TMIN) * TMAX) / 2 {
+        delta /= BASE - TMIN;
+        k += BASE;
+    }
+    k + (((BASE - TMIN + 1) * delta) / (delta + SKEW))
+}
+
+/// Map a code point to its digit value, or `None` if it is not a valid
+/// base-36 digit. Accepts both cases per the RFC.
+fn digit_value(c: char) -> Option<u32> {
+    match c {
+        'a'..='z' => Some(c as u32 - 'a' as u32),
+        'A'..='Z' => Some(c as u32 - 'A' as u32),
+        '0'..='9' => Some(c as u32 - '0' as u32 + 26),
+        _ => None,
+    }
+}
+
+/// Map a digit value (0–35) to its lowercase code point.
+fn digit_char(d: u32) -> char {
+    debug_assert!(d < BASE);
+    if d < 26 {
+        (b'a' + d as u8) as char
+    } else {
+        (b'0' + (d - 26) as u8) as char
+    }
+}
+
+/// Decode a punycode string (without the `xn--` prefix) into Unicode.
+///
+/// # Errors
+///
+/// Returns [`Error::PunycodeDecode`] on invalid digits, arithmetic overflow,
+/// or decoded values outside the Unicode scalar range.
+pub fn decode(input: &str) -> Result<String> {
+    let err = |kind| Error::PunycodeDecode(kind);
+
+    // Split off the basic code points (those before the last delimiter).
+    let (basic, extended) = match input.rfind(DELIMITER) {
+        Some(pos) => (&input[..pos], &input[pos + 1..]),
+        None => ("", input),
+    };
+    if !basic.is_ascii() {
+        return Err(err(PunycodeErrorKind::InvalidDigit));
+    }
+    let mut output: Vec<char> = basic.chars().collect();
+
+    let mut n = INITIAL_N;
+    let mut i: u32 = 0;
+    let mut bias = INITIAL_BIAS;
+
+    let mut chars = extended.chars().peekable();
+    while chars.peek().is_some() {
+        let old_i = i;
+        let mut w: u32 = 1;
+        let mut k = BASE;
+        loop {
+            let c = chars.next().ok_or(err(PunycodeErrorKind::InvalidDigit))?;
+            let digit = digit_value(c).ok_or(err(PunycodeErrorKind::InvalidDigit))?;
+            i = digit
+                .checked_mul(w)
+                .and_then(|dw| i.checked_add(dw))
+                .ok_or(err(PunycodeErrorKind::Overflow))?;
+            let t = if k <= bias {
+                TMIN
+            } else if k >= bias + TMAX {
+                TMAX
+            } else {
+                k - bias
+            };
+            if digit < t {
+                break;
+            }
+            w = w
+                .checked_mul(BASE - t)
+                .ok_or(err(PunycodeErrorKind::Overflow))?;
+            k += BASE;
+        }
+        let len = output.len() as u32 + 1;
+        bias = adapt(i - old_i, len, old_i == 0);
+        n = n
+            .checked_add(i / len)
+            .ok_or(err(PunycodeErrorKind::Overflow))?;
+        i %= len;
+        let ch = char::from_u32(n).ok_or(err(PunycodeErrorKind::InvalidCodePoint))?;
+        output.insert(i as usize, ch);
+        i += 1;
+    }
+
+    Ok(output.into_iter().collect())
+}
+
+/// Encode a Unicode string into punycode (without the `xn--` prefix).
+///
+/// # Errors
+///
+/// Returns [`Error::PunycodeEncode`] on arithmetic overflow (inputs far
+/// beyond DNS label lengths).
+pub fn encode(input: &str) -> Result<String> {
+    let err = |kind| Error::PunycodeEncode(kind);
+    let chars: Vec<char> = input.chars().collect();
+    let mut output = String::new();
+
+    // Copy the basic code points, then append the delimiter if any were
+    // copied (RFC 3492 §6.3: the delimiter is emitted whenever b > 0, even
+    // for pure-ASCII input, so that decoding is unambiguous).
+    let basic: Vec<char> = chars.iter().copied().filter(|c| c.is_ascii()).collect();
+    let b = basic.len() as u32;
+    output.extend(basic.iter());
+    if b > 0 {
+        output.push(DELIMITER);
+    }
+
+    let mut n = INITIAL_N;
+    let mut delta: u32 = 0;
+    let mut bias = INITIAL_BIAS;
+    let mut h = b;
+
+    while h < chars.len() as u32 {
+        // Find the smallest code point >= n among the non-basic characters.
+        let m = chars
+            .iter()
+            .map(|&c| c as u32)
+            .filter(|&c| c >= n)
+            .min()
+            .expect("loop invariant: at least one unencoded code point remains");
+        delta = (m - n)
+            .checked_mul(h + 1)
+            .and_then(|x| delta.checked_add(x))
+            .ok_or(err(PunycodeErrorKind::Overflow))?;
+        n = m;
+        for &c in &chars {
+            let c = c as u32;
+            if c < n {
+                delta = delta.checked_add(1).ok_or(err(PunycodeErrorKind::Overflow))?;
+            }
+            if c == n {
+                let mut q = delta;
+                let mut k = BASE;
+                loop {
+                    let t = if k <= bias {
+                        TMIN
+                    } else if k >= bias + TMAX {
+                        TMAX
+                    } else {
+                        k - bias
+                    };
+                    if q < t {
+                        break;
+                    }
+                    output.push(digit_char(t + (q - t) % (BASE - t)));
+                    q = (q - t) / (BASE - t);
+                    k += BASE;
+                }
+                output.push(digit_char(q));
+                bias = adapt(delta, h + 1, h == b);
+                delta = 0;
+                h += 1;
+            }
+        }
+        delta += 1;
+        n += 1;
+    }
+
+    Ok(output)
+}
+
+/// Encode a single DNS label to its ASCII-compatible form, adding the
+/// `xn--` prefix only when the label contains non-ASCII characters.
+pub fn to_ascii_label(label: &str) -> Result<String> {
+    if label.is_ascii() {
+        Ok(label.to_string())
+    } else {
+        Ok(format!("{ACE_PREFIX}{}", encode(label)?))
+    }
+}
+
+/// Decode a single DNS label from its ASCII-compatible form. Labels without
+/// the `xn--` prefix are returned unchanged.
+pub fn to_unicode_label(label: &str) -> Result<String> {
+    match label.strip_prefix(ACE_PREFIX) {
+        Some(rest) => decode(rest),
+        None => Ok(label.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// RFC 3492 §7.1 sample strings (subset), plus well-known IDN labels.
+    const VECTORS: &[(&str, &str)] = &[
+        // (unicode, punycode)
+        ("bücher", "bcher-kva"),
+        ("münchen", "mnchen-3ya"),
+        ("café", "caf-dma"),
+        ("日本", "wgv71a"),
+        // RFC 3492 (A) Arabic (Egyptian)
+        (
+            "\u{0644}\u{064A}\u{0647}\u{0645}\u{0627}\u{0628}\u{062A}\u{0643}\u{0644}\u{0645}\u{0648}\u{0634}\u{0639}\u{0631}\u{0628}\u{064A}\u{061F}",
+            "egbpdaj6bu4bxfgehfvwxn",
+        ),
+        // RFC 3492 (B) Chinese (simplified)
+        (
+            "\u{4ED6}\u{4EEC}\u{4E3A}\u{4EC0}\u{4E48}\u{4E0D}\u{8BF4}\u{4E2D}\u{6587}",
+            "ihqwcrb4cv8a8dqg056pqjye",
+        ),
+        // RFC 3492 (I) Japanese with mixed ASCII
+        (
+            "3\u{5E74}B\u{7D44}\u{91D1}\u{516B}\u{5148}\u{751F}",
+            "3B-ww4c5e180e575a65lsy2b",
+        ),
+    ];
+
+    #[test]
+    fn rfc_vectors_encode() {
+        for (unicode, puny) in VECTORS {
+            assert_eq!(&encode(unicode).unwrap(), puny, "encoding {unicode:?}");
+        }
+    }
+
+    #[test]
+    fn rfc_vectors_decode() {
+        for (unicode, puny) in VECTORS {
+            assert_eq!(&decode(puny).unwrap(), unicode, "decoding {puny:?}");
+        }
+    }
+
+    #[test]
+    fn ascii_passthrough() {
+        // Raw bootstring encoding of pure ASCII carries a trailing delimiter
+        // (RFC 3492 §6.3) …
+        assert_eq!(encode("example").unwrap(), "example-");
+        assert_eq!(decode("example-").unwrap(), "example");
+        // … but the IDNA-style label helpers never punycode ASCII labels.
+        assert_eq!(to_ascii_label("example").unwrap(), "example");
+        assert_eq!(to_unicode_label("example").unwrap(), "example");
+    }
+
+    #[test]
+    fn ace_prefix_handling() {
+        assert_eq!(to_ascii_label("bücher").unwrap(), "xn--bcher-kva");
+        assert_eq!(to_unicode_label("xn--bcher-kva").unwrap(), "bücher");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode("!!!").is_err());
+        assert!(decode("abc déf").is_err()); // non-ASCII in encoded input
+    }
+
+    #[test]
+    fn decode_handles_delimiter_edge_cases() {
+        // A leading delimiter means "empty basic part".
+        assert!(decode("-").is_ok() || decode("-").is_err()); // must not panic
+        // Trailing delimiter: basic part only.
+        let d = decode("abc-").unwrap_or_default();
+        assert!(d.is_ascii() || !d.is_empty() || d.is_empty());
+    }
+
+    #[test]
+    fn decode_overflow_is_detected() {
+        // Extremely long digit runs force delta overflow; must error, not
+        // panic or loop forever.
+        let long = "9".repeat(64);
+        assert!(decode(&long).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_unicode_labels(s in "\\PC{1,24}") {
+            // Any string of non-control characters should round-trip if it
+            // encodes at all.
+            if let Ok(enc) = encode(&s) {
+                let dec = decode(&enc).unwrap();
+                prop_assert_eq!(dec, s);
+            }
+        }
+
+        #[test]
+        fn decode_never_panics(s in "[a-zA-Z0-9-]{0,40}") {
+            let _ = decode(&s);
+        }
+
+        #[test]
+        fn encoded_output_is_ascii(s in "\\PC{1,24}") {
+            if let Ok(enc) = encode(&s) {
+                prop_assert!(enc.is_ascii());
+            }
+        }
+    }
+}

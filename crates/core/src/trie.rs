@@ -1,0 +1,515 @@
+//! A reversed-label trie over suffix rules.
+//!
+//! Rules are inserted label-by-label right-to-left (TLD first). Matching a
+//! hostname is a single walk down the trie, collecting every rule that
+//! terminates along the literal path plus any wildcard rules hanging off it.
+//! This is the production matching path; `Rule::matches_reversed` provides a
+//! linear reference implementation that the tests (and an ablation bench)
+//! compare against.
+
+use crate::rule::{Rule, RuleKind, Section};
+use std::collections::HashMap;
+
+/// One node of the trie. The path from the root to a node spells a suffix
+/// right-to-left.
+#[derive(Debug, Default, Clone)]
+struct Node {
+    children: HashMap<Box<str>, Node>,
+    /// A normal rule terminates at this node.
+    normal: Option<Section>,
+    /// A wildcard rule `*.<path>` is anchored at this node: it matches any
+    /// hostname extending this node's path by at least one more label.
+    wildcard: Option<Section>,
+    /// An exception rule `!<path>` terminates at this node.
+    exception: Option<Section>,
+}
+
+/// How a matched rule was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchKind {
+    /// An explicit rule from the list.
+    Rule(RuleKind),
+    /// No rule matched; the implicit `*` default rule prevails.
+    ImplicitWildcard,
+}
+
+/// The prevailing-rule decision for a hostname.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disposition {
+    /// Number of labels in the public suffix.
+    pub suffix_len: usize,
+    /// How the prevailing rule was found.
+    pub kind: MatchKind,
+    /// Section of the prevailing rule (`None` for the implicit rule).
+    pub section: Option<Section>,
+}
+
+/// Options controlling matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchOpts {
+    /// Consider rules in the PRIVATE section. Browsers do; some validation
+    /// tools only want registry (ICANN) boundaries.
+    pub include_private: bool,
+    /// Apply the implicit `*` rule when nothing matches (the algorithm's
+    /// step 2 default). Disabling it makes unknown TLDs return `None`,
+    /// which is how "strict" consumers detect garbage input.
+    pub implicit_wildcard: bool,
+}
+
+impl Default for MatchOpts {
+    fn default() -> Self {
+        MatchOpts {
+            include_private: true,
+            implicit_wildcard: true,
+        }
+    }
+}
+
+/// The reversed-label trie.
+#[derive(Debug, Default, Clone)]
+pub struct SuffixTrie {
+    root: Node,
+    len: usize,
+}
+
+impl SuffixTrie {
+    /// Build a trie from rules.
+    pub fn from_rules<'a>(rules: impl IntoIterator<Item = &'a Rule>) -> Self {
+        let mut trie = SuffixTrie::default();
+        for rule in rules {
+            trie.insert(rule);
+        }
+        trie
+    }
+
+    /// Number of rules inserted.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the trie holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert one rule. Re-inserting an identical suffix path overwrites
+    /// the per-kind slot (last write wins), mirroring list semantics where
+    /// each rule text appears once.
+    pub fn insert(&mut self, rule: &Rule) {
+        let mut node = &mut self.root;
+        for label in rule.labels().iter().rev() {
+            node = node
+                .children
+                .entry(label.as_str().into())
+                .or_default();
+        }
+        let slot = match rule.kind() {
+            RuleKind::Normal => &mut node.normal,
+            RuleKind::Wildcard => &mut node.wildcard,
+            RuleKind::Exception => &mut node.exception,
+        };
+        if slot.is_none() {
+            self.len += 1;
+        }
+        *slot = Some(rule.section());
+    }
+
+    /// Remove one rule. Returns true if the rule's slot was occupied.
+    /// Empty nodes left behind are pruned lazily (they are harmless for
+    /// matching; a `compact` pass could reclaim them, but removal volume
+    /// in real histories is tiny).
+    pub fn remove(&mut self, rule: &Rule) -> bool {
+        let mut node = &mut self.root;
+        for label in rule.labels().iter().rev() {
+            match node.children.get_mut(label.as_str()) {
+                Some(child) => node = child,
+                None => return false,
+            }
+        }
+        let slot = match rule.kind() {
+            RuleKind::Normal => &mut node.normal,
+            RuleKind::Wildcard => &mut node.wildcard,
+            RuleKind::Exception => &mut node.exception,
+        };
+        if slot.is_some() {
+            *slot = None;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Decide the prevailing rule for a hostname given as reversed labels
+    /// (TLD first). Returns `None` only when nothing matches *and* the
+    /// implicit wildcard is disabled.
+    ///
+    /// Implements the algorithm from <https://publicsuffix.org/list/>:
+    /// exception beats everything and strips one label; otherwise the
+    /// longest match prevails; otherwise the implicit `*` rule.
+    pub fn disposition(&self, reversed: &[&str], opts: MatchOpts) -> Option<Disposition> {
+        let allowed = |section: Section| opts.include_private || section == Section::Icann;
+
+        let mut best_exception: Option<(usize, Section)> = None;
+        let mut best_match: Option<(usize, RuleKind, Section)> = None;
+
+        let mut node = &self.root;
+        for (i, label) in reversed.iter().enumerate() {
+            // A wildcard anchored at `node` consumes this label.
+            if let Some(section) = node.wildcard {
+                if allowed(section) {
+                    best_match = Some((i + 1, RuleKind::Wildcard, section));
+                }
+            }
+            let Some(child) = node.children.get(*label) else {
+                break;
+            };
+            if let Some(section) = child.normal {
+                if allowed(section) {
+                    best_match = Some((i + 1, RuleKind::Normal, section));
+                }
+            }
+            if let Some(section) = child.exception {
+                if allowed(section) {
+                    best_exception = Some((i + 1, section));
+                }
+            }
+            node = child;
+        }
+
+        if let Some((match_len, section)) = best_exception {
+            // Exception rules strip their leftmost label.
+            return Some(Disposition {
+                suffix_len: match_len - 1,
+                kind: MatchKind::Rule(RuleKind::Exception),
+                section: Some(section),
+            });
+        }
+        if let Some((match_len, kind, section)) = best_match {
+            return Some(Disposition {
+                suffix_len: match_len,
+                kind: MatchKind::Rule(kind),
+                section: Some(section),
+            });
+        }
+        if opts.implicit_wildcard && !reversed.is_empty() {
+            return Some(Disposition {
+                suffix_len: 1,
+                kind: MatchKind::ImplicitWildcard,
+                section: None,
+            });
+        }
+        None
+    }
+}
+
+/// Linear reference matcher used to validate the trie (and as an ablation
+/// baseline). Semantics identical to [`SuffixTrie::disposition`].
+pub fn disposition_linear(
+    rules: &[Rule],
+    reversed: &[&str],
+    opts: MatchOpts,
+) -> Option<Disposition> {
+    let allowed =
+        |r: &Rule| opts.include_private || r.section() == Section::Icann;
+
+    let mut best_exception: Option<&Rule> = None;
+    let mut best_match: Option<&Rule> = None;
+    for rule in rules.iter().filter(|r| allowed(r)) {
+        if !rule.matches_reversed(reversed) {
+            continue;
+        }
+        match rule.kind() {
+            RuleKind::Exception => {
+                if best_exception.map_or(true, |b| rule.match_len() > b.match_len()) {
+                    best_exception = Some(rule);
+                }
+            }
+            _ => {
+                // Longest match wins; on equal length a Normal rule beats a
+                // Wildcard (the public suffix is identical either way — this
+                // only pins down which rule we *report*, and must agree with
+                // the trie's walk order).
+                let better = best_match.map_or(true, |b| {
+                    rule.match_len() > b.match_len()
+                        || (rule.match_len() == b.match_len()
+                            && rule.kind() == RuleKind::Normal
+                            && b.kind() == RuleKind::Wildcard)
+                });
+                if better {
+                    best_match = Some(rule);
+                }
+            }
+        }
+    }
+    if let Some(rule) = best_exception {
+        return Some(Disposition {
+            suffix_len: rule.suffix_len(),
+            kind: MatchKind::Rule(RuleKind::Exception),
+            section: Some(rule.section()),
+        });
+    }
+    if let Some(rule) = best_match {
+        return Some(Disposition {
+            suffix_len: rule.suffix_len(),
+            kind: MatchKind::Rule(rule.kind()),
+            section: Some(rule.section()),
+        });
+    }
+    if opts.implicit_wildcard && !reversed.is_empty() {
+        return Some(Disposition {
+            suffix_len: 1,
+            kind: MatchKind::ImplicitWildcard,
+            section: None,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Rule;
+    use proptest::prelude::*;
+
+    fn rules(texts: &[(&str, Section)]) -> Vec<Rule> {
+        texts
+            .iter()
+            .map(|(t, s)| Rule::parse(t, *s).unwrap())
+            .collect()
+    }
+
+    fn trie(texts: &[(&str, Section)]) -> (Vec<Rule>, SuffixTrie) {
+        let rs = rules(texts);
+        let t = SuffixTrie::from_rules(&rs);
+        (rs, t)
+    }
+
+    const BASIC: &[(&str, Section)] = &[
+        ("com", Section::Icann),
+        ("uk", Section::Icann),
+        ("co.uk", Section::Icann),
+        ("*.ck", Section::Icann),
+        ("!www.ck", Section::Icann),
+        ("github.io", Section::Private),
+        ("io", Section::Icann),
+    ];
+
+    #[test]
+    fn longest_match_prevails() {
+        let (_, t) = trie(BASIC);
+        let d = t
+            .disposition(&["uk", "co", "example"], MatchOpts::default())
+            .unwrap();
+        assert_eq!(d.suffix_len, 2);
+        assert_eq!(d.kind, MatchKind::Rule(RuleKind::Normal));
+    }
+
+    #[test]
+    fn wildcard_matches_one_extra_label() {
+        let (_, t) = trie(BASIC);
+        let d = t.disposition(&["ck", "shop"], MatchOpts::default()).unwrap();
+        assert_eq!(d.suffix_len, 2);
+        assert_eq!(d.kind, MatchKind::Rule(RuleKind::Wildcard));
+        // Bare "ck" has no matching rule (the wildcard needs one more
+        // label), so the implicit rule applies.
+        let d = t.disposition(&["ck"], MatchOpts::default()).unwrap();
+        assert_eq!(d.kind, MatchKind::ImplicitWildcard);
+        assert_eq!(d.suffix_len, 1);
+    }
+
+    #[test]
+    fn exception_beats_wildcard() {
+        let (_, t) = trie(BASIC);
+        let d = t.disposition(&["ck", "www"], MatchOpts::default()).unwrap();
+        assert_eq!(d.kind, MatchKind::Rule(RuleKind::Exception));
+        assert_eq!(d.suffix_len, 1); // suffix is "ck"
+        // And deeper names under the exception still hit it.
+        let d = t
+            .disposition(&["ck", "www", "deep"], MatchOpts::default())
+            .unwrap();
+        assert_eq!(d.kind, MatchKind::Rule(RuleKind::Exception));
+        assert_eq!(d.suffix_len, 1);
+    }
+
+    #[test]
+    fn private_section_filtering() {
+        let (_, t) = trie(BASIC);
+        let with = MatchOpts::default();
+        let without = MatchOpts {
+            include_private: false,
+            ..Default::default()
+        };
+        let d = t.disposition(&["io", "github", "user"], with).unwrap();
+        assert_eq!(d.suffix_len, 2);
+        assert_eq!(d.section, Some(Section::Private));
+        let d = t.disposition(&["io", "github", "user"], without).unwrap();
+        assert_eq!(d.suffix_len, 1);
+        assert_eq!(d.section, Some(Section::Icann));
+    }
+
+    #[test]
+    fn implicit_wildcard_toggle() {
+        let (_, t) = trie(BASIC);
+        let strict = MatchOpts {
+            implicit_wildcard: false,
+            ..Default::default()
+        };
+        assert!(t.disposition(&["zz", "example"], strict).is_none());
+        let d = t
+            .disposition(&["zz", "example"], MatchOpts::default())
+            .unwrap();
+        assert_eq!(d.kind, MatchKind::ImplicitWildcard);
+        assert_eq!(d.suffix_len, 1);
+    }
+
+    #[test]
+    fn empty_input_never_matches() {
+        let (_, t) = trie(BASIC);
+        assert!(t.disposition(&[], MatchOpts::default()).is_none());
+    }
+
+    #[test]
+    fn len_counts_distinct_rules() {
+        let (rs, t) = trie(BASIC);
+        assert_eq!(t.len(), rs.len());
+        let mut t2 = t.clone();
+        t2.insert(&rs[0]);
+        assert_eq!(t2.len(), rs.len());
+    }
+
+    #[test]
+    fn remove_reverses_insert() {
+        let (rs, mut t) = trie(BASIC);
+        let n = t.len();
+        let rule = Rule::parse("co.uk", Section::Icann).unwrap();
+        assert!(t.remove(&rule));
+        assert_eq!(t.len(), n - 1);
+        assert!(!t.remove(&rule), "second removal is a no-op");
+        // co.uk no longer matches; uk (still present) prevails.
+        let d = t
+            .disposition(&["uk", "co", "example"], MatchOpts::default())
+            .unwrap();
+        assert_eq!(d.suffix_len, 1);
+        // Re-insert restores behaviour.
+        t.insert(&rule);
+        let d = t
+            .disposition(&["uk", "co", "example"], MatchOpts::default())
+            .unwrap();
+        assert_eq!(d.suffix_len, 2);
+        assert_eq!(t.len(), n);
+        let _ = rs;
+    }
+
+    #[test]
+    fn remove_missing_rule_is_false() {
+        let (_, mut t) = trie(BASIC);
+        let rule = Rule::parse("never.zz", Section::Icann).unwrap();
+        assert!(!t.remove(&rule));
+    }
+
+    /// Strategy producing small random rule sets and hostnames over a tiny
+    /// alphabet so collisions (and therefore interesting matches) are
+    /// common.
+    fn small_label() -> impl Strategy<Value = String> {
+        prop_oneof![Just("a".into()), Just("b".into()), Just("c".into()), Just("d".into())]
+    }
+
+    proptest! {
+        #[test]
+        fn trie_agrees_with_linear_reference(
+            rule_specs in proptest::collection::vec(
+                (0u8..3, proptest::collection::vec(small_label(), 1..4)),
+                0..12,
+            ),
+            host in proptest::collection::vec(small_label(), 0..5),
+            include_private in proptest::bool::ANY,
+            implicit in proptest::bool::ANY,
+        ) {
+            let mut rs = Vec::new();
+            for (kind, labels) in rule_specs {
+                let section = if labels.len() % 2 == 0 { Section::Private } else { Section::Icann };
+                let rule = match kind {
+                    0 => Rule::normal(labels, section),
+                    1 => Rule::wildcard(labels, section),
+                    _ => {
+                        if labels.len() < 2 { continue; }
+                        Rule::exception(labels, section)
+                    }
+                };
+                rs.push(rule);
+            }
+            // Dedup by text the same way the trie's slots do (last wins in
+            // the trie; make the linear list match by keeping the last).
+            let mut seen = std::collections::HashMap::new();
+            for (i, r) in rs.iter().enumerate() {
+                seen.insert(r.as_text(), i);
+            }
+            let mut keep: Vec<usize> = seen.into_values().collect();
+            keep.sort_unstable();
+            let rs: Vec<Rule> = keep.into_iter().map(|i| rs[i].clone()).collect();
+
+            let t = SuffixTrie::from_rules(&rs);
+            let reversed: Vec<&str> = host.iter().map(|s| s.as_str()).collect();
+            let opts = MatchOpts { include_private, implicit_wildcard: implicit };
+            let a = t.disposition(&reversed, opts);
+            let b = disposition_linear(&rs, &reversed, opts);
+            prop_assert_eq!(a, b, "rules: {:?} host: {:?}", rs.iter().map(|r| r.as_text()).collect::<Vec<_>>(), reversed);
+        }
+
+        #[test]
+        fn mutation_sequences_agree_with_rebuilds(
+            rule_specs in proptest::collection::vec(
+                (0u8..2, proptest::collection::vec(small_label(), 1..3)),
+                1..10,
+            ),
+            ops in proptest::collection::vec((proptest::bool::ANY, 0usize..10), 1..25),
+            host in proptest::collection::vec(small_label(), 1..4),
+        ) {
+            // A pool of candidate rules; ops insert/remove them in random
+            // order. After every op, the mutable trie must agree with a
+            // fresh trie built from the live set.
+            let pool: Vec<Rule> = rule_specs
+                .into_iter()
+                .map(|(kind, labels)| match kind {
+                    0 => Rule::normal(labels, Section::Icann),
+                    _ => Rule::wildcard(labels, Section::Icann),
+                })
+                .collect();
+            // Dedup pool by text to keep "live set" bookkeeping simple.
+            let mut seen = std::collections::HashSet::new();
+            let pool: Vec<Rule> = pool
+                .into_iter()
+                .filter(|r| seen.insert(r.as_text()))
+                .collect();
+
+            let mut trie = SuffixTrie::default();
+            let mut live: Vec<bool> = vec![false; pool.len()];
+            let reversed: Vec<&str> = host.iter().map(|s| s.as_str()).collect();
+            let opts = MatchOpts::default();
+            for (insert, idx) in ops {
+                let idx = idx % pool.len();
+                if insert {
+                    trie.insert(&pool[idx]);
+                    live[idx] = true;
+                } else {
+                    let removed = trie.remove(&pool[idx]);
+                    prop_assert_eq!(removed, live[idx]);
+                    live[idx] = false;
+                }
+                let live_rules: Vec<Rule> = pool
+                    .iter()
+                    .zip(&live)
+                    .filter(|(_, &l)| l)
+                    .map(|(r, _)| r.clone())
+                    .collect();
+                let rebuilt = SuffixTrie::from_rules(&live_rules);
+                prop_assert_eq!(trie.len(), rebuilt.len());
+                prop_assert_eq!(
+                    trie.disposition(&reversed, opts),
+                    rebuilt.disposition(&reversed, opts)
+                );
+            }
+        }
+    }
+}

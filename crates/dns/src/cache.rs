@@ -1,0 +1,169 @@
+//! A counting resolver cache.
+//!
+//! DBOUND's per-lookup cost is a handful of `_bound` queries — but real
+//! resolvers cache, and boundary records for popular suffixes (`_bound.com`)
+//! are shared by effectively every lookup. [`CachingResolver`] wraps a
+//! [`ZoneStore`], caches positive and negative answers (by simulated time,
+//! not wall clock — nothing here reads a real clock), and counts hits and
+//! misses so the DBOUND experiment can report amortised query costs.
+
+use crate::record::RecordType;
+use crate::zone::{Answer, ZoneStore};
+use std::collections::HashMap;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries forwarded to the zone store.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction (0 when no queries were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Default negative-caching TTL (RFC 2308-ish), in simulated seconds.
+pub const NEGATIVE_TTL: u64 = 900;
+
+/// A caching view over a [`ZoneStore`].
+#[derive(Debug)]
+pub struct CachingResolver<'z> {
+    zones: &'z ZoneStore,
+    /// (name, type) -> (answer, expires_at).
+    cache: HashMap<(String, RecordType), (Answer, u64)>,
+    /// Simulated clock, in seconds.
+    now: u64,
+    stats: CacheStats,
+}
+
+impl<'z> CachingResolver<'z> {
+    /// Wrap a zone store.
+    pub fn new(zones: &'z ZoneStore) -> Self {
+        CachingResolver { zones, cache: HashMap::new(), now: 0, stats: CacheStats::default() }
+    }
+
+    /// Advance the simulated clock.
+    pub fn advance(&mut self, seconds: u64) {
+        self.now += seconds;
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resolve with caching. Positive answers live for their smallest
+    /// record TTL; NXDOMAIN/NoData for [`NEGATIVE_TTL`].
+    pub fn query(&mut self, name: &psl_core::DomainName, rtype: RecordType) -> Answer {
+        let key = (name.as_str().to_string(), rtype);
+        if let Some((answer, expires)) = self.cache.get(&key) {
+            if *expires > self.now {
+                self.stats.hits += 1;
+                return answer.clone();
+            }
+        }
+        self.stats.misses += 1;
+        let answer = self.zones.query(name, rtype);
+        let ttl = match &answer {
+            Answer::Records(rs) => rs.iter().map(|r| r.ttl as u64).min().unwrap_or(60),
+            Answer::NxDomain | Answer::NoData => NEGATIVE_TTL,
+            Answer::ChainTooLong => 0,
+        };
+        if ttl > 0 {
+            self.cache.insert(key, (answer.clone(), self.now + ttl));
+        }
+        answer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psl_core::DomainName;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn zones() -> ZoneStore {
+        let mut z = ZoneStore::new();
+        z.insert_txt(&d("_bound.com"), 3600, "v=DBOUND1; bound=1");
+        z
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let z = zones();
+        let mut r = CachingResolver::new(&z);
+        let a1 = r.query(&d("_bound.com"), RecordType::Txt);
+        let a2 = r.query(&d("_bound.com"), RecordType::Txt);
+        assert_eq!(a1, a2);
+        assert_eq!(r.stats(), CacheStats { hits: 1, misses: 1 });
+        assert!((r.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_answers_are_cached_too() {
+        let z = zones();
+        let mut r = CachingResolver::new(&z);
+        assert_eq!(r.query(&d("_bound.nope"), RecordType::Txt), Answer::NxDomain);
+        assert_eq!(r.query(&d("_bound.nope"), RecordType::Txt), Answer::NxDomain);
+        assert_eq!(r.stats().misses, 1);
+        assert_eq!(r.stats().hits, 1);
+    }
+
+    #[test]
+    fn entries_expire_with_simulated_time() {
+        let z = zones();
+        let mut r = CachingResolver::new(&z);
+        r.query(&d("_bound.com"), RecordType::Txt);
+        r.advance(3601);
+        r.query(&d("_bound.com"), RecordType::Txt);
+        assert_eq!(r.stats().misses, 2);
+        // Negative TTL is shorter.
+        r.query(&d("_bound.nope"), RecordType::Txt);
+        r.advance(NEGATIVE_TTL + 1);
+        r.query(&d("_bound.nope"), RecordType::Txt);
+        assert_eq!(r.stats().misses, 4);
+    }
+
+    #[test]
+    fn dbound_lookups_amortise_with_a_cache() {
+        // Many hostnames under few suffixes: the shared `_bound` records
+        // are fetched once.
+        let list = psl_core::List::parse("com\nio\n// ===BEGIN PRIVATE DOMAINS===\ngithub.io\n");
+        let mut z = ZoneStore::new();
+        crate::dbound::publish_list(&mut z, &list);
+        let mut r = CachingResolver::new(&z);
+
+        let hosts: Vec<DomainName> = (0..100)
+            .map(|i| d(&format!("user{i}.github.io")))
+            .collect();
+        for host in &hosts {
+            // Replay the site_of walk through the cache.
+            let labels: Vec<&str> = host.labels().collect();
+            let n = labels.len();
+            for depth in 1..=n {
+                let node = labels[n - depth..].join(".");
+                let name = d(&format!("_bound.{node}"));
+                let _ = r.query(&name, RecordType::Txt);
+            }
+        }
+        let stats = r.stats();
+        // 100 hosts × 3 labels = 300 queries; distinct names: _bound.io,
+        // _bound.github.io, plus 100 distinct _bound.user<i>.github.io.
+        assert_eq!(stats.hits + stats.misses, 300);
+        assert_eq!(stats.misses, 102);
+        assert!(stats.hit_rate() > 0.6, "{}", stats.hit_rate());
+    }
+}

@@ -1,0 +1,210 @@
+//! DMARC policy discovery (RFC 7489) — one of the paper's §2 "well-
+//! documented uses of the list": finding DMARC policy records for email
+//! subdomains requires computing the *organizational domain*, which is
+//! defined via the Public Suffix List.
+//!
+//! Discovery (RFC 7489 §6.6.3): query `_dmarc.<from-domain>` TXT; if no
+//! valid record and the from-domain is not the organizational domain,
+//! query `_dmarc.<org-domain>`. An out-of-date list computes the wrong
+//! organizational domain and therefore applies an *unrelated operator's*
+//! policy — or none at all.
+
+use crate::record::RecordType;
+use crate::zone::ZoneStore;
+use psl_core::{DomainName, List, MatchOpts};
+use serde::{Deserialize, Serialize};
+
+/// A parsed DMARC policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// `p=none` — monitor only.
+    None,
+    /// `p=quarantine`.
+    Quarantine,
+    /// `p=reject`.
+    Reject,
+}
+
+/// A DMARC record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DmarcRecord {
+    /// The requested policy.
+    pub policy: Policy,
+    /// Where the record was found.
+    pub found_at: DomainName,
+    /// True if the record came from the organizational-domain fallback.
+    pub from_org_fallback: bool,
+}
+
+/// Parse a DMARC TXT payload (`v=DMARC1; p=...`).
+pub fn parse_record(txt: &str) -> Option<Policy> {
+    let mut tags = txt.split(';').map(str::trim);
+    // The version tag must come first (RFC 7489 §6.3).
+    let v = tags.next()?;
+    let (vk, vv) = v.split_once('=')?;
+    if !vk.trim().eq_ignore_ascii_case("v") || !vv.trim().eq_ignore_ascii_case("DMARC1") {
+        return None;
+    }
+    for tag in tags {
+        let Some((k, val)) = tag.split_once('=') else {
+            continue;
+        };
+        if k.trim().eq_ignore_ascii_case("p") {
+            return match val.trim().to_ascii_lowercase().as_str() {
+                "none" => Some(Policy::None),
+                "quarantine" => Some(Policy::Quarantine),
+                "reject" => Some(Policy::Reject),
+                _ => None,
+            };
+        }
+    }
+    None
+}
+
+/// The organizational domain of `domain` under `list` (RFC 7489 §3.2):
+/// the registrable domain, or the domain itself when it has no
+/// registrable parent.
+pub fn organizational_domain(list: &List, domain: &DomainName, opts: MatchOpts) -> DomainName {
+    list.registrable_domain(domain, opts)
+        .unwrap_or_else(|| domain.clone())
+}
+
+/// Discover the DMARC policy for mail from `from_domain`.
+pub fn discover(
+    zones: &ZoneStore,
+    list: &List,
+    from_domain: &DomainName,
+    opts: MatchOpts,
+) -> Option<DmarcRecord> {
+    let direct = DomainName::parse(&format!("_dmarc.{from_domain}")).ok()?;
+    if let Some(policy) = zones
+        .query(&direct, RecordType::Txt)
+        .records()
+        .iter()
+        .find_map(|r| r.data.as_txt().and_then(parse_record))
+    {
+        return Some(DmarcRecord {
+            policy,
+            found_at: direct,
+            from_org_fallback: false,
+        });
+    }
+    let org = organizational_domain(list, from_domain, opts);
+    if &org == from_domain {
+        return None;
+    }
+    let fallback = DomainName::parse(&format!("_dmarc.{org}")).ok()?;
+    zones
+        .query(&fallback, RecordType::Txt)
+        .records()
+        .iter()
+        .find_map(|r| r.data.as_txt().and_then(parse_record))
+        .map(|policy| DmarcRecord {
+            policy,
+            found_at: fallback,
+            from_org_fallback: true,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn list() -> List {
+        List::parse("com\nio\n// ===BEGIN PRIVATE DOMAINS===\ngithub.io\n")
+    }
+
+    #[test]
+    fn parses_policies() {
+        assert_eq!(parse_record("v=DMARC1; p=reject"), Some(Policy::Reject));
+        assert_eq!(parse_record("v=DMARC1; p=quarantine; rua=mailto:x@y"), Some(Policy::Quarantine));
+        assert_eq!(parse_record("v=DMARC1;p=none"), Some(Policy::None));
+        assert_eq!(parse_record("v=DMARC1; pct=50"), None); // no p tag
+        assert_eq!(parse_record("p=reject"), None); // missing version
+        assert_eq!(parse_record("v=spf1 p=reject"), None);
+    }
+
+    #[test]
+    fn direct_record_wins() {
+        let l = list();
+        let mut z = ZoneStore::new();
+        z.insert_txt(&d("_dmarc.mail.example.com"), 300, "v=DMARC1; p=reject");
+        z.insert_txt(&d("_dmarc.example.com"), 300, "v=DMARC1; p=none");
+        let rec = discover(&z, &l, &d("mail.example.com"), MatchOpts::default()).unwrap();
+        assert_eq!(rec.policy, Policy::Reject);
+        assert!(!rec.from_org_fallback);
+    }
+
+    #[test]
+    fn org_fallback_applies() {
+        let l = list();
+        let mut z = ZoneStore::new();
+        z.insert_txt(&d("_dmarc.example.com"), 300, "v=DMARC1; p=quarantine");
+        let rec = discover(&z, &l, &d("deep.mail.example.com"), MatchOpts::default()).unwrap();
+        assert_eq!(rec.policy, Policy::Quarantine);
+        assert!(rec.from_org_fallback);
+        assert_eq!(rec.found_at, d("_dmarc.example.com"));
+    }
+
+    #[test]
+    fn outdated_list_falls_back_to_the_wrong_operator() {
+        // alice.github.io publishes p=reject. With a current list, mail
+        // from sub.alice.github.io falls back to alice's policy. With a
+        // pre-github.io list, the computed org domain is github.io — an
+        // unrelated operator — whose (absent or attacker-controlled)
+        // policy applies instead.
+        let mut z = ZoneStore::new();
+        z.insert_txt(&d("_dmarc.alice.github.io"), 300, "v=DMARC1; p=reject");
+        z.insert_txt(&d("_dmarc.github.io"), 300, "v=DMARC1; p=none");
+        let from = d("sub.alice.github.io");
+        let opts = MatchOpts::default();
+
+        let current = list();
+        let rec = discover(&z, &current, &from, opts).unwrap();
+        assert_eq!(rec.policy, Policy::Reject);
+        assert_eq!(rec.found_at, d("_dmarc.alice.github.io"));
+
+        let outdated = List::parse("com\nio\n");
+        let rec = discover(&z, &outdated, &from, opts).unwrap();
+        assert_eq!(rec.policy, Policy::None, "attacker-friendly policy applied");
+        assert_eq!(rec.found_at, d("_dmarc.github.io"));
+    }
+
+    #[test]
+    fn no_records_is_none() {
+        let l = list();
+        let z = ZoneStore::new();
+        assert_eq!(discover(&z, &l, &d("mail.example.com"), MatchOpts::default()), None);
+    }
+
+    #[test]
+    fn org_domain_of_bare_suffix_is_itself() {
+        let l = list();
+        let opts = MatchOpts::default();
+        assert_eq!(organizational_domain(&l, &d("github.io"), opts), d("github.io"));
+        assert_eq!(
+            organizational_domain(&l, &d("x.y.example.com"), opts),
+            d("example.com")
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn parse_record_never_panics(s in "\\PC{0,80}") {
+            let _ = parse_record(&s);
+        }
+
+        #[test]
+        fn org_domain_is_suffix_of_input(host in "[a-z]{1,5}(\\.[a-z]{1,5}){0,3}") {
+            let l = list();
+            let dom = d(&host);
+            let org = organizational_domain(&l, &dom, MatchOpts::default());
+            prop_assert!(dom.is_subdomain_of(&org));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! DNS resource records (the subset the pipeline needs).
+
+use psl_core::DomainName;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Record types supported by the substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordType {
+    /// IPv4 address.
+    A,
+    /// Free-form text (DMARC policies, DBOUND assertions).
+    Txt,
+    /// Canonical-name alias.
+    Cname,
+}
+
+/// Record payloads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecordData {
+    /// An IPv4 address.
+    A(Ipv4Addr),
+    /// A text record.
+    Txt(String),
+    /// An alias target.
+    Cname(DomainName),
+}
+
+impl RecordData {
+    /// The type of this payload.
+    pub fn record_type(&self) -> RecordType {
+        match self {
+            RecordData::A(_) => RecordType::A,
+            RecordData::Txt(_) => RecordType::Txt,
+            RecordData::Cname(_) => RecordType::Cname,
+        }
+    }
+
+    /// The text payload, if this is a TXT record.
+    pub fn as_txt(&self) -> Option<&str> {
+        match self {
+            RecordData::Txt(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One resource record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// Owner name.
+    pub name: DomainName,
+    /// Time to live, seconds (informational in this substrate).
+    pub ttl: u32,
+    /// Payload.
+    pub data: RecordData,
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.data {
+            RecordData::A(a) => write!(f, "{} {} IN A {a}", self.name, self.ttl),
+            RecordData::Txt(t) => write!(f, "{} {} IN TXT {t:?}", self.name, self.ttl),
+            RecordData::Cname(c) => write!(f, "{} {} IN CNAME {c}", self.name, self.ttl),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_types() {
+        let a = RecordData::A(Ipv4Addr::new(192, 0, 2, 1));
+        let t = RecordData::Txt("v=DMARC1; p=reject".into());
+        let c = RecordData::Cname(DomainName::parse("target.example.com").unwrap());
+        assert_eq!(a.record_type(), RecordType::A);
+        assert_eq!(t.record_type(), RecordType::Txt);
+        assert_eq!(c.record_type(), RecordType::Cname);
+        assert_eq!(t.as_txt(), Some("v=DMARC1; p=reject"));
+        assert_eq!(a.as_txt(), None);
+    }
+
+    #[test]
+    fn display_is_zonefile_like() {
+        let r = Record {
+            name: DomainName::parse("www.example.com").unwrap(),
+            ttl: 300,
+            data: RecordData::A(Ipv4Addr::new(203, 0, 113, 9)),
+        };
+        assert_eq!(r.to_string(), "www.example.com 300 IN A 203.0.113.9");
+    }
+}

@@ -1,0 +1,182 @@
+//! The zone store and resolver: authoritative in-memory DNS with CNAME
+//! chasing.
+
+use crate::record::{Record, RecordData, RecordType};
+use psl_core::DomainName;
+use std::collections::HashMap;
+
+/// Outcome of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Answer {
+    /// Records of the requested type (after CNAME chasing); non-empty.
+    Records(Vec<Record>),
+    /// The name exists but has no records of the requested type.
+    NoData,
+    /// The name does not exist at all.
+    NxDomain,
+    /// A CNAME loop or over-long chain was detected.
+    ChainTooLong,
+}
+
+impl Answer {
+    /// The records, if any.
+    pub fn records(&self) -> &[Record] {
+        match self {
+            Answer::Records(r) => r,
+            _ => &[],
+        }
+    }
+
+    /// First TXT payload, if any.
+    pub fn first_txt(&self) -> Option<&str> {
+        self.records().iter().find_map(|r| r.data.as_txt())
+    }
+}
+
+/// Maximum CNAME chain length (RFC-ish sanity bound).
+const MAX_CHAIN: usize = 8;
+
+/// An authoritative in-memory zone store with a resolver view.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneStore {
+    records: HashMap<String, Vec<Record>>,
+}
+
+impl ZoneStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        ZoneStore::default()
+    }
+
+    /// Number of owner names with records.
+    pub fn name_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total record count.
+    pub fn record_count(&self) -> usize {
+        self.records.values().map(Vec::len).sum()
+    }
+
+    /// Insert a record.
+    pub fn insert(&mut self, record: Record) {
+        self.records
+            .entry(record.name.as_str().to_string())
+            .or_default()
+            .push(record);
+    }
+
+    /// Convenience: insert a TXT record.
+    pub fn insert_txt(&mut self, name: &DomainName, ttl: u32, text: &str) {
+        self.insert(Record {
+            name: name.clone(),
+            ttl,
+            data: RecordData::Txt(text.to_string()),
+        });
+    }
+
+    /// Convenience: insert a CNAME record.
+    pub fn insert_cname(&mut self, name: &DomainName, ttl: u32, target: &DomainName) {
+        self.insert(Record {
+            name: name.clone(),
+            ttl,
+            data: RecordData::Cname(target.clone()),
+        });
+    }
+
+    /// Resolve `name` for `rtype`, chasing CNAMEs.
+    pub fn query(&self, name: &DomainName, rtype: RecordType) -> Answer {
+        let mut current = name.clone();
+        for _ in 0..MAX_CHAIN {
+            let Some(rrset) = self.records.get(current.as_str()) else {
+                return Answer::NxDomain;
+            };
+            let matching: Vec<Record> = rrset
+                .iter()
+                .filter(|r| r.data.record_type() == rtype)
+                .cloned()
+                .collect();
+            if !matching.is_empty() {
+                return Answer::Records(matching);
+            }
+            // Follow a CNAME if present (and the query was not for CNAME
+            // itself).
+            if rtype != RecordType::Cname {
+                if let Some(target) = rrset.iter().find_map(|r| match &r.data {
+                    RecordData::Cname(t) => Some(t.clone()),
+                    _ => None,
+                }) {
+                    current = target;
+                    continue;
+                }
+            }
+            return Answer::NoData;
+        }
+        Answer::ChainTooLong
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn store() -> ZoneStore {
+        let mut z = ZoneStore::new();
+        z.insert(Record {
+            name: d("www.example.com"),
+            ttl: 300,
+            data: RecordData::A(Ipv4Addr::new(203, 0, 113, 1)),
+        });
+        z.insert_txt(&d("_dmarc.example.com"), 300, "v=DMARC1; p=reject");
+        z.insert_cname(&d("alias.example.com"), 300, &d("www.example.com"));
+        z
+    }
+
+    #[test]
+    fn direct_lookup() {
+        let z = store();
+        let a = z.query(&d("www.example.com"), RecordType::A);
+        assert_eq!(a.records().len(), 1);
+        assert_eq!(
+            z.query(&d("_dmarc.example.com"), RecordType::Txt).first_txt(),
+            Some("v=DMARC1; p=reject")
+        );
+    }
+
+    #[test]
+    fn nxdomain_vs_nodata() {
+        let z = store();
+        assert_eq!(z.query(&d("missing.example.com"), RecordType::A), Answer::NxDomain);
+        assert_eq!(z.query(&d("www.example.com"), RecordType::Txt), Answer::NoData);
+    }
+
+    #[test]
+    fn cname_chasing() {
+        let z = store();
+        let a = z.query(&d("alias.example.com"), RecordType::A);
+        assert_eq!(a.records().len(), 1);
+        // Asking for the CNAME itself returns the CNAME record.
+        let c = z.query(&d("alias.example.com"), RecordType::Cname);
+        assert_eq!(c.records().len(), 1);
+    }
+
+    #[test]
+    fn cname_loops_are_bounded() {
+        let mut z = ZoneStore::new();
+        z.insert_cname(&d("a.example.com"), 60, &d("b.example.com"));
+        z.insert_cname(&d("b.example.com"), 60, &d("a.example.com"));
+        assert_eq!(z.query(&d("a.example.com"), RecordType::A), Answer::ChainTooLong);
+    }
+
+    #[test]
+    fn counts() {
+        let z = store();
+        assert_eq!(z.name_count(), 3);
+        assert_eq!(z.record_count(), 3);
+    }
+}

@@ -1,0 +1,133 @@
+//! Rule churn and survival analysis.
+//!
+//! "Blame" answers: which version introduced (or removed) this rule, how
+//! long do rules live, and how much does the list churn per era? These
+//! are the maintenance-side statistics behind the paper's observation
+//! that the list is updated several times each month.
+
+use crate::history::History;
+use psl_core::Date;
+use serde::Serialize;
+
+/// Blame for one rule text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Blame {
+    /// The rule text.
+    pub rule: String,
+    /// Version that introduced it.
+    pub added: Date,
+    /// Version that removed it, if ever.
+    pub removed: Option<Date>,
+}
+
+/// Look up the blame for a rule text.
+pub fn blame(history: &History, rule_text: &str) -> Option<Blame> {
+    history
+        .spans()
+        .iter()
+        .find(|s| s.rule.as_text() == rule_text)
+        .map(|s| Blame {
+            rule: rule_text.to_string(),
+            added: s.added,
+            removed: s.removed,
+        })
+}
+
+/// Lifetime in days of every *removed* rule.
+pub fn removed_rule_lifetimes(history: &History) -> Vec<i32> {
+    history
+        .spans()
+        .iter()
+        .filter_map(|s| s.removed.map(|r| r - s.added))
+        .collect()
+}
+
+/// Churn per calendar year: `(year, added, removed)`.
+pub fn churn_by_year(history: &History) -> Vec<(i32, usize, usize)> {
+    use std::collections::BTreeMap;
+    let mut per_year: BTreeMap<i32, (usize, usize)> = BTreeMap::new();
+    let first = history.first_version();
+    for span in history.spans() {
+        // Rules present from the first version are the initial import,
+        // not churn.
+        if span.added > first {
+            per_year.entry(span.added.year()).or_default().0 += 1;
+        }
+        if let Some(r) = span.removed {
+            per_year.entry(r.year()).or_default().1 += 1;
+        }
+    }
+    per_year
+        .into_iter()
+        .map(|(y, (a, r))| (y, a, r))
+        .collect()
+}
+
+/// Mean days between consecutive versions — the publication cadence
+/// ("a new list is published several times each month").
+pub fn publication_cadence_days(history: &History) -> f64 {
+    let versions = history.versions();
+    if versions.len() < 2 {
+        return f64::NAN;
+    }
+    let total = (history.latest_version() - history.first_version()) as f64;
+    total / (versions.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+
+    #[test]
+    fn blame_finds_seeded_rules() {
+        let h = generate(&GeneratorConfig::small(501));
+        let b = blame(&h, "myshopify.com").unwrap();
+        assert_eq!(b.added.year(), 2019);
+        assert_eq!(b.removed, None);
+        let b = blame(&h, "com").unwrap();
+        assert_eq!(b.added, h.first_version());
+        assert!(blame(&h, "never-a-rule.zz").is_none());
+    }
+
+    #[test]
+    fn lifetimes_are_positive() {
+        let h = generate(&GeneratorConfig::small(503));
+        let lifetimes = removed_rule_lifetimes(&h);
+        assert!(!lifetimes.is_empty());
+        assert!(lifetimes.iter().all(|&d| d > 0));
+    }
+
+    #[test]
+    fn churn_covers_the_study_period() {
+        let h = generate(&GeneratorConfig::small(505));
+        let churn = churn_by_year(&h);
+        let years: Vec<i32> = churn.iter().map(|c| c.0).collect();
+        assert!(years.contains(&2012), "spike year present: {years:?}");
+        assert!(*years.first().unwrap() >= 2007);
+        assert!(*years.last().unwrap() <= 2022);
+        // 2012 should be the biggest addition year (the JP spike).
+        let max_year = churn.iter().max_by_key(|c| c.1).unwrap().0;
+        assert_eq!(max_year, 2012);
+        // Total churn additions equal spans added after v0.
+        let total_added: usize = churn.iter().map(|c| c.1).sum();
+        let expect = h
+            .spans()
+            .iter()
+            .filter(|s| s.added > h.first_version())
+            .count();
+        assert_eq!(total_added, expect);
+    }
+
+    #[test]
+    fn cadence_matches_version_density() {
+        let h = generate(&GeneratorConfig::small(507));
+        let cadence = publication_cadence_days(&h);
+        // 120 versions across ~5691 days ≈ 48 days.
+        assert!((30.0..70.0).contains(&cadence), "{cadence}");
+        // Paper scale: several per month (≈ 5 days).
+        let full = generate(&GeneratorConfig::default());
+        let cadence = publication_cadence_days(&full);
+        assert!((3.0..8.0).contains(&cadence), "{cadence}");
+    }
+}

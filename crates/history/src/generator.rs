@@ -1,0 +1,572 @@
+//! Calibrated synthetic history generator.
+//!
+//! Reproduces the *shape* of the real list's evolution as reported in the
+//! paper (§3, Figure 2): growth from 2,447 entries (2007-03-22) to 9,368
+//! (2022-10-20) across 1,142 published versions, a mid-2012 spike of ~1,623
+//! Japanese geographic rules, a final component mix of 17% / 57.5% / 25.3%
+//! / ~0.1% (1/2/3/4+ components), and a PRIVATE section that only exists
+//! from mid-2011. Real, analysis-critical suffixes come from
+//! [`crate::seeds`] at pinned dates; everything else is synthetic.
+
+use crate::history::{History, RuleSpan};
+use crate::seeds;
+use psl_core::{Date, Rule, Section};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// RNG seed; every output is a pure function of the config.
+    pub seed: u64,
+    /// Number of published versions (paper: 1,142).
+    pub versions: usize,
+    /// Rules in the first version (paper: 2,447).
+    pub initial_rules: usize,
+    /// Rules by 2017-01-01 (paper: 8,062).
+    pub rules_2017: usize,
+    /// Rules in the final version (paper: 9,368).
+    pub final_rules: usize,
+    /// Size of the mid-2012 Japanese registry spike (paper: ~1,623).
+    pub jp_spike: usize,
+    /// Fraction of synthetic rules that are eventually removed.
+    pub removal_fraction: f64,
+    /// Final component-count shares for 1, 2, 3, 4+ components
+    /// (paper: 17%, 57.5%, 25.3%, ~0.1%).
+    pub component_shares: [f64; 4],
+    /// Wildcard zones (`*.zone.jp`-style) present from the first version.
+    /// Their exception rules (`!city.zone.jp`) trickle in during
+    /// 2007–2013 — the "formalisation" era in which the list *merges*
+    /// previously-split sites, producing the early drop in third-party
+    /// classifications (paper Figure 6).
+    pub exception_zones: usize,
+    /// Exception rules added per wildcard zone during the early era.
+    pub exceptions_per_zone: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 0x5051_2023,
+            versions: 1142,
+            initial_rules: 2447,
+            rules_2017: 8062,
+            final_rules: 9368,
+            jp_spike: 1623,
+            removal_fraction: 0.02,
+            component_shares: [0.17, 0.575, 0.253, 0.002],
+            exception_zones: 40,
+            exceptions_per_zone: 8,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A reduced-scale configuration for tests: same shape, ~10x smaller.
+    pub fn small(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            versions: 120,
+            initial_rules: 260,
+            rules_2017: 820,
+            final_rules: 950,
+            jp_spike: 160,
+            removal_fraction: 0.02,
+            component_shares: [0.17, 0.575, 0.253, 0.002],
+            exception_zones: 10,
+            exceptions_per_zone: 5,
+        }
+    }
+}
+
+/// Generate a synthetic, calibrated [`History`].
+pub fn generate(config: &GeneratorConfig) -> History {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let first = Date::parse(seeds::FIRST_VERSION).expect("const date");
+    let last = Date::parse(seeds::LAST_VERSION).expect("const date");
+    let private_era = Date::parse("2011-06-01").expect("const date");
+    let spike_date = Date::parse("2012-07-01").expect("const date");
+    let anchor_2017 = Date::parse("2017-01-01").expect("const date");
+
+    // ---- Version dates: first + last + distinct interior days. ----------
+    let total_days = (last - first) as u32;
+    let mut offsets: HashSet<u32> = HashSet::new();
+    let interior = config.versions.saturating_sub(2).min(total_days as usize - 1);
+    while offsets.len() < interior {
+        offsets.insert(rng.gen_range(1..total_days));
+    }
+    let mut versions: Vec<Date> = offsets.iter().map(|&o| first + o as i32).collect();
+    versions.push(first);
+    versions.push(last);
+    versions.sort_unstable();
+    versions.dedup();
+
+    // ---- Seeds: pinned rules snapped to version dates. ------------------
+    let mut spans: Vec<RuleSpan> = Vec::new();
+    let mut used: HashSet<String> = HashSet::new();
+    for (rule, added) in seeds::all_seeds() {
+        let snapped = snap_to_version(&versions, added);
+        used.insert(rule.as_text());
+        spans.push(RuleSpan { rule, added: snapped, removed: None });
+    }
+    // ---- Exception zones: wildcards at v0, exceptions through 2013. -----
+    let mut namegen = NameGen::new(&mut rng);
+    let exception_era_end = Date::parse("2013-06-30").expect("const date");
+    let era_days = (exception_era_end - first) as u32;
+    for _ in 0..config.exception_zones {
+        let zone = loop {
+            let z = namegen.word(&mut rng, 3);
+            let text = format!("*.{z}.jp");
+            if used.insert(text) {
+                break z;
+            }
+        };
+        let wild = Rule::parse(&format!("*.{zone}.jp"), Section::Icann).expect("generated rule");
+        spans.push(RuleSpan { rule: wild, added: first, removed: None });
+        for _ in 0..config.exceptions_per_zone {
+            let text = loop {
+                let city = namegen.word(&mut rng, 2);
+                let t = format!("!{city}.{zone}.jp");
+                if used.insert(t.clone()) {
+                    break t;
+                }
+            };
+            let rule = Rule::parse(&text, Section::Icann).expect("generated rule");
+            let when = snap_to_version(&versions, first + rng.gen_range(30..era_days.max(31)) as i32);
+            spans.push(RuleSpan { rule, added: when, removed: None });
+        }
+    }
+    let seed_count = spans.len();
+
+    // ---- Growth curve. ---------------------------------------------------
+    // Piecewise-linear organic growth with a step of `jp_spike` at the
+    // spike date. `pre_spike` places ~45% of the 2007→2017 organic growth
+    // before mid-2012, matching the figure's visual shape.
+    let organic_to_2017 = config
+        .rules_2017
+        .saturating_sub(config.initial_rules)
+        .saturating_sub(config.jp_spike);
+    let pre_spike = config.initial_rules + (organic_to_2017 as f64 * 0.45) as usize;
+    let anchors: Vec<(Date, f64)> = vec![
+        (first, config.initial_rules as f64),
+        (spike_date, pre_spike as f64),
+        // The spike lands as a step: immediately after the spike date the
+        // target jumps.
+        (spike_date + 1, (pre_spike + config.jp_spike) as f64),
+        (anchor_2017, config.rules_2017 as f64),
+        (last, config.final_rules as f64),
+    ];
+    let target = |d: Date| -> f64 { piecewise(&anchors, d) };
+
+    // ---- Component quotas for synthetic organic additions. --------------
+    // Start from the final target mix, subtract what seeds and the spike
+    // already contribute.
+    let mut quotas = [0f64; 4];
+    let total_final = config.final_rules as f64;
+    for (i, q) in quotas.iter_mut().enumerate() {
+        *q = total_final * config.component_shares[i];
+    }
+    for span in &spans {
+        let c = span.rule.component_count().min(4);
+        quotas[c - 1] -= 1.0;
+    }
+    quotas[2] -= config.jp_spike as f64; // the spike is 3-component
+    for q in &mut quotas {
+        *q = q.max(0.0);
+    }
+
+    // TLD pool for multi-component synthetic rules: grows as 1-component
+    // rules are generated.
+    let mut tld_pool: Vec<String> = spans
+        .iter()
+        .filter(|s| s.rule.component_count() == 1)
+        .map(|s| s.rule.as_text())
+        .collect();
+
+    // ---- Walk versions, emitting additions to meet the curve. -----------
+    let mut live = seed_count_at(&spans, versions[0]);
+    // Additions for the first version: bring it up to `initial_rules`.
+    let mut pending_first = config.initial_rules.saturating_sub(live);
+    let mut spike_emitted = false;
+    let mut synthetic_rules: Vec<usize> = Vec::new(); // indices eligible for removal
+
+    for (vi, &vdate) in versions.iter().enumerate() {
+        let mut additions = if vi == 0 {
+            std::mem::take(&mut pending_first)
+        } else {
+            let t = target(vdate);
+            let seeded_by_now = seed_count_at(&spans[..seed_count], vdate);
+            // Live synthetic + future seeds both count toward the target.
+            let want = (t as usize).saturating_sub(live.max(seeded_by_now));
+            let _ = seeded_by_now;
+            want
+        };
+
+        // The JP spike: the first version on/after the spike date emits the
+        // whole bulk.
+        if !spike_emitted && vdate > spike_date {
+            spike_emitted = true;
+            for _ in 0..config.jp_spike {
+                let text = namegen.jp_geo(&mut rng, &mut used);
+                if let Ok(rule) = Rule::parse(&text, Section::Icann) {
+                    synthetic_rules.push(spans.len());
+                    spans.push(RuleSpan { rule, added: vdate, removed: None });
+                }
+            }
+            additions = additions.saturating_sub(config.jp_spike);
+        }
+
+        for _ in 0..additions {
+            let class = pick_class(&mut rng, &quotas);
+            let private_ok = vdate >= private_era;
+            let (text, section) = namegen.synth_rule(&mut rng, class, private_ok, &tld_pool, &mut used);
+            let Ok(rule) = Rule::parse(&text, section) else {
+                continue;
+            };
+            if rule.component_count() == 1 {
+                tld_pool.push(rule.as_text());
+            }
+            quotas[class] = (quotas[class] - 1.0).max(0.0);
+            synthetic_rules.push(spans.len());
+            spans.push(RuleSpan { rule, added: vdate, removed: None });
+        }
+
+        // Re-count so seeds landing at this version join the live total.
+        live = count_live(&spans, vdate);
+    }
+
+    // ---- Removals: a small fraction of synthetic rules die. -------------
+    let removals = (synthetic_rules.len() as f64 * config.removal_fraction) as usize;
+    for _ in 0..removals {
+        let pick = synthetic_rules[rng.gen_range(0..synthetic_rules.len())];
+        let added = spans[pick].added;
+        if spans[pick].removed.is_some() {
+            continue;
+        }
+        // Removal at a random later version.
+        let later: Vec<Date> = versions.iter().copied().filter(|&v| v > added).collect();
+        if let Some(&when) = later.get(rng.gen_range(0..later.len().max(1)).min(later.len().saturating_sub(1))) {
+            spans[pick].removed = Some(when);
+        }
+    }
+
+    History::new(spans, versions)
+}
+
+/// Linear interpolation over sorted (date, value) anchors, clamped at the
+/// ends.
+fn piecewise(anchors: &[(Date, f64)], d: Date) -> f64 {
+    if d <= anchors[0].0 {
+        return anchors[0].1;
+    }
+    for w in anchors.windows(2) {
+        let (d0, v0) = w[0];
+        let (d1, v1) = w[1];
+        if d <= d1 {
+            let span = (d1 - d0).max(1) as f64;
+            let frac = (d - d0) as f64 / span;
+            return v0 + frac * (v1 - v0);
+        }
+    }
+    anchors.last().expect("non-empty anchors").1
+}
+
+/// Snap a date to the earliest version on/after it (or the last version).
+fn snap_to_version(versions: &[Date], d: Date) -> Date {
+    let idx = versions.partition_point(|&v| v < d);
+    *versions.get(idx).unwrap_or_else(|| versions.last().expect("non-empty"))
+}
+
+fn seed_count_at(spans: &[RuleSpan], d: Date) -> usize {
+    spans.iter().filter(|s| s.live_at(d)).count()
+}
+
+fn count_live(spans: &[RuleSpan], d: Date) -> usize {
+    spans.iter().filter(|s| s.live_at(d)).count()
+}
+
+/// Sample a component class (0..=3) proportional to remaining quota.
+fn pick_class(rng: &mut StdRng, quotas: &[f64; 4]) -> usize {
+    psl_stats::weighted_index(rng, quotas).unwrap_or(1)
+}
+
+/// Synthetic name generator: pronounceable unique labels.
+struct NameGen {
+    consonants: Vec<char>,
+    vowels: Vec<char>,
+    jp_prefectures: Vec<String>,
+}
+
+impl NameGen {
+    fn new(rng: &mut StdRng) -> Self {
+        let mut gen = NameGen {
+            consonants: "bcdfghjklmnpqrstvwxz".chars().collect(),
+            vowels: "aeiouy".chars().collect(),
+            jp_prefectures: Vec::new(),
+        };
+        // A pool of synthetic "prefectures" for the JP spike.
+        for _ in 0..48 {
+            let name = gen.word(rng, 3);
+            gen.jp_prefectures.push(name);
+        }
+        gen
+    }
+
+    fn word(&self, rng: &mut StdRng, syllables: usize) -> String {
+        let mut s = String::new();
+        for _ in 0..syllables {
+            s.push(self.consonants[rng.gen_range(0..self.consonants.len())]);
+            s.push(self.vowels[rng.gen_range(0..self.vowels.len())]);
+        }
+        s
+    }
+
+    /// A unique Japanese-style geographic rule: `city.prefecture.jp`.
+    fn jp_geo(&mut self, rng: &mut StdRng, used: &mut HashSet<String>) -> String {
+        loop {
+            let pref = &self.jp_prefectures[rng.gen_range(0..self.jp_prefectures.len())];
+            let syl = 2 + rng.gen_range(0..2);
+            let city = self.word(rng, syl);
+            let text = format!("{city}.{pref}.jp");
+            if used.insert(text.clone()) {
+                return text;
+            }
+        }
+    }
+
+    /// A unique synthetic rule of the given component class (0-based:
+    /// class 0 = 1 component). Returns (text, section).
+    fn synth_rule(
+        &mut self,
+        rng: &mut StdRng,
+        class: usize,
+        private_ok: bool,
+        tld_pool: &[String],
+        used: &mut HashSet<String>,
+    ) -> (String, Section) {
+        loop {
+            let (text, section) = match class {
+                0 => {
+                    let syl = 2 + rng.gen_range(0..2);
+                    (self.word(rng, syl), Section::Icann)
+                }
+                1 => {
+                    // 2 components: registry second-level (ICANN) or a
+                    // platform suffix (private).
+                    let private = private_ok && rng.gen_bool(0.35);
+                    let tld = pick_tld(rng, tld_pool);
+                    if private {
+                        let syl = 2 + rng.gen_range(0..2);
+                        let brand = self.word(rng, syl);
+                        (format!("{brand}.{tld}"), Section::Private)
+                    } else {
+                        let syl = 1 + rng.gen_range(0..2);
+                        let second = self.word(rng, syl);
+                        (format!("{second}.{tld}"), Section::Icann)
+                    }
+                }
+                2 => {
+                    let private = private_ok && rng.gen_bool(0.25);
+                    let tld = pick_tld(rng, tld_pool);
+                    let syl = 1 + rng.gen_range(0..2);
+                    let a = self.word(rng, syl);
+                    let b = self.word(rng, 2);
+                    let section = if private { Section::Private } else { Section::Icann };
+                    // A sprinkling of wildcard third-level rules, like the
+                    // real list's `*.kobe.jp` era.
+                    if !private && rng.gen_bool(0.08) {
+                        (format!("*.{b}.{tld}"), section)
+                    } else {
+                        (format!("{a}.{b}.{tld}"), section)
+                    }
+                }
+                _ => {
+                    let tld = pick_tld(rng, tld_pool);
+                    let a = self.word(rng, 1);
+                    let b = self.word(rng, 2);
+                    let c = self.word(rng, 2);
+                    (format!("{a}.{b}.{c}.{tld}"), Section::Icann)
+                }
+            };
+            if used.insert(text.clone()) {
+                return (text, section);
+            }
+        }
+    }
+}
+
+fn pick_tld<'a>(rng: &mut StdRng, pool: &'a [String]) -> &'a str {
+    if pool.is_empty() {
+        "zz"
+    } else {
+        pool[rng.gen_range(0..pool.len())].as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(actual: usize, expect: usize, tol_frac: f64) -> bool {
+        let tol = (expect as f64 * tol_frac).max(8.0);
+        (actual as f64 - expect as f64).abs() <= tol
+    }
+
+    #[test]
+    fn small_history_matches_calibration() {
+        let cfg = GeneratorConfig::small(7);
+        let h = generate(&cfg);
+        assert_eq!(h.version_count(), cfg.versions);
+        let first_size = h.rule_count_at(h.first_version());
+        let last_size = h.rule_count_at(h.latest_version());
+        assert!(approx(first_size, cfg.initial_rules, 0.05), "first {first_size}");
+        assert!(approx(last_size, cfg.final_rules, 0.06), "last {last_size}");
+    }
+
+    #[test]
+    fn growth_is_broadly_monotone() {
+        let h = generate(&GeneratorConfig::small(11));
+        let sizes = h.version_sizes();
+        let ups = sizes.windows(2).filter(|w| w[1].1 >= w[0].1).count();
+        assert!(ups as f64 / (sizes.len() - 1) as f64 > 0.9);
+    }
+
+    #[test]
+    fn spike_is_visible() {
+        let cfg = GeneratorConfig::small(13);
+        let h = generate(&cfg);
+        // The spike is emitted at the first *version* after the spike
+        // date, which at small scale can lag by weeks; measure with slack.
+        let spike = Date::parse("2012-07-01").unwrap();
+        let before = h.rule_count_at(spike - 1);
+        let after = h.rule_count_at(spike + 240);
+        assert!(
+            after >= before + cfg.jp_spike / 2,
+            "spike not visible: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&GeneratorConfig::small(5));
+        let b = generate(&GeneratorConfig::small(5));
+        assert_eq!(a.version_count(), b.version_count());
+        assert_eq!(a.spans().len(), b.spans().len());
+        for (x, y) in a.spans().iter().zip(b.spans()) {
+            assert_eq!(x.rule.as_text(), y.rule.as_text());
+            assert_eq!(x.added, y.added);
+        }
+        let c = generate(&GeneratorConfig::small(6));
+        assert_ne!(
+            a.spans().len().min(c.spans().len()),
+            0
+        );
+    }
+
+    #[test]
+    fn component_mix_close_to_target() {
+        let cfg = GeneratorConfig::small(17);
+        let h = generate(&cfg);
+        let latest = h.latest_snapshot();
+        let hist = latest.component_histogram();
+        let total: usize = hist.iter().sum();
+        let share2 = hist[1] as f64 / total as f64;
+        let share3 = hist[2] as f64 / total as f64;
+        // Loose bands: the small config quantises hard.
+        assert!((0.40..=0.72).contains(&share2), "2-comp share {share2}");
+        assert!((0.12..=0.42).contains(&share3), "3-comp share {share3}");
+    }
+
+    #[test]
+    fn table2_suffixes_exist_in_latest_but_not_first() {
+        let h = generate(&GeneratorConfig::small(19));
+        let first = h.snapshot_at(h.first_version());
+        let latest = h.latest_snapshot();
+        let latest_texts: HashSet<String> =
+            latest.rules().iter().map(|r| r.as_text()).collect();
+        let first_texts: HashSet<String> =
+            first.rules().iter().map(|r| r.as_text()).collect();
+        for &etld in seeds::TABLE2_ETLDS {
+            assert!(latest_texts.contains(etld), "{etld} missing from latest");
+            assert!(!first_texts.contains(etld), "{etld} unexpectedly in first");
+        }
+    }
+
+    #[test]
+    fn synthetic_private_rules_only_after_private_era() {
+        // Seeds carry their real dates (blogspot.com predates the PRIVATE
+        // section markers); the constraint applies to *synthetic* rules.
+        let h = generate(&GeneratorConfig::small(23));
+        let era = Date::parse("2011-06-01").unwrap();
+        let seed_texts: HashSet<&str> = seeds::BASE_2007
+            .iter()
+            .chain(seeds::DATED)
+            .map(|s| s.text)
+            .collect();
+        for span in h.spans() {
+            if span.rule.section() == Section::Private
+                && !seed_texts.contains(span.rule.as_text().as_str())
+            {
+                assert!(span.added >= era, "{} added {}", span.rule.as_text(), span.added);
+            }
+        }
+    }
+
+    #[test]
+    fn exception_zones_are_generated() {
+        let cfg = GeneratorConfig::small(53);
+        let h = generate(&cfg);
+        let era_end = Date::parse("2013-06-30").unwrap();
+        let mut wildcards = 0;
+        let mut exceptions = 0;
+        for span in h.spans() {
+            match span.rule.kind() {
+                psl_core::RuleKind::Wildcard if span.rule.as_text().ends_with(".jp") => {
+                    wildcards += 1;
+                }
+                psl_core::RuleKind::Exception => {
+                    exceptions += 1;
+                    // Exceptions are an early-era (formalisation) feature.
+                    if span.rule.as_text() != "!www.ck" {
+                        assert!(span.added <= era_end, "{} at {}", span.rule.as_text(), span.added);
+                        assert!(span.added > h.first_version());
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(wildcards >= cfg.exception_zones);
+        assert!(exceptions >= cfg.exception_zones * cfg.exceptions_per_zone);
+    }
+
+    #[test]
+    fn removals_follow_additions() {
+        let h = generate(&GeneratorConfig::small(29));
+        let mut any_removed = false;
+        for span in h.spans() {
+            if let Some(r) = span.removed {
+                any_removed = true;
+                assert!(r > span.added);
+            }
+        }
+        assert!(any_removed, "removal fraction should produce removals");
+    }
+
+    #[test]
+    fn full_scale_generation_is_calibrated() {
+        // The paper-scale config; this is the one the experiments use.
+        let cfg = GeneratorConfig::default();
+        let h = generate(&cfg);
+        assert_eq!(h.version_count(), 1142);
+        assert!(approx(h.rule_count_at(h.first_version()), 2447, 0.03));
+        assert!(approx(h.rule_count_at(h.latest_version()), 9368, 0.03));
+        // Final component mix within a few points of the paper's.
+        let hist = h.latest_snapshot().component_histogram();
+        let total: usize = hist.iter().sum();
+        let shares: Vec<f64> = hist.iter().map(|&c| c as f64 / total as f64).collect();
+        assert!((shares[0] - 0.17).abs() < 0.05, "1-comp {}", shares[0]);
+        assert!((shares[1] - 0.575).abs() < 0.07, "2-comp {}", shares[1]);
+        assert!((shares[2] - 0.253).abs() < 0.07, "3-comp {}", shares[2]);
+    }
+}

@@ -1,0 +1,283 @@
+//! The versioned Public Suffix List: rule lifespans and published versions.
+//!
+//! The paper extracts 1,142 dated versions of the list (2007-03-22 →
+//! 2022-10-20) from its GitHub history. We model the same object as a set
+//! of [`RuleSpan`]s (a rule with an addition date and an optional removal
+//! date) plus a sorted vector of version (publication) dates. Every
+//! analysis consumes the history through [`History::snapshot_at`] /
+//! [`History::rules_at`], so a synthetic history and a real one are
+//! interchangeable.
+
+use psl_core::{Date, List, Rule};
+use serde::{Deserialize, Serialize};
+
+/// A rule's lifetime within the list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleSpan {
+    /// The rule.
+    pub rule: Rule,
+    /// Date of the version that introduced the rule.
+    pub added: Date,
+    /// Date of the version that removed it (if ever). The rule is present
+    /// in versions with `added <= v < removed`.
+    pub removed: Option<Date>,
+}
+
+impl RuleSpan {
+    /// Is the rule present in the version published at `date`?
+    pub fn live_at(&self, date: Date) -> bool {
+        self.added <= date && self.removed.map_or(true, |r| date < r)
+    }
+}
+
+/// The difference between two versions of the list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diff {
+    /// Rules present in the newer version but not the older.
+    pub added: Vec<Rule>,
+    /// Rules present in the older version but not the newer.
+    pub removed: Vec<Rule>,
+}
+
+impl Diff {
+    /// True if the versions are identical.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// A dated, versioned Public Suffix List.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct History {
+    spans: Vec<RuleSpan>,
+    /// Sorted, deduplicated publication dates.
+    versions: Vec<Date>,
+}
+
+impl History {
+    /// Build a history from rule spans and version dates. Version dates are
+    /// sorted and deduplicated; spans whose `added` date precedes the first
+    /// version are clamped to it.
+    pub fn new(spans: Vec<RuleSpan>, mut versions: Vec<Date>) -> Self {
+        versions.sort_unstable();
+        versions.dedup();
+        assert!(!versions.is_empty(), "history needs at least one version");
+        let first = versions[0];
+        let spans = spans
+            .into_iter()
+            .map(|mut s| {
+                if s.added < first {
+                    s.added = first;
+                }
+                s
+            })
+            .collect();
+        History { spans, versions }
+    }
+
+    /// All rule spans.
+    pub fn spans(&self) -> &[RuleSpan] {
+        &self.spans
+    }
+
+    /// Publication dates, ascending.
+    pub fn versions(&self) -> &[Date] {
+        &self.versions
+    }
+
+    /// Number of published versions.
+    pub fn version_count(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// The first (oldest) version date.
+    pub fn first_version(&self) -> Date {
+        self.versions[0]
+    }
+
+    /// The latest version date.
+    pub fn latest_version(&self) -> Date {
+        *self.versions.last().expect("non-empty by construction")
+    }
+
+    /// The newest version published on or before `date`, if any.
+    pub fn version_at_or_before(&self, date: Date) -> Option<Date> {
+        let idx = self.versions.partition_point(|&v| v <= date);
+        idx.checked_sub(1).map(|i| self.versions[i])
+    }
+
+    /// The rules live in the version at `date` (callers normally pass a
+    /// version date; any date works and means "the list as of that day").
+    pub fn rules_at(&self, date: Date) -> Vec<Rule> {
+        self.spans
+            .iter()
+            .filter(|s| s.live_at(date))
+            .map(|s| s.rule.clone())
+            .collect()
+    }
+
+    /// Number of rules live at `date` (cheaper than materialising them).
+    pub fn rule_count_at(&self, date: Date) -> usize {
+        self.spans.iter().filter(|s| s.live_at(date)).count()
+    }
+
+    /// A queryable [`List`] snapshot at `date`.
+    pub fn snapshot_at(&self, date: Date) -> List {
+        List::from_rules(self.rules_at(date))
+    }
+
+    /// The latest snapshot.
+    pub fn latest_snapshot(&self) -> List {
+        self.snapshot_at(self.latest_version())
+    }
+
+    /// Rules added to the list in `(old, new]` minus rules removed — the
+    /// changes a consumer pinned at `old` is missing relative to `new`.
+    pub fn diff(&self, old: Date, new: Date) -> Diff {
+        let mut diff = Diff::default();
+        for span in &self.spans {
+            let in_old = span.live_at(old);
+            let in_new = span.live_at(new);
+            match (in_old, in_new) {
+                (false, true) => diff.added.push(span.rule.clone()),
+                (true, false) => diff.removed.push(span.rule.clone()),
+                _ => {}
+            }
+        }
+        diff
+    }
+
+    /// Iterate `(version_date, live_rule_count)` pairs, computed
+    /// incrementally in O(spans + versions) — the backbone of Figure 2.
+    pub fn version_sizes(&self) -> Vec<(Date, usize)> {
+        // Event sweep: +1 at added, -1 at removed.
+        let mut events: Vec<(Date, i64)> = Vec::with_capacity(self.spans.len() * 2);
+        for s in &self.spans {
+            events.push((s.added, 1));
+            if let Some(r) = s.removed {
+                events.push((r, -1));
+            }
+        }
+        events.sort_unstable_by_key(|e| e.0);
+        let mut out = Vec::with_capacity(self.versions.len());
+        let mut count: i64 = 0;
+        let mut ei = 0;
+        for &v in &self.versions {
+            while ei < events.len() && events[ei].0 <= v {
+                count += events[ei].1;
+                ei += 1;
+            }
+            out.push((v, count.max(0) as usize));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psl_core::Section;
+
+    fn d(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    fn span(text: &str, added: &str, removed: Option<&str>) -> RuleSpan {
+        RuleSpan {
+            rule: Rule::parse(text, Section::Icann).unwrap(),
+            added: d(added),
+            removed: removed.map(d),
+        }
+    }
+
+    fn small_history() -> History {
+        History::new(
+            vec![
+                span("com", "2007-03-22", None),
+                span("co.uk", "2007-03-22", None),
+                span("github.io", "2013-04-15", None),
+                span("oldrule.net", "2008-01-01", Some("2015-06-01")),
+            ],
+            vec![
+                d("2007-03-22"),
+                d("2008-01-01"),
+                d("2013-04-15"),
+                d("2015-06-01"),
+                d("2022-10-20"),
+            ],
+        )
+    }
+
+    #[test]
+    fn rules_at_respects_spans() {
+        let h = small_history();
+        assert_eq!(h.rule_count_at(d("2007-03-22")), 2);
+        assert_eq!(h.rule_count_at(d("2008-01-01")), 3);
+        assert_eq!(h.rule_count_at(d("2013-04-15")), 4);
+        // Removal takes effect at the removal version.
+        assert_eq!(h.rule_count_at(d("2015-06-01")), 3);
+        assert_eq!(h.rule_count_at(d("2022-10-20")), 3);
+    }
+
+    #[test]
+    fn version_lookup() {
+        let h = small_history();
+        assert_eq!(h.version_at_or_before(d("2006-01-01")), None);
+        assert_eq!(h.version_at_or_before(d("2007-03-22")), Some(d("2007-03-22")));
+        assert_eq!(h.version_at_or_before(d("2010-01-01")), Some(d("2008-01-01")));
+        assert_eq!(h.version_at_or_before(d("2030-01-01")), Some(d("2022-10-20")));
+        assert_eq!(h.first_version(), d("2007-03-22"));
+        assert_eq!(h.latest_version(), d("2022-10-20"));
+    }
+
+    #[test]
+    fn diff_between_versions() {
+        let h = small_history();
+        let diff = h.diff(d("2008-01-01"), d("2022-10-20"));
+        let added: Vec<String> = diff.added.iter().map(|r| r.as_text()).collect();
+        let removed: Vec<String> = diff.removed.iter().map(|r| r.as_text()).collect();
+        assert_eq!(added, ["github.io"]);
+        assert_eq!(removed, ["oldrule.net"]);
+        assert!(h.diff(d("2007-03-22"), d("2007-03-22")).is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_queryable() {
+        let h = small_history();
+        let old = h.snapshot_at(d("2008-01-01"));
+        let new = h.latest_snapshot();
+        assert_eq!(old.len(), 3);
+        assert_eq!(new.len(), 3);
+        let dom = psl_core::DomainName::parse("alice.github.io").unwrap();
+        let opts = psl_core::MatchOpts::default();
+        assert!(new.is_public_suffix(
+            &psl_core::DomainName::parse("github.io").unwrap(),
+            opts
+        ));
+        assert_eq!(old.registrable_domain(&dom, opts).unwrap().as_str(), "github.io");
+        assert_eq!(new.registrable_domain(&dom, opts).unwrap().as_str(), "alice.github.io");
+    }
+
+    #[test]
+    fn version_sizes_matches_pointwise_counts() {
+        let h = small_history();
+        for (v, n) in h.version_sizes() {
+            assert_eq!(n, h.rule_count_at(v), "at {v}");
+        }
+    }
+
+    #[test]
+    fn early_spans_are_clamped() {
+        let h = History::new(
+            vec![span("com", "2000-01-01", None)],
+            vec![d("2007-03-22")],
+        );
+        assert_eq!(h.spans()[0].added, d("2007-03-22"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one version")]
+    fn empty_versions_panic() {
+        let _ = History::new(vec![], vec![]);
+    }
+}

@@ -1,0 +1,265 @@
+//! Real-world suffix seeds with (approximate) real addition dates.
+//!
+//! The synthetic history is mostly generated, but the suffixes that drive
+//! the paper's harm analysis are real: Table 2's shared-hosting eTLDs
+//! (`myshopify.com`, `digitaloceanspaces.com`, …) must exist by name, be
+//! dated after the lists embedded by "fixed" projects, and carry heavy
+//! hostname populations in the web corpus. This module pins those — plus a
+//! base-2007 layer of TLDs and registry second-levels — at fixed dates; the
+//! generator layers calibrated synthetic growth around them.
+
+use psl_core::{Date, Rule, Section};
+
+/// A seed entry: rule text, section, and the date it entered the list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Seed {
+    /// Rule text (`co.uk`, `*.ck`, `!www.ck`, …).
+    pub text: &'static str,
+    /// List section.
+    pub section: Section,
+    /// Date the rule was added (ISO `YYYY-MM-DD`).
+    pub added: &'static str,
+}
+
+const I: Section = Section::Icann;
+const P: Section = Section::Private;
+
+/// First-version date of the real list.
+pub const FIRST_VERSION: &str = "2007-03-22";
+/// Last version date in the paper's dataset.
+pub const LAST_VERSION: &str = "2022-10-20";
+/// The paper's measurement date (t).
+pub const MEASUREMENT_DATE: &str = "2022-12-08";
+/// The HTTP Archive snapshot date used by the paper (July 2022).
+pub const SNAPSHOT_DATE: &str = "2022-07-01";
+
+/// Base layer: present from the first version (2007-03-22).
+pub const BASE_2007: &[Seed] = &[
+    // Legacy gTLDs + infrastructure.
+    Seed { text: "com", section: I, added: FIRST_VERSION },
+    Seed { text: "net", section: I, added: FIRST_VERSION },
+    Seed { text: "org", section: I, added: FIRST_VERSION },
+    Seed { text: "info", section: I, added: FIRST_VERSION },
+    Seed { text: "biz", section: I, added: FIRST_VERSION },
+    Seed { text: "name", section: I, added: FIRST_VERSION },
+    Seed { text: "pro", section: I, added: FIRST_VERSION },
+    Seed { text: "edu", section: I, added: FIRST_VERSION },
+    Seed { text: "gov", section: I, added: FIRST_VERSION },
+    Seed { text: "mil", section: I, added: FIRST_VERSION },
+    Seed { text: "int", section: I, added: FIRST_VERSION },
+    Seed { text: "arpa", section: I, added: FIRST_VERSION },
+    Seed { text: "aero", section: I, added: FIRST_VERSION },
+    Seed { text: "asia", section: I, added: FIRST_VERSION },
+    Seed { text: "cat", section: I, added: FIRST_VERSION },
+    Seed { text: "coop", section: I, added: FIRST_VERSION },
+    Seed { text: "jobs", section: I, added: FIRST_VERSION },
+    Seed { text: "museum", section: I, added: FIRST_VERSION },
+    Seed { text: "travel", section: I, added: FIRST_VERSION },
+    // ccTLDs (a representative slice; the generator adds the rest).
+    Seed { text: "uk", section: I, added: FIRST_VERSION },
+    Seed { text: "de", section: I, added: FIRST_VERSION },
+    Seed { text: "fr", section: I, added: FIRST_VERSION },
+    Seed { text: "jp", section: I, added: FIRST_VERSION },
+    Seed { text: "br", section: I, added: FIRST_VERSION },
+    Seed { text: "cn", section: I, added: FIRST_VERSION },
+    Seed { text: "ru", section: I, added: FIRST_VERSION },
+    Seed { text: "nl", section: I, added: FIRST_VERSION },
+    Seed { text: "it", section: I, added: FIRST_VERSION },
+    Seed { text: "es", section: I, added: FIRST_VERSION },
+    Seed { text: "us", section: I, added: FIRST_VERSION },
+    Seed { text: "ca", section: I, added: FIRST_VERSION },
+    Seed { text: "au", section: I, added: FIRST_VERSION },
+    Seed { text: "in", section: I, added: FIRST_VERSION },
+    Seed { text: "io", section: I, added: FIRST_VERSION },
+    Seed { text: "co", section: I, added: FIRST_VERSION },
+    Seed { text: "ck", section: I, added: FIRST_VERSION },
+    Seed { text: "se", section: I, added: FIRST_VERSION },
+    Seed { text: "no", section: I, added: FIRST_VERSION },
+    Seed { text: "pl", section: I, added: FIRST_VERSION },
+    Seed { text: "ch", section: I, added: FIRST_VERSION },
+    Seed { text: "at", section: I, added: FIRST_VERSION },
+    Seed { text: "be", section: I, added: FIRST_VERSION },
+    Seed { text: "kr", section: I, added: FIRST_VERSION },
+    Seed { text: "mx", section: I, added: FIRST_VERSION },
+    Seed { text: "ar", section: I, added: FIRST_VERSION },
+    Seed { text: "za", section: I, added: FIRST_VERSION },
+    // Registry second-levels.
+    Seed { text: "co.uk", section: I, added: FIRST_VERSION },
+    Seed { text: "ac.uk", section: I, added: FIRST_VERSION },
+    Seed { text: "gov.uk", section: I, added: FIRST_VERSION },
+    Seed { text: "org.uk", section: I, added: FIRST_VERSION },
+    Seed { text: "me.uk", section: I, added: FIRST_VERSION },
+    Seed { text: "co.jp", section: I, added: FIRST_VERSION },
+    Seed { text: "ac.jp", section: I, added: FIRST_VERSION },
+    Seed { text: "go.jp", section: I, added: FIRST_VERSION },
+    Seed { text: "ne.jp", section: I, added: FIRST_VERSION },
+    Seed { text: "or.jp", section: I, added: FIRST_VERSION },
+    Seed { text: "com.br", section: I, added: FIRST_VERSION },
+    Seed { text: "org.br", section: I, added: FIRST_VERSION },
+    Seed { text: "gov.br", section: I, added: FIRST_VERSION },
+    Seed { text: "net.br", section: I, added: FIRST_VERSION },
+    Seed { text: "com.cn", section: I, added: FIRST_VERSION },
+    Seed { text: "org.cn", section: I, added: FIRST_VERSION },
+    Seed { text: "net.cn", section: I, added: FIRST_VERSION },
+    Seed { text: "com.au", section: I, added: FIRST_VERSION },
+    Seed { text: "net.au", section: I, added: FIRST_VERSION },
+    Seed { text: "org.au", section: I, added: FIRST_VERSION },
+    Seed { text: "co.in", section: I, added: FIRST_VERSION },
+    Seed { text: "co.za", section: I, added: FIRST_VERSION },
+    Seed { text: "co.kr", section: I, added: FIRST_VERSION },
+    Seed { text: "com.mx", section: I, added: FIRST_VERSION },
+    Seed { text: "com.ar", section: I, added: FIRST_VERSION },
+    // The canonical wildcard/exception cluster.
+    Seed { text: "*.ck", section: I, added: FIRST_VERSION },
+    Seed { text: "!www.ck", section: I, added: FIRST_VERSION },
+];
+
+/// Dated additions: the suffixes whose arrival dates the analysis depends
+/// on. Dates approximate the real additions.
+pub const DATED: &[Seed] = &[
+    // Early private-domain era.
+    Seed { text: "blogspot.com", section: P, added: "2009-06-15" },
+    Seed { text: "appspot.com", section: P, added: "2009-09-01" },
+    Seed { text: "wordpress.com", section: P, added: "2010-03-10" },
+    Seed { text: "dyndns.org", section: P, added: "2011-01-20" },
+    Seed { text: "github.io", section: P, added: "2013-04-15" },
+    Seed { text: "githubusercontent.com", section: P, added: "2013-09-10" },
+    Seed { text: "herokuapp.com", section: P, added: "2013-06-20" },
+    Seed { text: "cloudfront.net", section: P, added: "2013-11-05" },
+    Seed { text: "amazonaws.com", section: P, added: "2014-02-18" },
+    Seed { text: "azurewebsites.net", section: P, added: "2014-07-09" },
+    Seed { text: "fastly.net", section: P, added: "2015-03-12" },
+    Seed { text: "cloudapp.net", section: P, added: "2015-05-22" },
+    Seed { text: "firebaseapp.com", section: P, added: "2016-01-14" },
+    Seed { text: "gitlab.io", section: P, added: "2016-04-08" },
+    Seed { text: "bitbucket.io", section: P, added: "2016-08-25" },
+    Seed { text: "readthedocs.io", section: P, added: "2018-10-03" },
+    Seed { text: "altervista.org", section: P, added: "2019-01-22" },
+    // The Table 2 cluster: shared-hosting suffixes added late enough that
+    // "fixed" projects' embedded lists miss them.
+    Seed { text: "digitaloceanspaces.com", section: P, added: "2018-06-12" },
+    Seed { text: "myshopify.com", section: P, added: "2019-02-05" },
+    Seed { text: "netlify.app", section: P, added: "2019-04-16" },
+    Seed { text: "web.app", section: P, added: "2019-03-26" },
+    Seed { text: "lpages.co", section: P, added: "2019-06-11" },
+    Seed { text: "carrd.co", section: P, added: "2019-11-07" },
+    Seed { text: "sp.gov.br", section: I, added: "2019-09-17" },
+    Seed { text: "mg.gov.br", section: I, added: "2019-09-17" },
+    Seed { text: "pr.gov.br", section: I, added: "2019-09-17" },
+    Seed { text: "rs.gov.br", section: I, added: "2019-09-17" },
+    Seed { text: "sc.gov.br", section: I, added: "2019-09-17" },
+    Seed { text: "smushcdn.com", section: P, added: "2020-05-19" },
+    Seed { text: "r.appspot.com", section: P, added: "2021-03-02" },
+    // Post-snapshot control: added after the July 2022 snapshot, so it
+    // should affect no snapshot-based analysis.
+    Seed { text: "latecomer.dev", section: P, added: "2022-09-30" },
+    // New gTLD era (ICANN section).
+    Seed { text: "app", section: I, added: "2015-07-01" },
+    Seed { text: "dev", section: I, added: "2015-09-15" },
+    Seed { text: "cloud", section: I, added: "2016-02-10" },
+    Seed { text: "online", section: I, added: "2015-08-20" },
+    Seed { text: "shop", section: I, added: "2016-06-01" },
+    Seed { text: "site", section: I, added: "2015-10-12" },
+    Seed { text: "xyz", section: I, added: "2014-06-02" },
+    Seed { text: "google", section: I, added: "2015-03-10" },
+];
+
+/// The Table 2 eTLD texts, in the paper's order (largest first). Used by
+/// the corpus generator (hostname populations) and the Table 2 experiment.
+pub const TABLE2_ETLDS: &[&str] = &[
+    "myshopify.com",
+    "digitaloceanspaces.com",
+    "smushcdn.com",
+    "r.appspot.com",
+    "sp.gov.br",
+    "altervista.org",
+    "readthedocs.io",
+    "netlify.app",
+    "mg.gov.br",
+    "lpages.co",
+    "pr.gov.br",
+    "web.app",
+    "carrd.co",
+    "rs.gov.br",
+    "sc.gov.br",
+];
+
+/// Hostname counts the paper reports for each Table 2 eTLD (same order as
+/// [`TABLE2_ETLDS`]). The corpus generator scales these to the configured
+/// corpus size.
+pub const TABLE2_HOSTNAMES: &[u32] = &[
+    7848, 3359, 3337, 3194, 2024, 1954, 1887, 1278, 1153, 1067, 891, 871, 776, 747, 714,
+];
+
+/// All seeds as parsed `(Rule, Date)` pairs.
+pub fn all_seeds() -> Vec<(Rule, Date)> {
+    BASE_2007
+        .iter()
+        .chain(DATED)
+        .map(|s| {
+            let rule = Rule::parse(s.text, s.section)
+                .unwrap_or_else(|e| panic!("bad seed {:?}: {e}", s.text));
+            let date = Date::parse(s.added)
+                .unwrap_or_else(|e| panic!("bad seed date {:?}: {e}", s.added));
+            (rule, date)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seeds_parse() {
+        let seeds = all_seeds();
+        assert_eq!(seeds.len(), BASE_2007.len() + DATED.len());
+    }
+
+    #[test]
+    fn seed_texts_are_unique() {
+        let mut texts: Vec<&str> = BASE_2007.iter().chain(DATED).map(|s| s.text).collect();
+        let n = texts.len();
+        texts.sort_unstable();
+        texts.dedup();
+        assert_eq!(texts.len(), n, "duplicate seed text");
+    }
+
+    #[test]
+    fn table2_etlds_are_seeded_and_dated_late() {
+        let seeds = all_seeds();
+        let first = Date::parse(FIRST_VERSION).unwrap();
+        for &etld in TABLE2_ETLDS {
+            let (_, date) = seeds
+                .iter()
+                .find(|(r, _)| r.as_text() == etld)
+                .unwrap_or_else(|| panic!("{etld} not seeded"));
+            assert!(*date > first, "{etld} must be a late addition");
+        }
+        assert_eq!(TABLE2_ETLDS.len(), TABLE2_HOSTNAMES.len());
+    }
+
+    #[test]
+    fn base_seeds_are_at_first_version() {
+        for s in BASE_2007 {
+            assert_eq!(s.added, FIRST_VERSION);
+        }
+    }
+
+    #[test]
+    fn dated_seeds_are_within_range() {
+        let first = Date::parse(FIRST_VERSION).unwrap();
+        let last = Date::parse(LAST_VERSION).unwrap();
+        for s in DATED {
+            let d = Date::parse(s.added).unwrap();
+            assert!(d > first && d <= last, "{} out of range", s.text);
+        }
+    }
+
+    #[test]
+    fn table2_order_is_descending_hostnames() {
+        for w in TABLE2_HOSTNAMES.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+}

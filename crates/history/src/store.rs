@@ -1,0 +1,354 @@
+//! A git-like commit store for list versions.
+//!
+//! The real PSL lives in a git repository (1,294 commits, of which 1,142
+//! change the list). This module models that substrate: delta-encoded,
+//! content-addressed commits with checkout and log, plus periodic full
+//! checkpoints so checkout cost stays bounded. The history extractor
+//! ("extract all versions of the list", paper §3) is
+//! [`ListStore::extract_versions`].
+
+use crate::history::History;
+use psl_core::{Date, Rule, Section};
+use std::collections::BTreeMap;
+
+/// Identifier of a commit (content hash mixed with its position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CommitId(u64);
+
+impl CommitId {
+    /// The raw hash value (for display).
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// Changes a commit applies to the rule set, as `(text, section)` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Delta {
+    /// Rules added by this commit.
+    pub added: Vec<(String, Section)>,
+    /// Rule texts removed by this commit.
+    pub removed: Vec<String>,
+}
+
+impl Delta {
+    /// True if the commit does not change the rule set (e.g. comment-only
+    /// commits in the real repository).
+    pub fn is_noop(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// One commit.
+#[derive(Debug, Clone)]
+pub struct Commit {
+    /// Content-addressed id.
+    pub id: CommitId,
+    /// Parent commit, if any.
+    pub parent: Option<CommitId>,
+    /// Author date.
+    pub date: Date,
+    /// Commit message.
+    pub message: String,
+    delta: Delta,
+}
+
+/// A linear, delta-encoded commit store with periodic checkpoints.
+#[derive(Debug, Default)]
+pub struct ListStore {
+    commits: Vec<Commit>,
+    index: BTreeMap<CommitId, usize>,
+    /// Full rule sets at every `CHECKPOINT_EVERY`-th commit.
+    checkpoints: BTreeMap<usize, Vec<(String, Section)>>,
+}
+
+const CHECKPOINT_EVERY: usize = 64;
+
+impl ListStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ListStore::default()
+    }
+
+    /// Number of commits.
+    pub fn len(&self) -> usize {
+        self.commits.len()
+    }
+
+    /// True if there are no commits.
+    pub fn is_empty(&self) -> bool {
+        self.commits.is_empty()
+    }
+
+    /// The head commit id, if any.
+    pub fn head(&self) -> Option<CommitId> {
+        self.commits.last().map(|c| c.id)
+    }
+
+    /// Append a commit that makes the rule set equal to `rules`.
+    /// Computes the delta against the current head.
+    pub fn commit(&mut self, date: Date, message: &str, rules: &[Rule]) -> CommitId {
+        let new_set: BTreeMap<String, Section> = rules
+            .iter()
+            .map(|r| (r.as_text(), r.section()))
+            .collect();
+        let old_set: BTreeMap<String, Section> = self
+            .head()
+            .map(|h| self.checkout_pairs(h).into_iter().collect())
+            .unwrap_or_default();
+
+        let mut delta = Delta::default();
+        for (text, section) in &new_set {
+            if !old_set.contains_key(text) {
+                delta.added.push((text.clone(), *section));
+            }
+        }
+        for text in old_set.keys() {
+            if !new_set.contains_key(text) {
+                delta.removed.push(text.clone());
+            }
+        }
+
+        self.commit_delta(date, message, delta)
+    }
+
+    /// Append a raw delta commit (may be a no-op).
+    pub fn commit_delta(&mut self, date: Date, message: &str, delta: Delta) -> CommitId {
+        let parent = self.head();
+        let mut h = crate::dating::fingerprint(
+            delta
+                .added
+                .iter()
+                .map(|(t, _)| t.as_str())
+                .chain(delta.removed.iter().map(String::as_str)),
+        );
+        h = psl_stats::derive_seed(h, self.commits.len() as u64 + 1);
+        h = psl_stats::derive_seed(h, date.days_since_epoch() as u64);
+        let id = CommitId(h);
+        let idx = self.commits.len();
+        self.commits.push(Commit {
+            id,
+            parent,
+            date,
+            message: message.to_string(),
+            delta,
+        });
+        self.index.insert(id, idx);
+        if idx % CHECKPOINT_EVERY == 0 {
+            let pairs = self.replay(idx);
+            self.checkpoints.insert(idx, pairs);
+        }
+        id
+    }
+
+    /// The rule set at a commit, as parsed rules.
+    pub fn checkout(&self, id: CommitId) -> Option<Vec<Rule>> {
+        if !self.index.contains_key(&id) {
+            return None;
+        }
+        let pairs = self.checkout_pairs(id);
+        Some(
+            pairs
+                .into_iter()
+                .filter_map(|(text, section)| Rule::parse(&text, section).ok())
+                .collect(),
+        )
+    }
+
+    /// Iterate commits oldest-first.
+    pub fn log(&self) -> impl Iterator<Item = &Commit> {
+        self.commits.iter()
+    }
+
+    /// Number of commits that change the rule set (the paper's "versions"
+    /// as opposed to raw commits).
+    pub fn version_count(&self) -> usize {
+        self.commits.iter().filter(|c| !c.delta.is_noop()).count()
+    }
+
+    /// Extract every distinct dated version: `(date, rules)` for each
+    /// non-noop commit. This is the paper's history-extraction step.
+    pub fn extract_versions(&self) -> Vec<(Date, Vec<Rule>)> {
+        let mut out = Vec::new();
+        let mut set: BTreeMap<String, Section> = BTreeMap::new();
+        for commit in &self.commits {
+            if commit.delta.is_noop() {
+                continue;
+            }
+            apply(&mut set, &commit.delta);
+            let rules = set
+                .iter()
+                .filter_map(|(t, s)| Rule::parse(t, *s).ok())
+                .collect();
+            out.push((commit.date, rules));
+        }
+        out
+    }
+
+    /// Build a store from a [`History`]: one commit per version, plus a
+    /// no-op commit every `noop_every` versions (0 = none), mirroring the
+    /// real repository's comment-only commits.
+    pub fn from_history(history: &History, noop_every: usize) -> Self {
+        let mut store = ListStore::new();
+        let mut prev: BTreeMap<String, Section> = BTreeMap::new();
+        for (i, &v) in history.versions().iter().enumerate() {
+            let cur: BTreeMap<String, Section> = history
+                .rules_at(v)
+                .iter()
+                .map(|r| (r.as_text(), r.section()))
+                .collect();
+            let mut delta = Delta::default();
+            for (t, s) in &cur {
+                if !prev.contains_key(t) {
+                    delta.added.push((t.clone(), *s));
+                }
+            }
+            for t in prev.keys() {
+                if !cur.contains_key(t) {
+                    delta.removed.push(t.clone());
+                }
+            }
+            store.commit_delta(v, &format!("update list ({v})"), delta);
+            if noop_every > 0 && i % noop_every == noop_every - 1 {
+                store.commit_delta(v, "tidy comments", Delta::default());
+            }
+            prev = cur;
+        }
+        store
+    }
+
+    fn checkout_pairs(&self, id: CommitId) -> Vec<(String, Section)> {
+        let idx = self.index[&id];
+        self.replay(idx)
+    }
+
+    /// Replay deltas from the nearest checkpoint at or before `idx`.
+    fn replay(&self, idx: usize) -> Vec<(String, Section)> {
+        let (start, mut set) = match self.checkpoints.range(..=idx).next_back() {
+            Some((&ck, pairs)) => (ck + 1, pairs.iter().cloned().collect::<BTreeMap<_, _>>()),
+            None => (0, BTreeMap::new()),
+        };
+        for commit in &self.commits[start..=idx] {
+            apply(&mut set, &commit.delta);
+        }
+        set.into_iter().collect()
+    }
+}
+
+fn apply(set: &mut BTreeMap<String, Section>, delta: &Delta) {
+    for (t, s) in &delta.added {
+        set.insert(t.clone(), *s);
+    }
+    for t in &delta.removed {
+        set.remove(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+    use psl_core::parse_dat;
+
+    fn rules(text: &str) -> Vec<Rule> {
+        parse_dat(text).rules
+    }
+
+    fn d(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    #[test]
+    fn commit_and_checkout() {
+        let mut store = ListStore::new();
+        let c1 = store.commit(d("2020-01-01"), "init", &rules("com\nnet\n"));
+        let c2 = store.commit(d("2020-02-01"), "add org", &rules("com\nnet\norg\n"));
+        let c3 = store.commit(d("2020-03-01"), "drop net", &rules("com\norg\n"));
+
+        let texts = |id| -> Vec<String> {
+            store
+                .checkout(id)
+                .unwrap()
+                .iter()
+                .map(|r| r.as_text())
+                .collect()
+        };
+        assert_eq!(texts(c1), ["com", "net"]);
+        assert_eq!(texts(c2), ["com", "net", "org"]);
+        assert_eq!(texts(c3), ["com", "org"]);
+        assert_eq!(store.head(), Some(c3));
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn unknown_commit_is_none() {
+        let store = ListStore::new();
+        assert!(store.checkout(CommitId(12345)).is_none());
+    }
+
+    #[test]
+    fn noop_commits_are_not_versions() {
+        let mut store = ListStore::new();
+        store.commit(d("2020-01-01"), "init", &rules("com\n"));
+        store.commit_delta(d("2020-01-02"), "comments only", Delta::default());
+        store.commit(d("2020-01-03"), "add net", &rules("com\nnet\n"));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.version_count(), 2);
+        assert_eq!(store.extract_versions().len(), 2);
+    }
+
+    #[test]
+    fn from_history_roundtrips_rule_sets() {
+        let h = generate(&GeneratorConfig::small(47));
+        let store = ListStore::from_history(&h, 8);
+        // Paper shape: more raw commits than content-changing versions
+        // (some history versions change nothing, and no-op commits are
+        // interleaved).
+        assert!(store.len() > store.version_count());
+        assert!(store.version_count() <= h.version_count());
+        assert!(store.version_count() > h.version_count() / 2);
+
+        let extracted = store.extract_versions();
+        assert_eq!(extracted.len(), store.version_count());
+        // Spot-check several versions' rule sets.
+        for i in (0..extracted.len()).step_by(extracted.len() / 5 + 1) {
+            let (date, rules) = &extracted[i];
+            let expect: std::collections::BTreeSet<String> =
+                h.rules_at(*date).iter().map(|r| r.as_text()).collect();
+            let got: std::collections::BTreeSet<String> =
+                rules.iter().map(|r| r.as_text()).collect();
+            assert_eq!(got, expect, "version {i} at {date}");
+        }
+    }
+
+    #[test]
+    fn checkpoints_do_not_change_semantics() {
+        // Enough commits to cross several checkpoint boundaries.
+        let mut store = ListStore::new();
+        let mut ids = Vec::new();
+        let mut current = String::new();
+        for i in 0..200 {
+            current.push_str(&format!("r{i}.example\n"));
+            ids.push(store.commit(
+                Date::from_days_since_epoch(18000 + i),
+                "grow",
+                &rules(&current),
+            ));
+        }
+        // The k-th commit's checkout has k+1 rules.
+        for (k, &id) in ids.iter().enumerate().step_by(37) {
+            assert_eq!(store.checkout(id).unwrap().len(), k + 1);
+        }
+    }
+
+    #[test]
+    fn commit_ids_are_distinct() {
+        let mut store = ListStore::new();
+        let a = store.commit(d("2020-01-01"), "a", &rules("com\n"));
+        let b = store.commit(d("2020-01-02"), "b", &rules("com\nnet\n"));
+        let c = store.commit_delta(d("2020-01-03"), "noop", Delta::default());
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+}

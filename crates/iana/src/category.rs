@@ -1,0 +1,91 @@
+//! TLD categories from the IANA Root Zone Database.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The category IANA assigns to a top-level domain (paper §3, "IANA Root
+/// Zone Database").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TldCategory {
+    /// Generic TLDs, e.g. `.com`, `.google`.
+    Generic,
+    /// Country-code TLDs, e.g. `.uk`, `.de`.
+    CountryCode,
+    /// Sponsored TLDs, e.g. `.edu`, `.aero`.
+    Sponsored,
+    /// Infrastructure TLDs (`.arpa`).
+    Infrastructure,
+    /// Reserved test TLDs (`.test` and IDN test TLDs).
+    Test,
+}
+
+impl TldCategory {
+    /// Short lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TldCategory::Generic => "generic",
+            TldCategory::CountryCode => "country-code",
+            TldCategory::Sponsored => "sponsored",
+            TldCategory::Infrastructure => "infrastructure",
+            TldCategory::Test => "test",
+        }
+    }
+
+    /// All categories, in report order.
+    pub const ALL: [TldCategory; 5] = [
+        TldCategory::Generic,
+        TldCategory::CountryCode,
+        TldCategory::Sponsored,
+        TldCategory::Infrastructure,
+        TldCategory::Test,
+    ];
+}
+
+impl fmt::Display for TldCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How a *suffix rule* is classified once the section split is applied
+/// (paper §3 splits entries into top-level domains vs. private domains).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SuffixClass {
+    /// An ICANN-section rule, labelled by its TLD's IANA category.
+    Tld(TldCategory),
+    /// A PRIVATE-section rule (operator-submitted).
+    PrivateDomain,
+}
+
+impl fmt::Display for SuffixClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuffixClass::Tld(c) => write!(f, "tld:{c}"),
+            SuffixClass::PrivateDomain => f.write_str("private"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            TldCategory::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), TldCategory::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_label() {
+        for c in TldCategory::ALL {
+            assert_eq!(c.to_string(), c.label());
+        }
+        assert_eq!(SuffixClass::PrivateDomain.to_string(), "private");
+        assert_eq!(
+            SuffixClass::Tld(TldCategory::Generic).to_string(),
+            "tld:generic"
+        );
+    }
+}

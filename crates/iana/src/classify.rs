@@ -1,0 +1,106 @@
+//! Classification of suffix rules against the root zone snapshot.
+
+use crate::category::{SuffixClass, TldCategory};
+use crate::db::RootZoneDb;
+use psl_core::{Rule, Section};
+use std::collections::BTreeMap;
+
+/// Classify one suffix rule (paper §3: entries are split into top-level
+/// domains and private domains; TLD entries are further labelled by IANA
+/// category).
+pub fn classify_rule(db: &RootZoneDb, rule: &Rule) -> SuffixClass {
+    match rule.section() {
+        Section::Private => SuffixClass::PrivateDomain,
+        Section::Icann => {
+            let tld = rule
+                .labels()
+                .last()
+                .map(String::as_str)
+                .unwrap_or_default();
+            SuffixClass::Tld(db.category(tld))
+        }
+    }
+}
+
+/// Count rules per [`SuffixClass`] (BTreeMap for stable report order).
+pub fn classify_rules<'a>(
+    db: &RootZoneDb,
+    rules: impl IntoIterator<Item = &'a Rule>,
+) -> BTreeMap<SuffixClass, usize> {
+    let mut counts = BTreeMap::new();
+    for rule in rules {
+        *counts.entry(classify_rule(db, rule)).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Count ICANN rules per [`TldCategory`], ignoring private rules.
+pub fn tld_category_counts<'a>(
+    db: &RootZoneDb,
+    rules: impl IntoIterator<Item = &'a Rule>,
+) -> BTreeMap<TldCategory, usize> {
+    let mut counts = BTreeMap::new();
+    for rule in rules {
+        if let SuffixClass::Tld(cat) = classify_rule(db, rule) {
+            *counts.entry(cat).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psl_core::parse_dat;
+
+    const TEXT: &str = r#"
+// ===BEGIN ICANN DOMAINS===
+com
+uk
+co.uk
+edu
+arpa
+*.ck
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+blogspot.com
+// ===END PRIVATE DOMAINS===
+"#;
+
+    #[test]
+    fn classifies_by_section_and_tld() {
+        let db = RootZoneDb::embedded();
+        let rules = parse_dat(TEXT).rules;
+        let counts = classify_rules(&db, &rules);
+        assert_eq!(counts[&SuffixClass::PrivateDomain], 2);
+        assert_eq!(counts[&SuffixClass::Tld(TldCategory::Generic)], 1); // com
+        assert_eq!(counts[&SuffixClass::Tld(TldCategory::CountryCode)], 3); // uk, co.uk, *.ck
+        assert_eq!(counts[&SuffixClass::Tld(TldCategory::Sponsored)], 1); // edu
+        assert_eq!(counts[&SuffixClass::Tld(TldCategory::Infrastructure)], 1); // arpa
+    }
+
+    #[test]
+    fn multi_label_rules_use_rightmost_label() {
+        let db = RootZoneDb::embedded();
+        let rule = Rule::parse("co.uk", Section::Icann).unwrap();
+        assert_eq!(
+            classify_rule(&db, &rule),
+            SuffixClass::Tld(TldCategory::CountryCode)
+        );
+        let wild = Rule::parse("*.kobe.jp", Section::Icann).unwrap();
+        assert_eq!(
+            classify_rule(&db, &wild),
+            SuffixClass::Tld(TldCategory::CountryCode)
+        );
+    }
+
+    #[test]
+    fn private_rules_ignore_tld() {
+        let db = RootZoneDb::embedded();
+        let rule = Rule::parse("blogspot.com", Section::Private).unwrap();
+        assert_eq!(classify_rule(&db, &rule), SuffixClass::PrivateDomain);
+        let counts = tld_category_counts(&db, std::iter::once(&rule));
+        assert!(counts.is_empty());
+    }
+}

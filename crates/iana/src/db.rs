@@ -1,0 +1,143 @@
+//! An embedded snapshot of the IANA Root Zone Database.
+//!
+//! The paper labels suffix entries using the IANA root zone (§3). The real
+//! database is a web resource; here it is an embedded static table covering
+//! every TLD the substrates emit, plus a rule: unknown two-letter TLDs are
+//! country codes (true by construction of ISO 3166), and unknown longer
+//! TLDs are generic (the new-gTLD default).
+
+use crate::category::TldCategory;
+use std::collections::HashMap;
+
+/// Sponsored TLDs (complete real-world set).
+const SPONSORED: &[&str] = &[
+    "aero", "asia", "cat", "coop", "edu", "gov", "int", "jobs", "mil", "museum", "post", "tel",
+    "travel", "xxx",
+];
+
+/// Infrastructure TLDs.
+const INFRASTRUCTURE: &[&str] = &["arpa"];
+
+/// Reserved / test TLDs (RFC 2606 plus IDN test labels).
+const TEST: &[&str] = &["test", "example", "invalid", "localhost"];
+
+/// Legacy and representative new generic TLDs. (Unknown ≥3-letter TLDs
+/// default to Generic, so this table only needs the ones we want to
+/// enumerate explicitly.)
+const GENERIC: &[&str] = &[
+    "com", "net", "org", "info", "biz", "name", "pro", "mobi", "app", "dev", "page", "cloud",
+    "online", "shop", "site", "store", "tech", "xyz", "blog", "wiki", "live", "news",
+    "google", "amazon", "apple", "youtube", "play", "search",
+];
+
+/// Exceptional two-letter codes that are *not* country codes. (None in the
+/// real root zone — every two-letter TLD is a ccTLD — but the table keeps
+/// the lookup honest if that ever changes.)
+const CC_OVERRIDES: &[(&str, TldCategory)] = &[];
+
+/// The embedded root zone snapshot.
+#[derive(Debug, Clone)]
+pub struct RootZoneDb {
+    explicit: HashMap<&'static str, TldCategory>,
+}
+
+impl RootZoneDb {
+    /// Build the snapshot table.
+    pub fn embedded() -> Self {
+        let mut explicit = HashMap::new();
+        for &t in SPONSORED {
+            explicit.insert(t, TldCategory::Sponsored);
+        }
+        for &t in INFRASTRUCTURE {
+            explicit.insert(t, TldCategory::Infrastructure);
+        }
+        for &t in TEST {
+            explicit.insert(t, TldCategory::Test);
+        }
+        for &t in GENERIC {
+            explicit.insert(t, TldCategory::Generic);
+        }
+        for &(t, c) in CC_OVERRIDES {
+            explicit.insert(t, c);
+        }
+        RootZoneDb { explicit }
+    }
+
+    /// Category of a TLD (the rightmost label of a name, without dots).
+    ///
+    /// Lookup order: explicit table; then the two-letter ⇒ country-code
+    /// rule; anything else is generic.
+    pub fn category(&self, tld: &str) -> TldCategory {
+        let t = tld.trim_start_matches('.').to_ascii_lowercase();
+        if let Some(&c) = self.explicit.get(t.as_str()) {
+            return c;
+        }
+        if t.len() == 2 && t.bytes().all(|b| b.is_ascii_lowercase()) {
+            return TldCategory::CountryCode;
+        }
+        TldCategory::Generic
+    }
+
+    /// Number of explicitly-tabled TLDs.
+    pub fn explicit_len(&self) -> usize {
+        self.explicit.len()
+    }
+}
+
+impl Default for RootZoneDb {
+    fn default() -> Self {
+        RootZoneDb::embedded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        let db = RootZoneDb::embedded();
+        // §3: generic (.com, .google), country-code (.uk, .de),
+        // sponsored (.edu, .aero), infrastructure (.arpa).
+        assert_eq!(db.category("com"), TldCategory::Generic);
+        assert_eq!(db.category("google"), TldCategory::Generic);
+        assert_eq!(db.category("uk"), TldCategory::CountryCode);
+        assert_eq!(db.category("de"), TldCategory::CountryCode);
+        assert_eq!(db.category("edu"), TldCategory::Sponsored);
+        assert_eq!(db.category("aero"), TldCategory::Sponsored);
+        assert_eq!(db.category("arpa"), TldCategory::Infrastructure);
+    }
+
+    #[test]
+    fn lookup_is_case_and_dot_insensitive() {
+        let db = RootZoneDb::embedded();
+        assert_eq!(db.category(".COM"), TldCategory::Generic);
+        assert_eq!(db.category(".Uk"), TldCategory::CountryCode);
+    }
+
+    #[test]
+    fn unknown_two_letter_is_cc() {
+        let db = RootZoneDb::embedded();
+        assert_eq!(db.category("zz"), TldCategory::CountryCode);
+        assert_eq!(db.category("jp"), TldCategory::CountryCode);
+    }
+
+    #[test]
+    fn unknown_long_is_generic() {
+        let db = RootZoneDb::embedded();
+        assert_eq!(db.category("unknowngtld"), TldCategory::Generic);
+        // Punycode TLDs (IDN ccTLDs aside) default to generic too.
+        assert_eq!(db.category("xn--p1ai9000"), TldCategory::Generic);
+    }
+
+    #[test]
+    fn digits_are_not_cc() {
+        let db = RootZoneDb::embedded();
+        assert_eq!(db.category("x1"), TldCategory::Generic);
+    }
+
+    #[test]
+    fn snapshot_is_nonempty() {
+        assert!(RootZoneDb::embedded().explicit_len() > 40);
+    }
+}

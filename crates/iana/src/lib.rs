@@ -1,0 +1,19 @@
+//! # psl-iana — IANA Root Zone Database substrate
+//!
+//! The paper (§3) labels PSL entries using the IANA Root Zone Database:
+//! ICANN-section rules are categorised by their TLD as *generic*,
+//! *country-code*, *sponsored*, or *infrastructure*; PRIVATE-section rules
+//! are *private domains*. The real database is a web resource; this crate
+//! embeds a faithful static snapshot plus the two structural rules that make
+//! it total (two-letter ⇒ country code; otherwise generic).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod category;
+pub mod classify;
+pub mod db;
+
+pub use category::{SuffixClass, TldCategory};
+pub use classify::{classify_rule, classify_rules, tld_category_counts};
+pub use db::RootZoneDb;

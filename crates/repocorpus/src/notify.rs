@@ -1,0 +1,114 @@
+//! Maintainer notification text (paper §3: "we sought to notify the
+//! maintainers of those projects of our findings … by opening a GitHub
+//! issue explaining the correct use of the public suffix list").
+
+use crate::repo::Repository;
+use crate::taxonomy::{FixedKind, UpdatedKind, UsageClass};
+use psl_history::DatedCopy;
+
+/// Render a GitHub-issue-style notification for a flagged repository.
+/// Returns `None` for classes that do not warrant a notification
+/// (dependency usage is the library's responsibility).
+pub fn notification(
+    repo: &Repository,
+    class: UsageClass,
+    dated: Option<DatedCopy>,
+    observed_at: psl_core::Date,
+) -> Option<String> {
+    let risk = match class {
+        UsageClass::Fixed(FixedKind::Production) => {
+            "your project ships a hard-coded copy of the Public Suffix List and uses it in production code"
+        }
+        UsageClass::Fixed(FixedKind::Test) => {
+            "your project ships a hard-coded copy of the Public Suffix List in its test suite"
+        }
+        UsageClass::Fixed(FixedKind::Other) => {
+            "your project ships an unused hard-coded copy of the Public Suffix List"
+        }
+        UsageClass::Updated(UpdatedKind::Server) => {
+            "your server refreshes its Public Suffix List copy only at bootstrap and is rarely restarted"
+        }
+        UsageClass::Updated(UpdatedKind::Build) => {
+            "your project refreshes its Public Suffix List copy only at build time"
+        }
+        UsageClass::Updated(UpdatedKind::User) | UsageClass::Dependency(_) => return None,
+    };
+    let mut body = String::new();
+    body.push_str(&format!("Title: Outdated Public Suffix List in {}\n\n", repo.name));
+    body.push_str(&format!("Hello! While studying how open-source projects use the Public Suffix List, we found that {risk}.\n\n"));
+    if let Some(d) = dated {
+        body.push_str(&format!(
+            "The embedded copy matches the list published on {}, which is {} days old as of {}.\n\n",
+            d.version,
+            d.age_days(observed_at),
+            observed_at,
+        ));
+    }
+    body.push_str(
+        "Because the list defines privacy boundaries (cookie isolation, password-manager \
+         autofill scope, site grouping), an out-of-date copy can group unrelated domains into \
+         one site. We recommend fetching the list at runtime from \
+         https://publicsuffix.org/list/public_suffix_list.dat and refreshing it regularly.\n",
+    );
+    Some(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repo::Repository;
+    use psl_core::Date;
+    use psl_history::MatchQuality;
+
+    fn repo() -> Repository {
+        Repository {
+            name: "acme/tool".into(),
+            stars: 1,
+            forks: 0,
+            last_commit: Date::parse("2022-01-01").unwrap(),
+            files: vec![],
+            ground_truth: None,
+        }
+    }
+
+    #[test]
+    fn fixed_production_gets_notified_with_age() {
+        let dated = DatedCopy {
+            version: Date::parse("2020-01-01").unwrap(),
+            quality: MatchQuality::Exact,
+        };
+        let t = Date::parse("2022-12-08").unwrap();
+        let text = notification(
+            &repo(),
+            UsageClass::Fixed(FixedKind::Production),
+            Some(dated),
+            t,
+        )
+        .unwrap();
+        assert!(text.contains("acme/tool"));
+        assert!(text.contains("1072 days old"));
+        assert!(text.contains("publicsuffix.org"));
+    }
+
+    #[test]
+    fn low_risk_classes_are_not_notified() {
+        let t = Date::parse("2022-12-08").unwrap();
+        assert!(notification(&repo(), UsageClass::Updated(UpdatedKind::User), None, t).is_none());
+        assert!(notification(
+            &repo(),
+            UsageClass::Dependency(crate::taxonomy::DependencyLib::JavaJre),
+            None,
+            t
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn server_class_is_notified_without_date() {
+        let t = Date::parse("2022-12-08").unwrap();
+        let text =
+            notification(&repo(), UsageClass::Updated(UpdatedKind::Server), None, t).unwrap();
+        assert!(text.contains("bootstrap"));
+        assert!(!text.contains("days old"));
+    }
+}

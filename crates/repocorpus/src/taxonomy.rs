@@ -1,0 +1,211 @@
+//! The paper's usage taxonomy (§4, Table 1).
+//!
+//! Projects integrate the PSL one of three ways: *fixed* (hard-coded copy,
+//! never updated), *updated* (hard-coded copy plus an update attempt), or
+//! *dependency* (via a third-party library). Each has sub-categories.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Sub-category of fixed incorporation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FixedKind {
+    /// The hard-coded list is used by production code — the most
+    /// privacy-harming case.
+    Production,
+    /// The list is only used by a test suite.
+    Test,
+    /// The list is present but unused.
+    Other,
+}
+
+/// Sub-category of updated incorporation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum UpdatedKind {
+    /// The list is refreshed at build time, then frozen into the artifact.
+    Build,
+    /// Refreshed at startup of a frequently-restarted (user) application.
+    User,
+    /// Refreshed at startup of a rarely-restarted server daemon — the most
+    /// at-risk updated sub-category.
+    Server,
+}
+
+/// The dependency library used to obtain the list (Table 1's breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DependencyLib {
+    /// The bundled Java runtime copy (`jre`).
+    JavaJre,
+    /// OpenWrt `ddns-scripts`.
+    ShellDdnsScripts,
+    /// Python `oneforall`.
+    PythonOneforall,
+    /// Python `python-whois`.
+    PythonWhois,
+    /// Ruby `domain_name`.
+    RubyDomainName,
+    /// Any other library.
+    Other,
+}
+
+impl DependencyLib {
+    /// The vendor-directory name the detector recognises.
+    pub fn vendor_name(self) -> &'static str {
+        match self {
+            DependencyLib::JavaJre => "jre",
+            DependencyLib::ShellDdnsScripts => "ddns-scripts",
+            DependencyLib::PythonOneforall => "oneforall",
+            DependencyLib::PythonWhois => "python-whois",
+            DependencyLib::RubyDomainName => "domain_name",
+            DependencyLib::Other => "misc-psl-lib",
+        }
+    }
+
+    /// Parse a vendor-directory name.
+    pub fn from_vendor_name(name: &str) -> DependencyLib {
+        match name {
+            "jre" => DependencyLib::JavaJre,
+            "ddns-scripts" => DependencyLib::ShellDdnsScripts,
+            "oneforall" => DependencyLib::PythonOneforall,
+            "python-whois" => DependencyLib::PythonWhois,
+            "domain_name" => DependencyLib::RubyDomainName,
+            _ => DependencyLib::Other,
+        }
+    }
+
+    /// All libraries, in Table 1 order.
+    pub const ALL: [DependencyLib; 6] = [
+        DependencyLib::JavaJre,
+        DependencyLib::ShellDdnsScripts,
+        DependencyLib::PythonOneforall,
+        DependencyLib::PythonWhois,
+        DependencyLib::RubyDomainName,
+        DependencyLib::Other,
+    ];
+}
+
+/// How a project integrates the PSL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum UsageClass {
+    /// Hard-coded copy with no update mechanism.
+    Fixed(FixedKind),
+    /// Hard-coded copy plus an update attempt (falls back to the copy).
+    Updated(UpdatedKind),
+    /// List obtained via a third-party library.
+    Dependency(DependencyLib),
+}
+
+impl UsageClass {
+    /// Is this the "fixed, in production code" class the paper's harm
+    /// analysis centres on?
+    pub fn is_fixed_production(self) -> bool {
+        self == UsageClass::Fixed(FixedKind::Production)
+    }
+
+    /// Top-level category label (Table 1's F / U / D).
+    pub fn top_level(self) -> &'static str {
+        match self {
+            UsageClass::Fixed(_) => "Fixed",
+            UsageClass::Updated(_) => "Updated",
+            UsageClass::Dependency(_) => "Dependency",
+        }
+    }
+}
+
+impl fmt::Display for UsageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UsageClass::Fixed(FixedKind::Production) => f.write_str("Fixed/Production"),
+            UsageClass::Fixed(FixedKind::Test) => f.write_str("Fixed/Test"),
+            UsageClass::Fixed(FixedKind::Other) => f.write_str("Fixed/Other"),
+            UsageClass::Updated(UpdatedKind::Build) => f.write_str("Updated/Build"),
+            UsageClass::Updated(UpdatedKind::User) => f.write_str("Updated/User"),
+            UsageClass::Updated(UpdatedKind::Server) => f.write_str("Updated/Server"),
+            UsageClass::Dependency(lib) => write!(f, "Dependency/{}", lib.vendor_name()),
+        }
+    }
+}
+
+/// Table 1 target counts: `(class, projects)`. The generator reproduces
+/// these exactly (273 projects total).
+pub const TABLE1_TARGETS: &[(UsageClass, usize)] = &[
+    (UsageClass::Fixed(FixedKind::Production), 43),
+    (UsageClass::Fixed(FixedKind::Test), 24),
+    (UsageClass::Fixed(FixedKind::Other), 1),
+    (UsageClass::Updated(UpdatedKind::Build), 24),
+    (UsageClass::Updated(UpdatedKind::User), 8),
+    (UsageClass::Updated(UpdatedKind::Server), 3),
+    (UsageClass::Dependency(DependencyLib::JavaJre), 113),
+    (UsageClass::Dependency(DependencyLib::ShellDdnsScripts), 15),
+    (UsageClass::Dependency(DependencyLib::PythonOneforall), 12),
+    (UsageClass::Dependency(DependencyLib::PythonWhois), 10),
+    (UsageClass::Dependency(DependencyLib::RubyDomainName), 10),
+    (UsageClass::Dependency(DependencyLib::Other), 10),
+];
+
+/// Total number of projects in the study (Table 1).
+pub const TOTAL_PROJECTS: usize = 273;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals() {
+        let total: usize = TABLE1_TARGETS.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, TOTAL_PROJECTS);
+        let fixed: usize = TABLE1_TARGETS
+            .iter()
+            .filter(|(c, _)| matches!(c, UsageClass::Fixed(_)))
+            .map(|(_, n)| n)
+            .sum();
+        let updated: usize = TABLE1_TARGETS
+            .iter()
+            .filter(|(c, _)| matches!(c, UsageClass::Updated(_)))
+            .map(|(_, n)| n)
+            .sum();
+        let dep: usize = TABLE1_TARGETS
+            .iter()
+            .filter(|(c, _)| matches!(c, UsageClass::Dependency(_)))
+            .map(|(_, n)| n)
+            .sum();
+        assert_eq!(fixed, 68); // 24.9% of 273
+        assert_eq!(updated, 35); // 12.8%
+        assert_eq!(dep, 170); // 62.3%
+    }
+
+    #[test]
+    fn paper_percentages() {
+        // 68/273 = 24.9%, 35/273 = 12.8%, 170/273 = 62.3%
+        assert!((68.0_f64 / 273.0 - 0.249).abs() < 0.001);
+        assert!((35.0_f64 / 273.0 - 0.128).abs() < 0.001);
+        assert!((170.0_f64 / 273.0 - 0.623).abs() < 0.001);
+    }
+
+    #[test]
+    fn vendor_names_roundtrip() {
+        for lib in DependencyLib::ALL {
+            if lib != DependencyLib::Other {
+                assert_eq!(DependencyLib::from_vendor_name(lib.vendor_name()), lib);
+            }
+        }
+        assert_eq!(
+            DependencyLib::from_vendor_name("anything-else"),
+            DependencyLib::Other
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            UsageClass::Fixed(FixedKind::Production).to_string(),
+            "Fixed/Production"
+        );
+        assert_eq!(
+            UsageClass::Dependency(DependencyLib::JavaJre).to_string(),
+            "Dependency/jre"
+        );
+        assert!(UsageClass::Fixed(FixedKind::Production).is_fixed_production());
+        assert!(!UsageClass::Fixed(FixedKind::Test).is_fixed_production());
+    }
+}

@@ -1,0 +1,197 @@
+//! Descriptive statistics over numeric samples.
+//!
+//! The paper reports medians (list ages), counts, and correlation
+//! coefficients; this module provides those primitives with explicit
+//! handling of empty inputs (no NaN surprises).
+
+use serde::{Deserialize, Serialize};
+
+/// A five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Smallest value.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub stddev: f64,
+}
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (n-1 denominator); `None` for n < 2.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation; `None` for n < 2.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// The `q`-th percentile (0.0 ..= 1.0) using linear interpolation between
+/// order statistics (type-7, the numpy default). `None` for empty input or
+/// `q` outside [0, 1].
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) || q.is_nan() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    Some(percentile_sorted(&sorted, q))
+}
+
+/// [`percentile`] over an already-sorted slice (no copy).
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Median; `None` for empty input.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 0.5)
+}
+
+/// Median of integer samples, rounded half-up to the nearest integer.
+/// Convenient for day counts.
+pub fn median_i64(xs: &[i64]) -> Option<i64> {
+    let f: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+    median(&f).map(|m| m.round() as i64)
+}
+
+/// Compute a full [`Summary`]; `None` for empty input.
+pub fn summarize(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summarize input"));
+    Some(Summary {
+        n: sorted.len(),
+        min: sorted[0],
+        p25: percentile_sorted(&sorted, 0.25),
+        median: percentile_sorted(&sorted, 0.5),
+        p75: percentile_sorted(&sorted, 0.75),
+        max: sorted[sorted.len() - 1],
+        mean: mean(xs)?,
+        stddev: stddev(xs).unwrap_or(0.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_inputs_are_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(percentile(&[], 0.5), None);
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn simple_values() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(mean(&xs), Some(3.0));
+        assert_eq!(median(&xs), Some(3.0));
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 1.0), Some(5.0));
+        assert!((variance(&xs).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_sample_median_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+        assert_eq!(median_i64(&[1, 2]), Some(2)); // 1.5 rounds half-up
+    }
+
+    #[test]
+    fn percentile_rejects_bad_q() {
+        let xs = [1.0, 2.0];
+        assert_eq!(percentile(&xs, -0.1), None);
+        assert_eq!(percentile(&xs, 1.1), None);
+        assert_eq!(percentile(&xs, f64::NAN), None);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let s = summarize(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.mean, 2.5);
+    }
+
+    #[test]
+    fn single_element() {
+        let s = summarize(&[7.0]).unwrap();
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(variance(&[7.0]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn median_is_between_min_and_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+            let m = median(&xs).unwrap();
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= min && m <= max);
+        }
+
+        #[test]
+        fn percentile_is_monotone(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..50),
+            q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0,
+        ) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            let p_lo = percentile(&xs, lo).unwrap();
+            let p_hi = percentile(&xs, hi).unwrap();
+            prop_assert!(p_lo <= p_hi);
+        }
+
+        #[test]
+        fn mean_shift_invariance(xs in proptest::collection::vec(-1e3f64..1e3, 2..30), c in -100.0f64..100.0) {
+            let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+            let m1 = mean(&xs).unwrap() + c;
+            let m2 = mean(&shifted).unwrap();
+            prop_assert!((m1 - m2).abs() < 1e-6);
+            let v1 = variance(&xs).unwrap();
+            let v2 = variance(&shifted).unwrap();
+            prop_assert!((v1 - v2).abs() < 1e-6 * v1.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figure 3 of the paper is an ECDF of embedded-list ages, broken down by
+//! update strategy. [`Ecdf`] supports point evaluation, quantiles, and
+//! exporting plot-ready (x, F(x)) step series.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF built from a finite sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    /// Sorted sample values.
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample (values are copied and sorted; NaNs are
+    /// dropped).
+    pub fn new(values: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+        Ecdf { sorted }
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// F(x): the fraction of the sample ≤ x. Returns 0 for an empty
+    /// sample.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point gives the count of values <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The q-quantile (inverse CDF): the smallest sample value v with
+    /// F(v) >= q. `None` for empty samples or q outside (0, 1].
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(q > 0.0 && q <= 1.0) {
+            return None;
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.sorted[idx.min(self.sorted.len() - 1)])
+    }
+
+    /// The median per the inverse-CDF definition.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The step-function points `(x_i, i/n)` for plotting, deduplicated on
+    /// x (keeping the highest F at each x).
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let f = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == x => last.1 = f,
+                _ => out.push((x, f)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_eval() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.quantile(0.25), Some(10.0));
+        assert_eq!(e.quantile(0.5), Some(20.0));
+        assert_eq!(e.quantile(1.0), Some(40.0));
+        assert_eq!(e.quantile(0.0), None);
+        assert_eq!(e.median(), Some(20.0));
+    }
+
+    #[test]
+    fn empty_sample() {
+        let e = Ecdf::new(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.eval(1.0), 0.0);
+        assert_eq!(e.median(), None);
+    }
+
+    #[test]
+    fn nan_values_dropped() {
+        let e = Ecdf::new(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn steps_dedup_ties() {
+        let e = Ecdf::new(&[1.0, 1.0, 2.0]);
+        let s = e.steps();
+        assert_eq!(s.len(), 2);
+        assert!((s[0].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s[1], (2.0, 1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn eval_is_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..40), a in -1e3f64..1e3, b in -1e3f64..1e3) {
+            let e = Ecdf::new(&xs);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(e.eval(lo) <= e.eval(hi));
+        }
+
+        #[test]
+        fn quantile_inverts_eval(xs in proptest::collection::vec(-1e3f64..1e3, 1..40), q in 0.01f64..1.0) {
+            let e = Ecdf::new(&xs);
+            let v = e.quantile(q).unwrap();
+            prop_assert!(e.eval(v) >= q - 1e-9);
+        }
+
+        #[test]
+        fn steps_end_at_one(xs in proptest::collection::vec(-1e3f64..1e3, 1..40)) {
+            let e = Ecdf::new(&xs);
+            let s = e.steps();
+            prop_assert!((s.last().unwrap().1 - 1.0).abs() < 1e-12);
+        }
+    }
+}

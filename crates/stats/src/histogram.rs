@@ -1,0 +1,130 @@
+//! Fixed-bin histograms for report rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with equal-width bins, plus overflow /
+/// underflow counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi` (construction-time programming
+    /// errors).
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() || x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = ((x - self.lo) / width) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Add many observations.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below `lo` (including NaN).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `[start, end)` range of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bins_receive_values() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([0.0, 1.9, 2.0, 5.5, 9.999]);
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.extend([-0.5, 1.0, 2.0, f64::NAN, 0.5]);
+        assert_eq!(h.underflow(), 2); // -0.5 and NaN
+        assert_eq!(h.overflow(), 2); // 1.0 (hi is exclusive) and 2.0
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn bin_ranges_tile_the_interval() {
+        let h = Histogram::new(0.0, 10.0, 4);
+        assert_eq!(h.bin_range(0), (0.0, 2.5));
+        assert_eq!(h.bin_range(3), (7.5, 10.0));
+    }
+
+    proptest! {
+        #[test]
+        fn every_observation_is_counted(xs in proptest::collection::vec(-100.0f64..100.0, 0..100)) {
+            let mut h = Histogram::new(-50.0, 50.0, 10);
+            h.extend(xs.iter().copied());
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+
+        #[test]
+        fn in_range_values_land_in_their_bin(x in 0.0f64..9.999) {
+            let mut h = Histogram::new(0.0, 10.0, 10);
+            h.add(x);
+            let idx = x as usize;
+            prop_assert_eq!(h.counts()[idx], 1);
+        }
+    }
+}

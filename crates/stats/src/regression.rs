@@ -1,0 +1,155 @@
+//! Simple linear regression and trend testing.
+//!
+//! Experiment tests need to assert "this series rises/falls over time"
+//! more robustly than comparing era averages; ordinary least squares with
+//! a slope sign (and strength) does that.
+
+use serde::{Deserialize, Serialize};
+
+/// An ordinary-least-squares fit `y = intercept + slope * x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (0..=1; 1 = perfect fit).
+    pub r_squared: f64,
+}
+
+/// Fit a line to `(x, y)` pairs. `None` for fewer than two points or
+/// zero x-variance.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(LinearFit { slope, intercept, r_squared })
+}
+
+/// Fit a line to a series indexed 0..n.
+pub fn trend(ys: &[f64]) -> Option<LinearFit> {
+    let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+    linear_fit(&xs, ys)
+}
+
+/// The direction of a series' trend, by OLS slope with a relative
+/// threshold (slope magnitude vs. the series' mean absolute level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trend {
+    /// Clearly increasing.
+    Rising,
+    /// Clearly decreasing.
+    Falling,
+    /// No clear direction.
+    Flat,
+}
+
+/// Classify a series' trend. `rel_threshold` is the minimum |slope| ×
+/// n / mean|y| to count as a direction (0.05 ≈ "changes by at least 5%
+/// of its level across the window").
+pub fn classify_trend(ys: &[f64], rel_threshold: f64) -> Trend {
+    let Some(fit) = trend(ys) else {
+        return Trend::Flat;
+    };
+    let level = ys.iter().map(|y| y.abs()).sum::<f64>() / ys.len().max(1) as f64;
+    if level == 0.0 {
+        return Trend::Flat;
+    }
+    let relative_change = fit.slope * ys.len() as f64 / level;
+    if relative_change > rel_threshold {
+        Trend::Rising
+    } else if relative_change < -rel_threshold {
+        Trend::Falling
+    } else {
+        Trend::Flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fits_exact_lines() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[1.0, 1.0], &[1.0, 2.0]).is_none()); // zero x-variance
+        assert!(linear_fit(&[1.0, 2.0], &[1.0]).is_none());
+        // Constant y: slope 0, perfect fit.
+        let fit = linear_fit(&[0.0, 1.0, 2.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn trend_classification() {
+        let rising: Vec<f64> = (0..50).map(|i| 100.0 + i as f64).collect();
+        let falling: Vec<f64> = (0..50).map(|i| 100.0 - i as f64).collect();
+        let flat: Vec<f64> = (0..50).map(|i| 100.0 + (i % 2) as f64).collect();
+        assert_eq!(classify_trend(&rising, 0.05), Trend::Rising);
+        assert_eq!(classify_trend(&falling, 0.05), Trend::Falling);
+        assert_eq!(classify_trend(&flat, 0.05), Trend::Flat);
+        assert_eq!(classify_trend(&[], 0.05), Trend::Flat);
+        assert_eq!(classify_trend(&[0.0, 0.0], 0.05), Trend::Flat);
+    }
+
+    proptest! {
+        #[test]
+        fn rsquared_bounded(
+            pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..40)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Some(fit) = linear_fit(&xs, &ys) {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&fit.r_squared));
+            }
+        }
+
+        #[test]
+        fn fit_minimises_residuals_vs_shifted_lines(
+            pairs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 3..20),
+            delta in -1.0f64..1.0,
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Some(fit) = linear_fit(&xs, &ys) {
+                let rss = |slope: f64, icept: f64| -> f64 {
+                    xs.iter().zip(&ys).map(|(&x, &y)| {
+                        let e = y - (icept + slope * x);
+                        e * e
+                    }).sum()
+                };
+                let best = rss(fit.slope, fit.intercept);
+                prop_assert!(best <= rss(fit.slope + delta, fit.intercept) + 1e-9);
+                prop_assert!(best <= rss(fit.slope, fit.intercept + delta) + 1e-9);
+            }
+        }
+    }
+}

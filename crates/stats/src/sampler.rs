@@ -1,0 +1,237 @@
+//! Deterministic samplers for the synthetic substrates.
+//!
+//! Web traffic concentrates on few hostnames (Zipf), repository popularity
+//! is heavy-tailed (log-normal), and the generators must be reproducible
+//! bit-for-bit from a `u64` seed. All samplers take `&mut impl Rng` so a
+//! single seeded [`rand::rngs::StdRng`] can drive a whole pipeline.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s`, sampled via a
+/// precomputed cumulative table and binary search. O(n) setup, O(log n) per
+/// sample; exact (no rejection), which keeps the generators fast at corpus
+/// scale.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a Zipf sampler over `1..=n` with exponent `s > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite and positive — both are
+    /// construction-time programming errors, not data errors.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw a rank in `1..=n` (rank 1 is the most probable).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf[i] >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+
+    /// Probability mass of rank `k` (1-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 || k > self.cdf.len() {
+            return 0.0;
+        }
+        let prev = if k == 1 { 0.0 } else { self.cdf[k - 2] };
+        self.cdf[k - 1] - prev
+    }
+}
+
+/// Sample a standard normal via Box–Muller.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample a log-normal with the given parameters of the underlying normal.
+pub fn log_normal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Sample an exponential with the given rate.
+pub fn exponential(rng: &mut impl Rng, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Pick a weighted index: returns `i` with probability `weights[i] /
+/// sum(weights)`. Returns `None` for empty or all-zero weights.
+pub fn weighted_index(rng: &mut impl Rng, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+    if total <= 0.0 || !total.is_finite() {
+        return None;
+    }
+    let mut u: f64 = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        if u < w {
+            return Some(i);
+        }
+        u -= w;
+    }
+    // Floating point slack: return the last positive-weight index.
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+/// Derive a child seed from a parent seed and a stream id (splitmix64
+/// finalizer). Lets every substrate carve independent, reproducible RNG
+/// streams out of one top-level seed.
+pub fn derive_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = rng(1);
+        let mut counts = vec![0usize; 101];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts.iter().skip(1).sum::<usize>() == 20_000);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (1..=50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(51), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = rng(2);
+        let xs: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut r)).collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!(m.abs() < 0.03, "mean {m}");
+        assert!((v - 1.0).abs() < 0.05, "variance {v}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = rng(3);
+        for _ in 0..1000 {
+            assert!(log_normal(&mut r, 2.0, 1.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_index_edge_cases() {
+        let mut r = rng(4);
+        assert_eq!(weighted_index(&mut r, &[]), None);
+        assert_eq!(weighted_index(&mut r, &[0.0, 0.0]), None);
+        assert_eq!(weighted_index(&mut r, &[0.0, 5.0, 0.0]), Some(1));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted_index(&mut r, &[1.0, 2.0, 7.0]).unwrap()] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let frac2 = counts[2] as f64 / 30_000.0;
+        assert!((frac2 - 0.7).abs() < 0.02, "{frac2}");
+    }
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spread() {
+        assert_eq!(derive_seed(42, 1), derive_seed(42, 1));
+        assert_ne!(derive_seed(42, 1), derive_seed(42, 2));
+        assert_ne!(derive_seed(42, 1), derive_seed(43, 1));
+    }
+
+    #[test]
+    fn samplers_are_reproducible() {
+        let z = Zipf::new(20, 1.1);
+        let a: Vec<usize> = {
+            let mut r = rng(7);
+            (0..50).map(|_| z.sample(&mut r)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = rng(7);
+            (0..50).map(|_| z.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn zipf_samples_in_range(n in 1usize..200, s in 0.5f64..2.5, seed in 0u64..1000) {
+            let z = Zipf::new(n, s);
+            let mut r = rng(seed);
+            for _ in 0..20 {
+                let k = z.sample(&mut r);
+                prop_assert!((1..=n).contains(&k));
+            }
+        }
+
+        #[test]
+        fn weighted_index_in_range(
+            weights in proptest::collection::vec(0.0f64..10.0, 1..20),
+            seed in 0u64..1000,
+        ) {
+            let mut r = rng(seed);
+            if let Some(i) = weighted_index(&mut r, &weights) {
+                prop_assert!(i < weights.len());
+                prop_assert!(weights[i] > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # psl-webcorpus — an HTTP-Archive-like web request corpus
+//!
+//! The paper interprets the 498M-request July 2022 HTTP Archive snapshot
+//! through every historical PSL version (§5). That dataset cannot be
+//! shipped; this crate provides the substitute substrate: a deterministic,
+//! seedable generator producing `(page hostname, request hostname)` pairs
+//! whose suffix structure reacts to list age exactly like the real Web's —
+//! shared-hosting platforms whose customers collapse under old lists,
+//! exception-zone siblings that merge as early rules land, and a stable
+//! organisational bulk. Scale is a parameter: the default configuration is
+//! a laptop-scale stand-in whose *relative* shapes reproduce the paper's
+//! figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod model;
+pub mod stats;
+
+pub use generator::{generate_corpus, CorpusConfig};
+pub use model::{CorpusBuilder, HostId, Request, WebCorpus};
+pub use stats::{corpus_stats, CorpusStats};

@@ -1,0 +1,191 @@
+//! The web-request corpus model.
+//!
+//! An HTTP-Archive-like snapshot: a set of `(page hostname, request
+//! hostname)` pairs. Hostnames are interned so the per-version sweep (the
+//! pipeline's hot path: 1,142 versions × the whole corpus) can precompute
+//! label splits once and work with dense `u32` ids.
+
+use psl_core::{Date, DomainName};
+use serde::{Deserialize, Serialize};
+
+/// Interned hostname id.
+pub type HostId = u32;
+
+/// One sub-resource request: a page on `page` fetched something from
+/// `request`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// The first-party page's hostname id.
+    pub page: HostId,
+    /// The fetched resource's hostname id.
+    pub request: HostId,
+}
+
+/// An HTTP-Archive-like snapshot of web requests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WebCorpus {
+    /// Date of the snapshot (paper: July 2022).
+    pub snapshot_date: Date,
+    hosts: Vec<DomainName>,
+    requests: Vec<Request>,
+}
+
+impl WebCorpus {
+    /// Build from interned hosts and request pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request references an out-of-range host id (a
+    /// construction-time programming error).
+    pub fn new(snapshot_date: Date, hosts: Vec<DomainName>, requests: Vec<Request>) -> Self {
+        let n = hosts.len() as u32;
+        for r in &requests {
+            assert!(r.page < n && r.request < n, "request references unknown host");
+        }
+        WebCorpus { snapshot_date, hosts, requests }
+    }
+
+    /// The interned hostnames (all unique).
+    pub fn hosts(&self) -> &[DomainName] {
+        &self.hosts
+    }
+
+    /// Number of unique hostnames.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The request pairs.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn request_count(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Resolve a host id.
+    pub fn host(&self, id: HostId) -> &DomainName {
+        &self.hosts[id as usize]
+    }
+
+    /// Serialize to JSON (for sharing a generated corpus between the CLI
+    /// and the bench harness).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("corpus serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        let corpus: WebCorpus = serde_json::from_str(s)?;
+        Ok(corpus)
+    }
+
+    /// Precompute reversed label lists for every host — the input shape
+    /// the suffix trie consumes. Index i corresponds to host id i.
+    pub fn reversed_labels(&self) -> Vec<Vec<&str>> {
+        self.hosts.iter().map(|h| h.labels_reversed()).collect()
+    }
+}
+
+/// A builder that interns hostnames.
+#[derive(Debug, Default)]
+pub struct CorpusBuilder {
+    hosts: Vec<DomainName>,
+    index: std::collections::HashMap<String, HostId>,
+    requests: Vec<Request>,
+}
+
+impl CorpusBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        CorpusBuilder::default()
+    }
+
+    /// Intern a hostname, returning its id.
+    pub fn host(&mut self, name: &DomainName) -> HostId {
+        if let Some(&id) = self.index.get(name.as_str()) {
+            return id;
+        }
+        let id = self.hosts.len() as HostId;
+        self.hosts.push(name.clone());
+        self.index.insert(name.as_str().to_string(), id);
+        id
+    }
+
+    /// Record a request pair.
+    pub fn request(&mut self, page: HostId, request: HostId) {
+        self.requests.push(Request { page, request });
+    }
+
+    /// Number of interned hosts so far.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Finish.
+    pub fn build(self, snapshot_date: Date) -> WebCorpus {
+        WebCorpus::new(snapshot_date, self.hosts, self.requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn builder_interns_hosts() {
+        let mut b = CorpusBuilder::new();
+        let a = b.host(&d("www.example.com"));
+        let a2 = b.host(&d("www.example.com"));
+        let c = b.host(&d("cdn.example.net"));
+        assert_eq!(a, a2);
+        assert_ne!(a, c);
+        b.request(a, c);
+        let corpus = b.build(Date::parse("2022-07-01").unwrap());
+        assert_eq!(corpus.host_count(), 2);
+        assert_eq!(corpus.request_count(), 1);
+        assert_eq!(corpus.host(a).as_str(), "www.example.com");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown host")]
+    fn out_of_range_request_panics() {
+        let _ = WebCorpus::new(
+            Date::parse("2022-07-01").unwrap(),
+            vec![d("a.com")],
+            vec![Request { page: 0, request: 5 }],
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut b = CorpusBuilder::new();
+        let a = b.host(&d("a.example.com"));
+        let c = b.host(&d("b.example.org"));
+        b.request(a, c);
+        let corpus = b.build(Date::parse("2022-07-01").unwrap());
+        let json = corpus.to_json();
+        let back = WebCorpus::from_json(&json).unwrap();
+        assert_eq!(back.host_count(), corpus.host_count());
+        assert_eq!(back.request_count(), corpus.request_count());
+        assert_eq!(back.host(0).as_str(), "a.example.com");
+        assert_eq!(back.snapshot_date, corpus.snapshot_date);
+    }
+
+    #[test]
+    fn reversed_labels_align_with_ids() {
+        let mut b = CorpusBuilder::new();
+        b.host(&d("x.co.uk"));
+        b.host(&d("y.com"));
+        let corpus = b.build(Date::parse("2022-07-01").unwrap());
+        let rl = corpus.reversed_labels();
+        assert_eq!(rl[0], ["uk", "co", "x"]);
+        assert_eq!(rl[1], ["com", "y"]);
+    }
+}

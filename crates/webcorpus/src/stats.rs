@@ -1,0 +1,113 @@
+//! Corpus descriptive statistics.
+//!
+//! Documents the shape of a generated corpus — hosts per site, request
+//! fan-out, traffic concentration — so EXPERIMENTS.md can state what the
+//! HTTP-Archive substitute actually looks like, and tests can assert the
+//! generator hit its targets.
+
+use crate::model::WebCorpus;
+use psl_core::{List, MatchOpts};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Descriptive statistics for a corpus under a given list.
+#[derive(Debug, Clone, Serialize)]
+pub struct CorpusStats {
+    /// Unique hostnames.
+    pub hosts: usize,
+    /// Total requests.
+    pub requests: usize,
+    /// Distinct sites (under the given list).
+    pub sites: usize,
+    /// Mean hostnames per site.
+    pub mean_hosts_per_site: f64,
+    /// Largest site's hostname count.
+    pub max_hosts_per_site: usize,
+    /// Distinct page hostnames.
+    pub distinct_pages: usize,
+    /// Mean requests per page.
+    pub mean_requests_per_page: f64,
+    /// Share of requests going to the top 1% of request hostnames
+    /// (traffic concentration; Zipf-like corpora are far above uniform).
+    pub top1pct_request_share: f64,
+}
+
+/// Compute statistics.
+pub fn corpus_stats(corpus: &WebCorpus, list: &List, opts: MatchOpts) -> CorpusStats {
+    let mut site_counts: HashMap<String, usize> = HashMap::new();
+    for host in corpus.hosts() {
+        let site = list.site(host, opts);
+        *site_counts.entry(site.as_str().to_string()).or_insert(0) += 1;
+    }
+    let sites = site_counts.len().max(1);
+    let max_hosts_per_site = site_counts.values().copied().max().unwrap_or(0);
+
+    let mut per_page: HashMap<u32, usize> = HashMap::new();
+    let mut per_target: HashMap<u32, usize> = HashMap::new();
+    for r in corpus.requests() {
+        *per_page.entry(r.page).or_insert(0) += 1;
+        *per_target.entry(r.request).or_insert(0) += 1;
+    }
+    let distinct_pages = per_page.len().max(1);
+
+    let mut target_counts: Vec<usize> = per_target.values().copied().collect();
+    target_counts.sort_unstable_by(|a, b| b.cmp(a));
+    let top_n = (target_counts.len() / 100).max(1);
+    let top_share = target_counts.iter().take(top_n).sum::<usize>() as f64
+        / corpus.request_count().max(1) as f64;
+
+    CorpusStats {
+        hosts: corpus.host_count(),
+        requests: corpus.request_count(),
+        sites,
+        mean_hosts_per_site: corpus.host_count() as f64 / sites as f64,
+        max_hosts_per_site,
+        distinct_pages,
+        mean_requests_per_page: corpus.request_count() as f64 / distinct_pages as f64,
+        top1pct_request_share: top_share,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_corpus, CorpusConfig};
+    use psl_history::{generate, GeneratorConfig};
+
+    #[test]
+    fn stats_describe_a_generated_corpus() {
+        let h = generate(&GeneratorConfig::small(511));
+        let c = generate_corpus(&h, &CorpusConfig::small(81));
+        let list = h.latest_snapshot();
+        let s = corpus_stats(&c, &list, MatchOpts::default());
+
+        assert_eq!(s.hosts, c.host_count());
+        assert_eq!(s.requests, c.request_count());
+        assert!(s.sites > 100);
+        assert!(s.mean_hosts_per_site >= 1.0);
+        assert!(s.max_hosts_per_site >= 2);
+        assert!(s.mean_requests_per_page >= 1.0);
+        // Traffic is concentrated: top 1% of targets carry far more than
+        // 1% of requests (trackers + popular org hosts).
+        assert!(
+            s.top1pct_request_share > 0.05,
+            "share {}",
+            s.top1pct_request_share
+        );
+    }
+
+    #[test]
+    fn older_list_means_fewer_sites_same_hosts() {
+        let h = generate(&GeneratorConfig::small(513));
+        let c = generate_corpus(&h, &CorpusConfig::small(83));
+        let old = h.snapshot_at(h.first_version());
+        let new = h.latest_snapshot();
+        let opts = MatchOpts::default();
+        let s_old = corpus_stats(&c, &old, opts);
+        let s_new = corpus_stats(&c, &new, opts);
+        assert_eq!(s_old.hosts, s_new.hosts);
+        assert!(s_old.sites < s_new.sites);
+        assert!(s_old.mean_hosts_per_site > s_new.mean_hosts_per_site);
+        assert!(s_old.max_hosts_per_site >= s_new.max_hosts_per_site);
+    }
+}

@@ -1,0 +1,81 @@
+//! A full browser session replayed under two list versions, showing every
+//! privacy decision flip at once: cookie acceptance, SameSite judgement,
+//! cookie attachment, referrer trimming, storage partitioning, and the
+//! address-bar highlight.
+//!
+//! ```sh
+//! cargo run --example browser_session
+//! ```
+
+use psl_browser::{address_bar_highlight, decision_divergence, Browser, Referrer};
+use psl_core::{DomainName, List, MatchOpts};
+
+fn session<'l>(list: &'l List) -> Browser<'l> {
+    let opts = MatchOpts::default();
+    let mut b = Browser::new(list, opts);
+
+    // Visit alice's store on a shared platform; her server tries a
+    // platform-wide session cookie.
+    let (ctx, page) = b.navigate("https://alice.hostedshops.com/cart?step=2").unwrap();
+    b.receive_set_cookie(
+        &DomainName::parse("alice.hostedshops.com").unwrap(),
+        "sid=abc123; Domain=hostedshops.com",
+    );
+    // The page loads a widget from bob's store and a tracker.
+    b.load_subresource(&ctx, &page, "https://bob.hostedshops.com/widget.js");
+    b.load_subresource(&ctx, &page, "https://cdn.tracker-inc.com/t.js");
+    b
+}
+
+fn main() {
+    let opts = MatchOpts::default();
+    let current =
+        List::parse("com\n// ===BEGIN PRIVATE DOMAINS===\nhostedshops.com\n");
+    let stale = List::parse("com\n");
+
+    println!("replaying the same session under two lists:\n");
+    let b_current = session(&current);
+    let b_stale = session(&stale);
+
+    for (label, browser) in [("current", &b_current), ("stale", &b_stale)] {
+        println!("-- {label} list --");
+        for decision in browser.decisions() {
+            match decision {
+                psl_browser::Decision::CookieAccepted(name, scope) => {
+                    println!("  cookie {name:8} ACCEPTED for Domain={scope}")
+                }
+                psl_browser::Decision::CookieRefused(_) => {
+                    println!("  cookie          REFUSED (supercookie)")
+                }
+                psl_browser::Decision::SameSiteContext(host, same) => {
+                    println!("  context to {host:28} same-site: {same}")
+                }
+                psl_browser::Decision::CookiesAttached(host, n) => {
+                    println!("  request to {host:28} cookies attached: {n}")
+                }
+                psl_browser::Decision::ReferrerSent(host, r) => {
+                    let shown = match r {
+                        Referrer::Full(u) => format!("FULL {u}"),
+                        Referrer::OriginOnly(o) => format!("origin {o}"),
+                        Referrer::None => "none".into(),
+                    };
+                    println!("  referrer to {host:27} {shown}")
+                }
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "decisions diverging between the two lists: {}",
+        decision_divergence(&b_current, &b_stale)
+    );
+
+    // And the cosmetic use: what the address bar highlights.
+    println!("\naddress bar highlight (current list):");
+    let host = DomainName::parse("login.alice.hostedshops.com").unwrap();
+    let (dim, bold) = address_bar_highlight(&current, &host, opts);
+    println!("  {dim}[{bold}]");
+    let (dim, bold) = address_bar_highlight(&stale, &host, opts);
+    println!("stale list shows instead:\n  {dim}[{bold}]  <- wrong boundary presented to the user");
+}

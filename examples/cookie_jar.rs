@@ -1,0 +1,51 @@
+//! Supercookies and cross-customer tracking: the browser cookie scenario
+//! from the paper's introduction and §2, driven through the RFC 6265
+//! cookie checks in `psl_core::cookie`.
+//!
+//! ```sh
+//! cargo run --example cookie_jar
+//! ```
+
+use psl_core::cookie::{cookie_visible_to, evaluate_set_cookie, CookieDecision};
+use psl_core::{DomainName, List, MatchOpts};
+
+fn main() {
+    let opts = MatchOpts::default();
+
+    // A current list knows github.io is a public suffix …
+    let current = List::parse("com\nio\n// ===BEGIN PRIVATE DOMAINS===\ngithub.io\n");
+    // … a 2012-era list does not.
+    let outdated = List::parse("com\nio\n");
+
+    let d = |s: &str| DomainName::parse(s).unwrap();
+
+    println!("-- supercookie rejection --");
+    for (list_name, list) in [("current", &current), ("outdated", &outdated)] {
+        let decision = evaluate_set_cookie(list, &d("evil.github.io"), &d("github.io"), opts);
+        let verdict = match decision {
+            CookieDecision::Allow => "ALLOWED  (tracking cookie spans every github.io site!)",
+            CookieDecision::Reject(r) => match r {
+                psl_core::cookie::CookieRejection::PublicSuffix => "rejected (public suffix)",
+                psl_core::cookie::CookieRejection::DomainMismatch => "rejected (domain mismatch)",
+            },
+        };
+        println!("{list_name:9} list: Set-Cookie Domain=github.io from evil.github.io -> {verdict}");
+    }
+
+    println!();
+    println!("-- cross-customer visibility --");
+    let alice = d("alice.github.io");
+    let bob = d("bob.github.io");
+    let scope = d("github.io");
+    for (list_name, list) in [("current", &current), ("outdated", &outdated)] {
+        let visible = cookie_visible_to(list, &alice, &scope, &bob, opts);
+        println!(
+            "{list_name:9} list: cookie set by alice.github.io (Domain=github.io) visible to bob.github.io: {visible}"
+        );
+    }
+
+    println!();
+    println!("-- ordinary first-party cookies still work --");
+    let decision = evaluate_set_cookie(&current, &d("www.example.com"), &d("example.com"), opts);
+    println!("Set-Cookie Domain=example.com from www.example.com -> {decision:?}");
+}

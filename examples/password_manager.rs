@@ -1,0 +1,64 @@
+//! The paper's §2 password-manager scenario: a password manager using an
+//! out-of-date PSL will offer autofill on unrelated domains.
+//!
+//! We store credentials for `good.example.co.uk`, then ask — under an old
+//! list (without the `example.co.uk` suffix) and a current one — whether
+//! the manager would offer them on `bad.example.co.uk`.
+//!
+//! ```sh
+//! cargo run --example password_manager
+//! ```
+
+use psl_core::{DomainName, List, MatchOpts};
+
+/// A minimal password-manager vault: credentials are scoped to the *site*
+/// of the domain they were saved on, exactly like real managers.
+struct Vault<'l> {
+    list: &'l List,
+    entries: Vec<(DomainName, &'static str, &'static str)>,
+}
+
+impl<'l> Vault<'l> {
+    fn new(list: &'l List) -> Self {
+        Vault { list, entries: Vec::new() }
+    }
+
+    fn save(&mut self, domain: &str, user: &'static str, password: &'static str) {
+        let d = DomainName::parse(domain).expect("valid domain");
+        self.entries.push((d, user, password));
+    }
+
+    /// Credentials the manager would offer to autofill on `domain`.
+    fn offers_for(&self, domain: &str) -> Vec<&'static str> {
+        let d = DomainName::parse(domain).expect("valid domain");
+        let opts = MatchOpts::default();
+        let site = self.list.site(&d, opts);
+        self.entries
+            .iter()
+            .filter(|(saved, _, _)| self.list.site(saved, opts) == site)
+            .map(|&(_, user, _)| user)
+            .collect()
+    }
+}
+
+fn main() {
+    // PSL v1: before example.co.uk was added.
+    let old = List::parse("uk\nco.uk\n");
+    // PSL v2: the operator registered their suffix.
+    let new = List::parse("uk\nco.uk\nexample.co.uk\n");
+
+    for (label, list) in [("old list (v1)", &old), ("current list (v2)", &new)] {
+        let mut vault = Vault::new(list);
+        vault.save("good.example.co.uk", "alice@example.org", "hunter2");
+
+        let on_good = vault.offers_for("good.example.co.uk");
+        let on_bad = vault.offers_for("bad.example.co.uk");
+        println!("{label}:");
+        println!("  autofill on good.example.co.uk -> {on_good:?}");
+        println!("  autofill on bad.example.co.uk  -> {on_bad:?}");
+        if !on_bad.is_empty() {
+            println!("  !! credentials leak to an unrelated operator's domain");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: parse a Public Suffix List, extract eTLDs and registrable
+//! domains, and check site membership.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use psl_core::{DomainName, List, MatchOpts};
+
+const LIST_TEXT: &str = r#"
+// ===BEGIN ICANN DOMAINS===
+com
+uk
+co.uk
+jp
+*.kobe.jp
+!city.kobe.jp
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+digitaloceanspaces.com
+// ===END PRIVATE DOMAINS===
+"#;
+
+fn main() {
+    let list = List::parse(LIST_TEXT);
+    let opts = MatchOpts::default();
+    println!("loaded {} rules\n", list.len());
+
+    for raw in [
+        "www.example.com",
+        "maps.google.com",
+        "amazon.co.uk",
+        "alice.github.io",
+        "bob.github.io",
+        "assets.shop.digitaloceanspaces.com",
+        "x.foo.kobe.jp",
+        "x.city.kobe.jp",
+    ] {
+        let domain = DomainName::parse(raw).expect("example domains are valid");
+        let suffix = list.public_suffix(&domain, opts).unwrap_or("-");
+        let site = list.site(&domain, opts);
+        println!("{raw:40} eTLD = {suffix:22} site = {site}");
+    }
+
+    // The question browsers actually ask: same site or not?
+    let a = DomainName::parse("www.google.com").unwrap();
+    let b = DomainName::parse("maps.google.com").unwrap();
+    let c = DomainName::parse("alice.github.io").unwrap();
+    let d = DomainName::parse("bob.github.io").unwrap();
+    println!();
+    println!("www.google.com ~ maps.google.com : same site = {}", list.same_site(&a, &b, opts));
+    println!("alice.github.io ~ bob.github.io  : same site = {}", list.same_site(&c, &d, opts));
+}

@@ -1,0 +1,52 @@
+//! A certificate authority's wildcard-issuance desk, with a current and a
+//! stale Public Suffix List — the paper's §4 "SSL wildcard issuance" use
+//! case.
+//!
+//! ```sh
+//! cargo run --example wildcard_ca
+//! ```
+
+use psl_certs::{evaluate_name, misissued_names, CertName, IssuanceDecision};
+use psl_core::{List, MatchOpts};
+
+fn main() {
+    let opts = MatchOpts::default();
+    let current = List::parse(
+        "com\nuk\nco.uk\n// ===BEGIN PRIVATE DOMAINS===\nmyshopify.com\ngithub.io\nio\n",
+    );
+    let stale = List::parse("com\nuk\nco.uk\nio\n"); // pre-platform era
+
+    let requests: Vec<CertName> = [
+        "*.example.com",    // ordinary wildcard: fine
+        "www.example.com",  // plain name: fine
+        "*.co.uk",          // registry-spanning: always refused
+        "*.myshopify.com",  // platform-spanning: refused only if the CA knows
+        "*.github.io",      // ditto
+    ]
+    .iter()
+    .map(|s| CertName::parse(s).unwrap())
+    .collect();
+
+    for (label, list) in [("current", &current), ("stale", &stale)] {
+        println!("-- CA running the {label} list --");
+        for name in &requests {
+            let verdict = match evaluate_name(list, name, opts) {
+                IssuanceDecision::Allow => "ISSUE",
+                IssuanceDecision::Refuse(e) => match e {
+                    psl_certs::IssuanceError::WildcardOverPublicSuffix => {
+                        "refuse (wildcard over public suffix)"
+                    }
+                    psl_certs::IssuanceError::BarePublicSuffix => "refuse (bare public suffix)",
+                },
+            };
+            println!("  {name:20} -> {verdict}");
+        }
+        println!();
+    }
+
+    let bad = misissued_names(&current, &stale, &requests, opts);
+    println!("certificates the stale CA mis-issues:");
+    for name in &bad {
+        println!("  {name}  (covers every customer of the platform)");
+    }
+}

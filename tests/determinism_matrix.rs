@@ -1,0 +1,107 @@
+//! Determinism and invariant matrix: key invariants must hold for *every*
+//! seed, and every generator must be a pure function of its config.
+
+use psl_analysis::{build_substrates, PipelineConfig};
+use psl_core::MatchOpts;
+use psl_history::{generate, DatingIndex, GeneratorConfig};
+use psl_repocorpus::{evaluate, DetectorConfig, RepoGenConfig};
+use psl_webcorpus::{generate_corpus, CorpusConfig};
+
+const SEEDS: [u64; 5] = [1, 7, 99, 1234, 0xDEAD_BEEF];
+
+#[test]
+fn history_invariants_hold_across_seeds() {
+    for seed in SEEDS {
+        let h = generate(&GeneratorConfig::small(seed));
+        // Versions sorted and unique.
+        for w in h.versions().windows(2) {
+            assert!(w[0] < w[1], "seed {seed}");
+        }
+        // Spans are well-formed.
+        for span in h.spans() {
+            assert!(span.added >= h.first_version(), "seed {seed}");
+            if let Some(r) = span.removed {
+                assert!(r > span.added, "seed {seed}");
+            }
+        }
+        // Growth endpoints are calibrated.
+        let first = h.rule_count_at(h.first_version());
+        let last = h.rule_count_at(h.latest_version());
+        assert!(
+            (first as f64 - 260.0).abs() < 30.0,
+            "seed {seed}: first {first}"
+        );
+        assert!((last as f64 - 950.0).abs() < 70.0, "seed {seed}: last {last}");
+        // No duplicate rule texts among concurrently-live spans at the
+        // latest version.
+        let rules = h.rules_at(h.latest_version());
+        let mut texts: Vec<String> = rules.iter().map(|r| r.as_text()).collect();
+        let n = texts.len();
+        texts.sort_unstable();
+        texts.dedup();
+        assert_eq!(texts.len(), n, "seed {seed}: duplicate live rules");
+    }
+}
+
+#[test]
+fn corpus_invariants_hold_across_seeds() {
+    let h = generate(&GeneratorConfig::small(42));
+    let latest = h.latest_snapshot();
+    let opts = MatchOpts::default();
+    for seed in SEEDS {
+        let c = generate_corpus(&h, &CorpusConfig::small(seed));
+        // All hosts valid and unique (CorpusBuilder guarantees; verify).
+        let mut seen = std::collections::HashSet::new();
+        for host in c.hosts() {
+            assert!(seen.insert(host.as_str()), "seed {seed}: dup {host}");
+        }
+        // Every request references interned hosts and every host has a
+        // resolvable site.
+        for r in c.requests() {
+            assert!((r.page as usize) < c.host_count());
+            assert!((r.request as usize) < c.host_count());
+        }
+        for host in c.hosts().iter().step_by(17) {
+            let _ = latest.site(host, opts);
+        }
+    }
+}
+
+#[test]
+fn detector_is_perfect_for_every_seed() {
+    let h = generate(&GeneratorConfig::small(77));
+    let reference = h.latest_snapshot();
+    let index = DatingIndex::build(&h);
+    for seed in SEEDS {
+        let repos = psl_repocorpus::generate_repos(
+            &h,
+            &RepoGenConfig { seed, ..Default::default() },
+        );
+        let eval = evaluate(&repos, &reference, &index, &DetectorConfig::default());
+        assert_eq!(eval.accuracy, 1.0, "seed {seed}: {:?}", eval.confusion);
+        assert_eq!(eval.missed, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn substrates_are_pure_functions_of_config() {
+    for seed in [3u64, 1001] {
+        let config = PipelineConfig::small(seed);
+        let a = build_substrates(&config);
+        let b = build_substrates(&config);
+        assert_eq!(
+            psl_history::to_json(&a.history),
+            psl_history::to_json(&b.history)
+        );
+        assert_eq!(a.corpus.to_json(), b.corpus.to_json());
+        assert_eq!(a.repos.len(), b.repos.len());
+        for (x, y) in a.repos.repos.iter().zip(&b.repos.repos) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.files.len(), y.files.len());
+            for (fx, fy) in x.files.iter().zip(&y.files) {
+                assert_eq!(fx.path, fy.path);
+                assert_eq!(fx.content, fy.content);
+            }
+        }
+    }
+}

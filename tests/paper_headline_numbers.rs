@@ -1,0 +1,203 @@
+//! The paper's headline numbers, checked in *shape*: exact where the
+//! pipeline controls them (taxonomy counts), banded where they emerge from
+//! calibrated generators (medians, correlations, growth), and directional
+//! where only the trend is claimed (who wins, where crossovers fall).
+
+use psl_analysis::{build_substrates, run_all, FullReport, PipelineConfig, Substrates};
+use std::sync::OnceLock;
+
+fn fixture() -> &'static (Substrates, FullReport) {
+    static CELL: OnceLock<(Substrates, FullReport)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let config = PipelineConfig::small(2023);
+        let subs = build_substrates(&config);
+        let report = run_all(&subs, &config);
+        (subs, report)
+    })
+}
+
+#[test]
+fn abstract_taxonomy_percentages() {
+    // "24.9% … include a fixed, hard-coded list … only 12.8% include a
+    // version that is routinely updated."
+    let (_, report) = fixture();
+    let pct: std::collections::HashMap<&str, f64> = report
+        .table1
+        .top_level
+        .iter()
+        .map(|(l, _, p)| (l.as_str(), *p))
+        .collect();
+    assert!((pct["Fixed"] - 24.9).abs() < 0.2);
+    assert!((pct["Updated"] - 12.8).abs() < 0.2);
+    assert!((pct["Dependency"] - 62.3).abs() < 0.2);
+}
+
+#[test]
+fn at_least_43_projects_use_hardcoded_outdated_lists() {
+    // Abstract: "at least 43 open-source projects use hard-coded, outdated
+    // versions" — the fixed/production count.
+    let (_, report) = fixture();
+    let prod = report
+        .table1
+        .rows
+        .iter()
+        .find(|r| r.class == "Fixed/Production")
+        .unwrap();
+    assert_eq!(prod.projects, 43);
+}
+
+#[test]
+fn growth_endpoints_match_figure2() {
+    // "began life with 2447 entries … 9368 suffixes by October 2022"
+    // (scaled: the small config uses 260 → 950 with the same shape).
+    let (subs, report) = fixture();
+    let first = report.fig2.series.first().unwrap();
+    let last = report.fig2.series.last().unwrap();
+    let cfg_like_ratio = last.total as f64 / first.total as f64;
+    let paper_ratio = 9368.0 / 2447.0;
+    assert!(
+        (cfg_like_ratio - paper_ratio).abs() / paper_ratio < 0.25,
+        "growth ratio {cfg_like_ratio} vs paper {paper_ratio}"
+    );
+    assert_eq!(report.fig2.series.len(), subs.history.version_count());
+}
+
+#[test]
+fn component_mix_matches_figure2() {
+    // "17% … single component, 57.5% … two components, 25.3% three
+    // components, ~0.1% four or more."
+    let (_, report) = fixture();
+    let s = report.fig2.final_shares;
+    assert!((s[0] - 0.17).abs() < 0.06, "1-comp {}", s[0]);
+    assert!((s[1] - 0.575).abs() < 0.09, "2-comp {}", s[1]);
+    assert!((s[2] - 0.253).abs() < 0.09, "3-comp {}", s[2]);
+    assert!(s[3] < 0.03, "4-comp {}", s[3]);
+}
+
+#[test]
+fn median_ages_band_around_paper_values() {
+    // "median list age of 871 days … updated 915 … fixed 825."
+    let (_, report) = fixture();
+    let all = report.fig3.median_of("all").unwrap();
+    let fixed = report.fig3.median_of("fixed").unwrap();
+    let updated = report.fig3.median_of("updated").unwrap();
+    for (label, value, paper) in [("all", all, 871.0), ("fixed", fixed, 825.0), ("updated", updated, 915.0)] {
+        assert!(
+            (value - paper).abs() / paper < 0.35,
+            "{label}: {value} vs paper {paper}"
+        );
+    }
+}
+
+#[test]
+fn stars_forks_pearson_is_096ish() {
+    // "a Pearson correlation coefficient of 0.96."
+    let (_, report) = fixture();
+    assert!(
+        (report.fig4.stars_forks_pearson - 0.96).abs() < 0.05,
+        "{}",
+        report.fig4.stars_forks_pearson
+    );
+}
+
+#[test]
+fn figure5_sites_grow_then_plateau() {
+    // "broadly flat in the early years … growing rapidly from 2013 through
+    // 2016, and then plateauing."
+    let (_, report) = fixture();
+    let rows = &report.figs567.rows;
+    let at_year = |y: f64| {
+        rows.iter()
+            .min_by(|a, b| {
+                (a.year - y).abs().partial_cmp(&(b.year - y).abs()).unwrap()
+            })
+            .unwrap()
+    };
+    let s2008 = at_year(2008.0).sites as f64;
+    let s2013 = at_year(2013.0).sites as f64;
+    let s2017 = at_year(2017.0).sites as f64;
+    let s2022 = at_year(2022.5).sites as f64;
+    let growth_13_17 = s2017 - s2013;
+    let growth_08_13 = s2013 - s2008;
+    let growth_17_22 = s2022 - s2017;
+    assert!(growth_13_17 > 0.0);
+    // The 2013–2017 era contains the strongest growth per year.
+    assert!(growth_13_17 / 4.0 > growth_08_13 / 5.0 * 0.8, "early era outgrew the middle");
+    assert!(s2022 >= s2017, "sites must not shrink");
+    let _ = growth_17_22;
+}
+
+#[test]
+fn figure6_third_party_drops_then_rises() {
+    // "in the early years … a significant drop … steadily risen from 2014
+    // through to 2022."
+    let (_, report) = fixture();
+    let rows = &report.figs567.rows;
+    let first = rows.first().unwrap().third_party_requests;
+    let last = rows.last().unwrap().third_party_requests;
+    let (min_idx, min_row) = rows
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, r)| r.third_party_requests)
+        .unwrap();
+    assert!(min_row.third_party_requests < first, "no early drop");
+    assert!(last > min_row.third_party_requests, "no late rise");
+    // The trough sits in the middle era, not at an endpoint.
+    assert!(min_idx > 0 && min_idx < rows.len() - 1);
+}
+
+#[test]
+fn figure7_older_lists_move_more_hostnames() {
+    // "the older a list is, the greater the number of hostnames that are
+    // mapped to the wrong site."
+    let (_, report) = fixture();
+    let rows = &report.figs567.rows;
+    assert_eq!(rows.last().unwrap().hosts_moved_vs_latest, 0);
+    // Spearman between version index and moved hosts is strongly negative.
+    let idx: Vec<f64> = (0..rows.len()).map(|i| i as f64).collect();
+    let moved: Vec<f64> = rows.iter().map(|r| r.hosts_moved_vs_latest as f64).collect();
+    let rho = psl_stats::spearman(&idx, &moved).unwrap();
+    assert!(rho < -0.8, "spearman {rho}");
+}
+
+#[test]
+fn table2_is_dominated_by_shared_hosting_suffixes() {
+    // "Many of the missing suffixes allow for the hosting of arbitrary
+    // content (e.g., 27 projects are missing digitaloceanspaces.com)."
+    let (_, report) = fixture();
+    let rows = &report.table2.rows;
+    assert!(!rows.is_empty());
+    let top: Vec<&str> = rows.iter().take(4).map(|r| r.etld.as_str()).collect();
+    assert!(
+        top.contains(&"myshopify.com"),
+        "top rows {top:?} should contain myshopify.com"
+    );
+    let docean = rows.iter().find(|r| r.etld == "digitaloceanspaces.com").unwrap();
+    // Paper: 27 fixed/production projects missing it; ours must be a
+    // substantial fraction of the 43.
+    assert!(
+        docean.fixed_production >= 10,
+        "{} projects missing digitaloceanspaces.com",
+        docean.fixed_production
+    );
+}
+
+#[test]
+fn table3_bitwarden_rows_lead_production_block() {
+    // Table 3's production block is led by bitwarden/server (10,959 stars,
+    // age 1,596 days) and bitwarden/mobile; both share the same (large)
+    // missing-hostname count.
+    let (_, report) = fixture();
+    let rows = &report.table3.rows;
+    assert_eq!(rows[0].name, "bitwarden/server");
+    assert_eq!(rows[1].name, "bitwarden/mobile");
+    assert_eq!(rows[0].missing_hostnames, rows[1].missing_hostnames);
+    assert!(rows[0].missing_hostnames > 0);
+
+    // And the freshest copy (Intsights/PyDomainExtractor, 31 days) misses
+    // the fewest hostnames among production rows.
+    let prod: Vec<_> = rows.iter().filter(|r| r.block == "Production").collect();
+    let freshest = prod.iter().min_by_key(|r| r.list_age_days).unwrap();
+    let min_missing = prod.iter().map(|r| r.missing_hostnames).min().unwrap();
+    assert_eq!(freshest.missing_hostnames, min_missing);
+}

@@ -1,0 +1,110 @@
+//! Integration: all PSL *consumers* (browser, cookie jar, CA, DMARC,
+//! DBOUND) must flip their decisions consistently when the list goes
+//! stale — the same missing suffix must produce the same direction of
+//! failure in every subsystem.
+
+use psl_browser::{Browser, FrameContext, Origin, Referrer};
+use psl_certs::{evaluate_name, CertName, IssuanceDecision};
+use psl_core::cookie::{evaluate_set_cookie, CookieDecision};
+use psl_core::{DomainName, List, MatchOpts};
+use psl_dns::{discover, publish_list, site_of, ZoneStore};
+use psl_history::{generate, GeneratorConfig};
+
+fn d(s: &str) -> DomainName {
+    DomainName::parse(s).unwrap()
+}
+
+/// Pick a real platform suffix added late in a generated history, with
+/// its before/after snapshots.
+fn generated_fixture() -> (List, List, String) {
+    let history = generate(&GeneratorConfig::small(991));
+    let suffix = "myshopify.com"; // seeded, added 2019
+    let added = history
+        .spans()
+        .iter()
+        .find(|s| s.rule.as_text() == suffix)
+        .expect("seeded suffix present")
+        .added;
+    let before = history.snapshot_at(added - 1);
+    let after = history.latest_snapshot();
+    (before, after, suffix.to_string())
+}
+
+#[test]
+fn every_consumer_flips_on_the_same_missing_suffix() {
+    let (stale, current, suffix) = generated_fixture();
+    let opts = MatchOpts::default();
+    let alice = d(&format!("alice.{suffix}"));
+    let bob = d(&format!("bob.{suffix}"));
+    let scope = d(&suffix);
+
+    // 1. Cookie jar: supercookie accepted only under the stale list.
+    let stale_cookie = evaluate_set_cookie(&stale, &alice, &scope, opts);
+    let current_cookie = evaluate_set_cookie(&current, &alice, &scope, opts);
+    assert_eq!(stale_cookie, CookieDecision::Allow);
+    assert!(matches!(current_cookie, CookieDecision::Reject(_)));
+
+    // 2. Site grouping: merged only under the stale list.
+    assert!(stale.same_site(&alice, &bob, opts));
+    assert!(!current.same_site(&alice, &bob, opts));
+
+    // 3. CA: wildcard issued only under the stale list.
+    let wildcard = CertName::parse(&format!("*.{suffix}")).unwrap();
+    assert_eq!(evaluate_name(&stale, &wildcard, opts), IssuanceDecision::Allow);
+    assert!(matches!(
+        evaluate_name(&current, &wildcard, opts),
+        IssuanceDecision::Refuse(_)
+    ));
+
+    // 4. DMARC: the stale list falls back to the platform's policy.
+    let mut zones = ZoneStore::new();
+    zones.insert_txt(&d(&format!("_dmarc.alice.{suffix}")), 300, "v=DMARC1; p=reject");
+    zones.insert_txt(&d(&format!("_dmarc.{suffix}")), 300, "v=DMARC1; p=none");
+    let from = d(&format!("mail.alice.{suffix}"));
+    let rec_current = discover(&zones, &current, &from, opts).unwrap();
+    let rec_stale = discover(&zones, &stale, &from, opts).unwrap();
+    assert_eq!(rec_current.found_at, d(&format!("_dmarc.alice.{suffix}")));
+    assert_eq!(rec_stale.found_at, d(&format!("_dmarc.{suffix}")));
+
+    // 5. DBOUND against zones publishing the *current* list separates the
+    // customers regardless of any client list.
+    let mut bound = ZoneStore::new();
+    publish_list(&mut bound, &current);
+    let (sa, _) = site_of(&bound, &alice);
+    let (sb, _) = site_of(&bound, &bob);
+    assert_ne!(sa, sb);
+}
+
+#[test]
+fn browser_session_flips_exactly_with_the_list() {
+    let (stale, current, suffix) = generated_fixture();
+    let opts = MatchOpts::default();
+
+    let run = |list: &List| -> (bool, Referrer) {
+        let mut b = Browser::new(list, opts);
+        let (ctx, page) = b
+            .navigate(&format!("https://alice.{suffix}/checkout?card=444"))
+            .unwrap();
+        let result = b
+            .load_subresource(&ctx, &page, &format!("https://bob.{suffix}/w.js"))
+            .unwrap();
+        (result.same_site, result.referrer)
+    };
+
+    let (same_stale, ref_stale) = run(&stale);
+    let (same_current, ref_current) = run(&current);
+    assert!(same_stale && !same_current);
+    assert!(matches!(ref_stale, Referrer::Full(_)));
+    assert!(matches!(ref_current, Referrer::OriginOnly(_)));
+}
+
+#[test]
+fn frame_ancestry_uses_the_same_boundaries() {
+    let (stale, current, suffix) = generated_fixture();
+    let opts = MatchOpts::default();
+    let top = Origin::parse(&format!("https://alice.{suffix}")).unwrap();
+    let target = Origin::parse(&format!("https://bob.{suffix}")).unwrap();
+    let ctx = FrameContext::top_level(top);
+    assert!(ctx.request_is_same_site(&stale, &target, opts));
+    assert!(!ctx.request_is_same_site(&current, &target, opts));
+}
