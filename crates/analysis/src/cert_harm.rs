@@ -70,10 +70,8 @@ pub fn run(history: &History, corpus: &WebCorpus, opts: MatchOpts) -> CertHarmRe
 
     // A wildcard `*.<base>` is issuable iff its base is not a public
     // suffix — walk versions with one incremental trie.
-    let request_reversed: Vec<Vec<&str>> = requests
-        .iter()
-        .map(|(n, _)| n.base().labels_reversed())
-        .collect();
+    let request_reversed: Vec<Vec<&str>> =
+        requests.iter().map(|(n, _)| n.base().labels_reversed()).collect();
     let mut rows = Vec::with_capacity(history.version_count());
     walk_versions(history, |v, trie| {
         let mut misissued = 0;

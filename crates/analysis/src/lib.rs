@@ -26,19 +26,19 @@ pub mod cert_harm;
 pub mod cookie_harm;
 pub mod dbound_exp;
 pub mod fig2;
-pub mod markdown;
 pub mod fig3;
 pub mod fig4;
 pub mod figs567;
+pub mod markdown;
 pub mod pipeline;
 pub mod report;
 pub mod sweep;
 pub mod sweep_incremental;
 pub mod table1;
-pub mod walker;
 pub mod table2;
 pub mod table3;
 pub mod update_failure;
+pub mod walker;
 
 pub use markdown::render_markdown;
 pub use pipeline::{build_substrates, run_all, FullReport, PipelineConfig, Substrates};

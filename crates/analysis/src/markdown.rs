@@ -8,11 +8,7 @@ use std::fmt::Write;
 /// Render a Markdown table.
 fn md_table(out: &mut String, headers: &[&str], rows: &[Vec<String>]) {
     let _ = writeln!(out, "| {} |", headers.join(" | "));
-    let _ = writeln!(
-        out,
-        "|{}|",
-        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
-    );
+    let _ = writeln!(out, "|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
     for row in rows {
         let _ = writeln!(out, "| {} |", row.join(" | "));
     }
@@ -93,11 +89,7 @@ pub fn render_markdown(report: &FullReport) -> String {
             ]
         })
         .collect();
-    md_table(
-        w,
-        &["version", "rules", "sites (F5)", "third-party (F6)", "moved hosts (F7)"],
-        &rows,
-    );
+    md_table(w, &["version", "rules", "sites (F5)", "third-party (F6)", "moved hosts (F7)"], &rows);
     let _ = writeln!(
         w,
         "Latest vs first list: **{:+}** sites over {} hostnames.\n",

@@ -6,8 +6,8 @@
 use crate::sweep::SweepConfig;
 use crate::sweep_incremental::sweep_incremental;
 use crate::{
-    browser_replay, category_shift, cert_harm, cookie_harm, dbound_exp, fig2, fig3, fig4,
-    figs567, table1, table2, table3, update_failure,
+    browser_replay, category_shift, cert_harm, cookie_harm, dbound_exp, fig2, fig3, fig4, figs567,
+    table1, table2, table3, update_failure,
 };
 use psl_history::{DatingIndex, GeneratorConfig, History};
 use psl_iana::RootZoneDb;
@@ -51,10 +51,7 @@ impl PipelineConfig {
         PipelineConfig {
             history: GeneratorConfig::small(seed),
             corpus: CorpusConfig::small(seed.wrapping_add(1)),
-            repos: RepoGenConfig {
-                seed: seed.wrapping_add(2),
-                ..Default::default()
-            },
+            repos: RepoGenConfig { seed: seed.wrapping_add(2), ..Default::default() },
             ..Default::default()
         }
     }
@@ -133,13 +130,7 @@ pub fn run_all(subs: &Substrates, config: &PipelineConfig) -> FullReport {
             &config.detector,
             config.table2_top,
         ),
-        table3: table3::run(
-            &subs.history,
-            &subs.corpus,
-            &subs.repos,
-            &index,
-            &config.detector,
-        ),
+        table3: table3::run(&subs.history, &subs.corpus, &subs.repos, &index, &config.detector),
         cookie_harm: cookie_harm::run(&subs.history, &subs.corpus, config.sweep.opts),
         dbound: dbound_exp::run(&subs.history, &subs.corpus, &stats, config.sweep.opts),
         cert_harm: cert_harm::run(&subs.history, &subs.corpus, config.sweep.opts),

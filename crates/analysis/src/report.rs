@@ -76,10 +76,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = render_table(
             &["name", "n"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["longer-name".into(), "22".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["longer-name".into(), "22".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -92,10 +89,7 @@ mod tests {
 
     #[test]
     fn csv_quotes_special_cells() {
-        let c = render_csv(
-            &["a", "b"],
-            &[vec!["x,y".into(), "say \"hi\"".into()]],
-        );
+        let c = render_csv(&["a", "b"], &[vec!["x,y".into(), "say \"hi\"".into()]]);
         assert!(c.contains("\"x,y\""));
         assert!(c.contains("\"say \"\"hi\"\"\""));
     }

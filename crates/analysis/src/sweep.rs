@@ -32,18 +32,12 @@ pub struct VersionStats {
 }
 
 /// Sweep configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SweepConfig {
     /// Matching options (browsers: defaults).
     pub opts: MatchOpts,
     /// Worker threads (0 = available parallelism).
     pub threads: usize,
-}
-
-impl Default for SweepConfig {
-    fn default() -> Self {
-        SweepConfig { opts: MatchOpts::default(), threads: 0 }
-    }
 }
 
 /// Compute each host's site string under `list`. The site of host `h` is
@@ -72,9 +66,7 @@ fn site_ids(corpus: &WebCorpus, site_lens: &[u32]) -> (Vec<u32>, usize) {
     let mut interner: HashMap<&str, u32> = HashMap::with_capacity(corpus.host_count());
     let mut ids = Vec::with_capacity(corpus.host_count());
     for (host, &len) in corpus.hosts().iter().zip(site_lens) {
-        let site = host
-            .suffix_of_len(len as usize)
-            .unwrap_or_else(|| host.as_str());
+        let site = host.suffix_of_len(len as usize).unwrap_or_else(|| host.as_str());
         let next = interner.len() as u32;
         let id = *interner.entry(site).or_insert(next);
         ids.push(id);
@@ -206,12 +198,7 @@ mod tests {
         let stats = sweep(&h, &c, &SweepConfig::default());
         let first = stats.first().unwrap();
         let last = stats.last().unwrap();
-        assert!(
-            last.sites > first.sites + 100,
-            "sites {} -> {}",
-            first.sites,
-            last.sites
-        );
+        assert!(last.sites > first.sites + 100, "sites {} -> {}", first.sites, last.sites);
     }
 
     #[test]
@@ -256,10 +243,7 @@ mod tests {
         let opts = MatchOpts::default();
         let s_first = stats_for_single_list(&c, &first, &latest, opts);
         assert_eq!(s_first.sites, stats.first().unwrap().sites);
-        assert_eq!(
-            s_first.third_party_requests,
-            stats.first().unwrap().third_party_requests
-        );
+        assert_eq!(s_first.third_party_requests, stats.first().unwrap().third_party_requests);
         assert_eq!(
             s_first.hosts_in_different_site_vs_latest,
             stats.first().unwrap().hosts_in_different_site_vs_latest

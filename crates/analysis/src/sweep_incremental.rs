@@ -78,9 +78,7 @@ pub fn sweep_incremental(
 
     let site_string = |host_idx: usize, len: u32| -> String {
         let host = corpus.host(host_idx as u32);
-        host.suffix_of_len(len as usize)
-            .unwrap_or_else(|| host.as_str())
-            .to_string()
+        host.suffix_of_len(len as usize).unwrap_or_else(|| host.as_str()).to_string()
     };
 
     let mut out = Vec::with_capacity(history.version_count());
@@ -134,10 +132,7 @@ pub fn sweep_incremental(
         for &h in &affected {
             let hi = h as usize;
             let labels = &reversed[hi];
-            let new_len = site_len_for(
-                &trie.disposition(labels, opts),
-                labels.len(),
-            );
+            let new_len = site_len_for(&trie.disposition(labels, opts), labels.len());
             let old_len = site_lens[hi];
             if new_len == old_len {
                 continue;

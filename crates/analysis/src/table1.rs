@@ -82,13 +82,7 @@ pub fn run(
         .map(|(label, n)| (label.to_string(), n, 100.0 * n as f64 / denom))
         .collect();
 
-    Table1Report {
-        rows,
-        top_level,
-        classified,
-        unclassified,
-        ground_truth_mismatches: mismatches,
-    }
+    Table1Report { rows, top_level, classified, unclassified, ground_truth_mismatches: mismatches }
 }
 
 #[cfg(test)]
@@ -109,21 +103,15 @@ mod tests {
         assert_eq!(report.unclassified, 0);
         assert_eq!(report.ground_truth_mismatches, 0);
 
-        let by_label: std::collections::HashMap<&str, usize> = report
-            .top_level
-            .iter()
-            .map(|(l, n, _)| (l.as_str(), *n))
-            .collect();
+        let by_label: std::collections::HashMap<&str, usize> =
+            report.top_level.iter().map(|(l, n, _)| (l.as_str(), *n)).collect();
         assert_eq!(by_label["Fixed"], 68);
         assert_eq!(by_label["Updated"], 35);
         assert_eq!(by_label["Dependency"], 170);
 
         // Paper percentages: 24.9% / 12.8% / 62.3%.
-        let pct: std::collections::HashMap<&str, f64> = report
-            .top_level
-            .iter()
-            .map(|(l, _, p)| (l.as_str(), *p))
-            .collect();
+        let pct: std::collections::HashMap<&str, f64> =
+            report.top_level.iter().map(|(l, _, p)| (l.as_str(), *p)).collect();
         assert!((pct["Fixed"] - 24.9).abs() < 0.2, "{}", pct["Fixed"]);
         assert!((pct["Updated"] - 12.8).abs() < 0.2);
         assert!((pct["Dependency"] - 62.3).abs() < 0.2);

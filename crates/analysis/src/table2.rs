@@ -90,11 +90,7 @@ pub fn run(
         let (Some(class), Some(dated)) = (detection.class, detection.dated) else {
             continue;
         };
-        let texts = history
-            .rules_at(dated.version)
-            .iter()
-            .map(|r| r.as_text())
-            .collect();
+        let texts = history.rules_at(dated.version).iter().map(|r| r.as_text()).collect();
         projects.push(ProjectSet { class, texts });
     }
 
@@ -175,10 +171,7 @@ mod tests {
         // myshopify.com (largest paper row) ranks first among Table 2
         // seeds at any scale.
         let shopify_rank = etlds.iter().position(|&e| e == "myshopify.com").unwrap();
-        let docean_rank = etlds
-            .iter()
-            .position(|&e| e == "digitaloceanspaces.com")
-            .unwrap();
+        let docean_rank = etlds.iter().position(|&e| e == "digitaloceanspaces.com").unwrap();
         assert!(shopify_rank < docean_rank);
 
         // Every row has at least one fixed/production project missing it.

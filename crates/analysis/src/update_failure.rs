@@ -93,9 +93,7 @@ pub fn run(
             continue;
         };
         let (label, p) = match class {
-            UsageClass::Updated(kind) => {
-                (format!("Updated/{kind:?}"), model.for_kind(kind))
-            }
+            UsageClass::Updated(kind) => (format!("Updated/{kind:?}"), model.for_kind(kind)),
             UsageClass::Fixed(k) if class.is_fixed_production() => {
                 let _ = k;
                 ("Fixed/Production (baseline)".to_string(), 1.0)

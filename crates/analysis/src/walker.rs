@@ -46,8 +46,7 @@ pub fn is_public_suffix_reversed(
     reversed: &[&str],
     opts: psl_core::MatchOpts,
 ) -> bool {
-    trie.disposition(reversed, opts)
-        .map_or(false, |d| d.suffix_len == reversed.len())
+    trie.disposition(reversed, opts).is_some_and(|d| d.suffix_len == reversed.len())
 }
 
 #[cfg(test)]
@@ -61,19 +60,10 @@ mod tests {
         let h = generate(&GeneratorConfig::small(611));
         let opts = MatchOpts::default();
         // Probe names: a seeded late suffix and a base suffix.
-        let probes: Vec<Vec<&str>> = vec![
-            vec!["com", "myshopify"],
-            vec!["uk", "co"],
-            vec!["com"],
-        ];
+        let probes: Vec<Vec<&str>> = vec![vec!["com", "myshopify"], vec!["uk", "co"], vec!["com"]];
         let mut results: Vec<Vec<bool>> = Vec::new();
         walk_versions(&h, |_, trie| {
-            results.push(
-                probes
-                    .iter()
-                    .map(|p| is_public_suffix_reversed(trie, p, opts))
-                    .collect(),
-            );
+            results.push(probes.iter().map(|p| is_public_suffix_reversed(trie, p, opts)).collect());
         });
         assert_eq!(results.len(), h.version_count());
         // Cross-check a sample of versions against full snapshots.

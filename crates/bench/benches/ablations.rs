@@ -17,13 +17,8 @@ fn ablation_trie_vs_linear(c: &mut Criterion) {
     let w = world();
     let list = w.history.latest_snapshot();
     let opts = MatchOpts::default();
-    let hosts: Vec<Vec<&str>> = w
-        .corpus
-        .hosts()
-        .iter()
-        .take(200)
-        .map(|h| h.labels_reversed())
-        .collect();
+    let hosts: Vec<Vec<&str>> =
+        w.corpus.hosts().iter().take(200).map(|h| h.labels_reversed()).collect();
     let mut g = c.benchmark_group("ablation_matching");
     g.bench_function("trie_200_hosts", |b| {
         b.iter(|| {
@@ -61,9 +56,7 @@ fn ablation_dating_strategies(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(index.date_rules(&exact)))
     });
     // One missing rule forces the full incremental subset scan.
-    g.bench_function("subset_scan", |b| {
-        b.iter(|| std::hint::black_box(index.date_rules(&dirty)))
-    });
+    g.bench_function("subset_scan", |b| b.iter(|| std::hint::black_box(index.date_rules(&dirty))));
     g.finish();
 }
 
@@ -114,9 +107,7 @@ fn ablation_sweep_impl(c: &mut Criterion) {
     });
     g.bench_function("incremental", |b| {
         let config = SweepConfig { threads: 1, ..Default::default() };
-        b.iter(|| {
-            std::hint::black_box(sweep_incremental(&w.history, &w.corpus, &config).len())
-        })
+        b.iter(|| std::hint::black_box(sweep_incremental(&w.history, &w.corpus, &config).len()))
     });
     g.finish();
 }

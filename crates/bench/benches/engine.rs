@@ -25,13 +25,8 @@ fn bench_lookup(c: &mut Criterion) {
     let w = world();
     let list = w.history.latest_snapshot();
     let opts = MatchOpts::default();
-    let hosts: Vec<Vec<&str>> = w
-        .corpus
-        .hosts()
-        .iter()
-        .take(1000)
-        .map(|h| h.labels_reversed())
-        .collect();
+    let hosts: Vec<Vec<&str>> =
+        w.corpus.hosts().iter().take(1000).map(|h| h.labels_reversed()).collect();
     c.bench_function("disposition_1000_hosts", |b| {
         b.iter(|| {
             let mut acc = 0usize;

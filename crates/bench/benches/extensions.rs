@@ -43,12 +43,8 @@ fn bench_dbound(c: &mut Criterion) {
     g.bench_function("full_comparison", |b| {
         let stats = sweep(&w.history, &w.corpus, &SweepConfig::default());
         b.iter(|| {
-            let report = psl_analysis::dbound_exp::run(
-                &w.history,
-                &w.corpus,
-                &stats,
-                MatchOpts::default(),
-            );
+            let report =
+                psl_analysis::dbound_exp::run(&w.history, &w.corpus, &stats, MatchOpts::default());
             std::hint::black_box(report.dbound_misgrouped)
         })
     });
@@ -63,9 +59,7 @@ fn bench_dmarc(c: &mut Criterion) {
     zones.insert_txt(&org, 300, "v=DMARC1; p=reject");
     let from = DomainName::parse("mail.customer.myshopify.com").unwrap();
     c.bench_function("ext_dmarc_discover", |b| {
-        b.iter(|| {
-            std::hint::black_box(discover(&zones, &latest, &from, MatchOpts::default()))
-        })
+        b.iter(|| std::hint::black_box(discover(&zones, &latest, &from, MatchOpts::default())))
     });
 }
 
@@ -75,8 +69,7 @@ fn bench_cert_harm(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("all_versions", |b| {
         b.iter(|| {
-            let report =
-                psl_analysis::cert_harm::run(&w.history, &w.corpus, MatchOpts::default());
+            let report = psl_analysis::cert_harm::run(&w.history, &w.corpus, MatchOpts::default());
             std::hint::black_box(report.rows.len())
         })
     });

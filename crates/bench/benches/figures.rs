@@ -2,7 +2,7 @@
 //! data series, timed.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use psl_analysis::{figs567, sweep::SweepConfig, stats_for_single_list};
+use psl_analysis::{figs567, stats_for_single_list, sweep::SweepConfig};
 use psl_bench::world;
 use psl_core::MatchOpts;
 use psl_history::{DatingIndex, GrowthSeries};
@@ -70,10 +70,7 @@ fn bench_fig5_sites(c: &mut Criterion) {
 fn bench_fig6_third_party(c: &mut Criterion) {
     let w = world();
     let latest = w.history.latest_snapshot();
-    let mid = w
-        .history
-        .version_at_or_before(psl_core::Date::parse("2015-01-01").unwrap())
-        .unwrap();
+    let mid = w.history.version_at_or_before(psl_core::Date::parse("2015-01-01").unwrap()).unwrap();
     let mid_list = w.history.snapshot_at(mid);
     c.bench_function("fig6_third_party_one_version", |b| {
         b.iter(|| {

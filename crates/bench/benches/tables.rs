@@ -29,9 +29,8 @@ fn bench_table2_missing_etlds(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("impact_ranking", |b| {
         b.iter(|| {
-            let report = psl_analysis::table2::run(
-                &w.history, &w.corpus, &w.repos, &index, &detector, 15,
-            );
+            let report =
+                psl_analysis::table2::run(&w.history, &w.corpus, &w.repos, &index, &detector, 15);
             std::hint::black_box(report.total_hostnames)
         })
     });
@@ -54,10 +53,5 @@ fn bench_table3_projects(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    tables,
-    bench_table1_taxonomy,
-    bench_table2_missing_etlds,
-    bench_table3_projects,
-);
+criterion_group!(tables, bench_table1_taxonomy, bench_table2_missing_etlds, bench_table3_projects,);
 criterion_main!(tables);

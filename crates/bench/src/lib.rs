@@ -41,12 +41,7 @@ pub fn world() -> &'static World {
 /// A larger corpus for scale ablations.
 pub fn scaled_corpus(scale: f64, pages: usize) -> WebCorpus {
     let history = &world().history;
-    let config = CorpusConfig {
-        seed: 0xD00D,
-        scale,
-        pages,
-        ..CorpusConfig::small(0)
-    };
+    let config = CorpusConfig { seed: 0xD00D, scale, pages, ..CorpusConfig::small(0) };
     psl_webcorpus::generate_corpus(history, &config)
 }
 

@@ -50,9 +50,11 @@ impl<'l> Vault<'l> {
     pub fn save(&mut self, host: &DomainName, username: &str, password: &str) {
         // Same (site, username) replaces — the standard update flow.
         let site = self.list.site(host, self.opts);
-        if let Some(existing) = self.credentials.iter_mut().find(|c| {
-            c.username == username && self.list.site(&c.saved_on, self.opts) == site
-        }) {
+        if let Some(existing) = self
+            .credentials
+            .iter_mut()
+            .find(|c| c.username == username && self.list.site(&c.saved_on, self.opts) == site)
+        {
             existing.saved_on = host.clone();
             existing.password = password.to_string();
             return;
@@ -68,10 +70,7 @@ impl<'l> Vault<'l> {
     /// hostname in the same site.
     pub fn offers(&self, host: &DomainName) -> Vec<&Credential> {
         let site = self.list.site(host, self.opts);
-        self.credentials
-            .iter()
-            .filter(|c| self.list.site(&c.saved_on, self.opts) == site)
-            .collect()
+        self.credentials.iter().filter(|c| self.list.site(&c.saved_on, self.opts) == site).collect()
     }
 
     /// Would any credential leak to `host` — i.e. be offered although it
@@ -81,9 +80,7 @@ impl<'l> Vault<'l> {
     pub fn leaks_to(&self, host: &DomainName, reference: &List) -> Vec<&Credential> {
         self.offers(host)
             .into_iter()
-            .filter(|c| {
-                reference.site(&c.saved_on, self.opts) != reference.site(host, self.opts)
-            })
+            .filter(|c| reference.site(&c.saved_on, self.opts) != reference.site(host, self.opts))
             .collect()
     }
 }

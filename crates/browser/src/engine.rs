@@ -84,10 +84,8 @@ impl<'l> Browser<'l> {
         match self.jar.set_from_header(host, header) {
             Ok(()) => {
                 let c = self.jar.cookies().last().expect("just stored");
-                self.decisions.push(Decision::CookieAccepted(
-                    c.name.clone(),
-                    c.domain.as_str().to_string(),
-                ));
+                self.decisions
+                    .push(Decision::CookieAccepted(c.name.clone(), c.domain.as_str().to_string()));
             }
             Err(StoreError::Refused | StoreError::BadDomain | StoreError::Malformed) => {
                 self.decisions.push(Decision::CookieRefused(header.to_string()));
@@ -108,8 +106,7 @@ impl<'l> Browser<'l> {
         let host = target_origin.host.clone();
 
         let same_site = context.request_is_same_site(self.list, &target_origin, self.opts);
-        self.decisions
-            .push(Decision::SameSiteContext(host.as_str().to_string(), same_site));
+        self.decisions.push(Decision::SameSiteContext(host.as_str().to_string(), same_site));
 
         // Cookie attachment: all domain-matching cookies; SameSite ones
         // only in same-site contexts. (The jar does not store the
@@ -117,29 +114,20 @@ impl<'l> Browser<'l> {
         // treats every cookie as SameSite=Lax, so cross-site subresource
         // loads get none.)
         let attached = if same_site {
-            self.jar
-                .cookies_for(&host, &target.path_and_rest, target.scheme == "https")
-                .len()
+            self.jar.cookies_for(&host, &target.path_and_rest, target.scheme == "https").len()
         } else {
             0
         };
-        self.decisions
-            .push(Decision::CookiesAttached(host.as_str().to_string(), attached));
+        self.decisions.push(Decision::CookiesAttached(host.as_str().to_string(), attached));
 
         let referrer = referrer_for(self.list, page_url, &target_origin, self.opts);
-        self.decisions
-            .push(Decision::ReferrerSent(host.as_str().to_string(), referrer.clone()));
+        self.decisions.push(Decision::ReferrerSent(host.as_str().to_string(), referrer.clone()));
 
         let storage_key = StorageKey {
             partition: context.top().site(self.list, self.opts),
             origin: target_origin,
         };
-        Some(LoadResult {
-            cookies_attached: attached,
-            same_site,
-            referrer,
-            storage_key,
-        })
+        Some(LoadResult { cookies_attached: attached, same_site, referrer, storage_key })
     }
 }
 
@@ -148,12 +136,7 @@ impl<'l> Browser<'l> {
 pub fn decision_divergence(a: &Browser<'_>, b: &Browser<'_>) -> usize {
     let n = a.decisions.len().max(b.decisions.len());
     let mut diff = n - a.decisions.len().min(b.decisions.len());
-    diff += a
-        .decisions
-        .iter()
-        .zip(&b.decisions)
-        .filter(|(x, y)| x != y)
-        .count();
+    diff += a.decisions.iter().zip(&b.decisions).filter(|(x, y)| x != y).count();
     diff
 }
 
@@ -182,9 +165,7 @@ mod tests {
         let (ctx, page) = b.navigate("https://alice.github.io/cart?step=2").unwrap();
         b.receive_set_cookie(&d("alice.github.io"), "sid=abc; Domain=github.io");
         // The page then loads a widget from bob's site.
-        let result = b
-            .load_subresource(&ctx, &page, "https://bob.github.io/widget.js")
-            .unwrap();
+        let result = b.load_subresource(&ctx, &page, "https://bob.github.io/widget.js").unwrap();
         (result.cookies_attached, result.same_site, result.referrer)
     }
 
@@ -206,10 +187,7 @@ mod tests {
         // The context is judged same-site.
         assert!(same_site);
         // The full path (cart?step=2) leaks.
-        assert_eq!(
-            referrer,
-            Referrer::Full("https://alice.github.io/cart?step=2".into())
-        );
+        assert_eq!(referrer, Referrer::Full("https://alice.github.io/cart?step=2".into()));
     }
 
     #[test]
@@ -221,9 +199,7 @@ mod tests {
         for browser in [&mut a, &mut b] {
             let (ctx, page) = browser.navigate("https://alice.github.io/").unwrap();
             browser.receive_set_cookie(&d("alice.github.io"), "sid=abc; Domain=github.io");
-            browser
-                .load_subresource(&ctx, &page, "https://bob.github.io/w.js")
-                .unwrap();
+            browser.load_subresource(&ctx, &page, "https://bob.github.io/w.js").unwrap();
         }
         let divergence = decision_divergence(&a, &b);
         assert!(divergence >= 3, "divergence {divergence}");
@@ -240,13 +216,9 @@ mod tests {
         let cur = current();
         let mut b = Browser::new(&cur, MatchOpts::default());
         let (ctx_a, page_a) = b.navigate("https://alice.github.io/").unwrap();
-        let ra = b
-            .load_subresource(&ctx_a, &page_a, "https://widget.tracker.com/t.js")
-            .unwrap();
+        let ra = b.load_subresource(&ctx_a, &page_a, "https://widget.tracker.com/t.js").unwrap();
         let (ctx_b, page_b) = b.navigate("https://bob.github.io/").unwrap();
-        let rb = b
-            .load_subresource(&ctx_b, &page_b, "https://widget.tracker.com/t.js")
-            .unwrap();
+        let rb = b.load_subresource(&ctx_b, &page_b, "https://widget.tracker.com/t.js").unwrap();
         assert_ne!(ra.storage_key.partition, rb.storage_key.partition);
         assert_eq!(ra.storage_key.origin, rb.storage_key.origin);
     }

@@ -42,12 +42,7 @@ impl FrameContext {
     /// Is a request from this context to `target` same-site (RFC 6265bis
     /// "site for cookies" semantics)? True iff the target and every
     /// ancestor share a schemeful site.
-    pub fn request_is_same_site(
-        &self,
-        list: &List,
-        target: &Origin,
-        opts: MatchOpts,
-    ) -> bool {
+    pub fn request_is_same_site(&self, list: &List, target: &Origin, opts: MatchOpts) -> bool {
         let site = target.site(list, opts);
         self.ancestors.iter().all(|a| a.site(list, opts) == site)
     }

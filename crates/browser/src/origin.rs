@@ -40,10 +40,7 @@ impl Origin {
 
     /// The schemeful site of this origin under `list`.
     pub fn site(&self, list: &List, opts: MatchOpts) -> Site {
-        Site {
-            scheme: self.scheme.clone(),
-            registrable_domain: list.site(&self.host, opts),
-        }
+        Site { scheme: self.scheme.clone(), registrable_domain: list.site(&self.host, opts) }
     }
 
     /// Same-origin check (exact triple equality).

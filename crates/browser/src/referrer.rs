@@ -25,12 +25,7 @@ pub enum Referrer {
 /// Compute the referrer for a navigation from `from_url` to `to`, under
 /// `strict-origin-when-cross-origin` with the cross-ness decided at the
 /// *site* level by `list`.
-pub fn referrer_for(
-    list: &List,
-    from_url: &Url,
-    to: &Origin,
-    opts: MatchOpts,
-) -> Referrer {
+pub fn referrer_for(list: &List, from_url: &Url, to: &Origin, opts: MatchOpts) -> Referrer {
     let Some(from) = Origin::of_url(from_url) else {
         return Referrer::None;
     };

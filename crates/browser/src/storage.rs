@@ -34,10 +34,7 @@ impl PartitionedStorage {
 
     /// Write a value.
     pub fn set(&mut self, key: &StorageKey, item: &str, value: &str) {
-        self.buckets
-            .entry(key.clone())
-            .or_default()
-            .insert(item.to_string(), value.to_string());
+        self.buckets.entry(key.clone()).or_default().insert(item.to_string(), value.to_string());
     }
 
     /// Read a value.

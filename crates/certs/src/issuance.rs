@@ -77,10 +77,7 @@ pub fn misissued_names(
 }
 
 /// Hostnames (from a corpus) that a mis-issued wildcard would cover.
-pub fn coverage_of<'h>(
-    name: &CertName,
-    hosts: impl IntoIterator<Item = &'h DomainName>,
-) -> usize {
+pub fn coverage_of<'h>(name: &CertName, hosts: impl IntoIterator<Item = &'h DomainName>) -> usize {
     hosts.into_iter().filter(|h| name.matches(h)).count()
 }
 

@@ -16,7 +16,6 @@ pub mod issuance;
 pub mod name;
 
 pub use issuance::{
-    coverage_of, evaluate_name, evaluate_request, misissued_names, IssuanceDecision,
-    IssuanceError,
+    coverage_of, evaluate_name, evaluate_request, misissued_names, IssuanceDecision, IssuanceError,
 };
 pub use name::{CertName, Certificate};

@@ -5,6 +5,7 @@
 //! pslharm fig2|fig3|fig4|fig5|fig6|fig7                      one figure
 //! pslharm table1|table2|table3                               one table
 //! pslharm notify  [--seed N]                                 maintainer notifications
+//! pslharm conformance [--seed N] [--json PATH]               vector suite + differential oracle
 //! pslharm suffix <domain>...                                 eTLD / eTLD+1 lookup
 //! ```
 //!
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
             cmd_single(cmd, rest)
         }
         "notify" => cmd_notify(rest),
+        "conformance" => cmd_conformance(rest),
         "suffix" => cmd_suffix(rest),
         "lint" => cmd_lint(rest),
         "blame" => cmd_blame(rest),
@@ -51,7 +53,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: pslharm <all|fig2..fig7|table1..table3|cookieharm|dbound|certharm|updatefail|replay|notify|suffix> \
+const USAGE: &str = "usage: pslharm <all|fig2..fig7|table1..table3|cookieharm|dbound|certharm|updatefail|replay|notify|conformance|suffix> \
 [--seed N] [--paper-scale] [--json PATH] [domains...]";
 
 /// Common flags.
@@ -194,6 +196,81 @@ fn cmd_notify(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_conformance(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let config = config_for(&flags);
+
+    // 1. Shipped checkPublicSuffix vectors against the embedded snapshot.
+    let list = psl_core::embedded_list();
+    let vectors = psl_conformance::parse_vectors(psl_conformance::SHIPPED_VECTORS)
+        .map_err(|e| e.to_string())?;
+    let shipped = psl_conformance::run_vectors(&list, &vectors, MatchOpts::default());
+    println!(
+        "shipped vectors:    {}/{} pass against the embedded list",
+        shipped.passed, shipped.total
+    );
+    for f in shipped.failures.iter().take(10) {
+        println!("  FAIL {f}");
+    }
+
+    // 2. Vectors derived from the generated latest list (expectations come
+    //    from the linear reference matcher, evaluation uses the trie).
+    eprintln!("generating history (seed {}) ...", flags.seed);
+    let history = psl_history::generate(&config.history);
+    let latest = history.latest_snapshot();
+    let generated_vectors = psl_conformance::generate_vectors(
+        &latest,
+        &psl_conformance::GenerateConfig { seed: flags.seed, ..Default::default() },
+    );
+    let generated = psl_conformance::run_vectors(&latest, &generated_vectors, MatchOpts::default());
+    println!(
+        "generated vectors:  {}/{} pass against the latest generated list",
+        generated.passed, generated.total
+    );
+    for f in generated.failures.iter().take(10) {
+        println!("  FAIL {f}");
+    }
+
+    // 3. Three-way differential sweep over every history version.
+    let hosts = psl_conformance::probe_corpus(&history, flags.seed.wrapping_add(3), 10_000);
+    eprintln!(
+        "differential sweep: {} versions x {} hostnames x 3 option sets ...",
+        history.version_count(),
+        hosts.len()
+    );
+    let sweep = psl_conformance::sweep_history(&history, &hosts, 0);
+    println!(
+        "differential sweep: {} comparisons over {} versions, {} divergences",
+        sweep.comparisons,
+        sweep.versions,
+        sweep.divergences.len()
+    );
+    for d in sweep.divergences.iter().take(10) {
+        println!(
+            "  DIVERGENCE at {}: {} (minimized: {}) trie={} linear={} naive={}",
+            d.version.as_deref().unwrap_or("-"),
+            d.host,
+            d.minimized,
+            d.production,
+            d.linear,
+            d.naive
+        );
+    }
+
+    if let Some(path) = flags.json {
+        let payload = serde_json::to_string_pretty(&(&shipped, &generated, &sweep))
+            .map_err(|e| e.to_string())?;
+        std::fs::write(&path, payload).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+
+    if !shipped.is_pass() || !generated.is_pass() || !sweep.is_pass() {
+        return Err("conformance failures detected".into());
+    }
+    println!("conformance: PASS");
+    Ok(())
+}
+
 fn cmd_suffix(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     if flags.extra.is_empty() {
@@ -218,10 +295,7 @@ fn cmd_suffix(args: &[String]) -> Result<(), String> {
             Err(e) => vec![raw.clone(), format!("invalid: {e}"), "-".into()],
         })
         .collect();
-    println!(
-        "{}",
-        report::render_table(&["domain", "public suffix", "registrable domain"], &rows)
-    );
+    println!("{}", report::render_table(&["domain", "public suffix", "registrable domain"], &rows));
     Ok(())
 }
 
@@ -292,7 +366,7 @@ fn print_fig3(full: &FullReport) {
 fn print_fig4(full: &FullReport) {
     println!("\n== Figure 4: list age vs. activity (fixed projects) ==");
     let mut pts = full.fig4.points.clone();
-    pts.sort_by(|a, b| b.stars.cmp(&a.stars));
+    pts.sort_by_key(|p| std::cmp::Reverse(p.stars));
     let rows: Vec<Vec<String>> = pts
         .iter()
         .take(15)
@@ -367,10 +441,7 @@ fn print_table2(full: &FullReport) {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        report::render_table(&["eTLD", "hostnames", "D", "F/Prd", "F/T+O", "U"], &rows)
-    );
+    println!("{}", report::render_table(&["eTLD", "hostnames", "D", "F/Prd", "F/T+O", "U"], &rows));
     println!(
         "total: {} eTLDs affecting {} hostnames (paper: 1,313 eTLDs / 50,750 hostnames)",
         full.table2.total_etlds, full.table2.total_hostnames
@@ -408,19 +479,16 @@ fn print_cookie_harm(full: &FullReport) {
     println!("\n== Extension: supercookies accepted per list version ==");
     let rows: Vec<Vec<String>> = report::downsample(&full.cookie_harm.rows, 14)
         .iter()
-        .map(|r| {
-            vec![
-                r.date.clone(),
-                r.accepted.to_string(),
-                r.exposed_hostnames.to_string(),
-            ]
-        })
+        .map(|r| vec![r.date.clone(), r.accepted.to_string(), r.exposed_hostnames.to_string()])
         .collect();
     println!(
         "{}",
         report::render_table(&["version", "accepted supercookies", "exposed hostnames"], &rows)
     );
-    println!("{} attempts derived from the corpus; the latest list rejects all of them", full.cookie_harm.attempts);
+    println!(
+        "{} attempts derived from the corpus; the latest list rejects all of them",
+        full.cookie_harm.attempts
+    );
 }
 
 fn print_dbound(full: &FullReport) {
@@ -429,10 +497,7 @@ fn print_dbound(full: &FullReport) {
         .iter()
         .map(|r| vec![r.date.clone(), r.stale_list_misgrouped.to_string()])
         .collect();
-    println!(
-        "{}",
-        report::render_table(&["stale list version", "misgrouped hostnames"], &rows)
-    );
+    println!("{}", report::render_table(&["stale list version", "misgrouped hostnames"], &rows));
     println!(
         "DBOUND client against live zones: {} misgrouped ({} records published, {:.1} DNS queries/host)",
         full.dbound.dbound_misgrouped,
@@ -445,17 +510,14 @@ fn print_cert_harm(full: &FullReport) {
     println!("\n== Extension: wildcard certificates mis-issued per list version ==");
     let rows: Vec<Vec<String>> = report::downsample(&full.cert_harm.rows, 14)
         .iter()
-        .map(|r| {
-            vec![
-                r.date.clone(),
-                r.misissued.to_string(),
-                r.covered_hostnames.to_string(),
-            ]
-        })
+        .map(|r| vec![r.date.clone(), r.misissued.to_string(), r.covered_hostnames.to_string()])
         .collect();
     println!(
         "{}",
-        report::render_table(&["CA list version", "mis-issued wildcards", "covered hostnames"], &rows)
+        report::render_table(
+            &["CA list version", "mis-issued wildcards", "covered hostnames"],
+            &rows
+        )
     );
     println!("{} wildcard requests derived from the corpus", full.cert_harm.requests);
 }
@@ -493,10 +555,7 @@ fn print_replay(full: &FullReport) {
         .iter()
         .map(|r| vec![r.date.clone(), r.divergent_decisions.to_string()])
         .collect();
-    println!(
-        "{}",
-        report::render_table(&["browser list version", "divergent decisions"], &rows)
-    );
+    println!("{}", report::render_table(&["browser list version", "divergent decisions"], &rows));
     println!(
         "{} interactions replayed, {} decisions per replay",
         full.browser_replay.interactions, full.browser_replay.decisions_per_replay
@@ -545,8 +604,8 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
             .extra
             .iter()
             .map(|path| {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| format!("reading {path}: {e}"))?;
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
                 Ok((path.clone(), psl_core::List::parse(&text)))
             })
             .collect::<Result<_, String>>()?
@@ -574,10 +633,7 @@ fn cmd_blame(args: &[String]) -> Result<(), String> {
     for rule in &flags.extra {
         match psl_history::blame(&history, rule) {
             Some(b) => {
-                let removed = b
-                    .removed
-                    .map(|d| format!(", removed {d}"))
-                    .unwrap_or_default();
+                let removed = b.removed.map(|d| format!(", removed {d}")).unwrap_or_default();
                 println!("{rule}: added {}{}", b.added, removed);
             }
             None => println!("{rule}: not found in this history"),

@@ -1,0 +1,311 @@
+//! Three-way differential matcher oracle.
+//!
+//! Every hostname is pushed through three structurally independent
+//! implementations of the prevailing-rule algorithm:
+//!
+//! 1. the production trie walk ([`psl_core::SuffixTrie`]),
+//! 2. the linear full-scan reference ([`psl_core::trie::disposition_linear`]),
+//! 3. the naive longest-suffix-wins map matcher ([`psl_core::NaiveMap`]).
+//!
+//! Any disagreement is a bug in at least one of them. The sweep runs the
+//! comparison across every version of a [`History`], reports the first
+//! divergence per version, and ships a label-minimized reproducer so the
+//! failing case is human-readable.
+
+use psl_core::trie::disposition_linear;
+use psl_core::{Date, Disposition, DomainName, List, MatchOpts, NaiveMap, Rule, SuffixTrie};
+use psl_history::History;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// A hostname on which the matchers disagree.
+#[derive(Debug, Clone, Serialize)]
+pub struct Divergence {
+    /// History version the rule set came from (`None` for a bare list).
+    pub version: Option<String>,
+    /// The hostname that first diverged.
+    pub host: String,
+    /// The shortest hostname (by label dropping) still diverging.
+    pub minimized: String,
+    /// The production answer (`Debug`-rendered disposition).
+    pub production: String,
+    /// The linear reference answer.
+    pub linear: String,
+    /// The naive map answer.
+    pub naive: String,
+}
+
+/// Result of a differential sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepOutcome {
+    /// Rule-set versions checked.
+    pub versions: usize,
+    /// Hostnames in the probe corpus.
+    pub hosts: usize,
+    /// Total (version, hostname, opts) comparisons performed.
+    pub comparisons: usize,
+    /// First divergence found per version (empty = all agree).
+    pub divergences: Vec<Divergence>,
+}
+
+impl SweepOutcome {
+    /// True when every comparison agreed.
+    pub fn is_pass(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// The production matcher under test. The default is the real trie; the
+/// mutation-sensitivity tests substitute a deliberately broken variant to
+/// prove the oracle actually fires.
+pub trait ProductionMatcher {
+    /// Same contract as [`SuffixTrie::disposition`].
+    fn disposition(&self, reversed: &[&str], opts: MatchOpts) -> Option<Disposition>;
+}
+
+impl ProductionMatcher for SuffixTrie {
+    fn disposition(&self, reversed: &[&str], opts: MatchOpts) -> Option<Disposition> {
+        SuffixTrie::disposition(self, reversed, opts)
+    }
+}
+
+fn render(d: Option<Disposition>) -> String {
+    match d {
+        None => "None".to_string(),
+        Some(d) => format!("{d:?}"),
+    }
+}
+
+/// The option sets every comparison is run under.
+const OPTS_MATRIX: [MatchOpts; 3] = [
+    MatchOpts { include_private: true, implicit_wildcard: true },
+    MatchOpts { include_private: false, implicit_wildcard: true },
+    MatchOpts { include_private: true, implicit_wildcard: false },
+];
+
+/// Compare the three matchers on one rule set over a host corpus,
+/// returning the first divergence (with a minimized reproducer).
+pub fn first_divergence(
+    production: &impl ProductionMatcher,
+    rules: &[Rule],
+    naive: &NaiveMap,
+    hosts: &[DomainName],
+    comparisons: &mut usize,
+) -> Option<Divergence> {
+    for host in hosts {
+        let reversed = host.labels_reversed();
+        for opts in OPTS_MATRIX {
+            *comparisons += 1;
+            let p = production.disposition(&reversed, opts);
+            let l = disposition_linear(rules, &reversed, opts);
+            let n = naive.disposition(&reversed, opts);
+            if p != l || l != n {
+                let minimized = minimize(production, rules, naive, &reversed, opts);
+                return Some(Divergence {
+                    version: None,
+                    host: host.as_str().to_string(),
+                    minimized,
+                    production: render(p),
+                    linear: render(l),
+                    naive: render(n),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Shrink a diverging hostname: repeatedly drop the leftmost label, then
+/// try renaming each label to `a`, keeping every step that still diverges.
+fn minimize(
+    production: &impl ProductionMatcher,
+    rules: &[Rule],
+    naive: &NaiveMap,
+    reversed: &[&str],
+    opts: MatchOpts,
+) -> String {
+    let diverges = |rev: &[&str]| {
+        let p = production.disposition(rev, opts);
+        let l = disposition_linear(rules, rev, opts);
+        let n = naive.disposition(rev, opts);
+        p != l || l != n
+    };
+
+    // Labels here are in reversed (TLD-first) order; the leftmost label of
+    // the hostname is the *last* element.
+    let mut current: Vec<String> = reversed.iter().map(|s| s.to_string()).collect();
+    while current.len() > 1 {
+        let shorter: Vec<&str> = current[..current.len() - 1].iter().map(|s| s.as_str()).collect();
+        if diverges(&shorter) {
+            current.pop();
+        } else {
+            break;
+        }
+    }
+    for i in 0..current.len() {
+        if current[i] == "a" {
+            continue;
+        }
+        let saved = std::mem::replace(&mut current[i], "a".to_string());
+        let probe: Vec<&str> = current.iter().map(|s| s.as_str()).collect();
+        if !diverges(&probe) {
+            current[i] = saved;
+        }
+    }
+    let mut labels: Vec<&str> = current.iter().map(|s| s.as_str()).collect();
+    labels.reverse();
+    labels.join(".")
+}
+
+/// Run the three-way comparison over every version of a history (or the
+/// `limit` most recent versions when `limit > 0`).
+pub fn sweep_history(history: &History, hosts: &[DomainName], limit: usize) -> SweepOutcome {
+    let versions: Vec<Date> = {
+        let all = history.versions();
+        if limit > 0 && all.len() > limit {
+            all[all.len() - limit..].to_vec()
+        } else {
+            all.to_vec()
+        }
+    };
+    let mut comparisons = 0;
+    let mut divergences = Vec::new();
+    for &version in &versions {
+        let rules = history.rules_at(version);
+        let trie = SuffixTrie::from_rules(&rules);
+        let naive = NaiveMap::from_rules(&rules);
+        if let Some(mut d) = first_divergence(&trie, &rules, &naive, hosts, &mut comparisons) {
+            d.version = Some(version.to_string());
+            divergences.push(d);
+        }
+    }
+    SweepOutcome { versions: versions.len(), hosts: hosts.len(), comparisons, divergences }
+}
+
+/// Build a probe corpus of at least `n` hostnames for a history: every
+/// rule that ever existed contributes its bare suffix plus hosts one and
+/// two labels beneath it (wildcards get their variable label filled), and
+/// the remainder is topped up with random unlisted-TLD probes.
+pub fn probe_corpus(history: &History, seed: u64, n: usize) -> Vec<DomainName> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    let mut push = |host: String, out: &mut Vec<DomainName>| {
+        if let Ok(d) = DomainName::parse(&host) {
+            if seen.insert(d.as_str().to_string()) {
+                out.push(d);
+            }
+        }
+    };
+    for span in history.spans() {
+        let body = span.rule.labels().join(".");
+        push(body.clone(), &mut out);
+        let l1 = label(&mut rng);
+        let l2 = label(&mut rng);
+        push(format!("{l1}.{body}"), &mut out);
+        push(format!("{l2}.{l1}.{body}"), &mut out);
+    }
+    while out.len() < n {
+        let tld = format!("{}x", label(&mut rng));
+        let host = match rng.gen_range(0..3u32) {
+            0 => tld,
+            1 => format!("{}.{tld}", label(&mut rng)),
+            _ => format!("{}.{}.{tld}", label(&mut rng), label(&mut rng)),
+        };
+        push(host, &mut out);
+    }
+    out
+}
+
+fn label(rng: &mut rand::rngs::StdRng) -> String {
+    const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    let len = 1 + rng.gen_range(0..9usize);
+    (0..len).map(|_| ALPHA[rng.gen_range(0..ALPHA.len())] as char).collect()
+}
+
+/// Convenience: three-way check of a bare [`List`] over a host corpus.
+pub fn check_list(list: &List, hosts: &[DomainName]) -> Option<Divergence> {
+    let naive = NaiveMap::from_rules(list.rules());
+    let trie = SuffixTrie::from_rules(list.rules());
+    let mut comparisons = 0;
+    first_divergence(&trie, list.rules(), &naive, hosts, &mut comparisons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psl_core::embedded_list;
+    use psl_core::{MatchKind, RuleKind, Section};
+
+    #[test]
+    fn embedded_list_has_no_divergence() {
+        let list = embedded_list();
+        let hosts: Vec<DomainName> = list
+            .rules()
+            .iter()
+            .flat_map(|r| {
+                let body = r.labels().join(".");
+                [body.clone(), format!("x.{body}"), format!("y.x.{body}")]
+            })
+            .filter_map(|h| DomainName::parse(&h).ok())
+            .collect();
+        assert!(check_list(&list, &hosts).is_none());
+    }
+
+    /// A broken "production" matcher that ignores exception rules — the
+    /// classic bug class the oracle exists to catch.
+    struct ExceptionBlindTrie(SuffixTrie);
+
+    impl ProductionMatcher for ExceptionBlindTrie {
+        fn disposition(&self, reversed: &[&str], opts: MatchOpts) -> Option<Disposition> {
+            let d = self.0.disposition(reversed, opts)?;
+            match d.kind {
+                MatchKind::Rule(RuleKind::Exception) => Some(Disposition {
+                    suffix_len: d.suffix_len + 1,
+                    kind: MatchKind::Rule(RuleKind::Wildcard),
+                    section: Some(Section::Icann),
+                }),
+                _ => Some(d),
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_matcher_is_caught_and_minimized() {
+        let list = List::parse("jp\n*.kobe.jp\n!city.kobe.jp\n");
+        let rules = list.rules().to_vec();
+        let broken = ExceptionBlindTrie(SuffixTrie::from_rules(&rules));
+        let naive = NaiveMap::from_rules(&rules);
+        let hosts = vec![DomainName::parse("deep.sub.city.kobe.jp").unwrap()];
+        let mut comparisons = 0;
+        let d = first_divergence(&broken, &rules, &naive, &hosts, &mut comparisons)
+            .expect("oracle must catch the exception-blind matcher");
+        assert_eq!(d.host, "deep.sub.city.kobe.jp");
+        // Minimization drops the irrelevant leading labels.
+        assert_eq!(d.minimized, "city.kobe.jp");
+        assert_ne!(d.production, d.linear);
+        assert_eq!(d.linear, d.naive);
+    }
+
+    #[test]
+    fn probe_corpus_reaches_requested_size_and_is_deterministic() {
+        let h = psl_history::generate(&psl_history::GeneratorConfig::small(7));
+        let a = probe_corpus(&h, 1, 2000);
+        let b = probe_corpus(&h, 1, 2000);
+        assert!(a.len() >= 2000);
+        assert_eq!(
+            a.iter().map(|d| d.as_str()).collect::<Vec<_>>(),
+            b.iter().map(|d| d.as_str()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sweep_covers_versions_and_agrees() {
+        let h = psl_history::generate(&psl_history::GeneratorConfig::small(11));
+        let hosts = probe_corpus(&h, 2, 500);
+        let outcome = sweep_history(&h, &hosts, 10);
+        assert_eq!(outcome.versions, 10);
+        assert!(outcome.comparisons >= outcome.versions * hosts.len());
+        assert!(outcome.is_pass(), "{:?}", outcome.divergences.first());
+    }
+}

@@ -1,0 +1,152 @@
+//! Golden snapshot harness.
+//!
+//! Serializes a value to pretty JSON and compares it byte-for-byte with a
+//! checked-in fixture. On mismatch the assertion fails with the first
+//! differing line; setting `PSL_BLESS=1` rewrites the fixture instead, so
+//! intentional output changes are re-blessed with:
+//!
+//! ```text
+//! PSL_BLESS=1 cargo test -p psl-conformance
+//! ```
+
+use serde::Serialize;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How a snapshot comparison went.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoldenStatus {
+    /// Fixture matched.
+    Match,
+    /// `PSL_BLESS` was set; the fixture was (re)written.
+    Blessed,
+}
+
+/// A snapshot mismatch (or missing fixture).
+#[derive(Debug, Clone)]
+pub struct GoldenError {
+    /// Fixture path.
+    pub path: PathBuf,
+    /// Human-readable explanation with the first differing line.
+    pub message: String,
+}
+
+impl fmt::Display for GoldenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "golden snapshot {}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for GoldenError {}
+
+/// True when the current process was asked to re-bless fixtures.
+pub fn blessing() -> bool {
+    std::env::var_os("PSL_BLESS").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Compare `value` against the fixture at `path` (creating or rewriting it
+/// when [`blessing`]). Returns the status, or a [`GoldenError`] describing
+/// the first difference.
+pub fn check_golden<T: Serialize>(path: &Path, value: &T) -> Result<GoldenStatus, GoldenError> {
+    let rendered = serde_json::to_string_pretty(value).map_err(|e| GoldenError {
+        path: path.to_path_buf(),
+        message: format!("serialize: {e}"),
+    })?;
+    let rendered = format!("{rendered}\n");
+
+    if blessing() {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| GoldenError {
+                path: path.to_path_buf(),
+                message: format!("create fixture dir: {e}"),
+            })?;
+        }
+        std::fs::write(path, &rendered).map_err(|e| GoldenError {
+            path: path.to_path_buf(),
+            message: format!("write fixture: {e}"),
+        })?;
+        return Ok(GoldenStatus::Blessed);
+    }
+
+    let expected = std::fs::read_to_string(path).map_err(|_| GoldenError {
+        path: path.to_path_buf(),
+        message: "fixture missing — run with PSL_BLESS=1 to create it".to_string(),
+    })?;
+    if expected == rendered {
+        return Ok(GoldenStatus::Match);
+    }
+    Err(GoldenError { path: path.to_path_buf(), message: first_diff(&expected, &rendered) })
+}
+
+/// Assert-style wrapper used by tests: panics with the diff message.
+pub fn assert_golden<T: Serialize>(path: &Path, value: &T) {
+    match check_golden(path, value) {
+        Ok(GoldenStatus::Match) => {}
+        Ok(GoldenStatus::Blessed) => {
+            eprintln!("blessed golden snapshot {}", path.display());
+        }
+        Err(e) => panic!("{e}"),
+    }
+}
+
+fn first_diff(expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!(
+                "first difference at line {}:\n  expected: {e}\n  actual:   {a}\n(re-bless with PSL_BLESS=1 if the change is intentional)",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "lengths differ: fixture has {} lines, output has {} (re-bless with PSL_BLESS=1 if the change is intentional)",
+        expected.lines().count(),
+        actual.lines().count()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("psl-golden-{}-{name}.json", std::process::id()));
+        p
+    }
+
+    #[derive(Serialize)]
+    struct Sample {
+        name: String,
+        count: usize,
+    }
+
+    #[test]
+    fn missing_fixture_is_an_error_without_bless() {
+        let path = tmp("missing");
+        let _ = std::fs::remove_file(&path);
+        let err = check_golden(&path, &Sample { name: "x".into(), count: 1 }).unwrap_err();
+        assert!(err.message.contains("PSL_BLESS=1"), "{}", err.message);
+    }
+
+    #[test]
+    fn roundtrip_matches_after_manual_write() {
+        let path = tmp("roundtrip");
+        let value = Sample { name: "x".into(), count: 2 };
+        let rendered = format!("{}\n", serde_json::to_string_pretty(&value).unwrap());
+        std::fs::write(&path, rendered).unwrap();
+        assert_eq!(check_golden(&path, &value).unwrap(), GoldenStatus::Match);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mismatch_reports_first_differing_line() {
+        let path = tmp("mismatch");
+        let old = Sample { name: "x".into(), count: 2 };
+        let rendered = format!("{}\n", serde_json::to_string_pretty(&old).unwrap());
+        std::fs::write(&path, rendered).unwrap();
+        let err = check_golden(&path, &Sample { name: "y".into(), count: 2 }).unwrap_err();
+        assert!(err.message.contains("first difference"), "{}", err.message);
+        let _ = std::fs::remove_file(&path);
+    }
+}

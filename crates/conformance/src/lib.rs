@@ -1,0 +1,33 @@
+//! # psl-conformance
+//!
+//! Correctness subsystem for the workspace's PSL engine, with three
+//! pillars:
+//!
+//! - **Test vectors** ([`vectors`], [`generate`]): parse and evaluate the
+//!   upstream `checkPublicSuffix(host, expected)` format, ship a curated
+//!   vector file for the embedded mini PSL, and derive fresh vectors from
+//!   any [`psl_core::List`] using the linear reference matcher.
+//! - **Differential oracle** ([`differential`]): run every probe hostname
+//!   through three structurally independent matchers — production trie,
+//!   linear scan, naive suffix map — across all versions of a history,
+//!   reporting the first divergence with a minimized reproducer.
+//! - **Golden snapshots** ([`golden`]): byte-exact JSON fixtures for
+//!   analysis outputs, re-blessed with `PSL_BLESS=1`.
+
+#![forbid(unsafe_code)]
+
+pub mod differential;
+pub mod generate;
+pub mod golden;
+pub mod vectors;
+
+pub use differential::{
+    check_list, first_divergence, probe_corpus, sweep_history, Divergence, ProductionMatcher,
+    SweepOutcome,
+};
+pub use generate::{generate_vectors, GenerateConfig};
+pub use golden::{assert_golden, blessing, check_golden, GoldenError, GoldenStatus};
+pub use vectors::{
+    parse_vectors, registrable_for, run_vectors, ParseVectorError, TestVector, VectorFailure,
+    VectorOutcome, SHIPPED_VECTORS,
+};

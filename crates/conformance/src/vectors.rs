@@ -1,0 +1,238 @@
+//! Test-vector engine for the upstream `checkPublicSuffix` format.
+//!
+//! publicsuffix.org ships its conformance suite as lines of
+//!
+//! ```text
+//! // Unlisted TLD.
+//! checkPublicSuffix('example', null);
+//! checkPublicSuffix('example.example', 'example.example');
+//! ```
+//!
+//! where the first argument is the input hostname and the second is the
+//! expected *registrable domain* (eTLD+1), or `null` when none exists —
+//! because the input is itself a public suffix, is syntactically invalid,
+//! or is empty. This module parses that format (tolerantly: single or
+//! double quotes, optional `;`, `//` comments, blank lines) and evaluates
+//! vectors against any [`List`].
+
+use psl_core::{DomainName, List, MatchOpts};
+use serde::Serialize;
+use std::fmt;
+
+/// One `checkPublicSuffix(input, expected)` line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TestVector {
+    /// The hostname handed to the matcher. `None` encodes the literal
+    /// `null` input that the upstream suite opens with.
+    pub input: Option<String>,
+    /// The expected registrable domain, `None` for `null`.
+    pub expected: Option<String>,
+    /// 1-based line number in the source file (0 for generated vectors).
+    pub line: usize,
+}
+
+/// A vector that did not produce its expected registrable domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct VectorFailure {
+    /// The failing vector.
+    pub vector: TestVector,
+    /// What the engine actually produced.
+    pub actual: Option<String>,
+}
+
+impl fmt::Display for VectorFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}: checkPublicSuffix({:?}) expected {:?}, got {:?}",
+            self.vector.line,
+            self.vector.input.as_deref().unwrap_or("null"),
+            self.vector.expected.as_deref().unwrap_or("null"),
+            self.actual.as_deref().unwrap_or("null"),
+        )
+    }
+}
+
+/// Outcome of running a vector set.
+#[derive(Debug, Clone, Serialize)]
+pub struct VectorOutcome {
+    /// Vectors evaluated.
+    pub total: usize,
+    /// Vectors whose actual output matched.
+    pub passed: usize,
+    /// The mismatches.
+    pub failures: Vec<VectorFailure>,
+}
+
+impl VectorOutcome {
+    /// True when every vector passed.
+    pub fn is_pass(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// A malformed vector line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVectorError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseVectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vector line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseVectorError {}
+
+/// Parse a `checkPublicSuffix` vector file.
+pub fn parse_vectors(text: &str) -> Result<Vec<TestVector>, ParseVectorError> {
+    let mut vectors = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with("//") || trimmed.starts_with('#') {
+            continue;
+        }
+        let err = |reason: &str| ParseVectorError { line, reason: to_owned(reason) };
+        let Some(rest) = trimmed.strip_prefix("checkPublicSuffix") else {
+            return Err(err("expected `checkPublicSuffix(...)`"));
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            return Err(err("missing `(`"));
+        };
+        let body = rest.trim_end().trim_end_matches(';').trim_end();
+        let Some(body) = body.strip_suffix(')') else {
+            return Err(err("missing `)`"));
+        };
+        let (first, second) = split_args(body).ok_or_else(|| err("expected two arguments"))?;
+        let input = parse_arg(first).map_err(|reason| ParseVectorError { line, reason })?;
+        let expected = parse_arg(second).map_err(|reason| ParseVectorError { line, reason })?;
+        vectors.push(TestVector { input, expected, line });
+    }
+    Ok(vectors)
+}
+
+fn to_owned(s: &str) -> String {
+    s.to_string()
+}
+
+/// Split the two arguments on the top-level comma. Hostnames cannot
+/// contain commas or quotes, so a plain scan outside quotes suffices.
+fn split_args(body: &str) -> Option<(&str, &str)> {
+    let mut in_quote: Option<char> = None;
+    for (i, c) in body.char_indices() {
+        match in_quote {
+            Some(q) if c == q => in_quote = None,
+            Some(_) => {}
+            None if c == '\'' || c == '"' => in_quote = Some(c),
+            None if c == ',' => return Some((&body[..i], &body[i + 1..])),
+            None => {}
+        }
+    }
+    None
+}
+
+/// An argument is `null` or a quoted string.
+fn parse_arg(raw: &str) -> Result<Option<String>, String> {
+    let trimmed = raw.trim();
+    if trimmed == "null" {
+        return Ok(None);
+    }
+    for q in ['\'', '"'] {
+        if let Some(inner) = trimmed.strip_prefix(q).and_then(|s| s.strip_suffix(q)) {
+            return Ok(Some(inner.to_string()));
+        }
+    }
+    Err(format!("argument `{trimmed}` is neither null nor a quoted string"))
+}
+
+/// The engine's answer for one input: the registrable domain, or `None`
+/// when the input is null, unparsable, or itself a public suffix. This is
+/// exactly the contract `checkPublicSuffix` tests.
+pub fn registrable_for(list: &List, input: Option<&str>, opts: MatchOpts) -> Option<String> {
+    let host = input?;
+    let domain = DomainName::parse(host).ok()?;
+    list.registrable_domain(&domain, opts).map(|d| d.as_str().to_string())
+}
+
+/// Run vectors against a list.
+pub fn run_vectors(list: &List, vectors: &[TestVector], opts: MatchOpts) -> VectorOutcome {
+    let mut failures = Vec::new();
+    for v in vectors {
+        let actual = registrable_for(list, v.input.as_deref(), opts);
+        if actual != v.expected {
+            failures.push(VectorFailure { vector: v.clone(), actual });
+        }
+    }
+    VectorOutcome { total: vectors.len(), passed: vectors.len() - failures.len(), failures }
+}
+
+/// The vector file shipped with this crate, curated against the embedded
+/// mini PSL (`psl_core::MINI_PSL_DAT`).
+pub const SHIPPED_VECTORS: &str = include_str!("../data/test_psl.txt");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_upstream_shapes() {
+        let text = "\
+// comment
+checkPublicSuffix(null, null);
+checkPublicSuffix('COM', null);
+checkPublicSuffix(\"example.com\", \"example.com\")
+checkPublicSuffix('a.b.example.com', 'example.com');
+";
+        let v = parse_vectors(text).unwrap();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[0].input, None);
+        assert_eq!(v[1], TestVector { input: Some("COM".into()), expected: None, line: 3 });
+        assert_eq!(v[2].input.as_deref(), Some("example.com"));
+        assert_eq!(v[3].expected.as_deref(), Some("example.com"));
+        assert_eq!(v[3].line, 5);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_vectors("checkPublicSuffix('x')").is_err());
+        assert!(parse_vectors("checkPublicSuffix 'x', null").is_err());
+        assert!(parse_vectors("somethingElse('x', null);").is_err());
+        assert!(parse_vectors("checkPublicSuffix(bare, null);").is_err());
+    }
+
+    #[test]
+    fn evaluates_against_a_list() {
+        let list = List::parse("com\n*.ck\n!www.ck\n");
+        let text = "\
+checkPublicSuffix(null, null);
+checkPublicSuffix('example.com', 'example.com');
+checkPublicSuffix('b.example.com', 'example.com');
+checkPublicSuffix('com', null);
+checkPublicSuffix('.com', null);
+checkPublicSuffix('a.other.ck', 'a.other.ck');
+checkPublicSuffix('www.ck', 'www.ck');
+checkPublicSuffix('unlisted', null);
+checkPublicSuffix('x.unlisted', 'x.unlisted');
+";
+        let outcome = run_vectors(&list, &parse_vectors(text).unwrap(), MatchOpts::default());
+        assert!(outcome.is_pass(), "{:?}", outcome.failures);
+        assert_eq!(outcome.total, 9);
+    }
+
+    #[test]
+    fn reports_mismatches_with_both_sides() {
+        let list = List::parse("com\n");
+        let text = "checkPublicSuffix('example.com', 'wrong.com');";
+        let outcome = run_vectors(&list, &parse_vectors(text).unwrap(), MatchOpts::default());
+        assert_eq!(outcome.failures.len(), 1);
+        let f = &outcome.failures[0];
+        assert_eq!(f.actual.as_deref(), Some("example.com"));
+        assert!(f.to_string().contains("wrong.com"));
+    }
+}

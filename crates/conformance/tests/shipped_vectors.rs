@@ -1,0 +1,49 @@
+//! The curated `checkPublicSuffix` vector file must pass in full against
+//! the embedded mini PSL, and the parser must account for every
+//! non-comment line of the file.
+
+use psl_conformance::{parse_vectors, run_vectors, SHIPPED_VECTORS};
+use psl_core::{embedded_list, MatchOpts};
+
+#[test]
+fn shipped_vectors_parse_completely() {
+    let vectors = parse_vectors(SHIPPED_VECTORS).expect("shipped file parses");
+    let payload_lines = SHIPPED_VECTORS
+        .lines()
+        .filter(|l| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with("//") && !t.starts_with('#')
+        })
+        .count();
+    assert_eq!(vectors.len(), payload_lines, "every payload line becomes a vector");
+    assert!(vectors.len() >= 70, "curated suite stays substantial: {}", vectors.len());
+}
+
+#[test]
+fn shipped_vectors_pass_against_the_embedded_list() {
+    let list = embedded_list();
+    let vectors = parse_vectors(SHIPPED_VECTORS).unwrap();
+    let outcome = run_vectors(&list, &vectors, MatchOpts::default());
+    assert!(
+        outcome.is_pass(),
+        "{} of {} vectors failed; first: {}",
+        outcome.failures.len(),
+        outcome.total,
+        outcome.failures[0]
+    );
+}
+
+#[test]
+fn shipped_vectors_cover_every_rule_shape() {
+    // The suite must exercise wildcard, exception, private-section, IDN,
+    // and invalid-input behaviour — not just plain lookups.
+    let vectors = parse_vectors(SHIPPED_VECTORS).unwrap();
+    let inputs: Vec<&str> = vectors.iter().filter_map(|v| v.input.as_deref()).collect();
+    assert!(vectors.iter().any(|v| v.input.is_none()), "null input");
+    assert!(inputs.iter().any(|h| h.ends_with(".ck")), "wildcard zone");
+    assert!(inputs.contains(&"www.ck"), "exception host");
+    assert!(inputs.iter().any(|h| h.contains("blogspot")), "private rule");
+    assert!(inputs.iter().any(|h| h.contains('ü') || h.contains("xn--")), "IDN");
+    assert!(inputs.iter().any(|h| h.starts_with('.')), "leading dot");
+    assert!(inputs.iter().any(|h| h.len() > 253), "over-long name");
+}

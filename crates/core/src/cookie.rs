@@ -76,10 +76,8 @@ pub fn cookie_visible_to(
     reader: &DomainName,
     opts: MatchOpts,
 ) -> bool {
-    matches!(
-        evaluate_set_cookie(list, setter, cookie_domain, opts),
-        CookieDecision::Allow
-    ) && domain_match(reader, cookie_domain)
+    matches!(evaluate_set_cookie(list, setter, cookie_domain, opts), CookieDecision::Allow)
+        && domain_match(reader, cookie_domain)
 }
 
 #[cfg(test)]

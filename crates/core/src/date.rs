@@ -37,16 +37,12 @@ impl Date {
                 "day {day} out of range for {year}-{month:02}"
             )));
         }
-        Ok(Date {
-            days_since_epoch: days_from_civil(year, month, day),
-        })
+        Ok(Date { days_since_epoch: days_from_civil(year, month, day) })
     }
 
     /// Construct directly from a days-since-epoch count.
     pub fn from_days_since_epoch(days: i32) -> Self {
-        Date {
-            days_since_epoch: days,
-        }
+        Date { days_since_epoch: days }
     }
 
     /// The number of days since 1970-01-01 (negative for earlier dates).

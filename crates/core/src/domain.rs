@@ -36,10 +36,7 @@ pub struct DomainName {
 impl DomainName {
     /// Parse and canonicalise a domain name.
     pub fn parse(input: &str) -> Result<Self> {
-        let reject = |reason| Error::InvalidDomain {
-            input: truncate_for_error(input),
-            reason,
-        };
+        let reject = |reason| Error::InvalidDomain { input: truncate_for_error(input), reason };
 
         let trimmed = input.strip_suffix('.').unwrap_or(input);
         if trimmed.is_empty() {
@@ -120,16 +117,17 @@ impl DomainName {
     /// The immediate parent domain (this name minus its leftmost label), or
     /// `None` for a single-label name.
     pub fn parent(&self) -> Option<DomainName> {
-        self.canonical.split_once('.').map(|(_, rest)| DomainName {
-            canonical: rest.to_string(),
-        })
+        self.canonical.split_once('.').map(|(_, rest)| DomainName { canonical: rest.to_string() })
     }
 
     /// True if `self` equals `other` or is a (dot-separated) subdomain of it.
     pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
         let s = &self.canonical;
         let o = &other.canonical;
-        s == o || (s.len() > o.len() && s.ends_with(o.as_str()) && s.as_bytes()[s.len() - o.len() - 1] == b'.')
+        s == o
+            || (s.len() > o.len()
+                && s.ends_with(o.as_str())
+                && s.as_bytes()[s.len() - o.len() - 1] == b'.')
     }
 
     /// Render the name in Unicode form (decoding `xn--` labels). Labels that
@@ -163,10 +161,7 @@ impl std::str::FromStr for DomainName {
 }
 
 /// Validate and canonicalise one label.
-fn canonicalise_label(
-    raw: &str,
-    reject: &impl Fn(DomainErrorKind) -> Error,
-) -> Result<String> {
+fn canonicalise_label(raw: &str, reject: &impl Fn(DomainErrorKind) -> Error) -> Result<String> {
     if raw.is_empty() {
         return Err(reject(DomainErrorKind::EmptyLabel));
     }
@@ -186,8 +181,7 @@ fn canonicalise_label(
         }
         lowered
     } else {
-        punycode::to_ascii_label(&lowered)
-            .map_err(|_| reject(DomainErrorKind::BadPunycodeLabel))?
+        punycode::to_ascii_label(&lowered).map_err(|_| reject(DomainErrorKind::BadPunycodeLabel))?
     };
 
     if ascii.len() > MAX_LABEL_LEN {
@@ -326,6 +320,44 @@ mod tests {
         fn label_count_matches_labels(s in "[a-z]{1,8}(\\.[a-z]{1,8}){0,5}") {
             let d = DomainName::parse(&s).unwrap();
             prop_assert_eq!(d.label_count(), d.labels().count());
+        }
+
+        #[test]
+        fn empty_interior_labels_are_rejected(a in "[a-z]{1,6}", b in "[a-z]{1,6}") {
+            prop_assert!(DomainName::parse(&format!("{a}..{b}")).is_err());
+            prop_assert!(DomainName::parse(&format!(".{a}.{b}")).is_err());
+        }
+
+        #[test]
+        fn one_trailing_dot_is_equivalent_but_two_are_not(s in "[a-z]{1,6}(\\.[a-z]{1,6}){0,3}") {
+            // A single trailing dot marks the DNS root and is stripped; a
+            // second one leaves an empty label behind.
+            let plain = DomainName::parse(&s).unwrap();
+            let rooted = DomainName::parse(&format!("{s}.")).unwrap();
+            prop_assert_eq!(plain.as_str(), rooted.as_str());
+            prop_assert!(DomainName::parse(&format!("{s}..")).is_err());
+        }
+
+        #[test]
+        fn label_length_gate_is_exactly_63(n in 1usize..=80) {
+            let host = format!("{}.com", "a".repeat(n));
+            let parsed = DomainName::parse(&host);
+            if n <= 63 {
+                prop_assert!(parsed.is_ok(), "{n}-byte label must parse");
+            } else {
+                prop_assert!(parsed.is_err(), "{n}-byte label must be rejected");
+            }
+        }
+
+        #[test]
+        fn oversized_unicode_labels_are_rejected_post_punycode(n in 40usize..=70) {
+            // The 63-byte limit applies to the ACE form: each 'ü' expands
+            // under punycode, so labels that look short in Unicode can
+            // still overflow.
+            let host = format!("{}.com", "ü".repeat(n));
+            let parsed = DomainName::parse(&host);
+            let ace_len = crate::punycode::to_ascii_label(&"ü".repeat(n)).unwrap().len();
+            prop_assert_eq!(parsed.is_ok(), ace_len <= 63);
         }
 
         #[test]

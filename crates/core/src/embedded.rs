@@ -53,7 +53,11 @@ mod tests {
             ("x.anything.kobe.jp", "anything.kobe.jp", Some("x.anything.kobe.jp")),
             ("anything.kobe.jp", "anything.kobe.jp", None),
             ("www.ck", "ck", Some("www.ck")),
-            ("bucket.region.digitaloceanspaces.com", "digitaloceanspaces.com", Some("region.digitaloceanspaces.com")),
+            (
+                "bucket.region.digitaloceanspaces.com",
+                "digitaloceanspaces.com",
+                Some("region.digitaloceanspaces.com"),
+            ),
         ];
         for (host, suffix, registrable) in cases {
             let dom = d(host);

@@ -80,10 +80,8 @@ impl SetCookie {
                         out.domain = Some(v.to_ascii_lowercase());
                     }
                 }
-                "path" => {
-                    if val.starts_with('/') {
-                        out.path = Some(val.to_string());
-                    }
+                "path" if val.starts_with('/') => {
+                    out.path = Some(val.to_string());
                 }
                 "secure" => out.secure = true,
                 _ => {}
@@ -169,9 +167,11 @@ impl<'l> CookieJar<'l> {
             path: sc.path.clone().unwrap_or_else(|| "/".to_string()),
             secure: sc.secure,
         };
-        if let Some(existing) = self.cookies.iter_mut().find(|c| {
-            c.name == cookie.name && c.domain == cookie.domain && c.path == cookie.path
-        }) {
+        if let Some(existing) = self
+            .cookies
+            .iter_mut()
+            .find(|c| c.name == cookie.name && c.domain == cookie.domain && c.path == cookie.path)
+        {
             *existing = cookie;
         } else {
             self.cookies.push(cookie);
@@ -185,11 +185,8 @@ impl<'l> CookieJar<'l> {
         self.cookies
             .iter()
             .filter(|c| {
-                let domain_ok = if c.host_only {
-                    host == &c.domain
-                } else {
-                    host.is_subdomain_of(&c.domain)
-                };
+                let domain_ok =
+                    if c.host_only { host == &c.domain } else { host.is_subdomain_of(&c.domain) };
                 domain_ok && path_match(path, &c.path) && (secure || !c.secure)
             })
             .collect()
@@ -257,8 +254,7 @@ mod tests {
     fn domain_cookies_cover_subdomains() {
         let l = list();
         let mut jar = CookieJar::new(&l, MatchOpts::default());
-        jar.set_from_header(&d("app.example.com"), "sid=1; Domain=example.com")
-            .unwrap();
+        jar.set_from_header(&d("app.example.com"), "sid=1; Domain=example.com").unwrap();
         assert_eq!(jar.cookies_for(&d("app.example.com"), "/", false).len(), 1);
         assert_eq!(jar.cookies_for(&d("www.example.com"), "/", false).len(), 1);
         assert_eq!(jar.cookies_for(&d("example.com"), "/", false).len(), 1);
@@ -286,8 +282,7 @@ mod tests {
         // the platform-wide cookie and serves it to every customer.
         let old = List::parse("com\nio\n");
         let mut jar = CookieJar::new(&old, MatchOpts::default());
-        jar.set_from_header(&d("alice.github.io"), "track=evil; Domain=github.io")
-            .unwrap();
+        jar.set_from_header(&d("alice.github.io"), "track=evil; Domain=github.io").unwrap();
         assert_eq!(jar.cookies_for(&d("bob.github.io"), "/", false).len(), 1);
         assert_eq!(jar.cookies_for(&d("carol.github.io"), "/", false).len(), 1);
     }
@@ -333,10 +328,7 @@ mod tests {
             jar.set_from_header(&d("a.example.com"), "x=1; Domain=ex ample.com"),
             Err(StoreError::BadDomain)
         );
-        assert_eq!(
-            jar.set_from_header(&d("a.example.com"), ""),
-            Err(StoreError::Malformed)
-        );
+        assert_eq!(jar.set_from_header(&d("a.example.com"), ""), Err(StoreError::Malformed));
     }
 
     proptest! {

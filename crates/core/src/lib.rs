@@ -47,6 +47,7 @@ pub mod error;
 pub mod jar;
 pub mod lint;
 pub mod list;
+pub mod naive;
 pub mod parser;
 pub mod punycode;
 pub mod rule;
@@ -54,12 +55,13 @@ pub mod trie;
 pub mod url;
 
 pub use date::Date;
-pub use embedded::{embedded_list, MINI_PSL_DAT};
 pub use domain::DomainName;
+pub use embedded::{embedded_list, MINI_PSL_DAT};
+pub use error::{Error, Result};
 pub use jar::{Cookie, CookieJar, SetCookie};
 pub use lint::{lint, Finding};
-pub use error::{Error, Result};
 pub use list::List;
+pub use naive::NaiveMap;
 pub use parser::{parse_dat, parse_dat_strict, write_dat, ParsedList};
 pub use rule::{Rule, RuleKind, Section};
 pub use trie::{Disposition, MatchKind, MatchOpts, SuffixTrie};

@@ -82,7 +82,7 @@ pub fn lint(list: &List) -> Vec<Finding> {
 
         // Cross-section duplicates (same body in both sections under any
         // kind).
-        if sections_by_body.get(&body).map_or(false, |s| s.len() > 1)
+        if sections_by_body.get(&body).is_some_and(|s| s.len() > 1)
             && seen_cross.insert(body.clone())
         {
             findings.push(Finding::CrossSectionDuplicate(body.clone()));
@@ -152,10 +152,7 @@ mod tests {
     #[test]
     fn shadowed_rule_detected() {
         let f = findings("jp\n*.kobe.jp\nfoo.kobe.jp\n");
-        assert!(
-            f.contains(&Finding::ShadowedByWildcard("foo.kobe.jp".into())),
-            "{f:?}"
-        );
+        assert!(f.contains(&Finding::ShadowedByWildcard("foo.kobe.jp".into())), "{f:?}");
     }
 
     #[test]
@@ -180,20 +177,14 @@ mod tests {
         ];
         let list2 = List::from_rules(rules);
         let f = lint(&list2);
-        assert!(
-            f.contains(&Finding::CrossSectionDuplicate("shared.com".into())),
-            "{f:?}"
-        );
+        assert!(f.contains(&Finding::CrossSectionDuplicate("shared.com".into())), "{f:?}");
         let _ = list;
     }
 
     #[test]
     fn private_under_unknown_tld_detected() {
         let f = findings("com\n// ===BEGIN PRIVATE DOMAINS===\nplatform.zz\n");
-        assert!(
-            f.contains(&Finding::PrivateUnderUnknownTld("platform.zz".into())),
-            "{f:?}"
-        );
+        assert!(f.contains(&Finding::PrivateUnderUnknownTld("platform.zz".into())), "{f:?}");
         let ok = findings("com\nzz\n// ===BEGIN PRIVATE DOMAINS===\nplatform.zz\n");
         assert!(!ok.iter().any(|x| matches!(x, Finding::PrivateUnderUnknownTld(_))));
     }
@@ -201,10 +192,7 @@ mod tests {
     #[test]
     fn deep_rule_without_ancestor_detected() {
         let f = findings("com\na.b.c.example\n");
-        assert!(
-            f.contains(&Finding::DeepRuleWithoutAncestor("a.b.c.example".into())),
-            "{f:?}"
-        );
+        assert!(f.contains(&Finding::DeepRuleWithoutAncestor("a.b.c.example".into())), "{f:?}");
         let ok = findings("com\nexample\na.b.c.example\n");
         assert!(!ok.iter().any(|x| matches!(x, Finding::DeepRuleWithoutAncestor(_))));
     }
@@ -224,10 +212,7 @@ mod tests {
         let h = psl_history_free_standing_check();
         for f in &h {
             assert!(
-                matches!(
-                    f,
-                    Finding::ShadowedByWildcard(_) | Finding::DeepRuleWithoutAncestor(_)
-                ),
+                matches!(f, Finding::ShadowedByWildcard(_) | Finding::DeepRuleWithoutAncestor(_)),
                 "unexpected finding class: {f}"
             );
         }

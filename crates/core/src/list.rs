@@ -61,11 +61,7 @@ impl List {
 
     /// The prevailing-rule decision for reversed hostname labels (TLD
     /// first). This is the hot-path entry point used by the corpus sweep.
-    pub fn disposition_reversed(
-        &self,
-        reversed: &[&str],
-        opts: MatchOpts,
-    ) -> Option<Disposition> {
+    pub fn disposition_reversed(&self, reversed: &[&str], opts: MatchOpts) -> Option<Disposition> {
         self.trie.disposition(reversed, opts)
     }
 
@@ -73,18 +69,12 @@ impl List {
     /// labels. `None` only in strict mode when nothing matches.
     pub fn suffix_len(&self, domain: &DomainName, opts: MatchOpts) -> Option<usize> {
         let reversed = domain.labels_reversed();
-        self.trie
-            .disposition(&reversed, opts)
-            .map(|d| d.suffix_len.min(domain.label_count()))
+        self.trie.disposition(&reversed, opts).map(|d| d.suffix_len.min(domain.label_count()))
     }
 
     /// The public suffix (eTLD) of a domain as text, e.g. `co.uk` for
     /// `www.example.co.uk`.
-    pub fn public_suffix<'d>(
-        &self,
-        domain: &'d DomainName,
-        opts: MatchOpts,
-    ) -> Option<&'d str> {
+    pub fn public_suffix<'d>(&self, domain: &'d DomainName, opts: MatchOpts) -> Option<&'d str> {
         let n = self.suffix_len(domain, opts)?;
         domain.suffix_of_len(n)
     }
@@ -97,18 +87,12 @@ impl List {
     /// The registrable domain (eTLD+1): the public suffix plus one label.
     /// `None` if the domain is itself a public suffix (nothing was
     /// registered under it), or in strict mode when nothing matches.
-    pub fn registrable_domain(
-        &self,
-        domain: &DomainName,
-        opts: MatchOpts,
-    ) -> Option<DomainName> {
+    pub fn registrable_domain(&self, domain: &DomainName, opts: MatchOpts) -> Option<DomainName> {
         let n = self.suffix_len(domain, opts)?;
         if n >= domain.label_count() {
             return None;
         }
-        domain
-            .suffix_of_len(n + 1)
-            .map(|s| DomainName::from_canonical_unchecked(s.to_string()))
+        domain.suffix_of_len(n + 1).map(|s| DomainName::from_canonical_unchecked(s.to_string()))
     }
 
     /// The *site* a hostname belongs to: its registrable domain, or the
@@ -116,8 +100,7 @@ impl List {
     /// grouping key the paper uses to form privacy boundaries ("a site is
     /// sometimes known as eTLD+1").
     pub fn site(&self, domain: &DomainName, opts: MatchOpts) -> DomainName {
-        self.registrable_domain(domain, opts)
-            .unwrap_or_else(|| domain.clone())
+        self.registrable_domain(domain, opts).unwrap_or_else(|| domain.clone())
     }
 
     /// Are two hostnames in the same site (same privacy boundary)?
@@ -129,21 +112,13 @@ impl List {
     /// additions a consumer of `other` is missing. Used by the
     /// harm-estimation pipeline.
     pub fn rules_missing_from(&self, other: &List) -> Vec<&Rule> {
-        let other_texts: HashSet<String> =
-            other.rules.iter().map(|r| r.as_text()).collect();
-        self.rules
-            .iter()
-            .filter(|r| !other_texts.contains(&r.as_text()))
-            .collect()
+        let other_texts: HashSet<String> = other.rules.iter().map(|r| r.as_text()).collect();
+        self.rules.iter().filter(|r| !other_texts.contains(&r.as_text())).collect()
     }
 
     /// Count rules by section.
     pub fn section_counts(&self) -> (usize, usize) {
-        let icann = self
-            .rules
-            .iter()
-            .filter(|r| r.section() == Section::Icann)
-            .count();
+        let icann = self.rules.iter().filter(|r| r.section() == Section::Icann).count();
         (icann, self.rules.len() - icann)
     }
 
@@ -236,10 +211,7 @@ digitaloceanspaces.com
             "city.kobe.jp"
         );
         // The canonical RFC example: www.ck is carved out of *.ck.
-        assert_eq!(
-            l.registrable_domain(&d("www.ck"), opts).unwrap().as_str(),
-            "www.ck"
-        );
+        assert_eq!(l.registrable_domain(&d("www.ck"), opts).unwrap().as_str(), "www.ck");
         assert_eq!(
             l.registrable_domain(&d("shop.other.ck"), opts).unwrap().as_str(),
             "shop.other.ck"
@@ -295,11 +267,8 @@ digitaloceanspaces.com
     fn rules_missing_from_detects_additions() {
         let old = List::parse("com\nnet\n");
         let new = List::parse("com\nnet\ngithub.io\n");
-        let missing: Vec<String> = new
-            .rules_missing_from(&old)
-            .iter()
-            .map(|r| r.as_text())
-            .collect();
+        let missing: Vec<String> =
+            new.rules_missing_from(&old).iter().map(|r| r.as_text()).collect();
         assert_eq!(missing, ["github.io"]);
         assert!(old.rules_missing_from(&new).is_empty());
     }

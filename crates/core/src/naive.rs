@@ -1,0 +1,219 @@
+//! Deliberately-naive longest-suffix-wins matcher.
+//!
+//! The third, structurally independent oracle used by the conformance
+//! subsystem (`psl-conformance`): where [`crate::trie::SuffixTrie`] walks a
+//! label trie and [`crate::trie::disposition_linear`] scans every rule, this
+//! matcher keys three flat hash maps by joined reversed-label prefixes and
+//! probes each suffix length of the query hostname. It is O(labels²) per
+//! lookup and makes no attempt to be clever — that is the point: a bug in
+//! the trie walk, the linear scan, and the prefix probing would have to
+//! coincide exactly to escape a three-way differential comparison.
+
+use crate::rule::{Rule, RuleKind, Section};
+use crate::trie::{Disposition, MatchKind, MatchOpts};
+use std::collections::HashMap;
+
+/// Flat-map matcher over a rule set. Build once, query many times.
+#[derive(Debug, Default, Clone)]
+pub struct NaiveMap {
+    /// Normal rules, keyed by reversed labels joined with '.'
+    /// (`"uk.co"` for the rule `co.uk`). Last write wins, like the trie.
+    normal: HashMap<String, Section>,
+    /// Wildcard rules, keyed by the reversed labels *under* the `*`
+    /// (`"jp.kobe"` for `*.kobe.jp`).
+    wildcard: HashMap<String, Section>,
+    /// Exception rules, keyed like normal rules but without the `!`.
+    exception: HashMap<String, Section>,
+}
+
+impl NaiveMap {
+    /// Build the three maps from rules.
+    pub fn from_rules<'a>(rules: impl IntoIterator<Item = &'a Rule>) -> Self {
+        let mut map = NaiveMap::default();
+        for rule in rules {
+            let key = join_key(rule.labels().iter().rev().map(|l| l.as_str()));
+            match rule.kind() {
+                RuleKind::Normal => map.normal.insert(key, rule.section()),
+                RuleKind::Wildcard => map.wildcard.insert(key, rule.section()),
+                RuleKind::Exception => map.exception.insert(key, rule.section()),
+            };
+        }
+        map
+    }
+
+    /// Total distinct (path, kind) slots held.
+    pub fn len(&self) -> usize {
+        self.normal.len() + self.wildcard.len() + self.exception.len()
+    }
+
+    /// True if no rules are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decide the prevailing rule for a hostname given as reversed labels
+    /// (TLD first). Same contract as [`crate::trie::SuffixTrie::disposition`].
+    pub fn disposition(&self, reversed: &[&str], opts: MatchOpts) -> Option<Disposition> {
+        let allowed = |section: Section| opts.include_private || section == Section::Icann;
+
+        let mut best_exception: Option<(usize, Section)> = None;
+        let mut best_match: Option<(usize, RuleKind, Section)> = None;
+        // Probe every suffix length, shortest first, so that a later
+        // (longer) hit simply replaces an earlier one — "longest wins"
+        // falls out of the iteration order.
+        for k in 1..=reversed.len() {
+            let prefix = join_key(reversed[..k].iter().copied());
+            if let Some(&section) = self.exception.get(&prefix) {
+                if allowed(section) && best_exception.is_none_or(|(len, _)| k > len) {
+                    best_exception = Some((k, section));
+                }
+            }
+            // A wildcard `*.P` matches any k-label suffix whose trailing
+            // k-1 labels equal P. (`Rule::parse` rejects a bare `*`, so
+            // every wildcard has a non-empty parent and k is at least 2.)
+            if k >= 2 {
+                let parent = join_key(reversed[..k - 1].iter().copied());
+                if let Some(&section) = self.wildcard.get(&parent) {
+                    if allowed(section) {
+                        best_match = Some((k, RuleKind::Wildcard, section));
+                    }
+                }
+            }
+            if let Some(&section) = self.normal.get(&prefix) {
+                if allowed(section) {
+                    // Same length: Normal beats Wildcard, matching the
+                    // trie's walk order and the linear scan's tie-break.
+                    best_match = Some((k, RuleKind::Normal, section));
+                }
+            }
+        }
+
+        if let Some((match_len, section)) = best_exception {
+            return Some(Disposition {
+                suffix_len: match_len - 1,
+                kind: MatchKind::Rule(RuleKind::Exception),
+                section: Some(section),
+            });
+        }
+        if let Some((match_len, kind, section)) = best_match {
+            return Some(Disposition {
+                suffix_len: match_len,
+                kind: MatchKind::Rule(kind),
+                section: Some(section),
+            });
+        }
+        if opts.implicit_wildcard && !reversed.is_empty() {
+            return Some(Disposition {
+                suffix_len: 1,
+                kind: MatchKind::ImplicitWildcard,
+                section: None,
+            });
+        }
+        None
+    }
+}
+
+/// Join labels, already in reversed (TLD-first) order, into a map key.
+fn join_key<'a>(labels: impl Iterator<Item = &'a str>) -> String {
+    let mut out = String::new();
+    for label in labels {
+        if !out.is_empty() {
+            out.push('.');
+        }
+        out.push_str(label);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::{disposition_linear, SuffixTrie};
+
+    fn rules() -> Vec<Rule> {
+        [
+            ("com", Section::Icann),
+            ("co.uk", Section::Icann),
+            ("uk", Section::Icann),
+            ("jp", Section::Icann),
+            ("*.kobe.jp", Section::Icann),
+            ("!city.kobe.jp", Section::Icann),
+            ("*.ck", Section::Icann),
+            ("!www.ck", Section::Icann),
+            ("github.io", Section::Private),
+        ]
+        .into_iter()
+        .map(|(t, s)| Rule::parse(t, s).unwrap())
+        .collect()
+    }
+
+    fn rev(host: &str) -> Vec<&str> {
+        host.split('.').rev().collect()
+    }
+
+    #[test]
+    fn agrees_with_trie_and_linear_on_canonical_cases() {
+        let rules = rules();
+        let map = NaiveMap::from_rules(&rules);
+        let trie = SuffixTrie::from_rules(&rules);
+        for host in [
+            "com",
+            "example.com",
+            "a.b.example.com",
+            "co.uk",
+            "example.co.uk",
+            "kobe.jp",
+            "x.kobe.jp",
+            "a.x.kobe.jp",
+            "city.kobe.jp",
+            "a.city.kobe.jp",
+            "www.ck",
+            "a.www.ck",
+            "other.ck",
+            "github.io",
+            "user.github.io",
+            "unlisted",
+            "foo.unlisted",
+        ] {
+            let labels = rev(host);
+            for opts in [
+                MatchOpts::default(),
+                MatchOpts { include_private: false, implicit_wildcard: true },
+                MatchOpts { include_private: true, implicit_wildcard: false },
+            ] {
+                let naive = map.disposition(&labels, opts);
+                assert_eq!(naive, trie.disposition(&labels, opts), "{host} {opts:?}");
+                assert_eq!(naive, disposition_linear(&rules, &labels, opts), "{host} {opts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exception_strips_one_label() {
+        let map = NaiveMap::from_rules(&rules());
+        let d = map.disposition(&rev("city.kobe.jp"), MatchOpts::default()).unwrap();
+        assert_eq!(d.suffix_len, 2); // kobe.jp
+        assert_eq!(d.kind, MatchKind::Rule(RuleKind::Exception));
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        let map = NaiveMap::from_rules(&rules());
+        assert_eq!(map.disposition(&[], MatchOpts::default()), None);
+    }
+
+    #[test]
+    fn last_write_wins_on_duplicate_rule_paths() {
+        // Mirrors SuffixTrie::insert: re-inserting the same (path, kind)
+        // overwrites the section slot.
+        let rules = vec![
+            Rule::parse("dup.example", Section::Icann).unwrap(),
+            Rule::parse("dup.example", Section::Private).unwrap(),
+        ];
+        let map = NaiveMap::from_rules(&rules);
+        let trie = SuffixTrie::from_rules(&rules);
+        let labels = rev("x.dup.example");
+        let opts = MatchOpts { include_private: false, implicit_wildcard: true };
+        assert_eq!(map.disposition(&labels, opts), trie.disposition(&labels, opts));
+    }
+}

@@ -98,16 +98,12 @@ pub fn decode(input: &str) -> Result<String> {
             if digit < t {
                 break;
             }
-            w = w
-                .checked_mul(BASE - t)
-                .ok_or(err(PunycodeErrorKind::Overflow))?;
+            w = w.checked_mul(BASE - t).ok_or(err(PunycodeErrorKind::Overflow))?;
             k += BASE;
         }
         let len = output.len() as u32 + 1;
         bias = adapt(i - old_i, len, old_i == 0);
-        n = n
-            .checked_add(i / len)
-            .ok_or(err(PunycodeErrorKind::Overflow))?;
+        n = n.checked_add(i / len).ok_or(err(PunycodeErrorKind::Overflow))?;
         i %= len;
         let ch = char::from_u32(n).ok_or(err(PunycodeErrorKind::InvalidCodePoint))?;
         output.insert(i as usize, ch);
@@ -281,7 +277,7 @@ mod tests {
     fn decode_handles_delimiter_edge_cases() {
         // A leading delimiter means "empty basic part".
         assert!(decode("-").is_ok() || decode("-").is_err()); // must not panic
-        // Trailing delimiter: basic part only.
+                                                              // Trailing delimiter: basic part only.
         let d = decode("abc-").unwrap_or_default();
         assert!(d.is_ascii() || !d.is_empty() || d.is_empty());
     }
@@ -314,6 +310,34 @@ mod tests {
         fn encoded_output_is_ascii(s in "\\PC{1,24}") {
             if let Ok(enc) = encode(&s) {
                 prop_assert!(enc.is_ascii());
+            }
+        }
+
+        #[test]
+        fn ascii_labels_pass_through_both_directions(s in "[a-z0-9-]{1,30}") {
+            // Pure-ASCII labels need no ACE form: both conversions are
+            // the identity.
+            prop_assert_eq!(to_ascii_label(&s).unwrap(), s.clone());
+            prop_assert_eq!(to_unicode_label(&s).unwrap(), s);
+        }
+
+        #[test]
+        fn label_roundtrip_via_ace(s in "\\PC{1,20}") {
+            // Any lowercase label that converts to ACE at all must convert
+            // back to exactly itself.
+            let lower: String = s.chars().flat_map(|c| c.to_lowercase()).collect();
+            if let Ok(ace) = to_ascii_label(&lower) {
+                prop_assert!(ace.is_ascii());
+                prop_assert_eq!(to_unicode_label(&ace).unwrap(), lower);
+            }
+        }
+
+        #[test]
+        fn decode_of_encode_is_identity_with_prefix_digits(s in "[a-z]{0,6}[0-9]{0,4}\\PC{1,10}") {
+            // Mixed basic + extended codepoints exercise the bias
+            // adaptation path.
+            if let Ok(enc) = encode(&s) {
+                prop_assert_eq!(decode(&enc).unwrap(), s);
             }
         }
     }

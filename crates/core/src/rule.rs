@@ -52,10 +52,7 @@ impl Rule {
     /// `!suffix`. The wildcard label is only supported in the leftmost
     /// position, which matches every rule ever published in the real list.
     pub fn parse(line: &str, section: Section) -> Result<Self> {
-        let reject = |reason| Error::InvalidRule {
-            line: truncate_for_error(line),
-            reason,
-        };
+        let reject = |reason| Error::InvalidRule { line: truncate_for_error(line), reason };
         let trimmed = line.trim();
         if trimmed.is_empty() {
             return Err(reject(RuleErrorKind::Empty));
@@ -164,7 +161,7 @@ impl Rule {
         let own: Vec<&str> = self.labels.iter().rev().map(|s| s.as_str()).collect();
         if self.kind == RuleKind::Wildcard {
             // `*.foo` requires the labels of foo plus at least one more.
-            reversed.len() >= own.len() + 1 && reversed[..own.len()] == own[..]
+            reversed.len() > own.len() && reversed[..own.len()] == own[..]
         } else {
             reversed.len() >= own.len() && reversed[..own.len()] == own[..]
         }
@@ -201,11 +198,7 @@ fn canonical_rule_label(raw: &str) -> Result<String> {
     } else {
         raw.chars().flat_map(|c| c.to_lowercase()).collect()
     };
-    let ascii = if lowered.is_ascii() {
-        lowered
-    } else {
-        punycode::to_ascii_label(&lowered)?
-    };
+    let ascii = if lowered.is_ascii() { lowered } else { punycode::to_ascii_label(&lowered)? };
     if ascii.len() > crate::domain::MAX_LABEL_LEN {
         return Err(Error::InvalidDomain {
             input: raw.into(),

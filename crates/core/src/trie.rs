@@ -58,10 +58,7 @@ pub struct MatchOpts {
 
 impl Default for MatchOpts {
     fn default() -> Self {
-        MatchOpts {
-            include_private: true,
-            implicit_wildcard: true,
-        }
+        MatchOpts { include_private: true, implicit_wildcard: true }
     }
 }
 
@@ -98,10 +95,7 @@ impl SuffixTrie {
     pub fn insert(&mut self, rule: &Rule) {
         let mut node = &mut self.root;
         for label in rule.labels().iter().rev() {
-            node = node
-                .children
-                .entry(label.as_str().into())
-                .or_default();
+            node = node.children.entry(label.as_str().into()).or_default();
         }
         let slot = match rule.kind() {
             RuleKind::Normal => &mut node.normal,
@@ -210,8 +204,7 @@ pub fn disposition_linear(
     reversed: &[&str],
     opts: MatchOpts,
 ) -> Option<Disposition> {
-    let allowed =
-        |r: &Rule| opts.include_private || r.section() == Section::Icann;
+    let allowed = |r: &Rule| opts.include_private || r.section() == Section::Icann;
 
     let mut best_exception: Option<&Rule> = None;
     let mut best_match: Option<&Rule> = None;
@@ -221,7 +214,7 @@ pub fn disposition_linear(
         }
         match rule.kind() {
             RuleKind::Exception => {
-                if best_exception.map_or(true, |b| rule.match_len() > b.match_len()) {
+                if best_exception.is_none_or(|b| rule.match_len() > b.match_len()) {
                     best_exception = Some(rule);
                 }
             }
@@ -230,7 +223,7 @@ pub fn disposition_linear(
                 // Wildcard (the public suffix is identical either way — this
                 // only pins down which rule we *report*, and must agree with
                 // the trie's walk order).
-                let better = best_match.map_or(true, |b| {
+                let better = best_match.is_none_or(|b| {
                     rule.match_len() > b.match_len()
                         || (rule.match_len() == b.match_len()
                             && rule.kind() == RuleKind::Normal
@@ -273,10 +266,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn rules(texts: &[(&str, Section)]) -> Vec<Rule> {
-        texts
-            .iter()
-            .map(|(t, s)| Rule::parse(t, *s).unwrap())
-            .collect()
+        texts.iter().map(|(t, s)| Rule::parse(t, *s).unwrap()).collect()
     }
 
     fn trie(texts: &[(&str, Section)]) -> (Vec<Rule>, SuffixTrie) {
@@ -298,9 +288,7 @@ mod tests {
     #[test]
     fn longest_match_prevails() {
         let (_, t) = trie(BASIC);
-        let d = t
-            .disposition(&["uk", "co", "example"], MatchOpts::default())
-            .unwrap();
+        let d = t.disposition(&["uk", "co", "example"], MatchOpts::default()).unwrap();
         assert_eq!(d.suffix_len, 2);
         assert_eq!(d.kind, MatchKind::Rule(RuleKind::Normal));
     }
@@ -324,10 +312,8 @@ mod tests {
         let d = t.disposition(&["ck", "www"], MatchOpts::default()).unwrap();
         assert_eq!(d.kind, MatchKind::Rule(RuleKind::Exception));
         assert_eq!(d.suffix_len, 1); // suffix is "ck"
-        // And deeper names under the exception still hit it.
-        let d = t
-            .disposition(&["ck", "www", "deep"], MatchOpts::default())
-            .unwrap();
+                                     // And deeper names under the exception still hit it.
+        let d = t.disposition(&["ck", "www", "deep"], MatchOpts::default()).unwrap();
         assert_eq!(d.kind, MatchKind::Rule(RuleKind::Exception));
         assert_eq!(d.suffix_len, 1);
     }
@@ -336,10 +322,7 @@ mod tests {
     fn private_section_filtering() {
         let (_, t) = trie(BASIC);
         let with = MatchOpts::default();
-        let without = MatchOpts {
-            include_private: false,
-            ..Default::default()
-        };
+        let without = MatchOpts { include_private: false, ..Default::default() };
         let d = t.disposition(&["io", "github", "user"], with).unwrap();
         assert_eq!(d.suffix_len, 2);
         assert_eq!(d.section, Some(Section::Private));
@@ -351,14 +334,9 @@ mod tests {
     #[test]
     fn implicit_wildcard_toggle() {
         let (_, t) = trie(BASIC);
-        let strict = MatchOpts {
-            implicit_wildcard: false,
-            ..Default::default()
-        };
+        let strict = MatchOpts { implicit_wildcard: false, ..Default::default() };
         assert!(t.disposition(&["zz", "example"], strict).is_none());
-        let d = t
-            .disposition(&["zz", "example"], MatchOpts::default())
-            .unwrap();
+        let d = t.disposition(&["zz", "example"], MatchOpts::default()).unwrap();
         assert_eq!(d.kind, MatchKind::ImplicitWildcard);
         assert_eq!(d.suffix_len, 1);
     }
@@ -387,15 +365,11 @@ mod tests {
         assert_eq!(t.len(), n - 1);
         assert!(!t.remove(&rule), "second removal is a no-op");
         // co.uk no longer matches; uk (still present) prevails.
-        let d = t
-            .disposition(&["uk", "co", "example"], MatchOpts::default())
-            .unwrap();
+        let d = t.disposition(&["uk", "co", "example"], MatchOpts::default()).unwrap();
         assert_eq!(d.suffix_len, 1);
         // Re-insert restores behaviour.
         t.insert(&rule);
-        let d = t
-            .disposition(&["uk", "co", "example"], MatchOpts::default())
-            .unwrap();
+        let d = t.disposition(&["uk", "co", "example"], MatchOpts::default()).unwrap();
         assert_eq!(d.suffix_len, 2);
         assert_eq!(t.len(), n);
         let _ = rs;

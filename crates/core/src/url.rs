@@ -59,17 +59,13 @@ pub struct Url {
 impl Url {
     /// Parse a URL. Requires a scheme and an authority (`scheme://host…`).
     pub fn parse(input: &str) -> Result<Self> {
-        let reject = |reason| Error::InvalidUrl {
-            input: truncate_for_error(input),
-            reason,
-        };
+        let reject = |reason| Error::InvalidUrl { input: truncate_for_error(input), reason };
         if input.is_empty() {
             return Err(reject(UrlErrorKind::Empty));
         }
 
-        let (scheme_raw, rest) = input
-            .split_once("://")
-            .ok_or(reject(UrlErrorKind::MissingScheme))?;
+        let (scheme_raw, rest) =
+            input.split_once("://").ok_or(reject(UrlErrorKind::MissingScheme))?;
         if scheme_raw.is_empty()
             || !scheme_raw
                 .chars()
@@ -81,9 +77,7 @@ impl Url {
         let scheme = scheme_raw.to_ascii_lowercase();
 
         // The authority ends at the first '/', '?', or '#'.
-        let auth_end = rest
-            .find(['/', '?', '#'])
-            .unwrap_or(rest.len());
+        let auth_end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
         let (authority, path_and_rest) = rest.split_at(auth_end);
         // Userinfo, if any, precedes the last '@'.
         let host_port = match authority.rfind('@') {
@@ -118,10 +112,9 @@ impl Url {
         };
 
         let host = match host_raw {
-            HostRaw::V6(addr) => Host::Ipv6(
-                addr.parse::<Ipv6Addr>()
-                    .map_err(|_| reject(UrlErrorKind::BadHost))?,
-            ),
+            HostRaw::V6(addr) => {
+                Host::Ipv6(addr.parse::<Ipv6Addr>().map_err(|_| reject(UrlErrorKind::BadHost))?)
+            }
             HostRaw::Name(name) => {
                 if let Ok(v4) = name.parse::<Ipv4Addr>() {
                     Host::Ipv4(v4)
@@ -133,12 +126,7 @@ impl Url {
             }
         };
 
-        Ok(Url {
-            scheme,
-            host,
-            port,
-            path_and_rest: path_and_rest.to_string(),
-        })
+        Ok(Url { scheme, host, port, path_and_rest: path_and_rest.to_string() })
     }
 
     /// Parse a URL and return just its domain name, rejecting IP hosts.

@@ -146,9 +146,7 @@ mod tests {
         crate::dbound::publish_list(&mut z, &list);
         let mut r = CachingResolver::new(&z);
 
-        let hosts: Vec<DomainName> = (0..100)
-            .map(|i| d(&format!("user{i}.github.io")))
-            .collect();
+        let hosts: Vec<DomainName> = (0..100).map(|i| d(&format!("user{i}.github.io"))).collect();
         for host in &hosts {
             // Replay the site_of walk through the cache.
             let labels: Vec<&str> = host.labels().collect();

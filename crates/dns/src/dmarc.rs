@@ -65,8 +65,7 @@ pub fn parse_record(txt: &str) -> Option<Policy> {
 /// the registrable domain, or the domain itself when it has no
 /// registrable parent.
 pub fn organizational_domain(list: &List, domain: &DomainName, opts: MatchOpts) -> DomainName {
-    list.registrable_domain(domain, opts)
-        .unwrap_or_else(|| domain.clone())
+    list.registrable_domain(domain, opts).unwrap_or_else(|| domain.clone())
 }
 
 /// Discover the DMARC policy for mail from `from_domain`.
@@ -83,11 +82,7 @@ pub fn discover(
         .iter()
         .find_map(|r| r.data.as_txt().and_then(parse_record))
     {
-        return Some(DmarcRecord {
-            policy,
-            found_at: direct,
-            from_org_fallback: false,
-        });
+        return Some(DmarcRecord { policy, found_at: direct, from_org_fallback: false });
     }
     let org = organizational_domain(list, from_domain, opts);
     if &org == from_domain {
@@ -99,11 +94,7 @@ pub fn discover(
         .records()
         .iter()
         .find_map(|r| r.data.as_txt().and_then(parse_record))
-        .map(|policy| DmarcRecord {
-            policy,
-            found_at: fallback,
-            from_org_fallback: true,
-        })
+        .map(|policy| DmarcRecord { policy, found_at: fallback, from_org_fallback: true })
 }
 
 #[cfg(test)]
@@ -122,7 +113,10 @@ mod tests {
     #[test]
     fn parses_policies() {
         assert_eq!(parse_record("v=DMARC1; p=reject"), Some(Policy::Reject));
-        assert_eq!(parse_record("v=DMARC1; p=quarantine; rua=mailto:x@y"), Some(Policy::Quarantine));
+        assert_eq!(
+            parse_record("v=DMARC1; p=quarantine; rua=mailto:x@y"),
+            Some(Policy::Quarantine)
+        );
         assert_eq!(parse_record("v=DMARC1;p=none"), Some(Policy::None));
         assert_eq!(parse_record("v=DMARC1; pct=50"), None); // no p tag
         assert_eq!(parse_record("p=reject"), None); // missing version
@@ -187,10 +181,7 @@ mod tests {
         let l = list();
         let opts = MatchOpts::default();
         assert_eq!(organizational_domain(&l, &d("github.io"), opts), d("github.io"));
-        assert_eq!(
-            organizational_domain(&l, &d("x.y.example.com"), opts),
-            d("example.com")
-        );
+        assert_eq!(organizational_domain(&l, &d("x.y.example.com"), opts), d("example.com"));
     }
 
     proptest! {

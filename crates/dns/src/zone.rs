@@ -60,28 +60,17 @@ impl ZoneStore {
 
     /// Insert a record.
     pub fn insert(&mut self, record: Record) {
-        self.records
-            .entry(record.name.as_str().to_string())
-            .or_default()
-            .push(record);
+        self.records.entry(record.name.as_str().to_string()).or_default().push(record);
     }
 
     /// Convenience: insert a TXT record.
     pub fn insert_txt(&mut self, name: &DomainName, ttl: u32, text: &str) {
-        self.insert(Record {
-            name: name.clone(),
-            ttl,
-            data: RecordData::Txt(text.to_string()),
-        });
+        self.insert(Record { name: name.clone(), ttl, data: RecordData::Txt(text.to_string()) });
     }
 
     /// Convenience: insert a CNAME record.
     pub fn insert_cname(&mut self, name: &DomainName, ttl: u32, target: &DomainName) {
-        self.insert(Record {
-            name: name.clone(),
-            ttl,
-            data: RecordData::Cname(target.clone()),
-        });
+        self.insert(Record { name: name.clone(), ttl, data: RecordData::Cname(target.clone()) });
     }
 
     /// Resolve `name` for `rtype`, chasing CNAMEs.
@@ -91,11 +80,8 @@ impl ZoneStore {
             let Some(rrset) = self.records.get(current.as_str()) else {
                 return Answer::NxDomain;
             };
-            let matching: Vec<Record> = rrset
-                .iter()
-                .filter(|r| r.data.record_type() == rtype)
-                .cloned()
-                .collect();
+            let matching: Vec<Record> =
+                rrset.iter().filter(|r| r.data.record_type() == rtype).cloned().collect();
             if !matching.is_empty() {
                 return Answer::Records(matching);
             }

@@ -22,24 +22,16 @@ pub struct Blame {
 
 /// Look up the blame for a rule text.
 pub fn blame(history: &History, rule_text: &str) -> Option<Blame> {
-    history
-        .spans()
-        .iter()
-        .find(|s| s.rule.as_text() == rule_text)
-        .map(|s| Blame {
-            rule: rule_text.to_string(),
-            added: s.added,
-            removed: s.removed,
-        })
+    history.spans().iter().find(|s| s.rule.as_text() == rule_text).map(|s| Blame {
+        rule: rule_text.to_string(),
+        added: s.added,
+        removed: s.removed,
+    })
 }
 
 /// Lifetime in days of every *removed* rule.
 pub fn removed_rule_lifetimes(history: &History) -> Vec<i32> {
-    history
-        .spans()
-        .iter()
-        .filter_map(|s| s.removed.map(|r| r - s.added))
-        .collect()
+    history.spans().iter().filter_map(|s| s.removed.map(|r| r - s.added)).collect()
 }
 
 /// Churn per calendar year: `(year, added, removed)`.
@@ -57,10 +49,7 @@ pub fn churn_by_year(history: &History) -> Vec<(i32, usize, usize)> {
             per_year.entry(r.year()).or_default().1 += 1;
         }
     }
-    per_year
-        .into_iter()
-        .map(|(y, (a, r))| (y, a, r))
-        .collect()
+    per_year.into_iter().map(|(y, (a, r))| (y, a, r)).collect()
 }
 
 /// Mean days between consecutive versions — the publication cadence
@@ -111,11 +100,7 @@ mod tests {
         assert_eq!(max_year, 2012);
         // Total churn additions equal spans added after v0.
         let total_added: usize = churn.iter().map(|c| c.1).sum();
-        let expect = h
-            .spans()
-            .iter()
-            .filter(|s| s.added > h.first_version())
-            .count();
+        let expect = h.spans().iter().filter(|s| s.added > h.first_version()).count();
         assert_eq!(total_added, expect);
     }
 

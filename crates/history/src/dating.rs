@@ -199,8 +199,7 @@ mod tests {
         let dated = index.date_dat(&text).unwrap();
         assert_eq!(dated.quality, MatchQuality::Exact);
         let a: HashSet<String> = h.rules_at(v).iter().map(|r| r.as_text()).collect();
-        let b: HashSet<String> =
-            h.rules_at(dated.version).iter().map(|r| r.as_text()).collect();
+        let b: HashSet<String> = h.rules_at(dated.version).iter().map(|r| r.as_text()).collect();
         assert_eq!(a, b);
     }
 
@@ -238,10 +237,8 @@ mod tests {
 
     #[test]
     fn age_days() {
-        let dated = DatedCopy {
-            version: Date::parse("2020-01-01").unwrap(),
-            quality: MatchQuality::Exact,
-        };
+        let dated =
+            DatedCopy { version: Date::parse("2020-01-01").unwrap(), quality: MatchQuality::Exact };
         let t = Date::parse("2022-12-08").unwrap();
         assert_eq!(dated.age_days(t), 1072);
     }

@@ -18,10 +18,7 @@ struct HistoryDoc {
 
 /// Serialise a history to JSON.
 pub fn to_json(history: &History) -> String {
-    let doc = HistoryDoc {
-        spans: history.spans().to_vec(),
-        versions: history.versions().to_vec(),
-    };
+    let doc = HistoryDoc { spans: history.spans().to_vec(), versions: history.versions().to_vec() };
     serde_json::to_string(&doc).expect("history serialization cannot fail")
 }
 
@@ -39,10 +36,7 @@ pub fn version_dat(history: &History, version: Date) -> String {
 /// Export every version as `(date, .dat text)` pairs. With 1,142 versions
 /// of ~9k rules this is large; callers stream it to disk.
 pub fn all_versions_dat(history: &History) -> impl Iterator<Item = (Date, String)> + '_ {
-    history
-        .versions()
-        .iter()
-        .map(move |&v| (v, version_dat(history, v)))
+    history.versions().iter().map(move |&v| (v, version_dat(history, v)))
 }
 
 #[cfg(test)]

@@ -93,6 +93,12 @@ pub fn generate(config: &GeneratorConfig) -> History {
     let total_days = (last - first) as u32;
     let mut offsets: HashSet<u32> = HashSet::new();
     let interior = config.versions.saturating_sub(2).min(total_days as usize - 1);
+    if interior > 0 {
+        // The mid-2012 JP registry spike shipped in a real published
+        // version; pin one at the spike step so the spike lands in 2012
+        // regardless of where the other sampled dates fall.
+        offsets.insert((spike_date + 1 - first) as u32);
+    }
     while offsets.len() < interior {
         offsets.insert(rng.gen_range(1..total_days));
     }
@@ -133,7 +139,15 @@ pub fn generate(config: &GeneratorConfig) -> History {
                 }
             };
             let rule = Rule::parse(&text, Section::Icann).expect("generated rule");
-            let when = snap_to_version(&versions, first + rng.gen_range(30..era_days.max(31)) as i32);
+            let mut when =
+                snap_to_version(&versions, first + rng.gen_range(30..era_days.max(31)) as i32);
+            if when > exception_era_end {
+                // Forward snapping can overshoot the formalisation era when
+                // the sampled date falls in a publication gap; the era
+                // boundary is semantic, so fall back to the last version
+                // inside it.
+                when = snap_to_version_at_or_before(&versions, exception_era_end);
+            }
             spans.push(RuleSpan { rule, added: when, removed: None });
         }
     }
@@ -143,10 +157,8 @@ pub fn generate(config: &GeneratorConfig) -> History {
     // Piecewise-linear organic growth with a step of `jp_spike` at the
     // spike date. `pre_spike` places ~45% of the 2007→2017 organic growth
     // before mid-2012, matching the figure's visual shape.
-    let organic_to_2017 = config
-        .rules_2017
-        .saturating_sub(config.initial_rules)
-        .saturating_sub(config.jp_spike);
+    let organic_to_2017 =
+        config.rules_2017.saturating_sub(config.initial_rules).saturating_sub(config.jp_spike);
     let pre_spike = config.initial_rules + (organic_to_2017 as f64 * 0.45) as usize;
     let anchors: Vec<(Date, f64)> = vec![
         (first, config.initial_rules as f64),
@@ -178,11 +190,8 @@ pub fn generate(config: &GeneratorConfig) -> History {
 
     // TLD pool for multi-component synthetic rules: grows as 1-component
     // rules are generated.
-    let mut tld_pool: Vec<String> = spans
-        .iter()
-        .filter(|s| s.rule.component_count() == 1)
-        .map(|s| s.rule.as_text())
-        .collect();
+    let mut tld_pool: Vec<String> =
+        spans.iter().filter(|s| s.rule.component_count() == 1).map(|s| s.rule.as_text()).collect();
 
     // ---- Walk versions, emitting additions to meet the curve. -----------
     let mut live = seed_count_at(&spans, versions[0]);
@@ -220,7 +229,8 @@ pub fn generate(config: &GeneratorConfig) -> History {
         for _ in 0..additions {
             let class = pick_class(&mut rng, &quotas);
             let private_ok = vdate >= private_era;
-            let (text, section) = namegen.synth_rule(&mut rng, class, private_ok, &tld_pool, &mut used);
+            let (text, section) =
+                namegen.synth_rule(&mut rng, class, private_ok, &tld_pool, &mut used);
             let Ok(rule) = Rule::parse(&text, section) else {
                 continue;
             };
@@ -246,7 +256,9 @@ pub fn generate(config: &GeneratorConfig) -> History {
         }
         // Removal at a random later version.
         let later: Vec<Date> = versions.iter().copied().filter(|&v| v > added).collect();
-        if let Some(&when) = later.get(rng.gen_range(0..later.len().max(1)).min(later.len().saturating_sub(1))) {
+        if let Some(&when) =
+            later.get(rng.gen_range(0..later.len().max(1)).min(later.len().saturating_sub(1)))
+        {
             spans[pick].removed = Some(when);
         }
     }
@@ -276,6 +288,16 @@ fn piecewise(anchors: &[(Date, f64)], d: Date) -> f64 {
 fn snap_to_version(versions: &[Date], d: Date) -> Date {
     let idx = versions.partition_point(|&v| v < d);
     *versions.get(idx).unwrap_or_else(|| versions.last().expect("non-empty"))
+}
+
+/// Snap a date to the latest version on/before it (or the first version).
+fn snap_to_version_at_or_before(versions: &[Date], d: Date) -> Date {
+    let idx = versions.partition_point(|&v| v <= d);
+    if idx == 0 {
+        versions[0]
+    } else {
+        versions[idx - 1]
+    }
 }
 
 fn seed_count_at(spans: &[RuleSpan], d: Date) -> usize {
@@ -326,7 +348,7 @@ impl NameGen {
     fn jp_geo(&mut self, rng: &mut StdRng, used: &mut HashSet<String>) -> String {
         loop {
             let pref = &self.jp_prefectures[rng.gen_range(0..self.jp_prefectures.len())];
-            let syl = 2 + rng.gen_range(0..2);
+            let syl = 2 + rng.gen_range(0..2usize);
             let city = self.word(rng, syl);
             let text = format!("{city}.{pref}.jp");
             if used.insert(text.clone()) {
@@ -348,7 +370,7 @@ impl NameGen {
         loop {
             let (text, section) = match class {
                 0 => {
-                    let syl = 2 + rng.gen_range(0..2);
+                    let syl = 2 + rng.gen_range(0..2usize);
                     (self.word(rng, syl), Section::Icann)
                 }
                 1 => {
@@ -357,11 +379,11 @@ impl NameGen {
                     let private = private_ok && rng.gen_bool(0.35);
                     let tld = pick_tld(rng, tld_pool);
                     if private {
-                        let syl = 2 + rng.gen_range(0..2);
+                        let syl = 2 + rng.gen_range(0..2usize);
                         let brand = self.word(rng, syl);
                         (format!("{brand}.{tld}"), Section::Private)
                     } else {
-                        let syl = 1 + rng.gen_range(0..2);
+                        let syl = 1 + rng.gen_range(0..2usize);
                         let second = self.word(rng, syl);
                         (format!("{second}.{tld}"), Section::Icann)
                     }
@@ -369,7 +391,7 @@ impl NameGen {
                 2 => {
                     let private = private_ok && rng.gen_bool(0.25);
                     let tld = pick_tld(rng, tld_pool);
-                    let syl = 1 + rng.gen_range(0..2);
+                    let syl = 1 + rng.gen_range(0..2usize);
                     let a = self.word(rng, syl);
                     let b = self.word(rng, 2);
                     let section = if private { Section::Private } else { Section::Icann };
@@ -441,10 +463,7 @@ mod tests {
         let spike = Date::parse("2012-07-01").unwrap();
         let before = h.rule_count_at(spike - 1);
         let after = h.rule_count_at(spike + 240);
-        assert!(
-            after >= before + cfg.jp_spike / 2,
-            "spike not visible: {before} -> {after}"
-        );
+        assert!(after >= before + cfg.jp_spike / 2, "spike not visible: {before} -> {after}");
     }
 
     #[test]
@@ -458,10 +477,7 @@ mod tests {
             assert_eq!(x.added, y.added);
         }
         let c = generate(&GeneratorConfig::small(6));
-        assert_ne!(
-            a.spans().len().min(c.spans().len()),
-            0
-        );
+        assert_ne!(a.spans().len().min(c.spans().len()), 0);
     }
 
     #[test]
@@ -483,10 +499,8 @@ mod tests {
         let h = generate(&GeneratorConfig::small(19));
         let first = h.snapshot_at(h.first_version());
         let latest = h.latest_snapshot();
-        let latest_texts: HashSet<String> =
-            latest.rules().iter().map(|r| r.as_text()).collect();
-        let first_texts: HashSet<String> =
-            first.rules().iter().map(|r| r.as_text()).collect();
+        let latest_texts: HashSet<String> = latest.rules().iter().map(|r| r.as_text()).collect();
+        let first_texts: HashSet<String> = first.rules().iter().map(|r| r.as_text()).collect();
         for &etld in seeds::TABLE2_ETLDS {
             assert!(latest_texts.contains(etld), "{etld} missing from latest");
             assert!(!first_texts.contains(etld), "{etld} unexpectedly in first");
@@ -499,16 +513,49 @@ mod tests {
         // section markers); the constraint applies to *synthetic* rules.
         let h = generate(&GeneratorConfig::small(23));
         let era = Date::parse("2011-06-01").unwrap();
-        let seed_texts: HashSet<&str> = seeds::BASE_2007
-            .iter()
-            .chain(seeds::DATED)
-            .map(|s| s.text)
-            .collect();
+        let seed_texts: HashSet<&str> =
+            seeds::BASE_2007.iter().chain(seeds::DATED).map(|s| s.text).collect();
         for span in h.spans() {
             if span.rule.section() == Section::Private
                 && !seed_texts.contains(span.rule.as_text().as_str())
             {
                 assert!(span.added >= era, "{} added {}", span.rule.as_text(), span.added);
+            }
+        }
+    }
+
+    #[test]
+    fn spike_version_is_pinned_for_every_seed() {
+        // Regression: the mid-2012 spike must land in 2012 for any RNG
+        // stream. Uniformly-sampled version dates can leave a publication
+        // gap across the spike step, deferring the whole step into 2013;
+        // the generator now pins a version at spike_date + 1.
+        let pinned = Date::parse("2012-07-02").unwrap();
+        for seed in [0, 1, 53, 505, 2023] {
+            let h = generate(&GeneratorConfig::small(seed));
+            assert!(h.versions().contains(&pinned), "seed {seed}: no version at {pinned}");
+        }
+    }
+
+    #[test]
+    fn exception_dates_never_escape_the_formalisation_era() {
+        // Regression: forward date-snapping could push an exception rule
+        // past the 2013-06-30 era boundary when the sampled day fell in a
+        // publication gap straddling it.
+        let era_end = Date::parse("2013-06-30").unwrap();
+        for seed in [0, 1, 53, 505, 2023] {
+            let h = generate(&GeneratorConfig::small(seed));
+            for span in h.spans() {
+                if span.rule.kind() == psl_core::RuleKind::Exception
+                    && span.rule.as_text() != "!www.ck"
+                {
+                    assert!(
+                        span.added <= era_end && span.added > h.first_version(),
+                        "seed {seed}: {} at {}",
+                        span.rule.as_text(),
+                        span.added
+                    );
+                }
             }
         }
     }

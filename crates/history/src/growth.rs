@@ -54,11 +54,7 @@ impl GrowthSeries {
                 counts[2].max(0) as usize,
                 counts[3].max(0) as usize,
             ];
-            points.push(GrowthPoint {
-                date: v,
-                total: by.iter().sum(),
-                by_components: by,
-            });
+            points.push(GrowthPoint { date: v, total: by.iter().sum(), by_components: by });
         }
         GrowthSeries { points }
     }

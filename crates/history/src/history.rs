@@ -26,7 +26,7 @@ pub struct RuleSpan {
 impl RuleSpan {
     /// Is the rule present in the version published at `date`?
     pub fn live_at(&self, date: Date) -> bool {
-        self.added <= date && self.removed.map_or(true, |r| date < r)
+        self.added <= date && self.removed.is_none_or(|r| date < r)
     }
 }
 
@@ -109,11 +109,7 @@ impl History {
     /// The rules live in the version at `date` (callers normally pass a
     /// version date; any date works and means "the list as of that day").
     pub fn rules_at(&self, date: Date) -> Vec<Rule> {
-        self.spans
-            .iter()
-            .filter(|s| s.live_at(date))
-            .map(|s| s.rule.clone())
-            .collect()
+        self.spans.iter().filter(|s| s.live_at(date)).map(|s| s.rule.clone()).collect()
     }
 
     /// Number of rules live at `date` (cheaper than materialising them).
@@ -250,10 +246,7 @@ mod tests {
         assert_eq!(new.len(), 3);
         let dom = psl_core::DomainName::parse("alice.github.io").unwrap();
         let opts = psl_core::MatchOpts::default();
-        assert!(new.is_public_suffix(
-            &psl_core::DomainName::parse("github.io").unwrap(),
-            opts
-        ));
+        assert!(new.is_public_suffix(&psl_core::DomainName::parse("github.io").unwrap(), opts));
         assert_eq!(old.registrable_domain(&dom, opts).unwrap().as_str(), "github.io");
         assert_eq!(new.registrable_domain(&dom, opts).unwrap().as_str(), "alice.github.io");
     }
@@ -268,10 +261,7 @@ mod tests {
 
     #[test]
     fn early_spans_are_clamped() {
-        let h = History::new(
-            vec![span("com", "2000-01-01", None)],
-            vec![d("2007-03-22")],
-        );
+        let h = History::new(vec![span("com", "2000-01-01", None)], vec![d("2007-03-22")]);
         assert_eq!(h.spans()[0].added, d("2007-03-22"));
     }
 

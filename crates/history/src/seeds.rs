@@ -187,9 +187,8 @@ pub const TABLE2_ETLDS: &[&str] = &[
 /// Hostname counts the paper reports for each Table 2 eTLD (same order as
 /// [`TABLE2_ETLDS`]). The corpus generator scales these to the configured
 /// corpus size.
-pub const TABLE2_HOSTNAMES: &[u32] = &[
-    7848, 3359, 3337, 3194, 2024, 1954, 1887, 1278, 1153, 1067, 891, 871, 776, 747, 714,
-];
+pub const TABLE2_HOSTNAMES: &[u32] =
+    &[7848, 3359, 3337, 3194, 2024, 1954, 1887, 1278, 1153, 1067, 891, 871, 776, 747, 714];
 
 /// All seeds as parsed `(Rule, Date)` pairs.
 pub fn all_seeds() -> Vec<(Rule, Date)> {
@@ -199,8 +198,8 @@ pub fn all_seeds() -> Vec<(Rule, Date)> {
         .map(|s| {
             let rule = Rule::parse(s.text, s.section)
                 .unwrap_or_else(|e| panic!("bad seed {:?}: {e}", s.text));
-            let date = Date::parse(s.added)
-                .unwrap_or_else(|e| panic!("bad seed date {:?}: {e}", s.added));
+            let date =
+                Date::parse(s.added).unwrap_or_else(|e| panic!("bad seed date {:?}: {e}", s.added));
             (rule, date)
         })
         .collect()

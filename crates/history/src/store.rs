@@ -88,14 +88,10 @@ impl ListStore {
     /// Append a commit that makes the rule set equal to `rules`.
     /// Computes the delta against the current head.
     pub fn commit(&mut self, date: Date, message: &str, rules: &[Rule]) -> CommitId {
-        let new_set: BTreeMap<String, Section> = rules
-            .iter()
-            .map(|r| (r.as_text(), r.section()))
-            .collect();
-        let old_set: BTreeMap<String, Section> = self
-            .head()
-            .map(|h| self.checkout_pairs(h).into_iter().collect())
-            .unwrap_or_default();
+        let new_set: BTreeMap<String, Section> =
+            rules.iter().map(|r| (r.as_text(), r.section())).collect();
+        let old_set: BTreeMap<String, Section> =
+            self.head().map(|h| self.checkout_pairs(h).into_iter().collect()).unwrap_or_default();
 
         let mut delta = Delta::default();
         for (text, section) in &new_set {
@@ -126,15 +122,9 @@ impl ListStore {
         h = psl_stats::derive_seed(h, date.days_since_epoch() as u64);
         let id = CommitId(h);
         let idx = self.commits.len();
-        self.commits.push(Commit {
-            id,
-            parent,
-            date,
-            message: message.to_string(),
-            delta,
-        });
+        self.commits.push(Commit { id, parent, date, message: message.to_string(), delta });
         self.index.insert(id, idx);
-        if idx % CHECKPOINT_EVERY == 0 {
+        if idx.is_multiple_of(CHECKPOINT_EVERY) {
             let pairs = self.replay(idx);
             self.checkpoints.insert(idx, pairs);
         }
@@ -176,10 +166,7 @@ impl ListStore {
                 continue;
             }
             apply(&mut set, &commit.delta);
-            let rules = set
-                .iter()
-                .filter_map(|(t, s)| Rule::parse(t, *s).ok())
-                .collect();
+            let rules = set.iter().filter_map(|(t, s)| Rule::parse(t, *s).ok()).collect();
             out.push((commit.date, rules));
         }
         out
@@ -192,11 +179,8 @@ impl ListStore {
         let mut store = ListStore::new();
         let mut prev: BTreeMap<String, Section> = BTreeMap::new();
         for (i, &v) in history.versions().iter().enumerate() {
-            let cur: BTreeMap<String, Section> = history
-                .rules_at(v)
-                .iter()
-                .map(|r| (r.as_text(), r.section()))
-                .collect();
+            let cur: BTreeMap<String, Section> =
+                history.rules_at(v).iter().map(|r| (r.as_text(), r.section())).collect();
             let mut delta = Delta::default();
             for (t, s) in &cur {
                 if !prev.contains_key(t) {
@@ -266,12 +250,7 @@ mod tests {
         let c3 = store.commit(d("2020-03-01"), "drop net", &rules("com\norg\n"));
 
         let texts = |id| -> Vec<String> {
-            store
-                .checkout(id)
-                .unwrap()
-                .iter()
-                .map(|r| r.as_text())
-                .collect()
+            store.checkout(id).unwrap().iter().map(|r| r.as_text()).collect()
         };
         assert_eq!(texts(c1), ["com", "net"]);
         assert_eq!(texts(c2), ["com", "net", "org"]);

@@ -83,9 +83,6 @@ mod tests {
             assert_eq!(c.to_string(), c.label());
         }
         assert_eq!(SuffixClass::PrivateDomain.to_string(), "private");
-        assert_eq!(
-            SuffixClass::Tld(TldCategory::Generic).to_string(),
-            "tld:generic"
-        );
+        assert_eq!(SuffixClass::Tld(TldCategory::Generic).to_string(), "tld:generic");
     }
 }

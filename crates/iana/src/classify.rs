@@ -12,11 +12,7 @@ pub fn classify_rule(db: &RootZoneDb, rule: &Rule) -> SuffixClass {
     match rule.section() {
         Section::Private => SuffixClass::PrivateDomain,
         Section::Icann => {
-            let tld = rule
-                .labels()
-                .last()
-                .map(String::as_str)
-                .unwrap_or_default();
+            let tld = rule.labels().last().map(String::as_str).unwrap_or_default();
             SuffixClass::Tld(db.category(tld))
         }
     }
@@ -84,15 +80,9 @@ blogspot.com
     fn multi_label_rules_use_rightmost_label() {
         let db = RootZoneDb::embedded();
         let rule = Rule::parse("co.uk", Section::Icann).unwrap();
-        assert_eq!(
-            classify_rule(&db, &rule),
-            SuffixClass::Tld(TldCategory::CountryCode)
-        );
+        assert_eq!(classify_rule(&db, &rule), SuffixClass::Tld(TldCategory::CountryCode));
         let wild = Rule::parse("*.kobe.jp", Section::Icann).unwrap();
-        assert_eq!(
-            classify_rule(&db, &wild),
-            SuffixClass::Tld(TldCategory::CountryCode)
-        );
+        assert_eq!(classify_rule(&db, &wild), SuffixClass::Tld(TldCategory::CountryCode));
     }
 
     #[test]

@@ -26,8 +26,8 @@ const TEST: &[&str] = &["test", "example", "invalid", "localhost"];
 /// enumerate explicitly.)
 const GENERIC: &[&str] = &[
     "com", "net", "org", "info", "biz", "name", "pro", "mobi", "app", "dev", "page", "cloud",
-    "online", "shop", "site", "store", "tech", "xyz", "blog", "wiki", "live", "news",
-    "google", "amazon", "apple", "youtube", "play", "search",
+    "online", "shop", "site", "store", "tech", "xyz", "blog", "wiki", "live", "news", "google",
+    "amazon", "apple", "youtube", "play", "search",
 ];
 
 /// Exceptional two-letter codes that are *not* country codes. (None in the

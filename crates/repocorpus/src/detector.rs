@@ -63,8 +63,7 @@ pub fn find_psl_files<'r>(
     reference: &List,
     config: &DetectorConfig,
 ) -> Vec<FoundList<'r>> {
-    let reference_texts: HashSet<String> =
-        reference.rules().iter().map(|r| r.as_text()).collect();
+    let reference_texts: HashSet<String> = reference.rules().iter().map(|r| r.as_text()).collect();
     let mut found = Vec::new();
     for file in &repo.files {
         let basename = file.path.rsplit('/').next().unwrap_or(&file.path);
@@ -90,11 +89,8 @@ pub fn find_psl_files<'r>(
         if (parsed.len() as f64) < 0.8 * total_lines as f64 {
             continue;
         }
-        let overlap = parsed
-            .rules
-            .iter()
-            .filter(|r| reference_texts.contains(&r.as_text()))
-            .count();
+        let overlap =
+            parsed.rules.iter().filter(|r| reference_texts.contains(&r.as_text())).count();
         if overlap as f64 / parsed.len() as f64 >= config.min_overlap {
             found.push(FoundList { file, via: FoundVia::Content, rule_count: parsed.len() });
         }
@@ -127,17 +123,10 @@ pub fn detect(
     }
     // The primary copy is the largest (vendored stubs and fixtures are
     // usually truncated).
-    let primary = found
-        .iter()
-        .max_by_key(|f| f.rule_count)
-        .expect("found is non-empty");
+    let primary = found.iter().max_by_key(|f| f.rule_count).expect("found is non-empty");
     let dated = index.date_dat(&primary.file.content);
     let class = Some(classify(repo, &found));
-    Detection {
-        list_paths: found.iter().map(|f| f.file.path.clone()).collect(),
-        dated,
-        class,
-    }
+    Detection { list_paths: found.iter().map(|f| f.file.path.clone()).collect(), dated, class }
 }
 
 /// Classify how a repository integrates the list, from its file tree.
@@ -149,9 +138,9 @@ pub fn classify(repo: &Repository, found: &[FoundList<'_>]) -> UsageClass {
     let path = primary.file.path.as_str();
 
     // 1. Vendored copies → dependency, classified by vendor directory.
-    if let Some(rest) = path.strip_prefix("vendor/").or_else(|| {
-        path.split_once("/vendor/").map(|(_, rest)| rest)
-    }) {
+    if let Some(rest) =
+        path.strip_prefix("vendor/").or_else(|| path.split_once("/vendor/").map(|(_, rest)| rest))
+    {
         let lib = rest.split('/').next().unwrap_or("");
         return UsageClass::Dependency(DependencyLib::from_vendor_name(lib));
     }
@@ -171,8 +160,8 @@ pub fn classify(repo: &Repository, found: &[FoundList<'_>]) -> UsageClass {
         return UsageClass::Updated(UpdatedKind::Build);
     }
     if repo.files.iter().any(|f| !is_build_file(f) && fetches(f)) {
-        let daemonish = repo.any_content_contains("daemon")
-            || repo.any_content_contains("serve_forever");
+        let daemonish =
+            repo.any_content_contains("daemon") || repo.any_content_contains("serve_forever");
         return if daemonish {
             UsageClass::Updated(UpdatedKind::Server)
         } else {
@@ -186,11 +175,8 @@ pub fn classify(repo: &Repository, found: &[FoundList<'_>]) -> UsageClass {
         return UsageClass::Fixed(FixedKind::Test);
     }
     let basename = path.rsplit('/').next().unwrap_or(path);
-    let referenced = repo
-        .files
-        .iter()
-        .filter(|f| f.path != path)
-        .any(|f| f.content.contains(basename));
+    let referenced =
+        repo.files.iter().filter(|f| f.path != path).any(|f| f.content.contains(basename));
     if referenced {
         UsageClass::Fixed(FixedKind::Production)
     } else {
@@ -220,10 +206,7 @@ mod tests {
             if det.class == Some(truth) {
                 correct += 1;
             } else {
-                panic!(
-                    "{}: detected {:?}, truth {}",
-                    repo.name, det.class, truth
-                );
+                panic!("{}: detected {:?}, truth {}", repo.name, det.class, truth);
             }
         }
         assert_eq!(correct, total);
@@ -248,7 +231,12 @@ mod tests {
         let h = generate(&GeneratorConfig::small(85));
         let corpus = generate_repos(
             &h,
-            &RepoGenConfig { seed: 11, renamed_fraction: 1.0, include_named: false, ..Default::default() },
+            &RepoGenConfig {
+                seed: 11,
+                renamed_fraction: 1.0,
+                include_named: false,
+                ..Default::default()
+            },
         );
         let reference = h.latest_snapshot();
         let cfg = DetectorConfig::default();

@@ -52,20 +52,12 @@ pub fn evaluate(
         match det.class {
             Some(found) if found == truth => correct += 1,
             Some(found) => {
-                *confusion
-                    .entry((truth.to_string(), found.to_string()))
-                    .or_insert(0) += 1;
+                *confusion.entry((truth.to_string(), found.to_string())).or_insert(0) += 1;
             }
             None => missed += 1,
         }
     }
-    Evaluation {
-        total,
-        correct,
-        confusion,
-        missed,
-        accuracy: correct as f64 / total.max(1) as f64,
-    }
+    Evaluation { total, correct, confusion, missed, accuracy: correct as f64 / total.max(1) as f64 }
 }
 
 /// Build adversarial repositories: files that look list-like but are not
@@ -140,25 +132,15 @@ pub fn adversarial_repos() -> Vec<Repository> {
 
 /// Count adversarial repositories in which the detector (incorrectly)
 /// finds a PSL copy.
-pub fn false_positives(
-    repos: &[Repository],
-    reference: &List,
-    config: &DetectorConfig,
-) -> usize {
-    repos
-        .iter()
-        .filter(|r| !find_psl_files(r, reference, config).is_empty())
-        .count()
+pub fn false_positives(repos: &[Repository], reference: &List, config: &DetectorConfig) -> usize {
+    repos.iter().filter(|r| !find_psl_files(r, reference, config).is_empty()).count()
 }
 
 /// A sanity check that the evaluation's classes cover the taxonomy: the
 /// number of distinct truth classes seen.
 pub fn distinct_truth_classes(corpus: &RepoCorpus) -> usize {
-    let set: std::collections::HashSet<UsageClass> = corpus
-        .repos
-        .iter()
-        .filter_map(|r| r.ground_truth)
-        .collect();
+    let set: std::collections::HashSet<UsageClass> =
+        corpus.repos.iter().filter_map(|r| r.ground_truth).collect();
     set.len()
 }
 

@@ -124,9 +124,7 @@ pub fn generate_repos(history: &History, config: &RepoGenConfig) -> RepoCorpus {
 /// The version whose age at `t` best matches `age_days`.
 fn version_for_age(history: &History, t: Date, age_days: f64) -> Date {
     let want = t - age_days.round() as i32;
-    history
-        .version_at_or_before(want)
-        .unwrap_or_else(|| history.first_version())
+    history.version_at_or_before(want).unwrap_or_else(|| history.first_version())
 }
 
 /// Log-normal age sample, clamped to the study's plausible range.
@@ -183,12 +181,7 @@ pub const CUSTOM_DAT_NAME: &str = "suffix_rules.txt";
 
 /// Build the file tree for a class. `renamed` embeds the list under a
 /// non-standard filename.
-fn layout_files(
-    rng: &mut StdRng,
-    class: UsageClass,
-    dat: &str,
-    renamed: bool,
-) -> Vec<FileEntry> {
+fn layout_files(rng: &mut StdRng, class: UsageClass, dat: &str, renamed: bool) -> Vec<FileEntry> {
     let dat_name = if renamed {
         if rng.gen_bool(0.5) {
             LEGACY_DAT_NAME
@@ -312,9 +305,7 @@ mod tests {
             let dat = r
                 .files
                 .iter()
-                .find(|fe| {
-                    fe.path.ends_with(".dat") || fe.path.ends_with("suffix_rules.txt")
-                })
+                .find(|fe| fe.path.ends_with(".dat") || fe.path.ends_with("suffix_rules.txt"))
                 .unwrap_or_else(|| panic!("{} embeds no list", r.name));
             let parsed = psl_core::parse_dat(&dat.content);
             assert!(parsed.len() > 50, "{}: only {} rules", r.name, parsed.len());
@@ -365,9 +356,11 @@ mod tests {
         let mut updated = Vec::new();
         let mut all = Vec::new();
         for r in &c.repos {
-            let Some(dat) = r.files.iter().find(|fe| {
-                fe.path.ends_with(".dat") || fe.path.ends_with("suffix_rules.txt")
-            }) else {
+            let Some(dat) = r
+                .files
+                .iter()
+                .find(|fe| fe.path.ends_with(".dat") || fe.path.ends_with("suffix_rules.txt"))
+            else {
                 continue;
             };
             let rules = psl_core::parse_dat(&dat.content).rules;

@@ -27,7 +27,9 @@ pub mod notify;
 pub mod repo;
 pub mod taxonomy;
 
-pub use detector::{classify, detect, find_psl_files, Detection, DetectorConfig, FoundList, FoundVia};
+pub use detector::{
+    classify, detect, find_psl_files, Detection, DetectorConfig, FoundList, FoundVia,
+};
 pub use evaluation::{adversarial_repos, evaluate, false_positives, Evaluation};
 pub use generator::{generate_repos, RepoGenConfig};
 pub use named::{all_named, NamedRepo};

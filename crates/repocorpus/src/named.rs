@@ -29,71 +29,287 @@ use FixedKind::{Other, Production, Test};
 
 /// Table 3, "Production" block.
 pub const PRODUCTION: &[NamedRepo] = &[
-    NamedRepo { name: "bitwarden/server", stars: 10959, forks: 1087, list_age_days: 1596, kind: Production },
-    NamedRepo { name: "bitwarden/mobile", stars: 4059, forks: 635, list_age_days: 1596, kind: Production },
-    NamedRepo { name: "sleuthkit/autopsy", stars: 1720, forks: 561, list_age_days: 746, kind: Production },
-    NamedRepo { name: "alkacon/opencms-core", stars: 473, forks: 384, list_age_days: 1778, kind: Production },
-    NamedRepo { name: "firewalla/firewalla", stars: 434, forks: 117, list_age_days: 746, kind: Production },
-    NamedRepo { name: "SAP/SapMachine", stars: 397, forks: 79, list_age_days: 376, kind: Production },
-    NamedRepo { name: "Yubico/python-fido2", stars: 324, forks: 102, list_age_days: 188, kind: Production },
-    NamedRepo { name: "gorhill/uBO-Scope", stars: 222, forks: 20, list_age_days: 1927, kind: Production },
-    NamedRepo { name: "fgont/ipv6toolkit", stars: 222, forks: 66, list_age_days: 1791, kind: Production },
-    NamedRepo { name: "LeFroid/Viper-Browser", stars: 164, forks: 22, list_age_days: 529, kind: Production },
-    NamedRepo { name: "Keeper-Security/Commander", stars: 145, forks: 67, list_age_days: 1113, kind: Production },
-    NamedRepo { name: "nabeelio/phpvms", stars: 134, forks: 116, list_age_days: 644, kind: Production },
-    NamedRepo { name: "coreruleset/ftw", stars: 104, forks: 36, list_age_days: 750, kind: Production },
-    NamedRepo { name: "gorhill/publicsuffixlist.js", stars: 79, forks: 12, list_age_days: 289, kind: Production },
-    NamedRepo { name: "Twi1ight/TSpider", stars: 68, forks: 21, list_age_days: 2070, kind: Production },
-    NamedRepo { name: "j3ssie/go-auxs", stars: 60, forks: 22, list_age_days: 664, kind: Production },
-    NamedRepo { name: "Intsights/PyDomainExtractor", stars: 59, forks: 5, list_age_days: 31, kind: Production },
-    NamedRepo { name: "alterakey/trueseeing", stars: 47, forks: 13, list_age_days: 296, kind: Production },
-    NamedRepo { name: "BenWiederhake/domain-word", stars: 40, forks: 3, list_age_days: 1233, kind: Production },
-    NamedRepo { name: "timlib/webXray", stars: 27, forks: 22, list_age_days: 1659, kind: Production },
-    NamedRepo { name: "mecsa/mecsa-st", stars: 20, forks: 7, list_age_days: 1659, kind: Production }, // fork count reconstructed
+    NamedRepo {
+        name: "bitwarden/server",
+        stars: 10959,
+        forks: 1087,
+        list_age_days: 1596,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "bitwarden/mobile",
+        stars: 4059,
+        forks: 635,
+        list_age_days: 1596,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "sleuthkit/autopsy",
+        stars: 1720,
+        forks: 561,
+        list_age_days: 746,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "alkacon/opencms-core",
+        stars: 473,
+        forks: 384,
+        list_age_days: 1778,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "firewalla/firewalla",
+        stars: 434,
+        forks: 117,
+        list_age_days: 746,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "SAP/SapMachine",
+        stars: 397,
+        forks: 79,
+        list_age_days: 376,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "Yubico/python-fido2",
+        stars: 324,
+        forks: 102,
+        list_age_days: 188,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "gorhill/uBO-Scope",
+        stars: 222,
+        forks: 20,
+        list_age_days: 1927,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "fgont/ipv6toolkit",
+        stars: 222,
+        forks: 66,
+        list_age_days: 1791,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "LeFroid/Viper-Browser",
+        stars: 164,
+        forks: 22,
+        list_age_days: 529,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "Keeper-Security/Commander",
+        stars: 145,
+        forks: 67,
+        list_age_days: 1113,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "nabeelio/phpvms",
+        stars: 134,
+        forks: 116,
+        list_age_days: 644,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "coreruleset/ftw",
+        stars: 104,
+        forks: 36,
+        list_age_days: 750,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "gorhill/publicsuffixlist.js",
+        stars: 79,
+        forks: 12,
+        list_age_days: 289,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "Twi1ight/TSpider",
+        stars: 68,
+        forks: 21,
+        list_age_days: 2070,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "j3ssie/go-auxs",
+        stars: 60,
+        forks: 22,
+        list_age_days: 664,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "Intsights/PyDomainExtractor",
+        stars: 59,
+        forks: 5,
+        list_age_days: 31,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "alterakey/trueseeing",
+        stars: 47,
+        forks: 13,
+        list_age_days: 296,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "BenWiederhake/domain-word",
+        stars: 40,
+        forks: 3,
+        list_age_days: 1233,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "timlib/webXray",
+        stars: 27,
+        forks: 22,
+        list_age_days: 1659,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "mecsa/mecsa-st",
+        stars: 20,
+        forks: 7,
+        list_age_days: 1659,
+        kind: Production,
+    }, // fork count reconstructed
     NamedRepo { name: "amphp/artax", stars: 20, forks: 4, list_age_days: 2054, kind: Production },
-    NamedRepo { name: "dicekeys/dicekeys-app-typescript", stars: 15, forks: 4, list_age_days: 825, kind: Production },
-    NamedRepo { name: "netarchivesuite/netarchivesuite", stars: 14, forks: 22, list_age_days: 1778, kind: Production },
-    NamedRepo { name: "mallardduck/php-whois-client", stars: 11, forks: 3, list_age_days: 657, kind: Production },
-    NamedRepo { name: "kee-org/keevault2", stars: 10, forks: 4, list_age_days: 895, kind: Production },
-    NamedRepo { name: "AdaptedAS/url_parser", stars: 9, forks: 3, list_age_days: 924, kind: Production },
+    NamedRepo {
+        name: "dicekeys/dicekeys-app-typescript",
+        stars: 15,
+        forks: 4,
+        list_age_days: 825,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "netarchivesuite/netarchivesuite",
+        stars: 14,
+        forks: 22,
+        list_age_days: 1778,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "mallardduck/php-whois-client",
+        stars: 11,
+        forks: 3,
+        list_age_days: 657,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "kee-org/keevault2",
+        stars: 10,
+        forks: 4,
+        list_age_days: 895,
+        kind: Production,
+    },
+    NamedRepo {
+        name: "AdaptedAS/url_parser",
+        stars: 9,
+        forks: 3,
+        list_age_days: 924,
+        kind: Production,
+    },
     NamedRepo { name: "h-i-13/WHOISpy", stars: 9, forks: 3, list_age_days: 1527, kind: Production },
     NamedRepo { name: "oaplatform/oap", stars: 9, forks: 5, list_age_days: 1527, kind: Production },
-    NamedRepo { name: "amphp/http-client-cookies", stars: 7, forks: 5, list_age_days: 162, kind: Production },
+    NamedRepo {
+        name: "amphp/http-client-cookies",
+        stars: 7,
+        forks: 5,
+        list_age_days: 162,
+        kind: Production,
+    },
     NamedRepo { name: "hrbrmstr/psl", stars: 6, forks: 2, list_age_days: 1027, kind: Production }, // age reconstructed
-    NamedRepo { name: "szepeviktor/unique-email-address", stars: 6, forks: 2, list_age_days: 810, kind: Production }, // forks/age reconstructed
-    NamedRepo { name: "WebCuratorTool/webcurator", stars: 6, forks: 4, list_age_days: 973, kind: Production },
+    NamedRepo {
+        name: "szepeviktor/unique-email-address",
+        stars: 6,
+        forks: 2,
+        list_age_days: 810,
+        kind: Production,
+    }, // forks/age reconstructed
+    NamedRepo {
+        name: "WebCuratorTool/webcurator",
+        stars: 6,
+        forks: 4,
+        list_age_days: 973,
+        kind: Production,
+    },
 ];
 
 /// Table 3, "Test" block.
 pub const TEST: &[NamedRepo] = &[
-    NamedRepo { name: "ClickHouse/ClickHouse", stars: 26127, forks: 5725, list_age_days: 737, kind: Test },
-    NamedRepo { name: "win-acme/win-acme", stars: 4620, forks: 770, list_age_days: 560, kind: Test },
-    NamedRepo { name: "yasserg/crawler4j", stars: 4336, forks: 1923, list_age_days: 1527, kind: Test },
-    NamedRepo { name: "jeremykendall/php-domain-parser", stars: 1021, forks: 121, list_age_days: 296, kind: Test },
+    NamedRepo {
+        name: "ClickHouse/ClickHouse",
+        stars: 26127,
+        forks: 5725,
+        list_age_days: 737,
+        kind: Test,
+    },
+    NamedRepo {
+        name: "win-acme/win-acme",
+        stars: 4620,
+        forks: 770,
+        list_age_days: 560,
+        kind: Test,
+    },
+    NamedRepo {
+        name: "yasserg/crawler4j",
+        stars: 4336,
+        forks: 1923,
+        list_age_days: 1527,
+        kind: Test,
+    },
+    NamedRepo {
+        name: "jeremykendall/php-domain-parser",
+        stars: 1021,
+        forks: 121,
+        list_age_days: 296,
+        kind: Test,
+    },
     NamedRepo { name: "rockdaboot/wget2", stars: 365, forks: 61, list_age_days: 1805, kind: Test },
     NamedRepo { name: "DNS-OARC/dsc", stars: 94, forks: 23, list_age_days: 1010, kind: Test },
-    NamedRepo { name: "rushmorem/publicsuffix", stars: 90, forks: 17, list_age_days: 636, kind: Test },
-    NamedRepo { name: "park-manager/park-manager", stars: 49, forks: 7, list_age_days: 653, kind: Test },
+    NamedRepo {
+        name: "rushmorem/publicsuffix",
+        stars: 90,
+        forks: 17,
+        list_age_days: 636,
+        kind: Test,
+    },
+    NamedRepo {
+        name: "park-manager/park-manager",
+        stars: 49,
+        forks: 7,
+        list_age_days: 653,
+        kind: Test,
+    },
     NamedRepo { name: "addr-rs/addr", stars: 40, forks: 11, list_age_days: 636, kind: Test },
     NamedRepo { name: "datablade-io/daisy", stars: 32, forks: 7, list_age_days: 737, kind: Test },
-    NamedRepo { name: "elliotwutingfeng/go-fasttld", stars: 10, forks: 3, list_age_days: 221, kind: Test },
+    NamedRepo {
+        name: "elliotwutingfeng/go-fasttld",
+        stars: 10,
+        forks: 3,
+        list_age_days: 221,
+        kind: Test,
+    },
     NamedRepo { name: "m2osw/libtld", stars: 9, forks: 3, list_age_days: 581, kind: Test },
-    NamedRepo { name: "Komposten/public_suffix", stars: 8, forks: 2, list_age_days: 1217, kind: Test },
+    NamedRepo {
+        name: "Komposten/public_suffix",
+        stars: 8,
+        forks: 2,
+        list_age_days: 1217,
+        kind: Test,
+    },
 ];
 
 /// Table 3, "Other" block.
-pub const OTHER: &[NamedRepo] = &[
-    NamedRepo { name: "du5/gfwlist", stars: 29, forks: 16, list_age_days: 1023, kind: Other },
-];
+pub const OTHER: &[NamedRepo] =
+    &[NamedRepo { name: "du5/gfwlist", stars: 29, forks: 16, list_age_days: 1023, kind: Other }];
 
 /// All named repositories.
 pub fn all_named() -> Vec<NamedRepo> {
-    PRODUCTION
-        .iter()
-        .chain(TEST)
-        .chain(OTHER)
-        .copied()
-        .collect()
+    PRODUCTION.iter().chain(TEST).chain(OTHER).copied().collect()
 }
 
 #[cfg(test)]

@@ -73,18 +73,11 @@ mod tests {
 
     #[test]
     fn fixed_production_gets_notified_with_age() {
-        let dated = DatedCopy {
-            version: Date::parse("2020-01-01").unwrap(),
-            quality: MatchQuality::Exact,
-        };
+        let dated =
+            DatedCopy { version: Date::parse("2020-01-01").unwrap(), quality: MatchQuality::Exact };
         let t = Date::parse("2022-12-08").unwrap();
-        let text = notification(
-            &repo(),
-            UsageClass::Fixed(FixedKind::Production),
-            Some(dated),
-            t,
-        )
-        .unwrap();
+        let text = notification(&repo(), UsageClass::Fixed(FixedKind::Production), Some(dated), t)
+            .unwrap();
         assert!(text.contains("acme/tool"));
         assert!(text.contains("1072 days old"));
         assert!(text.contains("publicsuffix.org"));

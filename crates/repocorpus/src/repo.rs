@@ -39,9 +39,7 @@ impl Repository {
 
     /// Files whose basename matches `name`.
     pub fn files_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a FileEntry> {
-        self.files
-            .iter()
-            .filter(move |f| f.path.rsplit('/').next() == Some(name))
+        self.files.iter().filter(move |f| f.path.rsplit('/').next() == Some(name))
     }
 
     /// True if any file's content contains `needle`.
@@ -126,10 +124,8 @@ mod tests {
 
     #[test]
     fn corpus_lookup() {
-        let corpus = RepoCorpus {
-            observed_at: Date::parse("2022-12-08").unwrap(),
-            repos: vec![repo()],
-        };
+        let corpus =
+            RepoCorpus { observed_at: Date::parse("2022-12-08").unwrap(), repos: vec![repo()] };
         assert_eq!(corpus.len(), 1);
         assert!(!corpus.is_empty());
         assert!(corpus.repo("acme/widget").is_some());

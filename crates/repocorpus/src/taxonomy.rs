@@ -189,22 +189,13 @@ mod tests {
                 assert_eq!(DependencyLib::from_vendor_name(lib.vendor_name()), lib);
             }
         }
-        assert_eq!(
-            DependencyLib::from_vendor_name("anything-else"),
-            DependencyLib::Other
-        );
+        assert_eq!(DependencyLib::from_vendor_name("anything-else"), DependencyLib::Other);
     }
 
     #[test]
     fn display_is_informative() {
-        assert_eq!(
-            UsageClass::Fixed(FixedKind::Production).to_string(),
-            "Fixed/Production"
-        );
-        assert_eq!(
-            UsageClass::Dependency(DependencyLib::JavaJre).to_string(),
-            "Dependency/jre"
-        );
+        assert_eq!(UsageClass::Fixed(FixedKind::Production).to_string(), "Fixed/Production");
+        assert_eq!(UsageClass::Dependency(DependencyLib::JavaJre).to_string(), "Dependency/jre");
         assert!(UsageClass::Fixed(FixedKind::Production).is_fixed_production());
         assert!(!UsageClass::Fixed(FixedKind::Test).is_fixed_production());
     }

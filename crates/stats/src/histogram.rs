@@ -23,13 +23,7 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(lo < hi, "histogram range must be non-empty");
-        Histogram {
-            lo,
-            hi,
-            counts: vec![0; bins],
-            underflow: 0,
-            overflow: 0,
-        }
+        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
     }
 
     /// Add one observation.

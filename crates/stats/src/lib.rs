@@ -26,6 +26,4 @@ pub use descriptive::{
 pub use ecdf::Ecdf;
 pub use histogram::Histogram;
 pub use regression::{classify_trend, linear_fit, trend, LinearFit, Trend};
-pub use sampler::{
-    derive_seed, exponential, log_normal, standard_normal, weighted_index, Zipf,
-};
+pub use sampler::{derive_seed, exponential, log_normal, standard_normal, weighted_index, Zipf};

@@ -109,7 +109,8 @@ struct Population {
 pub fn generate_corpus(history: &History, config: &CorpusConfig) -> WebCorpus {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut b = CorpusBuilder::new();
-    let latest_rules = history.rules_at(history.latest_version().min(config.snapshot_date).max(history.first_version()));
+    let latest_rules = history
+        .rules_at(history.latest_version().min(config.snapshot_date).max(history.first_version()));
     // Use the latest version's rules when the snapshot postdates it.
     let rules = if latest_rules.is_empty() {
         history.rules_at(history.latest_version())
@@ -127,13 +128,9 @@ pub fn generate_corpus(history: &History, config: &CorpusConfig) -> WebCorpus {
     let mut spike_rules: Vec<String> = Vec::new();
     let spike_lo = Date::parse("2012-06-01").expect("const date");
     let spike_hi = Date::parse("2013-01-01").expect("const date");
-    let added_by_text: HashMap<String, Date> = history
-        .spans()
-        .iter()
-        .map(|s| (s.rule.as_text(), s.added))
-        .collect();
-    let table2: std::collections::HashSet<&str> =
-        seeds::TABLE2_ETLDS.iter().copied().collect();
+    let added_by_text: HashMap<String, Date> =
+        history.spans().iter().map(|s| (s.rule.as_text(), s.added)).collect();
+    let table2: std::collections::HashSet<&str> = seeds::TABLE2_ETLDS.iter().copied().collect();
 
     for rule in &rules {
         let text = rule.as_text();
@@ -146,8 +143,7 @@ pub fn generate_corpus(history: &History, config: &CorpusConfig) -> WebCorpus {
             }
             RuleKind::Wildcard => {}
             RuleKind::Normal => {
-                let is_late_private =
-                    rule.section() == Section::Private && added > first_version;
+                let is_late_private = rule.section() == Section::Private && added > first_version;
                 let is_table2 = table2.contains(text.as_str());
                 if is_table2 || is_late_private {
                     platform_suffixes.push(text.clone());
@@ -167,12 +163,8 @@ pub fn generate_corpus(history: &History, config: &CorpusConfig) -> WebCorpus {
     spike_rules.sort_unstable();
     // Table 2 suffixes must come first (they get paper-calibrated
     // populations).
-    platform_suffixes.sort_by_key(|s| {
-        seeds::TABLE2_ETLDS
-            .iter()
-            .position(|&t| t == s)
-            .unwrap_or(usize::MAX)
-    });
+    platform_suffixes
+        .sort_by_key(|s| seeds::TABLE2_ETLDS.iter().position(|&t| t == s).unwrap_or(usize::MAX));
     assert!(
         !stable_suffixes.is_empty(),
         "history has no stable suffixes to place organisations under"
@@ -204,13 +196,9 @@ pub fn generate_corpus(history: &History, config: &CorpusConfig) -> WebCorpus {
         };
         let mut hosts = Vec::with_capacity(customers);
         for ci in 0..customers {
-            let name = DomainName::parse(&format!(
-                "{}{}x{}.{suffix}",
-                words.word(&mut rng),
-                pi,
-                ci
-            ))
-            .expect("generated hostname is valid");
+            let name =
+                DomainName::parse(&format!("{}{}x{}.{suffix}", words.word(&mut rng), pi, ci))
+                    .expect("generated hostname is valid");
             hosts.push(b.host(&name));
         }
         platforms.push((suffix.clone(), hosts));
@@ -320,7 +308,7 @@ impl WordGen {
     }
 
     fn word(&self, rng: &mut StdRng) -> String {
-        let syllables = 2 + rng.gen_range(0..2);
+        let syllables = 2 + rng.gen_range(0..2usize);
         let mut s = String::with_capacity(syllables * 2);
         for _ in 0..syllables {
             s.push(self.consonants[rng.gen_range(0..self.consonants.len())] as char);
@@ -402,10 +390,7 @@ mod tests {
             .collect();
         assert!(shopify_hosts.len() >= 2);
         let sites = |list: &psl_core::List| -> std::collections::HashSet<String> {
-            shopify_hosts
-                .iter()
-                .map(|h| list.site(h, opts).as_str().to_string())
-                .collect()
+            shopify_hosts.iter().map(|h| list.site(h, opts).as_str().to_string()).collect()
         };
         assert_eq!(sites(&old).len(), 1, "old list should merge all customers");
         assert_eq!(sites(&new).len(), shopify_hosts.len());

@@ -89,11 +89,7 @@ mod tests {
         assert!(s.mean_requests_per_page >= 1.0);
         // Traffic is concentrated: top 1% of targets carry far more than
         // 1% of requests (trackers + popular org hosts).
-        assert!(
-            s.top1pct_request_share > 0.05,
-            "share {}",
-            s.top1pct_request_share
-        );
+        assert!(s.top1pct_request_share > 0.05, "share {}", s.top1pct_request_share);
     }
 
     #[test]

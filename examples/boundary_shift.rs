@@ -26,7 +26,10 @@ fn main() {
 
     // Full sweep (parallel), then print a sample of versions.
     let stats = sweep(&history, &corpus, &SweepConfig::default());
-    println!("{:>12} {:>7} {:>8} {:>12} {:>12}", "version", "rules", "sites", "3rd-party", "moved-hosts");
+    println!(
+        "{:>12} {:>7} {:>8} {:>12} {:>12}",
+        "version", "rules", "sites", "3rd-party", "moved-hosts"
+    );
     let step = (stats.len() / 10).max(1);
     for s in stats.iter().step_by(step) {
         println!(

@@ -29,8 +29,7 @@ fn session<'l>(list: &'l List) -> Browser<'l> {
 
 fn main() {
     let opts = MatchOpts::default();
-    let current =
-        List::parse("com\n// ===BEGIN PRIVATE DOMAINS===\nhostedshops.com\n");
+    let current = List::parse("com\n// ===BEGIN PRIVATE DOMAINS===\nhostedshops.com\n");
     let stale = List::parse("com\n");
 
     println!("replaying the same session under two lists:\n");

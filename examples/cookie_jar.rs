@@ -29,7 +29,9 @@ fn main() {
                 psl_core::cookie::CookieRejection::DomainMismatch => "rejected (domain mismatch)",
             },
         };
-        println!("{list_name:9} list: Set-Cookie Domain=github.io from evil.github.io -> {verdict}");
+        println!(
+            "{list_name:9} list: Set-Cookie Domain=github.io from evil.github.io -> {verdict}"
+        );
     }
 
     println!();

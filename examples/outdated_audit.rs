@@ -51,11 +51,8 @@ fn main() {
     println!("\n{total_found} repos with embedded copies; {flagged} fixed/production copies older than 2 years");
 
     // Render one notification, as the paper's disclosure process would.
-    let example = repos
-        .repos
-        .iter()
-        .find(|r| r.name == "bitwarden/server")
-        .expect("named repo present");
+    let example =
+        repos.repos.iter().find(|r| r.name == "bitwarden/server").expect("named repo present");
     let det = detect(example, &reference, &index, &detector);
     if let Some(text) = notification(
         example,

@@ -17,11 +17,11 @@ fn main() {
     let stale = List::parse("com\nuk\nco.uk\nio\n"); // pre-platform era
 
     let requests: Vec<CertName> = [
-        "*.example.com",    // ordinary wildcard: fine
-        "www.example.com",  // plain name: fine
-        "*.co.uk",          // registry-spanning: always refused
-        "*.myshopify.com",  // platform-spanning: refused only if the CA knows
-        "*.github.io",      // ditto
+        "*.example.com",   // ordinary wildcard: fine
+        "www.example.com", // plain name: fine
+        "*.co.uk",         // registry-spanning: always refused
+        "*.myshopify.com", // platform-spanning: refused only if the CA knows
+        "*.github.io",     // ditto
     ]
     .iter()
     .map(|s| CertName::parse(s).unwrap())

@@ -43,10 +43,7 @@ fn missing_command_fails() {
 
 #[test]
 fn table1_runs_and_mentions_taxonomy() {
-    let out = pslharm()
-        .args(["table1", "--seed", "7"])
-        .output()
-        .expect("binary runs");
+    let out = pslharm().args(["table1", "--seed", "7"]).output().expect("binary runs");
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Fixed/Production"));
@@ -62,10 +59,8 @@ fn lint_blame_and_corpus_stats_run() {
     assert!(stdout.contains("embedded snapshot"));
     assert!(stdout.contains("findings"));
 
-    let out = pslharm()
-        .args(["blame", "myshopify.com", "github.io"])
-        .output()
-        .expect("binary runs");
+    let out =
+        pslharm().args(["blame", "myshopify.com", "github.io"]).output().expect("binary runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("myshopify.com: added 2019"));
@@ -105,7 +100,9 @@ fn all_with_json_export_writes_file() {
         .expect("binary runs");
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for marker in ["Figure 2", "Table 1", "Figure 3", "Figure 4", "Figures 5-7", "Table 2", "Table 3"] {
+    for marker in
+        ["Figure 2", "Table 1", "Figure 3", "Figure 4", "Figures 5-7", "Table 2", "Table 3"]
+    {
         assert!(stdout.contains(marker), "missing {marker}");
     }
     let json = std::fs::read_to_string(&json_path).unwrap();

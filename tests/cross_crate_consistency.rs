@@ -22,6 +22,43 @@ fn trie_and_linear_matcher_agree_on_generated_lists() {
 }
 
 #[test]
+fn trie_linear_and_naive_matchers_agree_on_the_embedded_list() {
+    // Three structurally independent matchers — the production trie, the
+    // linear reference scan, and the flat longest-suffix map — answered
+    // over hostnames derived from every rule in the shipped mini PSL.
+    let list = psl_core::embedded_list();
+    let naive = psl_core::NaiveMap::from_rules(list.rules());
+    let mut hosts: Vec<String> = Vec::new();
+    for rule in list.rules() {
+        let suffix = rule.labels().join(".");
+        hosts.push(suffix.clone());
+        hosts.push(format!("alpha.{suffix}"));
+        hosts.push(format!("beta.alpha.{suffix}"));
+    }
+    hosts.extend(
+        ["unlisted-zone", "deep.under.unlisted-zone", "com", "localhost"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    let opts_matrix = [
+        MatchOpts::default(),
+        MatchOpts { include_private: false, ..MatchOpts::default() },
+        MatchOpts { implicit_wildcard: false, ..MatchOpts::default() },
+    ];
+    for host in &hosts {
+        let Ok(domain) = DomainName::parse(host) else { continue };
+        let reversed = domain.labels_reversed();
+        for opts in opts_matrix {
+            let trie = list.disposition_reversed(&reversed, opts);
+            let linear = psl_core::trie::disposition_linear(list.rules(), &reversed, opts);
+            let flat = naive.disposition(&reversed, opts);
+            assert_eq!(trie, linear, "trie vs linear on {host} ({opts:?})");
+            assert_eq!(trie, flat, "trie vs naive on {host} ({opts:?})");
+        }
+    }
+}
+
+#[test]
 fn corpus_hostnames_respect_core_validation() {
     let history = generate(&GeneratorConfig::small(305));
     let corpus = generate_corpus(&history, &CorpusConfig::small(19));
@@ -46,13 +83,9 @@ fn store_checkout_dates_back_to_itself() {
             continue;
         }
         let dated = index.date_rules(&rules).unwrap();
-        let a: std::collections::BTreeSet<String> =
-            rules.iter().map(|r| r.as_text()).collect();
-        let b: std::collections::BTreeSet<String> = history
-            .rules_at(dated.version)
-            .iter()
-            .map(|r| r.as_text())
-            .collect();
+        let a: std::collections::BTreeSet<String> = rules.iter().map(|r| r.as_text()).collect();
+        let b: std::collections::BTreeSet<String> =
+            history.rules_at(dated.version).iter().map(|r| r.as_text()).collect();
         assert_eq!(a, b, "commit at {date} dated to {}", dated.version);
     }
 }
@@ -66,12 +99,8 @@ fn iana_categories_cover_every_generated_rule() {
     let total: usize = counts.values().sum();
     assert_eq!(total, latest.len());
     // The generated list has both private rules and ccTLD-ish entries.
-    assert!(counts
-        .iter()
-        .any(|(c, _)| matches!(c, psl_iana::SuffixClass::PrivateDomain)));
-    assert!(counts
-        .iter()
-        .any(|(c, _)| matches!(c, psl_iana::SuffixClass::Tld(_))));
+    assert!(counts.iter().any(|(c, _)| matches!(c, psl_iana::SuffixClass::PrivateDomain)));
+    assert!(counts.iter().any(|(c, _)| matches!(c, psl_iana::SuffixClass::Tld(_))));
 }
 
 #[test]

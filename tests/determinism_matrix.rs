@@ -27,10 +27,7 @@ fn history_invariants_hold_across_seeds() {
         // Growth endpoints are calibrated.
         let first = h.rule_count_at(h.first_version());
         let last = h.rule_count_at(h.latest_version());
-        assert!(
-            (first as f64 - 260.0).abs() < 30.0,
-            "seed {seed}: first {first}"
-        );
+        assert!((first as f64 - 260.0).abs() < 30.0, "seed {seed}: first {first}");
         assert!((last as f64 - 950.0).abs() < 70.0, "seed {seed}: last {last}");
         // No duplicate rule texts among concurrently-live spans at the
         // latest version.
@@ -73,10 +70,8 @@ fn detector_is_perfect_for_every_seed() {
     let reference = h.latest_snapshot();
     let index = DatingIndex::build(&h);
     for seed in SEEDS {
-        let repos = psl_repocorpus::generate_repos(
-            &h,
-            &RepoGenConfig { seed, ..Default::default() },
-        );
+        let repos =
+            psl_repocorpus::generate_repos(&h, &RepoGenConfig { seed, ..Default::default() });
         let eval = evaluate(&repos, &reference, &index, &DetectorConfig::default());
         assert_eq!(eval.accuracy, 1.0, "seed {seed}: {:?}", eval.confusion);
         assert_eq!(eval.missed, 0, "seed {seed}");
@@ -89,10 +84,7 @@ fn substrates_are_pure_functions_of_config() {
         let config = PipelineConfig::small(seed);
         let a = build_substrates(&config);
         let b = build_substrates(&config);
-        assert_eq!(
-            psl_history::to_json(&a.history),
-            psl_history::to_json(&b.history)
-        );
+        assert_eq!(psl_history::to_json(&a.history), psl_history::to_json(&b.history));
         assert_eq!(a.corpus.to_json(), b.corpus.to_json());
         assert_eq!(a.repos.len(), b.repos.len());
         for (x, y) in a.repos.repos.iter().zip(&b.repos.repos) {

@@ -22,10 +22,7 @@ fn full_small_pipeline_runs_and_reports_are_consistent() {
     // Figure 3 medians are ordered like the paper's: updated > fixed.
     let fixed = report.fig3.median_of("fixed").unwrap();
     let updated = report.fig3.median_of("updated").unwrap();
-    assert!(
-        updated > fixed - 120.0,
-        "updated {updated} should not be far below fixed {fixed}"
-    );
+    assert!(updated > fixed - 120.0, "updated {updated} should not be far below fixed {fixed}");
 
     // Figures 5–7 internal consistency.
     let rows = &report.figs567.rows;
@@ -82,14 +79,9 @@ fn commit_store_roundtrips_the_generated_history() {
     let extracted = store.extract_versions();
     // Every extracted version's rule set matches the history at its date.
     for (date, rules) in extracted.iter().step_by(extracted.len() / 7 + 1) {
-        let expect: std::collections::BTreeSet<String> = subs
-            .history
-            .rules_at(*date)
-            .iter()
-            .map(|r| r.as_text())
-            .collect();
-        let got: std::collections::BTreeSet<String> =
-            rules.iter().map(|r| r.as_text()).collect();
+        let expect: std::collections::BTreeSet<String> =
+            subs.history.rules_at(*date).iter().map(|r| r.as_text()).collect();
+        let got: std::collections::BTreeSet<String> = rules.iter().map(|r| r.as_text()).collect();
         assert_eq!(got, expect, "at {date}");
     }
 }

@@ -51,10 +51,7 @@ fn every_consumer_flips_on_the_same_missing_suffix() {
     // 3. CA: wildcard issued only under the stale list.
     let wildcard = CertName::parse(&format!("*.{suffix}")).unwrap();
     assert_eq!(evaluate_name(&stale, &wildcard, opts), IssuanceDecision::Allow);
-    assert!(matches!(
-        evaluate_name(&current, &wildcard, opts),
-        IssuanceDecision::Refuse(_)
-    ));
+    assert!(matches!(evaluate_name(&current, &wildcard, opts), IssuanceDecision::Refuse(_)));
 
     // 4. DMARC: the stale list falls back to the platform's policy.
     let mut zones = ZoneStore::new();
@@ -82,12 +79,9 @@ fn browser_session_flips_exactly_with_the_list() {
 
     let run = |list: &List| -> (bool, Referrer) {
         let mut b = Browser::new(list, opts);
-        let (ctx, page) = b
-            .navigate(&format!("https://alice.{suffix}/checkout?card=444"))
-            .unwrap();
-        let result = b
-            .load_subresource(&ctx, &page, &format!("https://bob.{suffix}/w.js"))
-            .unwrap();
+        let (ctx, page) = b.navigate(&format!("https://alice.{suffix}/checkout?card=444")).unwrap();
+        let result =
+            b.load_subresource(&ctx, &page, &format!("https://bob.{suffix}/w.js")).unwrap();
         (result.same_site, result.referrer)
     };
 

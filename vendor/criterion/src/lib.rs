@@ -1,0 +1,173 @@
+//! Offline shim of the `criterion` API surface the workspace's benches use.
+//!
+//! Implements a small but functional wall-clock runner: each benchmark is
+//! warmed up, timed over a batch of iterations, and reported as median
+//! ns/iteration on stdout. No statistics engine, plots, or baselines —
+//! enough for `cargo bench` to build, run, and produce comparable numbers
+//! in this offline environment.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export-compatible black box (stable `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Median ns/iter recorded by the last `iter` call.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the median of several measured batches.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: aim for ~2ms per batch, 9 batches.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().as_nanos().max(1) as u64;
+        let per_batch = (2_000_000 / once).clamp(1, 10_000) as usize;
+
+        let mut samples = Vec::with_capacity(9);
+        for _ in 0..9 {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result_ns = samples[samples.len() / 2];
+    }
+}
+
+fn run_one(name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { result_ns: f64::NAN };
+    f(&mut b);
+    if b.result_ns.is_nan() {
+        println!("bench {name:<50} (no iter call)");
+    } else {
+        println!("bench {name:<50} {:>14.1} ns/iter", b.result_ns);
+    }
+}
+
+/// Identifier for a parameterised benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { text: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for compatibility; the shim's batch sizing is automatic.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.text), f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input reference.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.text), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level bench context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// Collect bench functions into a named runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` calling each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = super::Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("inner", |b| b.iter(|| 2 + 2));
+        g.bench_with_input(super::BenchmarkId::new("param", 3), &3u32, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline shim of the `crossbeam::thread::scope` API, backed by
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! The workspace only uses scoped spawning with the crossbeam calling
+//! convention (`scope.spawn(|_| …)` and a `Result` from `scope(…)` that is
+//! `Err` when a worker panicked), so that is all this shim provides.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with the crossbeam 0.8 calling convention.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle passed to the `scope` closure; lets it spawn borrowing workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped worker. The closure receives a re-borrowed scope
+        /// (crossbeam convention) so workers can spawn sub-workers.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned workers are joined before this
+    /// returns. Returns `Err` with the panic payload if any worker (or the
+    /// closure itself) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_fill() {
+        let mut out = vec![0usize; 8];
+        super::thread::scope(|scope| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                scope.spawn(move |_| *slot = i * 2);
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

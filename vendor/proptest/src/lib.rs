@@ -1,0 +1,730 @@
+//! Offline shim of the `proptest` API surface used by this workspace.
+//!
+//! Because crates.io is unreachable in this build environment, the
+//! workspace vendors a small deterministic property-testing harness under
+//! the `proptest` name. It supports the constructs the test suites use:
+//!
+//! - the [`proptest!`] macro (`fn name(pat in strategy, …) { body }`);
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! - `&str` regex-subset strategies (`"[a-z]{1,6}(\\.[a-z]{1,6}){0,4}"`,
+//!   `"\\PC{0,60}"`, groups, alternation, `?`/`*`/`+`/`{m,n}`);
+//! - integer / float range strategies (`0u8..3`, `0.0f64..=1.0`, `1u16..`);
+//! - [`strategy::Just`], [`prop_oneof!`], tuples of strategies,
+//!   `collection::vec`, `bool::ANY`, `option::of`.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case reports
+//! its case number, and the per-test RNG is seeded from the test's full
+//! module path, so failures replay deterministically. The case count
+//! honours `PROPTEST_CASES` (default 64).
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic runner plumbing used by the [`crate::proptest!`] macro.
+
+    use std::fmt;
+
+    /// Error carried out of a failing property body.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Wrap a failure message.
+        pub fn new(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+
+        /// Real-proptest-compatible constructor used by some codebases.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Number of cases per property (env `PROPTEST_CASES`, default 64).
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+    }
+
+    /// The harness RNG: xorshift*-style, seeded from the test name so each
+    /// property gets a reproducible stream independent of execution order.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Deterministic RNG for a named test.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the fully-qualified test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            // xorshift64* — plenty for test-case generation.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform integer in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::string::StringPattern;
+    use crate::test_runner::TestRng;
+
+    /// A generator of values for one property parameter.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Free-function entry point used by the macros (`&S` auto-derefs so
+    /// string literals, references, and owned strategies all work).
+    pub fn sample<S: Strategy + ?Sized>(s: &S, rng: &mut TestRng) -> S::Value {
+        s.sample(rng)
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    impl Strategy for str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            StringPattern::compile(self).sample(rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            StringPattern::compile(self).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    (self.start..=<$t>::MAX).sample(rng)
+                }
+            }
+        )*};
+    }
+    impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    lo + (rng.unit_f64() as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+    impl_float_ranges!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+)),+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!(
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+    );
+
+    /// Uniform choice between boxed alternatives (see [`crate::prop_oneof!`]).
+    pub struct OneOf<V> {
+        options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].sample(rng)
+        }
+    }
+
+    /// Build a [`OneOf`]; the `Vec<Box<dyn …>>` signature drives inference
+    /// for the `Box::new($s) as _` casts the macro emits.
+    pub fn one_of<V>(options: Vec<Box<dyn Strategy<Value = V>>>) -> OneOf<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Fair coin.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive length bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// Strategy for vectors with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, len_range)`: vectors whose length is uniform in the
+    /// range and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for optional values (≈ 80 % `Some`, like real proptest's
+    /// default weighting).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `of(strategy)`: `None` sometimes, `Some(sampled)` mostly.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.unit_f64() < 0.8 {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! The regex-subset string sampler backing `&str` strategies.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        Seq(Vec<Node>),
+        Alt(Vec<Node>),
+        Class(Vec<(char, char)>),
+        Lit(char),
+        AnyPrintable,
+        Repeat(Box<Node>, usize, usize),
+    }
+
+    /// A compiled pattern. Supports: literals, `\`-escapes, `\PC` (any
+    /// printable char), `[...]` classes with ranges, `(...)` groups, `|`
+    /// alternation, and the quantifiers `{m}`, `{m,n}`, `?`, `*`, `+`
+    /// (`*`/`+` are bounded at 8 repetitions).
+    #[derive(Debug, Clone)]
+    pub struct StringPattern {
+        root: Node,
+    }
+
+    struct PatParser<'a> {
+        chars: &'a [char],
+        pos: usize,
+    }
+
+    impl<'a> PatParser<'a> {
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Option<char> {
+            let c = self.peek();
+            if c.is_some() {
+                self.pos += 1;
+            }
+            c
+        }
+
+        /// alternation := seq ('|' seq)*
+        fn parse_alt(&mut self) -> Node {
+            let mut branches = vec![self.parse_seq()];
+            while self.peek() == Some('|') {
+                self.pos += 1;
+                branches.push(self.parse_seq());
+            }
+            if branches.len() == 1 {
+                branches.pop().unwrap()
+            } else {
+                Node::Alt(branches)
+            }
+        }
+
+        fn parse_seq(&mut self) -> Node {
+            let mut items = Vec::new();
+            while let Some(c) = self.peek() {
+                if c == ')' || c == '|' {
+                    break;
+                }
+                let atom = self.parse_atom();
+                items.push(self.parse_quantified(atom));
+            }
+            Node::Seq(items)
+        }
+
+        fn parse_atom(&mut self) -> Node {
+            match self.bump().expect("pattern ended unexpectedly") {
+                '(' => {
+                    let inner = self.parse_alt();
+                    assert_eq!(self.bump(), Some(')'), "unclosed group in pattern");
+                    inner
+                }
+                '[' => self.parse_class(),
+                '\\' => {
+                    let esc = self.bump().expect("dangling backslash in pattern");
+                    if esc == 'P' || esc == 'p' {
+                        // `\PC` / `\pC`-style one-letter Unicode class; the
+                        // workspace only uses \PC ("not control").
+                        let _class = self.bump().expect("truncated \\P class");
+                        Node::AnyPrintable
+                    } else {
+                        Node::Lit(esc)
+                    }
+                }
+                '.' => Node::AnyPrintable,
+                c => Node::Lit(c),
+            }
+        }
+
+        fn parse_class(&mut self) -> Node {
+            let mut ranges = Vec::new();
+            loop {
+                let c = self.bump().expect("unclosed character class");
+                if c == ']' {
+                    break;
+                }
+                let c =
+                    if c == '\\' { self.bump().expect("dangling backslash in class") } else { c };
+                if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                    self.pos += 1; // consume '-'
+                    let hi = self.bump().expect("unclosed range in class");
+                    let hi = if hi == '\\' {
+                        self.bump().expect("dangling backslash in class")
+                    } else {
+                        hi
+                    };
+                    assert!(c <= hi, "inverted range in character class");
+                    ranges.push((c, hi));
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+            assert!(!ranges.is_empty(), "empty character class");
+            Node::Class(ranges)
+        }
+
+        fn parse_quantified(&mut self, atom: Node) -> Node {
+            match self.peek() {
+                Some('?') => {
+                    self.pos += 1;
+                    Node::Repeat(Box::new(atom), 0, 1)
+                }
+                Some('*') => {
+                    self.pos += 1;
+                    Node::Repeat(Box::new(atom), 0, 8)
+                }
+                Some('+') => {
+                    self.pos += 1;
+                    Node::Repeat(Box::new(atom), 1, 8)
+                }
+                Some('{') => {
+                    self.pos += 1;
+                    let mut min = String::new();
+                    while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        min.push(self.bump().unwrap());
+                    }
+                    let min: usize = min.parse().expect("bad {m,n} quantifier");
+                    let max = if self.peek() == Some(',') {
+                        self.pos += 1;
+                        let mut max = String::new();
+                        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                            max.push(self.bump().unwrap());
+                        }
+                        max.parse().expect("bad {m,n} quantifier")
+                    } else {
+                        min
+                    };
+                    assert_eq!(self.bump(), Some('}'), "unclosed quantifier");
+                    assert!(min <= max, "inverted quantifier bounds");
+                    Node::Repeat(Box::new(atom), min, max)
+                }
+                _ => atom,
+            }
+        }
+    }
+
+    /// Pool for `\PC`: mostly ASCII printable, salted with multi-byte and
+    /// edge-case characters so punycode/domain parsing gets stressed.
+    const EXOTIC: &[char] = &[
+        'é', 'ß', 'ñ', 'ü', '中', '文', '日', '本', 'Ω', 'λ', 'ж', 'я', '–', '—', '‚', '„',
+        '\u{00A0}', '\u{200B}', '☃', '😀', 'ﬁ', 'Ⅻ', '\u{0301}', '｡', '．', '［',
+    ];
+
+    impl StringPattern {
+        /// Compile a pattern (panics on syntax outside the subset — a test
+        /// authoring error, not a runtime condition).
+        pub fn compile(pattern: &str) -> Self {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut p = PatParser { chars: &chars, pos: 0 };
+            let root = p.parse_alt();
+            assert_eq!(p.pos, chars.len(), "trailing characters in pattern {pattern:?}");
+            StringPattern { root }
+        }
+
+        /// Draw one string matching the pattern.
+        pub fn sample(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            Self::emit(&self.root, rng, &mut out);
+            out
+        }
+
+        fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+            match node {
+                Node::Seq(items) => {
+                    for item in items {
+                        Self::emit(item, rng, out);
+                    }
+                }
+                Node::Alt(branches) => {
+                    let i = rng.below(branches.len() as u64) as usize;
+                    Self::emit(&branches[i], rng, out);
+                }
+                Node::Lit(c) => out.push(*c),
+                Node::Class(ranges) => {
+                    let total: u64 =
+                        ranges.iter().map(|(lo, hi)| *hi as u64 - *lo as u64 + 1).sum();
+                    let mut pick = rng.below(total);
+                    for (lo, hi) in ranges {
+                        let span = *hi as u64 - *lo as u64 + 1;
+                        if pick < span {
+                            out.push(char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+                Node::AnyPrintable => {
+                    // 85 % ASCII printable, 15 % exotic.
+                    if rng.below(100) < 85 {
+                        out.push((0x20 + rng.below(0x5F) as u8) as char);
+                    } else {
+                        out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+                    }
+                }
+                Node::Repeat(inner, min, max) => {
+                    let n = *min + rng.below((*max - *min + 1) as u64) as usize;
+                    for _ in 0..n {
+                        Self::emit(inner, rng, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface (`use proptest::prelude::*`).
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running `PROPTEST_CASES` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::test_runner::cases();
+                let mut __rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cases {
+                    $(let $pat = $crate::strategy::sample(&$strat, &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!(
+                            "property {} failed on case {}/{}: {}",
+                            stringify!($name), __case + 1, __cases, e,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current property case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::new(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::new(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::new(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), __a, __b,
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::new(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($a), stringify!($b), __a, __b, format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::new(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$(::std::boxed::Box::new($s) as _),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::{sample, Just};
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("proptest::shim::selftest")
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let host = sample(&"[a-z]{1,6}(\\.[a-z]{1,6}){0,4}", &mut rng);
+            assert!(!host.is_empty());
+            for part in host.split('.') {
+                assert!((1..=6).contains(&part.len()), "bad part in {host:?}");
+                assert!(part.chars().all(|c| c.is_ascii_lowercase()));
+            }
+            let rule = sample(&"(!|\\*\\.)?[a-z]{1,5}\\.[a-z]{1,5}", &mut rng);
+            assert!(rule.contains('.'));
+        }
+    }
+
+    #[test]
+    fn printable_class_never_emits_empty_for_min_one() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = sample(&"\\PC{1,24}", &mut rng);
+            assert!(!s.is_empty() && s.chars().count() <= 24);
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let (k, f) = sample(&(0u8..3, -1.0f64..1.0), &mut rng);
+            assert!(k < 3);
+            assert!((-1.0..1.0).contains(&f));
+            let p = sample(&(1u16..), &mut rng);
+            assert!(p >= 1);
+        }
+    }
+
+    #[test]
+    fn oneof_and_vec() {
+        let s = prop_oneof![Just("a".to_string()), Just("b".to_string())];
+        let v = crate::collection::vec(&s, 3..=3);
+        let mut rng = rng();
+        for _ in 0..50 {
+            let xs = sample(&v, &mut rng);
+            assert_eq!(xs.len(), 3);
+            assert!(xs.iter().all(|x| x == "a" || x == "b"));
+        }
+    }
+
+    crate::proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u32..100, flag in crate::bool::ANY) {
+            crate::prop_assert!(x < 100);
+            crate::prop_assert_eq!(flag, flag);
+        }
+    }
+}

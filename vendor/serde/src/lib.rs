@@ -1,0 +1,448 @@
+//! Offline shim of the `serde` facade used by this workspace.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a small self-consistent serialization framework under the `serde` /
+//! `serde_derive` / `serde_json` names. It is **not** API-compatible with
+//! real serde beyond the surface the workspace uses:
+//!
+//! - `#[derive(Serialize, Deserialize)]` on non-generic structs and enums
+//!   (named fields, tuple/newtype structs, unit and tuple enum variants);
+//! - `#[serde(transparent)]` on single-field structs;
+//! - `serde_json::{to_string, to_string_pretty, from_str, Error}`.
+//!
+//! Instead of serde's zero-copy visitor architecture, values pass through
+//! an owned JSON-like [`Value`] tree. That costs an intermediate
+//! allocation per document — fine for the workspace's report/export paths,
+//! which are cold.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// An owned JSON-like value: the interchange tree between `Serialize`,
+/// `Deserialize`, and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent that fits i64).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Any other JSON number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The fields of an object, or `None`.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, or `None`.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string payload, or `None`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up an object field by name.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.iter().find(|(k, _)| k == name).map(|(_, v)| v))
+    }
+
+    /// Object field lookup under the name `serde_json::Value` exposes.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.get_field(name)
+    }
+
+    /// One-word description of the value's shape, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable path + expectation message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error noting what was expected and what was found.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind_name()))
+    }
+
+    /// Prefix the error with a field/variant context, serde style.
+    pub fn in_context(self, ctx: &str) -> Self {
+        DeError(format!("{ctx}: {}", self.0))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the interchange tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct from the interchange tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+macro_rules! impl_ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i128,
+                    _ => return Err(DeError::expected("integer", v)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let u = *self as u64;
+                if u <= i64::MAX as u64 { Value::Int(u as i64) } else { Value::UInt(u) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i128,
+                    _ => return Err(DeError::expected("integer", v)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Float(f) => Ok(*f as $t),
+                    _ => Err(DeError::expected("number", v)),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_de_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("single-char string", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError(format!("expected single-char string, found {s:?}"))),
+        }
+    }
+}
+
+// ---- container impls -------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let seq = v.as_seq().ok_or_else(|| DeError::expected("array", v))?;
+        seq.iter()
+            .enumerate()
+            .map(|(i, e)| T::from_value(e).map_err(|err| err.in_context(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Deserialize::from_value(v)?;
+        let found = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError(format!("expected {N}-element array, found {found}")))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let seq = v.as_seq().ok_or_else(|| DeError::expected("tuple array", v))?;
+                let want = [$($idx),+].len();
+                if seq.len() != want {
+                    return Err(DeError(format!("expected {want}-tuple, found {} elements", seq.len())));
+                }
+                Ok(($($name::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let pairs: Vec<(Value, Value)> =
+            self.iter().map(|(k, v)| (k.to_value(), v.to_value())).collect();
+        if pairs.iter().all(|(k, _)| matches!(k, Value::Str(_))) {
+            Value::Map(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| match k {
+                        Value::Str(s) => (s, v),
+                        _ => unreachable!(),
+                    })
+                    .collect(),
+            )
+        } else {
+            // Non-string keys (e.g. tuples) become an array of [key, value]
+            // pairs, since JSON objects only admit string keys.
+            Value::Seq(pairs.into_iter().map(|(k, v)| Value::Seq(vec![k, v])).collect())
+        }
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map().ok_or_else(|| DeError::expected("object", v))?;
+        m.iter()
+            .map(|(k, val)| {
+                V::from_value(val).map(|vv| (k.clone(), vv)).map_err(|e| e.in_context(k))
+            })
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic field order regardless of hasher state.
+        let mut entries: Vec<_> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Map(entries.into_iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map().ok_or_else(|| DeError::expected("object", v))?;
+        m.iter()
+            .map(|(k, val)| {
+                V::from_value(val).map(|vv| (k.clone(), vv)).map_err(|e| e.in_context(k))
+            })
+            .collect()
+    }
+}
+
+macro_rules! impl_ser_de_display_fromstr {
+    ($($t:ty => $what:literal),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Str(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = v.as_str().ok_or_else(|| DeError::expected($what, v))?;
+                s.parse().map_err(|_| DeError(format!("invalid {}: {s:?}", $what)))
+            }
+        }
+    )*};
+}
+impl_ser_de_display_fromstr!(
+    std::net::Ipv4Addr => "IPv4 address string",
+    std::net::Ipv6Addr => "IPv6 address string",
+    std::net::IpAddr => "IP address string"
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-9i64).to_value()).unwrap(), -9);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u8>::from_value(&3u8.to_value()).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn vec_and_tuple_round_trip() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let back: Vec<(u32, String)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+}

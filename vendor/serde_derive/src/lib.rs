@@ -1,0 +1,394 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Emits impls of the *vendored* `serde::Serialize` / `serde::Deserialize`
+//! traits (an owned `Value`-tree model, not real serde's visitor model).
+//! Because crates.io is unreachable in this build environment, the parser
+//! is hand-rolled over `proc_macro::TokenStream` — no `syn`/`quote`.
+//!
+//! Supported shapes (everything the workspace derives on):
+//!
+//! - structs with named fields, tuple structs, unit structs;
+//! - `#[serde(transparent)]` on single-field structs;
+//! - enums with unit, newtype, and tuple variants (externally tagged:
+//!   `"Variant"`, `{"Variant": v}`, `{"Variant": [a, b]}`).
+//!
+//! Generic types and struct-variant enums are rejected with a clear panic
+//! (none exist in the workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum { variants: Vec<(String, usize)> },
+}
+
+struct Parsed {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_str(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip attributes (`#[...]`), detecting `#[serde(transparent)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize, transparent: &mut bool) -> usize {
+    while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if inner.first().and_then(ident_str).as_deref() == Some("serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if ident_str(&t).as_deref() == Some("transparent") {
+                            *transparent = true;
+                        }
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && ident_str(&tokens[i]).as_deref() == Some("pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Count comma-separated items at angle-bracket depth 0 inside a group.
+fn count_top_level_items(g: &proc_macro::Group) -> usize {
+    let mut depth = 0i32;
+    let mut items = 0usize;
+    let mut segment_nonempty = false;
+    for tt in g.stream() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                segment_nonempty = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                segment_nonempty = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if segment_nonempty {
+                    items += 1;
+                }
+                segment_nonempty = false;
+            }
+            _ => segment_nonempty = true,
+        }
+    }
+    if segment_nonempty {
+        items += 1;
+    }
+    items
+}
+
+fn parse_named_fields(g: &proc_macro::Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    let mut ignored = false;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i, &mut ignored);
+        i = skip_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_str(&toks[i]).unwrap_or_else(|| {
+            panic!("serde shim derive: expected field name, found {:?}", toks[i].to_string())
+        });
+        i += 1;
+        assert!(
+            i < toks.len() && is_punct(&toks[i], ':'),
+            "serde shim derive: expected ':' after field `{name}`"
+        );
+        i += 1;
+        // Skip the type until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(g: &proc_macro::Group) -> Vec<(String, usize)> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    let mut ignored = false;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i, &mut ignored);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_str(&toks[i]).unwrap_or_else(|| {
+            panic!("serde shim derive: expected variant name, found {:?}", toks[i].to_string())
+        });
+        i += 1;
+        let mut arity = 0usize;
+        if let Some(TokenTree::Group(pg)) = toks.get(i) {
+            match pg.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = count_top_level_items(pg);
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!(
+                        "serde shim derive: struct variants are not supported (variant `{name}`)"
+                    )
+                }
+                _ => {}
+            }
+        }
+        // Skip any discriminant until the separating comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        i += 1; // past the comma (or off the end)
+        variants.push((name, arity));
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut transparent = false;
+    let mut i = skip_attrs(&tokens, 0, &mut transparent);
+    i = skip_vis(&tokens, i);
+
+    let kw = ident_str(&tokens[i]).expect("serde shim derive: expected `struct` or `enum`");
+    i += 1;
+    assert!(
+        kw == "struct" || kw == "enum",
+        "serde shim derive: only structs and enums are supported, found `{kw}`"
+    );
+    let name = ident_str(&tokens[i]).expect("serde shim derive: expected type name");
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde shim derive: generic types are not supported (`{name}`)");
+    }
+
+    let shape = if kw == "enum" {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum { variants: parse_variants(g) }
+            }
+            other => panic!("serde shim derive: expected enum body, found {:?}", other.to_string()),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct { fields: parse_named_fields(g) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct { arity: count_top_level_items(g) }
+            }
+            _ => Shape::UnitStruct,
+        }
+    };
+
+    if transparent {
+        let one = match &shape {
+            Shape::NamedStruct { fields } => fields.len() == 1,
+            Shape::TupleStruct { arity } => *arity == 1,
+            _ => false,
+        };
+        assert!(one, "serde shim derive: #[serde(transparent)] needs exactly one field (`{name}`)");
+    }
+
+    Parsed { name, transparent, shape }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse_input(input);
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct { fields } if p.transparent => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+        }
+        Shape::TupleStruct { .. } if p.transparent => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::NamedStruct { fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct { arity } => {
+            let entries: Vec<String> =
+                (0..*arity).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+    );
+    out.parse().expect("serde shim derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse_input(input);
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct { fields } if p.transparent => {
+            format!(
+                "::std::result::Result::Ok({name} {{ {}: ::serde::Deserialize::from_value(v)? }})",
+                fields[0]
+            )
+        }
+        Shape::TupleStruct { .. } if p.transparent => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::NamedStruct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get_field(\"{f}\").unwrap_or(&::serde::Value::Null)).map_err(|e| e.in_context(\"{name}.{f}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "if v.as_map().is_none() {{ return ::std::result::Result::Err(::serde::DeError::expected(\"object for struct {name}\", v)); }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|k| {
+                    format!(
+                        "::serde::Deserialize::from_value(&__seq[{k}]).map_err(|e| e.in_context(\"{name}.{k}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __seq = v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array for tuple struct {name}\", v))?;\n\
+                 if __seq.len() != {arity} {{ return ::std::result::Result::Err(::serde::DeError(::std::format!(\"expected {arity} elements for {name}, found {{}}\", __seq.len()))); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum { variants } => {
+            let unit: Vec<&(String, usize)> = variants.iter().filter(|(_, a)| *a == 0).collect();
+            let payload: Vec<&(String, usize)> = variants.iter().filter(|(_, a)| *a > 0).collect();
+            let mut arms = Vec::new();
+            if !unit.is_empty() {
+                let inner: Vec<String> = unit
+                    .iter()
+                    .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                    .collect();
+                arms.push(format!(
+                    "::serde::Value::Str(__s) => match __s.as_str() {{ {} __other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown variant {{__other:?}} for enum {name}\"))) }},",
+                    inner.join(" ")
+                ));
+            }
+            if !payload.is_empty() {
+                let inner: Vec<String> = payload
+                    .iter()
+                    .map(|(v, arity)| {
+                        if *arity == 1 {
+                            format!(
+                                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__val).map_err(|e| e.in_context(\"{name}::{v}\"))?)),"
+                            )
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(&__seq[{k}]).map_err(|e| e.in_context(\"{name}::{v}.{k}\"))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{v}\" => {{ let __seq = __val.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array for variant {name}::{v}\", __val))?;\n\
+                                 if __seq.len() != {arity} {{ return ::std::result::Result::Err(::serde::DeError(::std::format!(\"expected {arity} elements for {name}::{v}, found {{}}\", __seq.len()))); }}\n\
+                                 ::std::result::Result::Ok({name}::{v}({})) }},",
+                                elems.join(", ")
+                            )
+                        }
+                    })
+                    .collect();
+                arms.push(format!(
+                    "::serde::Value::Map(__m) if __m.len() == 1 => {{ let (__k, __val) = &__m[0]; match __k.as_str() {{ {} __other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown variant {{__other:?}} for enum {name}\"))) }} }},",
+                    inner.join(" ")
+                ));
+            }
+            arms.push(format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\", __other)),"
+            ));
+            format!("match v {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n  fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n}}\n"
+    );
+    out.parse().expect("serde shim derive: generated Deserialize impl must parse")
+}
