@@ -6,7 +6,10 @@
 //! pslharm table1|table2|table3                               one table
 //! pslharm notify  [--seed N]                                 maintainer notifications
 //! pslharm conformance [--seed N] [--json PATH]               vector suite + differential oracle
-//! pslharm suffix <domain>...                                 eTLD / eTLD+1 lookup
+//! pslharm suffix <domain>...|-                               eTLD / eTLD+1 lookup (- = stdin batch)
+//! pslharm serve   [--addr A] [--threads N] [--watch PATH]    run the query server
+//! pslharm query   [--addr A] CMD [ARGS...]                   one protocol command
+//! pslharm loadgen [--addr A] [--requests N] [--check]        replay load, report throughput
 //! ```
 //!
 //! Scale: the default is a laptop-scale configuration (small history and
@@ -35,6 +38,9 @@ fn main() -> ExitCode {
         "notify" => cmd_notify(rest),
         "conformance" => cmd_conformance(rest),
         "suffix" => cmd_suffix(rest),
+        "serve" => cmd_serve(rest),
+        "query" => cmd_query(rest),
+        "loadgen" => cmd_loadgen(rest),
         "lint" => cmd_lint(rest),
         "blame" => cmd_blame(rest),
         "corpus-stats" => cmd_corpus_stats(rest),
@@ -53,21 +59,42 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: pslharm <all|fig2..fig7|table1..table3|cookieharm|dbound|certharm|updatefail|replay|notify|conformance|suffix> \
-[--seed N] [--paper-scale] [--json PATH] [domains...]";
+const USAGE: &str = "usage: pslharm <all|fig2..fig7|table1..table3|cookieharm|dbound|certharm|updatefail|replay|notify|conformance|suffix|serve|query|loadgen> \
+[--seed N] [--paper-scale] [--threads N] [--json PATH] [--addr HOST:PORT] [domains...]";
 
 /// Common flags.
 struct Flags {
     seed: u64,
     paper_scale: bool,
+    threads: usize,
     json: Option<String>,
     markdown: Option<String>,
+    addr: String,
+    watch: Option<String>,
+    embedded: bool,
+    requests: u64,
+    connections: usize,
+    batch: usize,
+    check: bool,
     extra: Vec<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
-    let mut flags =
-        Flags { seed: 42, paper_scale: false, json: None, markdown: None, extra: Vec::new() };
+    let mut flags = Flags {
+        seed: 42,
+        paper_scale: false,
+        threads: 0,
+        json: None,
+        markdown: None,
+        addr: "127.0.0.1:7378".to_string(),
+        watch: None,
+        embedded: false,
+        requests: 100_000,
+        connections: 4,
+        batch: 512,
+        check: false,
+        extra: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -76,12 +103,36 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 flags.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
             }
             "--paper-scale" => flags.paper_scale = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                flags.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
             "--json" => {
                 flags.json = Some(it.next().ok_or("--json needs a path")?.clone());
             }
             "--markdown" => {
                 flags.markdown = Some(it.next().ok_or("--markdown needs a path")?.clone());
             }
+            "--addr" => {
+                flags.addr = it.next().ok_or("--addr needs host:port")?.clone();
+            }
+            "--watch" => {
+                flags.watch = Some(it.next().ok_or("--watch needs a path")?.clone());
+            }
+            "--embedded" => flags.embedded = true,
+            "--requests" => {
+                let v = it.next().ok_or("--requests needs a value")?;
+                flags.requests = v.parse().map_err(|_| format!("bad request count {v:?}"))?;
+            }
+            "--connections" => {
+                let v = it.next().ok_or("--connections needs a value")?;
+                flags.connections = v.parse().map_err(|_| format!("bad connection count {v:?}"))?;
+            }
+            "--batch" => {
+                let v = it.next().ok_or("--batch needs a value")?;
+                flags.batch = v.parse().map_err(|_| format!("bad batch size {v:?}"))?;
+            }
+            "--check" => flags.check = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}"));
             }
@@ -92,7 +143,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 }
 
 fn config_for(flags: &Flags) -> PipelineConfig {
-    if flags.paper_scale {
+    let mut config = if flags.paper_scale {
         let mut config = PipelineConfig::default();
         config.history.seed = flags.seed;
         config.corpus.seed = flags.seed.wrapping_add(1);
@@ -100,7 +151,9 @@ fn config_for(flags: &Flags) -> PipelineConfig {
         config
     } else {
         PipelineConfig::small(flags.seed)
-    }
+    };
+    config.sweep.threads = flags.threads;
+    config
 }
 
 fn cmd_all(args: &[String]) -> Result<(), String> {
@@ -274,28 +327,195 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
 fn cmd_suffix(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     if flags.extra.is_empty() {
-        return Err("suffix: give at least one domain name".into());
+        return Err("suffix: give at least one domain name (or - for stdin)".into());
     }
     // Real-world lookups use the embedded snapshot of the real list; the
     // generated history is for the experiments.
     let list = psl_core::embedded_list();
     let opts = MatchOpts::default();
+
+    // `suffix -` streams newline-delimited hosts from stdin through the same
+    // lookup path the server uses, emitting TSV (host, suffix, site).
+    if flags.extra.len() == 1 && flags.extra[0] == "-" {
+        use std::io::{BufRead, Write};
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let mut out = std::io::BufWriter::new(stdout.lock());
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+            let host = line.trim();
+            if host.is_empty() {
+                continue;
+            }
+            match DomainName::parse(host) {
+                Ok(dom) => {
+                    let resolved = psl_service::lookup::resolve(&list, &dom, opts);
+                    writeln!(
+                        out,
+                        "{host}\t{}\t{}",
+                        resolved.suffix.as_deref().unwrap_or("-"),
+                        resolved.site
+                    )
+                }
+                Err(e) => writeln!(out, "{host}\tinvalid: {e}\t-"),
+            }
+            .map_err(|e| format!("writing stdout: {e}"))?;
+        }
+        out.flush().map_err(|e| format!("writing stdout: {e}"))?;
+        return Ok(());
+    }
+
     let rows: Vec<Vec<String>> = flags
         .extra
         .iter()
         .map(|raw| match DomainName::parse(raw) {
-            Ok(d) => {
-                let suffix = list.public_suffix(&d, opts).unwrap_or("-").to_string();
-                let reg = list
-                    .registrable_domain(&d, opts)
-                    .map(|r| r.as_str().to_string())
-                    .unwrap_or_else(|| "-".into());
-                vec![raw.clone(), suffix, reg]
+            Ok(dom) => {
+                let resolved = psl_service::lookup::resolve(&list, &dom, opts);
+                vec![
+                    raw.clone(),
+                    resolved.suffix.unwrap_or_else(|| "-".into()),
+                    resolved.registrable.unwrap_or_else(|| "-".into()),
+                ]
             }
             Err(e) => vec![raw.clone(), format!("invalid: {e}"), "-".into()],
         })
         .collect();
     println!("{}", report::render_table(&["domain", "public suffix", "registrable domain"], &rows));
+    Ok(())
+}
+
+// ---- Service commands -----------------------------------------------------
+
+/// Build the snapshot store + engine shared by `serve`. By default the
+/// server answers from the generated history's latest snapshot (so
+/// `loadgen --check` can recompute expectations from the same `--seed`);
+/// `--embedded` serves the real embedded list instead, and `--watch PATH`
+/// loads (and hot-reloads) a `.dat` file.
+fn build_engine(flags: &Flags) -> Result<std::sync::Arc<psl_service::Engine>, String> {
+    use std::sync::Arc;
+    let config = config_for(flags);
+    eprintln!("generating history (seed {}) ...", flags.seed);
+    let history = Arc::new(psl_history::generate(&config.history));
+    let latest = history.latest_version();
+
+    let store = if let Some(path) = &flags.watch {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let list = psl_core::List::parse(&text);
+        Arc::new(psl_core::SnapshotStore::new(path.clone(), None, list))
+    } else if flags.embedded {
+        Arc::new(psl_core::SnapshotStore::new("embedded", None, psl_core::embedded_list()))
+    } else {
+        Arc::new(psl_core::SnapshotStore::new(
+            format!("history:{latest}"),
+            Some(latest),
+            history.latest_snapshot(),
+        ))
+    };
+    let workers = if flags.threads == 0 { 4 } else { flags.threads };
+    Ok(psl_service::Engine::new(
+        store,
+        Some(history),
+        psl_service::EngineConfig { workers, ..Default::default() },
+        psl_service::monotonic_clock(),
+    ))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    if !flags.extra.is_empty() {
+        return Err(format!("serve: unexpected arguments {:?}", flags.extra));
+    }
+    let engine = build_engine(&flags)?;
+    let watch = flags
+        .watch
+        .as_ref()
+        .map(|p| (std::path::PathBuf::from(p), std::time::Duration::from_millis(500)));
+    let server = psl_service::Server::bind(
+        std::sync::Arc::clone(&engine),
+        psl_service::ServerConfig { addr: flags.addr.clone(), watch, ..Default::default() },
+    )
+    .map_err(|e| format!("binding {}: {e}", flags.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let snap = engine.store().load();
+    println!(
+        "pslharm serve: listening on {addr} ({} workers, snapshot {} / {} rules)",
+        engine.config().workers,
+        snap.label,
+        snap.list.len()
+    );
+    // Make sure the "listening" line is visible to anyone piping us (the CI
+    // smoke step backgrounds this process and greps for it).
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| format!("server: {e}"))?;
+    println!("pslharm serve: shut down cleanly");
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    if flags.extra.is_empty() {
+        return Err(
+            "query: give a protocol command, e.g. `pslharm query SUFFIX example.com`".into()
+        );
+    }
+    let command = flags.extra.join(" ");
+    let response = psl_service::query_once(&flags.addr, &command)
+        .map_err(|e| format!("{}: {e}", flags.addr))?;
+    println!("{response}");
+    Ok(())
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    if !flags.extra.is_empty() {
+        return Err(format!("loadgen: unexpected arguments {:?}", flags.extra));
+    }
+    let config = config_for(&flags);
+    eprintln!("generating history + corpus (seed {}) ...", flags.seed);
+    let history = psl_history::generate(&config.history);
+    let corpus = psl_webcorpus::generate_corpus(&history, &config.corpus);
+    let hosts: Vec<String> = corpus.hosts().iter().map(|h| h.as_str().to_string()).collect();
+
+    // --check recomputes the expected answer for every host directly from
+    // the latest generated snapshot; it is only meaningful against a server
+    // started with the same --seed / --paper-scale (the default for serve).
+    let expected: Option<Vec<String>> = if flags.check {
+        let latest = history.latest_snapshot();
+        let opts = MatchOpts::default();
+        Some(
+            hosts
+                .iter()
+                .map(|h| latest.site(&DomainName::parse(h).unwrap(), opts).as_str().to_string())
+                .collect(),
+        )
+    } else {
+        None
+    };
+
+    let report = psl_service::loadgen::run(
+        &psl_service::LoadgenConfig {
+            addr: flags.addr.clone(),
+            requests: flags.requests,
+            connections: flags.connections,
+            batch: flags.batch,
+            check: flags.check,
+        },
+        &hosts,
+        expected.as_deref(),
+    )?;
+    let payload = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    println!("{payload}");
+    if let Some(path) = &flags.json {
+        std::fs::write(path, &payload).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if report.errors > 0 {
+        return Err(format!("loadgen: {} protocol errors", report.errors));
+    }
+    if flags.check && report.mismatches > 0 {
+        return Err(format!("loadgen: {} mismatched answers", report.mismatches));
+    }
     Ok(())
 }
 

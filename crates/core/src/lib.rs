@@ -51,6 +51,7 @@ pub mod naive;
 pub mod parser;
 pub mod punycode;
 pub mod rule;
+pub mod snapshot;
 pub mod trie;
 pub mod url;
 
@@ -64,5 +65,6 @@ pub use list::List;
 pub use naive::NaiveMap;
 pub use parser::{parse_dat, parse_dat_strict, write_dat, ParsedList};
 pub use rule::{Rule, RuleKind, Section};
+pub use snapshot::{Snapshot, SnapshotReader, SnapshotStore};
 pub use trie::{Disposition, MatchKind, MatchOpts, SuffixTrie};
 pub use url::{Host, Url};

@@ -1,0 +1,223 @@
+//! A bounded LRU cache for lookup results.
+//!
+//! Each worker thread owns one — no sharing, no locks on the hot path. The
+//! cache maps a hostname to its suffix length (in labels) under one
+//! snapshot epoch; a reload clears it wholesale (epoch-tagged entries would
+//! keep stale strings alive across many reloads for no benefit).
+//!
+//! Implementation: a slab of entries threaded onto an intrusive
+//! doubly-linked list (indices, not pointers — no `unsafe`), plus a
+//! `HashMap` from key to slab index. All operations are O(1).
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry<V> {
+    key: String,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map from hostname to `V`.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    map: HashMap<String, usize>,
+    slab: Vec<Entry<V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<V: Copy> LruCache<V> {
+    /// Create a cache holding at most `capacity` entries (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &str) -> Option<V> {
+        let &idx = self.map.get(key)?;
+        self.detach(idx);
+        self.attach_front(idx);
+        Some(self.slab[idx].value)
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used entry
+    /// when at capacity.
+    pub fn insert(&mut self, key: &str, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(key) {
+            self.slab[idx].value = value;
+            self.detach(idx);
+            self.attach_front(idx);
+            return;
+        }
+        let idx = if self.map.len() >= self.capacity {
+            // Reuse the LRU slot: re-key it instead of growing the slab.
+            let idx = self.tail;
+            self.detach(idx);
+            let old_key = std::mem::replace(&mut self.slab[idx].key, key.to_string());
+            self.map.remove(&old_key);
+            self.slab[idx].value = value;
+            idx
+        } else {
+            self.slab.push(Entry { key: key.to_string(), value, prev: NIL, next: NIL });
+            self.slab.len() - 1
+        };
+        self.map.insert(key.to_string(), idx);
+        self.attach_front(idx);
+    }
+
+    /// Drop every entry (used on snapshot reload).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = LruCache::new(4);
+        assert_eq!(c.get("a.com"), None);
+        c.insert("a.com", 1u32);
+        assert_eq!(c.get("a.com"), Some(1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(3);
+        c.insert("a", 1u32);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        assert_eq!(c.get("a"), Some(1)); // refresh a; b is now LRU
+        c.insert("d", 4);
+        assert_eq!(c.get("b"), None);
+        assert_eq!(c.get("a"), Some(1));
+        assert_eq!(c.get("c"), Some(3));
+        assert_eq!(c.get("d"), Some(4));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn insert_refreshes_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1u32);
+        c.insert("b", 2);
+        c.insert("a", 10); // refresh a; b is LRU
+        c.insert("c", 3);
+        assert_eq!(c.get("b"), None);
+        assert_eq!(c.get("a"), Some(10));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1u32);
+        assert_eq!(c.get("a"), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut c = LruCache::new(8);
+        for i in 0..8u32 {
+            c.insert(&format!("h{i}"), i);
+        }
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get("h3"), None);
+        c.insert("h3", 3);
+        assert_eq!(c.get("h3"), Some(3));
+    }
+
+    proptest! {
+        /// The cache agrees with a naive reference model under arbitrary
+        /// get/insert interleavings, and never exceeds capacity.
+        #[test]
+        fn matches_reference_model(ops in proptest::collection::vec((0u8..2, 0u32..12), 0..200)) {
+            let capacity = 4;
+            let mut c = LruCache::new(capacity);
+            // Reference: Vec of (key, value), front = most recent.
+            let mut model: Vec<(String, u32)> = Vec::new();
+            for (op, k) in ops {
+                let key = format!("k{k}");
+                if op == 0 {
+                    let expect = model.iter().position(|(mk, _)| *mk == key).map(|i| {
+                        let kv = model.remove(i);
+                        let v = kv.1;
+                        model.insert(0, kv);
+                        v
+                    });
+                    prop_assert_eq!(c.get(&key), expect);
+                } else {
+                    if let Some(i) = model.iter().position(|(mk, _)| *mk == key) {
+                        model.remove(i);
+                    } else if model.len() >= capacity {
+                        model.pop();
+                    }
+                    model.insert(0, (key.clone(), k * 7));
+                    c.insert(&key, k * 7);
+                }
+                prop_assert!(c.len() <= capacity);
+                prop_assert_eq!(c.len(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,539 @@
+//! The query engine: protocol semantics without any I/O.
+//!
+//! [`Engine`] owns the shared state (snapshot store, history, version
+//! cache, metrics); each worker thread owns a [`WorkerState`] (snapshot
+//! reader, LRU lookup cache, batch state). [`Engine::handle_line`] maps one
+//! input line to one or more output lines — the TCP server, the tests, and
+//! the deterministic golden harness all drive this same function, so
+//! protocol behaviour is pinned in exactly one place.
+//!
+//! Time is injected as a microsecond clock closure so the golden harness
+//! can freeze it; the server uses a monotonic [`std::time::Instant`].
+
+use crate::cache::LruCache;
+use crate::lookup;
+use crate::metrics::{CommandKind, Metrics, SnapshotInfo, StatsReport};
+use crate::protocol::{parse_command, Command, Limits, ProtoError};
+use psl_core::{Date, DomainName, List, MatchOpts, SnapshotReader, SnapshotStore};
+use psl_history::History;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Microsecond clock used for latency and age measurements.
+pub type ClockFn = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// A monotonic wall clock anchored at its creation.
+pub fn monotonic_clock() -> ClockFn {
+    let start = std::time::Instant::now();
+    Arc::new(move || start.elapsed().as_micros() as u64)
+}
+
+/// A frozen clock (every reading is 0) for deterministic tests/goldens.
+pub fn frozen_clock() -> ClockFn {
+    Arc::new(|| 0)
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Matching options applied to every lookup.
+    pub opts: MatchOpts,
+    /// Protocol limits.
+    pub limits: Limits,
+    /// Worker count (sizes the latency shards; the server spawns this many
+    /// threads).
+    pub workers: usize,
+    /// Per-worker LRU lookup-cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// How many historical version snapshots `ASOF` keeps materialised.
+    pub version_cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            opts: MatchOpts::default(),
+            limits: Limits::default(),
+            workers: 4,
+            cache_capacity: 8192,
+            version_cache_capacity: 32,
+        }
+    }
+}
+
+/// What the connection loop should do after a handled line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep reading from this connection.
+    Continue,
+    /// Close this connection.
+    Quit,
+    /// Stop the whole server.
+    Shutdown,
+}
+
+/// Materialised `ASOF` snapshots, FIFO-bounded. Shared across workers: a
+/// miss builds the trie outside any lock, so concurrent misses waste a
+/// little work instead of serialising.
+#[derive(Debug, Default)]
+struct VersionCache {
+    lists: HashMap<Date, Arc<List>>,
+    order: VecDeque<Date>,
+}
+
+/// Per-worker connection-independent state.
+#[derive(Debug)]
+pub struct WorkerState {
+    id: usize,
+    reader: SnapshotReader,
+    cache: LruCache<u32>,
+    cache_epoch: u64,
+    pending_batch: usize,
+}
+
+impl WorkerState {
+    /// Hosts still expected for an in-progress `BATCH`.
+    pub fn pending_batch(&self) -> usize {
+        self.pending_batch
+    }
+}
+
+/// The shared query engine.
+pub struct Engine {
+    store: Arc<SnapshotStore>,
+    history: Option<Arc<History>>,
+    version_cache: Mutex<VersionCache>,
+    metrics: Metrics,
+    config: EngineConfig,
+    clock: ClockFn,
+}
+
+impl Engine {
+    /// Build an engine over a snapshot store, optionally backed by a dated
+    /// history (enables `ASOF` and `RELOAD <date>`).
+    pub fn new(
+        store: Arc<SnapshotStore>,
+        history: Option<Arc<History>>,
+        config: EngineConfig,
+        clock: ClockFn,
+    ) -> Arc<Self> {
+        let now = clock();
+        Arc::new(Engine {
+            store,
+            history,
+            version_cache: Mutex::new(VersionCache::default()),
+            metrics: Metrics::new(config.workers, now),
+            config,
+            clock,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The snapshot store (for observing epochs in tests).
+    pub fn store(&self) -> &Arc<SnapshotStore> {
+        &self.store
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Fresh per-worker state. `id` selects the latency shard.
+    pub fn worker_state(&self, id: usize) -> WorkerState {
+        let reader = self.store.reader();
+        let epoch = reader.held_epoch();
+        WorkerState {
+            id,
+            reader,
+            cache: LruCache::new(self.config.cache_capacity),
+            cache_epoch: epoch,
+            pending_batch: 0,
+        }
+    }
+
+    /// Count one accepted connection.
+    pub fn note_connection(&self) {
+        self.metrics.record_connection();
+    }
+
+    /// Handle one input line, appending response line(s) (each
+    /// `\n`-terminated) to `out`.
+    pub fn handle_line(&self, ws: &mut WorkerState, line: &str, out: &mut String) -> Control {
+        if ws.pending_batch > 0 {
+            ws.pending_batch -= 1;
+            self.metrics.record_batch_host();
+            let host = line.strip_suffix('\r').unwrap_or(line).trim();
+            if host.len() > self.config.limits.max_line_bytes {
+                self.err(out, &ProtoError { code: "limit", message: "batch host too long".into() });
+                return Control::Continue;
+            }
+            match self.site_cached(ws, host) {
+                Ok(site) => ok(out, &site),
+                Err(e) => self.err(out, &e),
+            }
+            return Control::Continue;
+        }
+
+        let start = (self.clock)();
+        let command = match parse_command(line, &self.config.limits) {
+            Ok(c) => c,
+            Err(e) => {
+                self.err(out, &e);
+                return Control::Continue;
+            }
+        };
+        let (kind, control) = match command {
+            Command::Suffix(host) => {
+                match self.resolve_cached(ws, &host) {
+                    Ok(r) => ok(out, r.suffix.as_deref().unwrap_or("-")),
+                    Err(e) => self.err(out, &e),
+                }
+                (CommandKind::Suffix, Control::Continue)
+            }
+            Command::Site(host) => {
+                match self.site_cached(ws, &host) {
+                    Ok(site) => ok(out, &site),
+                    Err(e) => self.err(out, &e),
+                }
+                (CommandKind::Site, Control::Continue)
+            }
+            Command::Asof(date, host) => {
+                match self.asof(&date, &host) {
+                    Ok(line) => ok(out, &line),
+                    Err(e) => self.err(out, &e),
+                }
+                (CommandKind::Asof, Control::Continue)
+            }
+            Command::Batch(n) => {
+                ws.pending_batch = n;
+                (CommandKind::Batch, Control::Continue)
+            }
+            Command::Reload(target) => {
+                match self.reload(&target) {
+                    Ok(line) => ok(out, &line),
+                    Err(e) => self.err(out, &e),
+                }
+                (CommandKind::Reload, Control::Continue)
+            }
+            Command::Stats => {
+                let report = self.stats_report();
+                let json = serde_json::to_string(&report)
+                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                ok(out, &json);
+                (CommandKind::Stats, Control::Continue)
+            }
+            Command::Ping => {
+                ok(out, "pong");
+                (CommandKind::Ping, Control::Continue)
+            }
+            Command::Quit => {
+                ok(out, "bye");
+                return Control::Quit;
+            }
+            Command::Shutdown => {
+                ok(out, "shutting-down");
+                return Control::Shutdown;
+            }
+        };
+        self.metrics.record(ws.id, kind, (self.clock)().saturating_sub(start));
+        control
+    }
+
+    /// The current `STATS` report.
+    pub fn stats_report(&self) -> StatsReport {
+        let now = (self.clock)();
+        let snap = self.store.load();
+        let info = SnapshotInfo {
+            epoch: snap.epoch,
+            label: snap.label.clone(),
+            version: snap.version.map(|v| v.to_string()),
+            rules: snap.list.len(),
+            age_seconds: self.metrics.snapshot_age_seconds(now),
+        };
+        self.metrics.report(now, info)
+    }
+
+    /// Publish an externally built list (file-watch reloads).
+    pub fn publish_list(&self, label: impl Into<String>, version: Option<Date>, list: List) -> u64 {
+        let epoch = self.store.publish(label, version, list);
+        self.metrics.record_publish((self.clock)());
+        epoch
+    }
+
+    // ---- command implementations -----------------------------------------
+
+    fn parse_host(&self, raw: &str) -> Result<DomainName, ProtoError> {
+        DomainName::parse(raw)
+            .map_err(|e| ProtoError { code: "host", message: format!("{raw:?}: {e}") })
+    }
+
+    /// Cached suffix-code lookup under the current snapshot.
+    fn code_cached(&self, ws: &mut WorkerState, host: &DomainName) -> u32 {
+        let snap_epoch = ws.reader.current().epoch;
+        if snap_epoch != ws.cache_epoch {
+            ws.cache.clear();
+            ws.cache_epoch = snap_epoch;
+        }
+        if let Some(code) = ws.cache.get(host.as_str()) {
+            self.metrics.record_cache(1, 0);
+            return code;
+        }
+        self.metrics.record_cache(0, 1);
+        let code = lookup::suffix_code(&ws.reader.current().list, host, self.config.opts);
+        ws.cache.insert(host.as_str(), code);
+        code
+    }
+
+    fn resolve_cached(
+        &self,
+        ws: &mut WorkerState,
+        raw: &str,
+    ) -> Result<lookup::Resolved, ProtoError> {
+        let host = self.parse_host(raw)?;
+        let code = self.code_cached(ws, &host);
+        Ok(lookup::decode(&host, code))
+    }
+
+    fn site_cached(&self, ws: &mut WorkerState, raw: &str) -> Result<String, ProtoError> {
+        Ok(self.resolve_cached(ws, raw)?.site)
+    }
+
+    fn history(&self) -> Result<&Arc<History>, ProtoError> {
+        self.history
+            .as_ref()
+            .ok_or(ProtoError { code: "state", message: "no version history loaded".into() })
+    }
+
+    fn asof(&self, date: &str, raw_host: &str) -> Result<String, ProtoError> {
+        let history = self.history()?;
+        let date = Date::parse(date)
+            .map_err(|e| ProtoError { code: "date", message: format!("{date:?}: {e}") })?;
+        let Some(version) = history.version_at_or_before(date) else {
+            return Err(ProtoError {
+                code: "date",
+                message: format!("{date} predates the first list version"),
+            });
+        };
+        let host = self.parse_host(raw_host)?;
+        let list = self.version_snapshot(history, version);
+        let resolved = lookup::resolve(&list, &host, self.config.opts);
+        Ok(format!("{} version={version}", resolved.site))
+    }
+
+    /// A materialised snapshot for `version`, via the bounded shared cache.
+    fn version_snapshot(&self, history: &History, version: Date) -> Arc<List> {
+        if let Some(hit) =
+            self.version_cache.lock().expect("version cache poisoned").lists.get(&version).cloned()
+        {
+            return hit;
+        }
+        // Build outside the lock: tries for big versions are expensive and
+        // concurrent ASOF misses must not serialise behind each other.
+        let built = Arc::new(history.snapshot_at(version));
+        let mut cache = self.version_cache.lock().expect("version cache poisoned");
+        if !cache.lists.contains_key(&version) {
+            while cache.order.len() >= self.config.version_cache_capacity.max(1) {
+                if let Some(evict) = cache.order.pop_front() {
+                    cache.lists.remove(&evict);
+                }
+            }
+            cache.order.push_back(version);
+            cache.lists.insert(version, Arc::clone(&built));
+        }
+        built
+    }
+
+    fn reload(&self, target: &str) -> Result<String, ProtoError> {
+        let history = self.history()?;
+        let version = if target.eq_ignore_ascii_case("latest") {
+            history.latest_version()
+        } else {
+            let date = Date::parse(target)
+                .map_err(|e| ProtoError { code: "date", message: format!("{target:?}: {e}") })?;
+            history.version_at_or_before(date).ok_or(ProtoError {
+                code: "date",
+                message: format!("{date} predates the first list version"),
+            })?
+        };
+        // Build the new trie off the read path; readers keep answering on
+        // the old epoch until the single Arc swap below.
+        let list = history.snapshot_at(version);
+        let rules = list.len();
+        let epoch = self.publish_list(format!("history:{version}"), Some(version), list);
+        Ok(format!("epoch={epoch} version=history:{version} rules={rules}"))
+    }
+
+    fn err(&self, out: &mut String, e: &ProtoError) {
+        self.metrics.record_error();
+        out.push_str(&e.to_line());
+        out.push('\n');
+    }
+}
+
+fn ok(out: &mut String, body: &str) {
+    out.push_str("OK ");
+    out.push_str(body);
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psl_history::GeneratorConfig;
+
+    fn engine_with_history() -> (Arc<Engine>, Arc<History>) {
+        let history = Arc::new(psl_history::generate(&GeneratorConfig::small(7)));
+        let latest = history.latest_version();
+        let store = Arc::new(SnapshotStore::new(
+            format!("history:{latest}"),
+            Some(latest),
+            history.latest_snapshot(),
+        ));
+        let engine = Engine::new(
+            Arc::clone(&store),
+            Some(Arc::clone(&history)),
+            EngineConfig::default(),
+            frozen_clock(),
+        );
+        (engine, history)
+    }
+
+    fn one(engine: &Engine, ws: &mut WorkerState, line: &str) -> String {
+        let mut out = String::new();
+        assert_eq!(engine.handle_line(ws, line, &mut out), Control::Continue);
+        out
+    }
+
+    #[test]
+    fn suffix_and_site_answer_like_the_list() {
+        let (engine, history) = engine_with_history();
+        let mut ws = engine.worker_state(0);
+        let list = history.latest_snapshot();
+        let opts = MatchOpts::default();
+        let host = DomainName::parse("a.b.example.com").unwrap();
+        let suffix = list.public_suffix(&host, opts).unwrap_or("-");
+        let site = list.site(&host, opts);
+        assert_eq!(one(&engine, &mut ws, "SUFFIX a.b.example.com"), format!("OK {suffix}\n"));
+        assert_eq!(
+            one(&engine, &mut ws, "SITE a.b.example.com"),
+            format!("OK {}\n", site.as_str())
+        );
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_and_clears_on_reload() {
+        let (engine, _) = engine_with_history();
+        let mut ws = engine.worker_state(0);
+        one(&engine, &mut ws, "SITE www.example.com");
+        one(&engine, &mut ws, "SITE www.example.com");
+        let r = engine.stats_report();
+        assert_eq!(r.cache.hits, 1);
+        assert_eq!(r.cache.misses, 1);
+
+        one(&engine, &mut ws, "RELOAD latest");
+        one(&engine, &mut ws, "SITE www.example.com");
+        let r = engine.stats_report();
+        assert_eq!(r.cache.misses, 2, "reload must invalidate the worker cache");
+    }
+
+    #[test]
+    fn batch_consumes_exactly_n_hosts() {
+        let (engine, _) = engine_with_history();
+        let mut ws = engine.worker_state(0);
+        assert_eq!(one(&engine, &mut ws, "BATCH 2"), "");
+        assert_eq!(ws.pending_batch(), 2);
+        assert!(one(&engine, &mut ws, "a.example.com").starts_with("OK "));
+        assert!(one(&engine, &mut ws, "!!bad host!!").starts_with("ERR host "));
+        assert_eq!(ws.pending_batch(), 0);
+        // The next line is a command again.
+        assert_eq!(one(&engine, &mut ws, "PING"), "OK pong\n");
+        // An empty batch consumes nothing.
+        assert_eq!(one(&engine, &mut ws, "BATCH 0"), "");
+        assert_eq!(one(&engine, &mut ws, "PING"), "OK pong\n");
+    }
+
+    #[test]
+    fn asof_resolves_through_history() {
+        let (engine, history) = engine_with_history();
+        let mut ws = engine.worker_state(0);
+        let versions = history.versions();
+        let mid = versions[versions.len() / 2];
+        let list = history.snapshot_at(mid);
+        let host = DomainName::parse("deep.www.example.com").unwrap();
+        let expect = list.site(&host, MatchOpts::default());
+        let resolved = history.version_at_or_before(mid).unwrap();
+        assert_eq!(
+            one(&engine, &mut ws, &format!("ASOF {mid} deep.www.example.com")),
+            format!("OK {} version={resolved}\n", expect.as_str())
+        );
+        // Before the first version: a date error.
+        assert!(one(&engine, &mut ws, "ASOF 1999-01-01 a.com").starts_with("ERR date "));
+        // Garbage date: a date error.
+        assert!(one(&engine, &mut ws, "ASOF not-a-date a.com").starts_with("ERR date "));
+    }
+
+    #[test]
+    fn reload_bumps_epoch_and_reports_rules() {
+        let (engine, history) = engine_with_history();
+        let mut ws = engine.worker_state(0);
+        let first = history.first_version();
+        let resp = one(&engine, &mut ws, &format!("RELOAD {first}"));
+        assert!(resp.starts_with("OK epoch=2 "), "{resp}");
+        assert!(resp.contains(&format!("version=history:{first}")), "{resp}");
+        assert_eq!(engine.store().epoch(), 2);
+        let resp = one(&engine, &mut ws, "RELOAD latest");
+        assert!(resp.starts_with("OK epoch=3 "), "{resp}");
+    }
+
+    #[test]
+    fn engine_without_history_rejects_time_travel() {
+        let store = Arc::new(SnapshotStore::new("embedded", None, psl_core::embedded_list()));
+        let engine = Engine::new(store, None, EngineConfig::default(), frozen_clock());
+        let mut ws = engine.worker_state(0);
+        assert!(one(&engine, &mut ws, "ASOF 2020-01-01 a.com").starts_with("ERR state "));
+        assert!(one(&engine, &mut ws, "RELOAD latest").starts_with("ERR state "));
+        // Plain lookups still work.
+        assert_eq!(one(&engine, &mut ws, "SUFFIX www.example.com"), "OK com\n");
+    }
+
+    #[test]
+    fn quit_and_shutdown_controls() {
+        let (engine, _) = engine_with_history();
+        let mut ws = engine.worker_state(0);
+        let mut out = String::new();
+        assert_eq!(engine.handle_line(&mut ws, "QUIT", &mut out), Control::Quit);
+        assert_eq!(out, "OK bye\n");
+        out.clear();
+        assert_eq!(engine.handle_line(&mut ws, "SHUTDOWN", &mut out), Control::Shutdown);
+        assert_eq!(out, "OK shutting-down\n");
+    }
+
+    #[test]
+    fn stats_is_one_json_line_with_schema() {
+        let (engine, _) = engine_with_history();
+        let mut ws = engine.worker_state(0);
+        one(&engine, &mut ws, "SITE www.example.com");
+        let resp = one(&engine, &mut ws, "STATS");
+        let json = resp.strip_prefix("OK ").unwrap().trim_end();
+        let report: StatsReport = serde_json::from_str(json).unwrap();
+        assert_eq!(report.commands.site, 1);
+        assert_eq!(report.snapshot.epoch, 1);
+        assert_eq!(report.uptime_seconds, 0.0, "frozen clock");
+    }
+
+    #[test]
+    fn errors_are_counted_and_do_not_drop_the_connection() {
+        let (engine, _) = engine_with_history();
+        let mut ws = engine.worker_state(0);
+        assert!(one(&engine, &mut ws, "NOPE").starts_with("ERR verb "));
+        assert!(one(&engine, &mut ws, "SUFFIX").starts_with("ERR args "));
+        assert!(one(&engine, &mut ws, "SUFFIX ..bad..").starts_with("ERR host "));
+        assert_eq!(engine.stats_report().commands.errors, 3);
+    }
+}

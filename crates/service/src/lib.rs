@@ -1,0 +1,46 @@
+//! # psl-service — a concurrent, multi-version PSL query server
+//!
+//! The paper's core harm is software answering privacy-boundary questions
+//! with *outdated* Public Suffix List copies. This crate operationalises
+//! the remedy: a long-running query server over the repo's matcher and
+//! versioned history, with hot snapshot reload so the served list can be
+//! kept current without dropping a single query.
+//!
+//! Layers, from pure to I/O:
+//!
+//! - [`protocol`] — the line-delimited command grammar (pure parsing);
+//! - [`lookup`] — the suffix/site resolution path shared with the CLI;
+//! - [`cache`] — the bounded per-worker LRU for lookup results;
+//! - [`metrics`] — counters + sharded latency histograms, dumped by `STATS`;
+//! - [`engine`] — protocol semantics over a [`psl_core::SnapshotStore`]
+//!   (epoch-based hot reload) and a [`psl_history::History`] (`ASOF`
+//!   time-travel lookups, `RELOAD <version>`);
+//! - [`server`] — std `TcpListener` + crossbeam worker threads;
+//! - [`loadgen`] — a batching load generator with optional answer checking.
+//!
+//! ## Protocol quickstart
+//!
+//! ```text
+//! $ pslharm serve --addr 127.0.0.1:7378 &
+//! $ printf 'SITE maps.google.com\n' | nc 127.0.0.1 7378
+//! OK google.com
+//! ```
+//!
+//! See `README.md` § "Serving" for the full protocol reference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod loadgen;
+pub mod lookup;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use engine::{frozen_clock, monotonic_clock, Control, Engine, EngineConfig, WorkerState};
+pub use loadgen::{fetch_stats, query_once, LoadgenConfig, LoadgenReport};
+pub use metrics::{Metrics, StatsReport};
+pub use protocol::{parse_command, Command, Limits, ProtoError};
+pub use server::{Server, ServerConfig, StopHandle};

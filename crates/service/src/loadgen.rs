@@ -1,0 +1,338 @@
+//! A load generator for a running `psl-service`.
+//!
+//! Replays synthetic webcorpus hostnames against a live server over C
+//! concurrent connections, using `BATCH` pipelining, and reports
+//! throughput, latency percentiles, and the server's own cache hit ratio
+//! (fetched via `STATS` after the run). With `check` enabled every response
+//! is compared against an expected answer computed directly from
+//! `psl-core`, turning the load test into an end-to-end correctness sweep.
+
+use crate::metrics::StatsReport;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Total lookups to issue (split across connections).
+    pub requests: u64,
+    /// Concurrent connections (each drives its own thread).
+    pub connections: usize,
+    /// Hosts per `BATCH` frame.
+    pub batch: usize,
+    /// Verify every response against an expected answer.
+    pub check: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7378".to_string(),
+            requests: 100_000,
+            connections: 4,
+            batch: 512,
+            check: false,
+        }
+    }
+}
+
+/// Latency percentiles in microseconds (per request, amortised over the
+/// batch round trip).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyPercentiles {
+    /// Mean.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: f64,
+    /// 90th percentile.
+    pub p90_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Maximum.
+    pub max_us: f64,
+}
+
+/// The JSON summary the load generator emits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadgenReport {
+    /// Lookups issued.
+    pub requests: u64,
+    /// `ERR` responses received.
+    pub errors: u64,
+    /// Responses that disagreed with the expected answer (check mode).
+    pub mismatches: u64,
+    /// Wall-clock duration of the load phase.
+    pub elapsed_seconds: f64,
+    /// `requests / elapsed_seconds`.
+    pub throughput_rps: f64,
+    /// Per-request latency (batch round trip / batch size).
+    pub latency_us: LatencyPercentiles,
+    /// Full batch round-trip latency.
+    pub batch_rtt_us: LatencyPercentiles,
+    /// Server-side lookup-cache hit ratio after the run.
+    pub cache_hit_ratio: f64,
+    /// The server's full `STATS` report after the run.
+    pub server: Option<StatsReport>,
+}
+
+fn percentiles(samples: &mut [f64]) -> LatencyPercentiles {
+    if samples.is_empty() {
+        return LatencyPercentiles {
+            mean_us: 0.0,
+            p50_us: 0.0,
+            p90_us: 0.0,
+            p99_us: 0.0,
+            max_us: 0.0,
+        };
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    LatencyPercentiles {
+        mean_us: mean,
+        p50_us: psl_stats::percentile_sorted(samples, 0.50),
+        p90_us: psl_stats::percentile_sorted(samples, 0.90),
+        p99_us: psl_stats::percentile_sorted(samples, 0.99),
+        max_us: *samples.last().expect("non-empty"),
+    }
+}
+
+struct WorkerTally {
+    rtts_us: Vec<f64>,
+    batch_sizes: Vec<usize>,
+    errors: u64,
+    mismatches: u64,
+}
+
+/// Issue one command and return the response line (without `OK `/newline).
+pub fn query_once(addr: &str, command: &str) -> Result<String, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = BufWriter::new(stream);
+    writer.write_all(command.as_bytes()).map_err(|e| format!("send: {e}"))?;
+    writer.write_all(b"\n").map_err(|e| format!("send: {e}"))?;
+    writer.flush().map_err(|e| format!("send: {e}"))?;
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| format!("recv: {e}"))?;
+    let line = line.trim_end();
+    line.strip_prefix("OK ").map(str::to_string).ok_or_else(|| format!("server answered: {line}"))
+}
+
+/// Fetch and parse the server's `STATS` report.
+pub fn fetch_stats(addr: &str) -> Result<StatsReport, String> {
+    let json = query_once(addr, "STATS")?;
+    serde_json::from_str(&json).map_err(|e| format!("parsing STATS: {e}"))
+}
+
+/// Run the load. `hosts` is the replay corpus; `expected[i]` (when given)
+/// is the site answer required for `hosts[i]`.
+pub fn run(
+    config: &LoadgenConfig,
+    hosts: &[String],
+    expected: Option<&[String]>,
+) -> Result<LoadgenReport, String> {
+    if hosts.is_empty() {
+        return Err("loadgen needs a non-empty host corpus".into());
+    }
+    if config.check {
+        let exp = expected.ok_or("check mode needs expected answers")?;
+        if exp.len() != hosts.len() {
+            return Err("expected answers must align with hosts".into());
+        }
+    }
+    let connections = config.connections.max(1);
+    let batch = config.batch.clamp(1, 65536);
+    let per_conn = config.requests / connections as u64;
+    let remainder = config.requests % connections as u64;
+
+    let tallies: Mutex<Vec<WorkerTally>> = Mutex::new(Vec::new());
+    let failure: Mutex<Option<String>> = Mutex::new(None);
+    let started = Instant::now();
+
+    crossbeam::thread::scope(|scope| {
+        for c in 0..connections {
+            let tallies = &tallies;
+            let failure = &failure;
+            let quota = per_conn + u64::from((c as u64) < remainder);
+            scope.spawn(move |_| {
+                match drive_connection(config, hosts, expected, c, quota, batch) {
+                    Ok(tally) => tallies.lock().expect("tally lock").push(tally),
+                    Err(e) => {
+                        failure.lock().expect("failure lock").get_or_insert(e);
+                    }
+                }
+            });
+        }
+    })
+    .map_err(|_| "a loadgen worker panicked".to_string())?;
+
+    if let Some(e) = failure.lock().expect("failure lock").take() {
+        return Err(e);
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+
+    let tallies = tallies.into_inner().expect("tally lock");
+    let mut rtts: Vec<f64> = Vec::new();
+    let mut per_request: Vec<f64> = Vec::new();
+    let mut errors = 0;
+    let mut mismatches = 0;
+    for t in tallies {
+        for (rtt, n) in t.rtts_us.iter().zip(&t.batch_sizes) {
+            per_request.push(rtt / (*n).max(1) as f64);
+        }
+        rtts.extend(t.rtts_us);
+        errors += t.errors;
+        mismatches += t.mismatches;
+    }
+
+    let server = fetch_stats(&config.addr).ok();
+    let cache_hit_ratio = server.as_ref().map(|s| s.cache.hit_ratio).unwrap_or(0.0);
+
+    Ok(LoadgenReport {
+        requests: config.requests,
+        errors,
+        mismatches,
+        elapsed_seconds: elapsed,
+        throughput_rps: config.requests as f64 / elapsed,
+        latency_us: percentiles(&mut per_request),
+        batch_rtt_us: percentiles(&mut rtts),
+        cache_hit_ratio,
+        server,
+    })
+}
+
+fn drive_connection(
+    config: &LoadgenConfig,
+    hosts: &[String],
+    expected: Option<&[String]>,
+    conn_id: usize,
+    quota: u64,
+    batch: usize,
+) -> Result<WorkerTally, String> {
+    let stream =
+        TcpStream::connect(&config.addr).map_err(|e| format!("connect {}: {e}", config.addr))?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    stream.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
+    let mut reader =
+        BufReader::with_capacity(256 * 1024, stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = BufWriter::with_capacity(256 * 1024, stream);
+
+    let mut tally = WorkerTally {
+        rtts_us: Vec::with_capacity((quota as usize / batch) + 1),
+        batch_sizes: Vec::with_capacity((quota as usize / batch) + 1),
+        errors: 0,
+        mismatches: 0,
+    };
+    // Each connection starts at a different corpus offset so concurrent
+    // connections don't serve identical request streams.
+    let mut cursor = (conn_id * hosts.len() / config.connections.max(1)) % hosts.len();
+    let mut sent = 0u64;
+    let mut frame = String::with_capacity(batch * 32);
+    let mut indices = Vec::with_capacity(batch);
+    let mut line = String::with_capacity(256);
+
+    while sent < quota {
+        let n = batch.min((quota - sent) as usize);
+        frame.clear();
+        frame.push_str(&format!("BATCH {n}\n"));
+        indices.clear();
+        for _ in 0..n {
+            frame.push_str(&hosts[cursor]);
+            frame.push('\n');
+            indices.push(cursor);
+            cursor = (cursor + 1) % hosts.len();
+        }
+        let t0 = Instant::now();
+        writer.write_all(frame.as_bytes()).map_err(|e| format!("send: {e}"))?;
+        writer.flush().map_err(|e| format!("send: {e}"))?;
+        for &idx in &indices {
+            line.clear();
+            let read = reader.read_line(&mut line).map_err(|e| format!("recv: {e}"))?;
+            if read == 0 {
+                return Err("server closed the connection mid-batch".into());
+            }
+            let resp = line.trim_end();
+            match resp.strip_prefix("OK ") {
+                Some(answer) => {
+                    if let Some(exp) = expected {
+                        if answer != exp[idx] {
+                            tally.mismatches += 1;
+                        }
+                    }
+                }
+                None => tally.errors += 1,
+            }
+        }
+        tally.rtts_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        tally.batch_sizes.push(n);
+        sent += n as u64;
+    }
+    Ok(tally)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_samples() {
+        let mut xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = percentiles(&mut xs);
+        assert_eq!(p.max_us, 100.0);
+        assert!((p.mean_us - 50.5).abs() < 1e-9);
+        assert!(p.p50_us >= 50.0 && p.p50_us <= 51.0, "p50 {}", p.p50_us);
+        assert!(p.p99_us >= 99.0, "p99 {}", p.p99_us);
+    }
+
+    #[test]
+    fn empty_samples_are_all_zero() {
+        let p = percentiles(&mut []);
+        assert_eq!(p.p99_us, 0.0);
+        assert_eq!(p.max_us, 0.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        let config = LoadgenConfig { check: true, ..Default::default() };
+        assert!(run(&config, &[], None).is_err(), "empty corpus");
+        let hosts = vec!["a.com".to_string()];
+        assert!(run(&config, &hosts, None).is_err(), "check without expectations");
+        let short = vec![];
+        assert!(run(&config, &hosts, Some(&short)).is_err(), "misaligned expectations");
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = LoadgenReport {
+            requests: 10,
+            errors: 0,
+            mismatches: 0,
+            elapsed_seconds: 0.5,
+            throughput_rps: 20.0,
+            latency_us: LatencyPercentiles {
+                mean_us: 1.0,
+                p50_us: 1.0,
+                p90_us: 2.0,
+                p99_us: 3.0,
+                max_us: 4.0,
+            },
+            batch_rtt_us: LatencyPercentiles {
+                mean_us: 10.0,
+                p50_us: 10.0,
+                p90_us: 20.0,
+                p99_us: 30.0,
+                max_us: 40.0,
+            },
+            cache_hit_ratio: 0.75,
+            server: None,
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: LoadgenReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

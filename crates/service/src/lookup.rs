@@ -1,0 +1,111 @@
+//! The lookup path shared by the server, the load generator's checker, and
+//! `pslharm suffix` (including its stdin batch mode).
+//!
+//! A lookup is split into two halves so the per-worker LRU cache can sit
+//! between them: [`suffix_code`] runs the trie walk and compresses the
+//! disposition into a `u32`, and [`decode`] turns a code back into the
+//! suffix / registrable-domain / site strings for a concrete host. The code
+//! depends only on the host's labels and the list, so it is exactly the
+//! value worth caching across repeated hostnames.
+
+use psl_core::{DomainName, List, MatchOpts};
+
+/// Encoded disposition: the public-suffix label count, or [`NO_MATCH`]
+/// when strict matching found no rule.
+pub const NO_MATCH: u32 = u32::MAX;
+
+/// Compute the cacheable suffix code for `host` under `list`.
+pub fn suffix_code(list: &List, host: &DomainName, opts: MatchOpts) -> u32 {
+    match list.suffix_len(host, opts) {
+        Some(n) => n as u32,
+        None => NO_MATCH,
+    }
+}
+
+/// A fully resolved lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolved {
+    /// The public suffix (eTLD), `None` when strict matching failed.
+    pub suffix: Option<String>,
+    /// The registrable domain (eTLD+1), `None` for bare public suffixes.
+    pub registrable: Option<String>,
+    /// The site: the registrable domain, or the host itself.
+    pub site: String,
+}
+
+/// Expand a [`suffix_code`] for `host` into the three derived strings.
+pub fn decode(host: &DomainName, code: u32) -> Resolved {
+    if code == NO_MATCH {
+        return Resolved { suffix: None, registrable: None, site: host.as_str().to_string() };
+    }
+    let total = host.label_count();
+    let n = (code as usize).min(total);
+    let suffix = host.suffix_of_len(n).map(str::to_string);
+    let registrable = if n < total { host.suffix_of_len(n + 1).map(str::to_string) } else { None };
+    let site = registrable.clone().unwrap_or_else(|| host.as_str().to_string());
+    Resolved { suffix, registrable, site }
+}
+
+/// One-shot lookup (trie walk + decode), for callers without a cache.
+pub fn resolve(list: &List, host: &DomainName, opts: MatchOpts) -> Resolved {
+    decode(host, suffix_code(list, host, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list() -> List {
+        List::parse("com\nuk\nco.uk\n// ===BEGIN PRIVATE DOMAINS===\ngithub.io\n")
+    }
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn resolve_matches_list_methods() {
+        let l = list();
+        let opts = MatchOpts::default();
+        for host in ["www.example.co.uk", "example.com", "co.uk", "alice.github.io", "x.zz"] {
+            let dom = d(host);
+            let r = resolve(&l, &dom, opts);
+            assert_eq!(r.suffix.as_deref(), l.public_suffix(&dom, opts), "{host}");
+            assert_eq!(
+                r.registrable.as_deref(),
+                l.registrable_domain(&dom, opts).as_ref().map(|x| x.as_str()),
+                "{host}"
+            );
+            assert_eq!(r.site, l.site(&dom, opts).as_str(), "{host}");
+        }
+    }
+
+    #[test]
+    fn bare_suffix_site_is_itself() {
+        let r = resolve(&list(), &d("github.io"), MatchOpts::default());
+        assert_eq!(r.suffix.as_deref(), Some("github.io"));
+        assert_eq!(r.registrable, None);
+        assert_eq!(r.site, "github.io");
+    }
+
+    #[test]
+    fn strict_no_match_encodes_and_decodes() {
+        let strict = MatchOpts { implicit_wildcard: false, ..Default::default() };
+        let host = d("foo.nosuchtld");
+        let code = suffix_code(&list(), &host, strict);
+        assert_eq!(code, NO_MATCH);
+        let r = decode(&host, code);
+        assert_eq!(r.suffix, None);
+        assert_eq!(r.registrable, None);
+        assert_eq!(r.site, "foo.nosuchtld");
+    }
+
+    #[test]
+    fn code_roundtrip_equals_direct_resolution() {
+        let l = list();
+        let opts = MatchOpts::default();
+        let host = d("deep.a.b.example.co.uk");
+        let code = suffix_code(&l, &host, opts);
+        assert_eq!(decode(&host, code), resolve(&l, &host, opts));
+    }
+}

@@ -1,0 +1,413 @@
+//! Lightweight service metrics.
+//!
+//! Counters are plain `AtomicU64`s (wait-free to bump). Latencies go into
+//! per-worker shards, each a [`psl_stats::Histogram`] behind its own
+//! `Mutex` — a worker only ever locks its own shard, so the lock is
+//! uncontended except while a `STATS` command aggregates. The report is a
+//! plain serde struct so the `STATS` dump doubles as a machine-readable
+//! schema that the conformance golden pins.
+
+use psl_stats::Histogram;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Latency histogram range: 10µs bins over [0, 50ms); slower requests land
+/// in the overflow bucket and still count toward percentiles as "+inf".
+const LAT_LO: f64 = 0.0;
+const LAT_HI: f64 = 50_000.0;
+const LAT_BINS: usize = 5000;
+
+/// One command-class counter set.
+#[derive(Debug, Default)]
+struct Counters {
+    suffix: AtomicU64,
+    site: AtomicU64,
+    asof: AtomicU64,
+    batch: AtomicU64,
+    batch_hosts: AtomicU64,
+    reload: AtomicU64,
+    stats: AtomicU64,
+    ping: AtomicU64,
+    errors: AtomicU64,
+    connections: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// Which counter a handled command bumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// `SUFFIX`.
+    Suffix,
+    /// `SITE`.
+    Site,
+    /// `ASOF`.
+    Asof,
+    /// `BATCH` (the header; hosts are counted separately).
+    Batch,
+    /// `RELOAD`.
+    Reload,
+    /// `STATS`.
+    Stats,
+    /// `PING`.
+    Ping,
+}
+
+/// The shared metrics registry.
+#[derive(Debug)]
+pub struct Metrics {
+    counters: Counters,
+    latency_shards: Vec<Mutex<Histogram>>,
+    latency_max_us: AtomicU64,
+    started_us: AtomicU64,
+    snapshot_published_us: AtomicU64,
+}
+
+impl Metrics {
+    /// Create a registry with one latency shard per worker. `now_us` is the
+    /// creation timestamp from the engine's clock.
+    pub fn new(workers: usize, now_us: u64) -> Self {
+        let shards = (0..workers.max(1))
+            .map(|_| Mutex::new(Histogram::new(LAT_LO, LAT_HI, LAT_BINS)))
+            .collect();
+        Metrics {
+            counters: Counters::default(),
+            latency_shards: shards,
+            latency_max_us: AtomicU64::new(0),
+            started_us: AtomicU64::new(now_us),
+            snapshot_published_us: AtomicU64::new(now_us),
+        }
+    }
+
+    /// Number of latency shards (== configured worker count).
+    pub fn workers(&self) -> usize {
+        self.latency_shards.len()
+    }
+
+    /// Record one handled command of `kind` that took `micros`.
+    /// `worker` indexes the latency shard (wrapped, so any id is safe).
+    pub fn record(&self, worker: usize, kind: CommandKind, micros: u64) {
+        let c = &self.counters;
+        match kind {
+            CommandKind::Suffix => &c.suffix,
+            CommandKind::Site => &c.site,
+            CommandKind::Asof => &c.asof,
+            CommandKind::Batch => &c.batch,
+            CommandKind::Reload => &c.reload,
+            CommandKind::Stats => &c.stats,
+            CommandKind::Ping => &c.ping,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let shard = worker % self.latency_shards.len();
+        self.latency_shards[shard].lock().expect("latency shard poisoned").add(micros as f64);
+        self.latency_max_us.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Count one host answered inside a `BATCH`.
+    pub fn record_batch_host(&self) {
+        self.counters.batch_hosts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one protocol error (`ERR` line sent).
+    pub fn record_error(&self) {
+        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one accepted connection.
+    pub fn record_connection(&self) {
+        self.counters.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count lookup-cache hits and misses (any worker).
+    pub fn record_cache(&self, hits: u64, misses: u64) {
+        if hits > 0 {
+            self.counters.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses > 0 {
+            self.counters.cache_misses.fetch_add(misses, Ordering::Relaxed);
+        }
+    }
+
+    /// Note that a new snapshot was published at `now_us`.
+    pub fn record_publish(&self, now_us: u64) {
+        self.snapshot_published_us.store(now_us, Ordering::Relaxed);
+    }
+
+    /// Aggregate everything into a serializable report. `now_us` comes from
+    /// the engine's clock; snapshot identity comes from the caller (the
+    /// engine holds the store).
+    pub fn report(&self, now_us: u64, snapshot: SnapshotInfo) -> StatsReport {
+        let c = &self.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+
+        // Merge the shard histograms bin-by-bin.
+        let mut merged = vec![0u64; LAT_BINS];
+        let mut overflow = 0u64;
+        for shard in &self.latency_shards {
+            let h = shard.lock().expect("latency shard poisoned");
+            for (m, &n) in merged.iter_mut().zip(h.counts()) {
+                *m += n;
+            }
+            overflow += h.overflow() + h.underflow();
+        }
+        let count: u64 = merged.iter().sum::<u64>() + overflow;
+        let latency = LatencySummary {
+            count,
+            mean_us: histogram_mean(&merged, overflow),
+            p50_us: histogram_percentile(&merged, overflow, 0.50),
+            p90_us: histogram_percentile(&merged, overflow, 0.90),
+            p99_us: histogram_percentile(&merged, overflow, 0.99),
+            max_us: load(&self.latency_max_us),
+        };
+
+        let hits = load(&c.cache_hits);
+        let misses = load(&c.cache_misses);
+        let total = hits + misses;
+        let hit_ratio = if total == 0 { 0.0 } else { hits as f64 / total as f64 };
+
+        let single_lookups = load(&c.suffix) + load(&c.site) + load(&c.asof);
+        StatsReport {
+            uptime_seconds: (now_us.saturating_sub(load(&self.started_us))) as f64 / 1e6,
+            workers: self.latency_shards.len(),
+            snapshot,
+            commands: CommandCounts {
+                suffix: load(&c.suffix),
+                site: load(&c.site),
+                asof: load(&c.asof),
+                batch: load(&c.batch),
+                batch_hosts: load(&c.batch_hosts),
+                reload: load(&c.reload),
+                stats: load(&c.stats),
+                ping: load(&c.ping),
+                errors: load(&c.errors),
+                connections: load(&c.connections),
+            },
+            lookups: single_lookups + load(&c.batch_hosts),
+            cache: CacheStats { hits, misses, hit_ratio },
+            latency_us: latency,
+        }
+    }
+
+    /// Snapshot age helper for [`SnapshotInfo`].
+    pub fn snapshot_age_seconds(&self, now_us: u64) -> f64 {
+        let published = self.snapshot_published_us.load(Ordering::Relaxed);
+        now_us.saturating_sub(published) as f64 / 1e6
+    }
+}
+
+fn histogram_mean(bins: &[u64], overflow: u64) -> f64 {
+    let width = (LAT_HI - LAT_LO) / LAT_BINS as f64;
+    let mut total = 0u64;
+    let mut sum = 0.0;
+    for (i, &n) in bins.iter().enumerate() {
+        total += n;
+        sum += n as f64 * (LAT_LO + (i as f64 + 0.5) * width);
+    }
+    // Overflowed observations are clamped to the range top: a floor, not an
+    // exact mean, but it keeps the report robust to outliers.
+    sum += overflow as f64 * LAT_HI;
+    total += overflow;
+    if total == 0 {
+        0.0
+    } else {
+        sum / total as f64
+    }
+}
+
+/// The value at quantile `q` estimated from merged bins (upper bin edge, a
+/// conservative estimate). Overflowed observations report the range top.
+fn histogram_percentile(bins: &[u64], overflow: u64, q: f64) -> f64 {
+    let total: u64 = bins.iter().sum::<u64>() + overflow;
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = (q * total as f64).ceil().max(1.0) as u64;
+    let width = (LAT_HI - LAT_LO) / LAT_BINS as f64;
+    let mut seen = 0u64;
+    for (i, &n) in bins.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return LAT_LO + (i as f64 + 1.0) * width;
+        }
+    }
+    LAT_HI
+}
+
+/// Identity of the currently served snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotInfo {
+    /// Publication epoch (1 = the snapshot the server started with).
+    pub epoch: u64,
+    /// Origin label (`embedded`, `history:<date>`, or a file path).
+    pub label: String,
+    /// History version date, when the snapshot came from a dated history.
+    pub version: Option<String>,
+    /// Rules in the served list.
+    pub rules: usize,
+    /// Seconds since this snapshot was published.
+    pub age_seconds: f64,
+}
+
+/// Per-command counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandCounts {
+    /// `SUFFIX` commands handled.
+    pub suffix: u64,
+    /// `SITE` commands handled.
+    pub site: u64,
+    /// `ASOF` commands handled.
+    pub asof: u64,
+    /// `BATCH` headers handled.
+    pub batch: u64,
+    /// Hosts answered inside batches.
+    pub batch_hosts: u64,
+    /// `RELOAD` commands handled.
+    pub reload: u64,
+    /// `STATS` commands handled.
+    pub stats: u64,
+    /// `PING` commands handled.
+    pub ping: u64,
+    /// `ERR` lines sent.
+    pub errors: u64,
+    /// Connections accepted.
+    pub connections: u64,
+}
+
+/// Lookup-cache effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Cache hits across all workers.
+    pub hits: u64,
+    /// Cache misses across all workers.
+    pub misses: u64,
+    /// `hits / (hits + misses)`, 0 when idle.
+    pub hit_ratio: f64,
+}
+
+/// Latency distribution summary (microseconds), from the merged shards.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Commands measured.
+    pub count: u64,
+    /// Histogram-estimated mean.
+    pub mean_us: f64,
+    /// Median (upper bin edge).
+    pub p50_us: f64,
+    /// 90th percentile.
+    pub p90_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Exact maximum observed.
+    pub max_us: u64,
+}
+
+/// The `STATS` dump.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Seconds since the engine was created.
+    pub uptime_seconds: f64,
+    /// Configured worker count (latency shards).
+    pub workers: usize,
+    /// Currently served snapshot.
+    pub snapshot: SnapshotInfo,
+    /// Per-command counters.
+    pub commands: CommandCounts,
+    /// Total lookups answered (`SUFFIX` + `SITE` + `ASOF` + batch hosts).
+    pub lookups: u64,
+    /// Lookup-cache effectiveness.
+    pub cache: CacheStats,
+    /// Command latency distribution.
+    pub latency_us: LatencySummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info() -> SnapshotInfo {
+        SnapshotInfo { epoch: 1, label: "test".into(), version: None, rules: 3, age_seconds: 0.0 }
+    }
+
+    #[test]
+    fn counters_aggregate_across_kinds() {
+        let m = Metrics::new(2, 0);
+        m.record(0, CommandKind::Suffix, 12);
+        m.record(1, CommandKind::Site, 8);
+        m.record(0, CommandKind::Site, 20);
+        m.record(1, CommandKind::Batch, 100);
+        for _ in 0..5 {
+            m.record_batch_host();
+        }
+        m.record_error();
+        m.record_connection();
+        m.record_cache(3, 1);
+        let r = m.report(2_000_000, info());
+        assert_eq!(r.commands.suffix, 1);
+        assert_eq!(r.commands.site, 2);
+        assert_eq!(r.commands.batch, 1);
+        assert_eq!(r.commands.batch_hosts, 5);
+        assert_eq!(r.commands.errors, 1);
+        assert_eq!(r.commands.connections, 1);
+        assert_eq!(r.lookups, 3 + 5);
+        assert_eq!(r.cache.hits, 3);
+        assert!((r.cache.hit_ratio - 0.75).abs() < 1e-12);
+        assert_eq!(r.latency_us.count, 4);
+        assert_eq!(r.latency_us.max_us, 100);
+        assert!((r.uptime_seconds - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_come_from_merged_shards() {
+        let m = Metrics::new(4, 0);
+        // 100 observations at 10µs, 1 at 40ms: p50 lands in the first bins,
+        // p99(101) = rank 100 -> still low; max is exact.
+        for i in 0..100 {
+            m.record(i, CommandKind::Site, 10);
+        }
+        m.record(0, CommandKind::Site, 40_000);
+        let r = m.report(0, info());
+        assert!(r.latency_us.p50_us <= 20.0, "p50 {}", r.latency_us.p50_us);
+        assert!(r.latency_us.p99_us <= 30.0, "p99 {}", r.latency_us.p99_us);
+        assert_eq!(r.latency_us.max_us, 40_000);
+        assert!(r.latency_us.mean_us > 100.0);
+    }
+
+    #[test]
+    fn empty_registry_reports_zeros() {
+        let m = Metrics::new(1, 0);
+        let r = m.report(0, info());
+        assert_eq!(r.latency_us.count, 0);
+        assert_eq!(r.latency_us.p99_us, 0.0);
+        assert_eq!(r.cache.hit_ratio, 0.0);
+        assert_eq!(r.lookups, 0);
+    }
+
+    #[test]
+    fn overflow_latencies_clamp_to_range_top() {
+        let m = Metrics::new(1, 0);
+        m.record(0, CommandKind::Site, 10_000_000); // 10s, way past range
+        let r = m.report(0, info());
+        assert_eq!(r.latency_us.count, 1);
+        assert_eq!(r.latency_us.p50_us, LAT_HI);
+        assert_eq!(r.latency_us.max_us, 10_000_000);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let m = Metrics::new(1, 0);
+        m.record(0, CommandKind::Suffix, 5);
+        let r = m.report(1, info());
+        let json = serde_json::to_string(&r).unwrap();
+        let back: StatsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn snapshot_age_tracks_publishes() {
+        let m = Metrics::new(1, 1_000_000);
+        assert_eq!(m.snapshot_age_seconds(3_000_000), 2.0);
+        m.record_publish(5_000_000);
+        assert_eq!(m.snapshot_age_seconds(5_500_000), 0.5);
+    }
+}

@@ -1,0 +1,245 @@
+//! The line-delimited query protocol.
+//!
+//! One command per line, ASCII, `\n`-terminated (a trailing `\r` is
+//! stripped so `telnet`/`nc -C` work). Verbs are case-insensitive;
+//! arguments are separated by single spaces:
+//!
+//! ```text
+//! SUFFIX <host>            -> OK <public-suffix>|-
+//! SITE <host>              -> OK <site>
+//! ASOF <yyyy-mm-dd> <host> -> OK <site> version=<resolved-version>
+//! BATCH <n>                -> (reads n host lines, answers one OK/ERR line each)
+//! RELOAD <date>|latest     -> OK epoch=<e> version=<label> rules=<n>
+//! STATS                    -> OK <one-line JSON metrics dump>
+//! PING                     -> OK pong
+//! QUIT                     -> OK bye (closes the connection)
+//! SHUTDOWN                 -> OK shutting-down (stops the whole server)
+//! ```
+//!
+//! Errors are one line: `ERR <code> <message>`. Parsing is pure (no I/O),
+//! so every malformed-input path is unit-testable.
+
+use std::fmt;
+
+/// Hard protocol limits; violations produce `ERR limit …` without reading
+/// further, so an abusive client cannot make a worker allocate unboundedly.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Longest accepted command line in bytes (RFC hostnames are <= 253).
+    pub max_line_bytes: usize,
+    /// Largest accepted `BATCH` count.
+    pub max_batch: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_line_bytes: 4096, max_batch: 65536 }
+    }
+}
+
+/// A parsed client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `SUFFIX <host>`: the public suffix (eTLD) under the current snapshot.
+    Suffix(String),
+    /// `SITE <host>`: the site (eTLD+1, or the host itself for bare
+    /// suffixes) under the current snapshot.
+    Site(String),
+    /// `ASOF <date> <host>`: time-travel `SITE` under the newest list
+    /// version published on or before `date`.
+    Asof(String, String),
+    /// `BATCH <n>`: the next `n` lines are hosts, each answered like `SITE`.
+    Batch(usize),
+    /// `RELOAD <date>|latest`: build and publish a new snapshot.
+    Reload(String),
+    /// `STATS`: one-line JSON metrics dump.
+    Stats,
+    /// `PING`: liveness probe.
+    Ping,
+    /// `QUIT`: close this connection.
+    Quit,
+    /// `SHUTDOWN`: stop the server.
+    Shutdown,
+}
+
+/// A protocol-level rejection (the connection survives; the server answers
+/// `ERR <code> <message>` and keeps reading).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Stable machine-readable code (`empty`, `verb`, `args`, `limit`,
+    /// `host`, `date`).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtoError {
+    fn new(code: &'static str, message: impl Into<String>) -> Self {
+        ProtoError { code, message: message.into() }
+    }
+
+    /// Render as the wire-format `ERR` line (without the newline).
+    pub fn to_line(&self) -> String {
+        format!("ERR {} {}", self.code, self.message)
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.message)
+    }
+}
+
+/// Parse one command line (already newline-stripped).
+pub fn parse_command(line: &str, limits: &Limits) -> Result<Command, ProtoError> {
+    if line.len() > limits.max_line_bytes {
+        return Err(ProtoError::new(
+            "limit",
+            format!("line exceeds {} bytes", limits.max_line_bytes),
+        ));
+    }
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    let mut parts = line.split_ascii_whitespace();
+    let Some(verb) = parts.next() else {
+        return Err(ProtoError::new("empty", "empty command line"));
+    };
+    let args: Vec<&str> = parts.collect();
+    let arity = |n: usize| -> Result<(), ProtoError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(ProtoError::new(
+                "args",
+                format!(
+                    "{} takes {} argument(s), got {}",
+                    verb.to_ascii_uppercase(),
+                    n,
+                    args.len()
+                ),
+            ))
+        }
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "SUFFIX" => {
+            arity(1)?;
+            Ok(Command::Suffix(args[0].to_string()))
+        }
+        "SITE" => {
+            arity(1)?;
+            Ok(Command::Site(args[0].to_string()))
+        }
+        "ASOF" => {
+            arity(2)?;
+            Ok(Command::Asof(args[0].to_string(), args[1].to_string()))
+        }
+        "BATCH" => {
+            arity(1)?;
+            let n: usize = args[0]
+                .parse()
+                .map_err(|_| ProtoError::new("args", format!("bad batch count {:?}", args[0])))?;
+            if n > limits.max_batch {
+                return Err(ProtoError::new(
+                    "limit",
+                    format!("batch of {n} exceeds maximum {}", limits.max_batch),
+                ));
+            }
+            Ok(Command::Batch(n))
+        }
+        "RELOAD" => {
+            arity(1)?;
+            Ok(Command::Reload(args[0].to_string()))
+        }
+        "STATS" => {
+            arity(0)?;
+            Ok(Command::Stats)
+        }
+        "PING" => {
+            arity(0)?;
+            Ok(Command::Ping)
+        }
+        "QUIT" => {
+            arity(0)?;
+            Ok(Command::Quit)
+        }
+        "SHUTDOWN" => {
+            arity(0)?;
+            Ok(Command::Shutdown)
+        }
+        other => Err(ProtoError::new("verb", format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Command, ProtoError> {
+        parse_command(line, &Limits::default())
+    }
+
+    #[test]
+    fn verbs_parse_case_insensitively() {
+        assert_eq!(parse("SUFFIX a.co.uk").unwrap(), Command::Suffix("a.co.uk".into()));
+        assert_eq!(parse("site www.example.com").unwrap(), Command::Site("www.example.com".into()));
+        assert_eq!(
+            parse("AsOf 2015-01-01 x.github.io").unwrap(),
+            Command::Asof("2015-01-01".into(), "x.github.io".into())
+        );
+        assert_eq!(parse("batch 12").unwrap(), Command::Batch(12));
+        assert_eq!(parse("RELOAD latest").unwrap(), Command::Reload("latest".into()));
+        assert_eq!(parse("stats").unwrap(), Command::Stats);
+        assert_eq!(parse("ping").unwrap(), Command::Ping);
+        assert_eq!(parse("quit").unwrap(), Command::Quit);
+        assert_eq!(parse("shutdown").unwrap(), Command::Shutdown);
+    }
+
+    #[test]
+    fn crlf_and_extra_whitespace_are_tolerated() {
+        assert_eq!(parse("SUFFIX  a.com \r").unwrap(), Command::Suffix("a.com".into()));
+    }
+
+    #[test]
+    fn empty_line_is_rejected() {
+        assert_eq!(parse("").unwrap_err().code, "empty");
+        assert_eq!(parse("   ").unwrap_err().code, "empty");
+    }
+
+    #[test]
+    fn unknown_verb_is_rejected() {
+        let e = parse("EXFILTRATE all").unwrap_err();
+        assert_eq!(e.code, "verb");
+        assert!(e.message.contains("EXFILTRATE"));
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected() {
+        assert_eq!(parse("SUFFIX").unwrap_err().code, "args");
+        assert_eq!(parse("SUFFIX a b").unwrap_err().code, "args");
+        assert_eq!(parse("ASOF 2020-01-01").unwrap_err().code, "args");
+        assert_eq!(parse("STATS now").unwrap_err().code, "args");
+    }
+
+    #[test]
+    fn batch_count_is_validated() {
+        assert_eq!(parse("BATCH x").unwrap_err().code, "args");
+        assert_eq!(parse("BATCH -3").unwrap_err().code, "args");
+        assert_eq!(parse("BATCH 65537").unwrap_err().code, "limit");
+        assert_eq!(parse("BATCH 0").unwrap(), Command::Batch(0));
+    }
+
+    #[test]
+    fn oversized_line_is_rejected() {
+        let long = format!("SUFFIX {}", "a".repeat(8192));
+        let e = parse(&long).unwrap_err();
+        assert_eq!(e.code, "limit");
+        // A tighter limit rejects sooner.
+        let tight = Limits { max_line_bytes: 16, ..Default::default() };
+        assert_eq!(parse_command("SUFFIX aaaaaaaaaaaaa.com", &tight).unwrap_err().code, "limit");
+    }
+
+    #[test]
+    fn err_line_rendering() {
+        let e = parse("BATCH x").unwrap_err();
+        assert!(e.to_line().starts_with("ERR args "));
+    }
+}

@@ -1,0 +1,297 @@
+//! The threaded TCP server.
+//!
+//! One `std::net::TcpListener` shared by N crossbeam worker threads. Each
+//! worker accepts connections itself (the kernel load-balances accepts), so
+//! there is no dispatcher thread and no cross-thread handoff; a worker
+//! serves one connection at a time with its own [`WorkerState`] (snapshot
+//! reader + LRU cache). The listener is non-blocking and every socket read
+//! carries a timeout, so workers observe the shared stop flag promptly —
+//! `SHUTDOWN` (or dropping a [`ServerHandle`]'s stop flag from a test)
+//! stops the whole pool without killing in-flight commands.
+//!
+//! An optional watcher thread polls a `.dat` file's mtime and republishes
+//! the snapshot when it changes — the SIGHUP-style reload path for
+//! deployments that manage the list as a file.
+
+use crate::engine::{Control, Engine};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7378` (port 0 = ephemeral).
+    pub addr: String,
+    /// Per-read socket timeout; also the stop-flag polling cadence.
+    pub read_timeout: Duration,
+    /// Optional `.dat` file to watch: `(path, poll interval)`.
+    pub watch: Option<(PathBuf, Duration)>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7378".to_string(),
+            read_timeout: Duration::from_millis(250),
+            watch: None,
+        }
+    }
+}
+
+/// A bound (but not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+}
+
+/// Cooperative stop flag for a running server.
+#[derive(Debug, Clone)]
+pub struct StopHandle(Arc<AtomicBool>);
+
+impl StopHandle {
+    /// Ask the server to stop; workers exit at their next poll tick.
+    pub fn stop(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Has a stop been requested?
+    pub fn stopped(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+impl Server {
+    /// Bind the listener. The worker count comes from the engine config.
+    pub fn bind(engine: Arc<Engine>, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server { listener, engine, config, stop: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop the running server from another thread.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle(Arc::clone(&self.stop))
+    }
+
+    /// Run the accept/serve loop, blocking until a stop is requested
+    /// (`SHUTDOWN` command, watcher failure is non-fatal). Worker threads
+    /// are crossbeam-scoped, so this returns only after every worker
+    /// drained its current connection.
+    pub fn run(&self) -> std::io::Result<()> {
+        let workers = self.engine.config().workers.max(1);
+        crossbeam::thread::scope(|scope| {
+            for id in 0..workers {
+                let engine = Arc::clone(&self.engine);
+                let listener = &self.listener;
+                let stop = &self.stop;
+                let timeout = self.config.read_timeout;
+                scope.spawn(move |_| worker_loop(id, engine, listener, stop, timeout));
+            }
+            if let Some((path, interval)) = self.config.watch.clone() {
+                let engine = Arc::clone(&self.engine);
+                let stop = &self.stop;
+                scope.spawn(move |_| watch_loop(engine, path, interval, stop));
+            }
+        })
+        .map_err(|_| std::io::Error::other("a server worker panicked"))?;
+        Ok(())
+    }
+}
+
+fn worker_loop(
+    id: usize,
+    engine: Arc<Engine>,
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    timeout: Duration,
+) {
+    let mut ws = engine.worker_state(id);
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                engine.note_connection();
+                if let Err(e) = serve_connection(&engine, &mut ws, stream, stop, timeout) {
+                    // Client-side hangups are routine; keep serving.
+                    if e.kind() != ErrorKind::BrokenPipe && e.kind() != ErrorKind::ConnectionReset {
+                        eprintln!("psl-service: connection error: {e}");
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => {
+                eprintln!("psl-service: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn serve_connection(
+    engine: &Engine,
+    ws: &mut crate::engine::WorkerState,
+    stream: TcpStream,
+    stop: &AtomicBool,
+    timeout: Duration,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(timeout))?;
+    let max_line = engine.config().limits.max_line_bytes;
+    let mut reader = BufReader::with_capacity(64 * 1024, stream.try_clone()?);
+    let mut writer = BufWriter::with_capacity(64 * 1024, stream);
+    let mut line = Vec::with_capacity(256);
+    let mut out = String::with_capacity(256);
+
+    loop {
+        line.clear();
+        match read_line_bounded(&mut reader, &mut line, max_line, stop)? {
+            LineRead::Closed => return Ok(()),
+            LineRead::Stopped => return Ok(()),
+            LineRead::Oversized => {
+                // The offending bytes were drained up to the next newline;
+                // answer once and keep the connection usable.
+                engine.metrics().record_error();
+                writer.write_all(b"ERR limit line too long\n")?;
+                writer.flush()?;
+                continue;
+            }
+            LineRead::Line => {}
+        }
+        let text = String::from_utf8_lossy(&line);
+        out.clear();
+        let control = engine.handle_line(ws, text.trim_end_matches('\n'), &mut out);
+        writer.write_all(out.as_bytes())?;
+        // Mid-batch we let the BufWriter coalesce; otherwise flush so
+        // request/response clients see their answer immediately.
+        if ws.pending_batch() == 0 {
+            writer.flush()?;
+        }
+        match control {
+            Control::Continue => {}
+            Control::Quit => return Ok(()),
+            Control::Shutdown => {
+                stop.store(true, Ordering::SeqCst);
+                return Ok(());
+            }
+        }
+    }
+}
+
+enum LineRead {
+    /// A complete line is in the buffer (without the trailing `\n`).
+    Line,
+    /// Peer closed the connection.
+    Closed,
+    /// Stop was requested while waiting for input.
+    Stopped,
+    /// The line exceeded the limit (already drained to the next newline).
+    Oversized,
+}
+
+/// Read one `\n`-terminated line of at most `max` bytes, tolerating read
+/// timeouts (used to poll `stop`) and draining oversized lines.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max: usize,
+    stop: &AtomicBool,
+) -> std::io::Result<LineRead> {
+    loop {
+        // +1 so a line of exactly `max` bytes plus its newline fits.
+        let mut limited = reader.by_ref().take((max + 1 - buf.len().min(max)) as u64);
+        match limited.read_until(b'\n', buf) {
+            Ok(0) => {
+                return Ok(if buf.is_empty() { LineRead::Closed } else { LineRead::Line });
+            }
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    buf.pop();
+                    return Ok(LineRead::Line);
+                }
+                if buf.len() > max {
+                    drain_to_newline(reader, stop)?;
+                    return Ok(LineRead::Oversized);
+                }
+                // Short read without newline (timeout boundary): keep going.
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(LineRead::Stopped);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Discard input until the next newline (or EOF/stop).
+fn drain_to_newline(reader: &mut BufReader<TcpStream>, stop: &AtomicBool) -> std::io::Result<()> {
+    let mut chunk = Vec::with_capacity(4096);
+    loop {
+        chunk.clear();
+        let mut limited = reader.by_ref().take(4096);
+        match limited.read_until(b'\n', &mut chunk) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {
+                if chunk.last() == Some(&b'\n') {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn watch_loop(engine: Arc<Engine>, path: PathBuf, interval: Duration, stop: &AtomicBool) {
+    let mut last_mtime: Option<SystemTime> = None;
+    while !stop.load(Ordering::SeqCst) {
+        match std::fs::metadata(&path).and_then(|m| m.modified()) {
+            Ok(mtime) => {
+                if last_mtime != Some(mtime) {
+                    let first = last_mtime.is_none();
+                    last_mtime = Some(mtime);
+                    // On startup we only record the baseline mtime; the
+                    // serve command already loaded the initial list.
+                    if !first {
+                        match std::fs::read_to_string(&path) {
+                            Ok(text) => {
+                                let list = psl_core::List::parse(&text);
+                                let rules = list.len();
+                                let epoch =
+                                    engine.publish_list(path.display().to_string(), None, list);
+                                eprintln!(
+                                    "psl-service: reloaded {} (epoch {epoch}, {rules} rules)",
+                                    path.display()
+                                );
+                            }
+                            Err(e) => {
+                                eprintln!("psl-service: watch read {}: {e}", path.display())
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => eprintln!("psl-service: watch stat {}: {e}", path.display()),
+        }
+        std::thread::sleep(interval);
+    }
+}
