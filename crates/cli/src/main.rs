@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(rest),
         "blame" => cmd_blame(rest),
         "corpus-stats" => cmd_corpus_stats(rest),
+        "fuzz" => cmd_fuzz(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -59,8 +60,9 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: pslharm <all|fig2..fig7|table1..table3|cookieharm|dbound|certharm|updatefail|replay|notify|conformance|suffix|serve|query|loadgen> \
-[--seed N] [--paper-scale] [--threads N] [--json PATH] [--addr HOST:PORT] [domains...]";
+const USAGE: &str = "usage: pslharm <all|fig2..fig7|table1..table3|cookieharm|dbound|certharm|updatefail|replay|notify|conformance|suffix|serve|query|loadgen|fuzz> \
+[--seed N] [--paper-scale] [--threads N] [--json PATH] [--addr HOST:PORT] [domains...]
+       pslharm fuzz <hostname|dat|cookie|service|all> [--seed N] [--iters N] [--time-budget SECS] [--write-corpus]";
 
 /// Common flags.
 struct Flags {
@@ -76,6 +78,9 @@ struct Flags {
     connections: usize,
     batch: usize,
     check: bool,
+    iters: u64,
+    time_budget: Option<u64>,
+    write_corpus: bool,
     extra: Vec<String>,
 }
 
@@ -93,6 +98,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         connections: 4,
         batch: 512,
         check: false,
+        iters: 500,
+        time_budget: None,
+        write_corpus: false,
         extra: Vec::new(),
     };
     let mut it = args.iter();
@@ -133,6 +141,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 flags.batch = v.parse().map_err(|_| format!("bad batch size {v:?}"))?;
             }
             "--check" => flags.check = true,
+            "--iters" => {
+                let v = it.next().ok_or("--iters needs a value")?;
+                flags.iters = v.parse().map_err(|_| format!("bad iteration count {v:?}"))?;
+            }
+            "--time-budget" => {
+                let v = it.next().ok_or("--time-budget needs seconds")?;
+                flags.time_budget = Some(v.parse().map_err(|_| format!("bad time budget {v:?}"))?);
+            }
+            "--write-corpus" => flags.write_corpus = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}"));
             }
@@ -883,4 +900,56 @@ fn cmd_corpus_stats(args: &[String]) -> Result<(), String> {
     println!("mean requests/page:    {:.2}", s.mean_requests_per_page);
     println!("top-1% target share:   {:.1}%", 100.0 * s.top1pct_request_share);
     Ok(())
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let which = flags.extra.first().map(String::as_str).unwrap_or("all");
+    let targets: Vec<psl_fuzz::Target> = if which == "all" {
+        psl_fuzz::Target::ALL.to_vec()
+    } else {
+        vec![psl_fuzz::Target::from_name(which).ok_or_else(|| {
+            format!("unknown fuzz target {which:?} (hostname|dat|cookie|service|all)")
+        })?]
+    };
+    let config = psl_fuzz::FuzzConfig {
+        seed: flags.seed,
+        iters: flags.iters,
+        time_budget: flags.time_budget.map(std::time::Duration::from_secs),
+    };
+
+    // Expected panics inside checks are failures, not crashes: keep them
+    // off the terminal while the loop runs.
+    let previous_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut total_findings = 0usize;
+    for target in &targets {
+        let outcome = psl_fuzz::run_target(*target, &config);
+        eprintln!(
+            "fuzz {target}: {} corpus entries replayed, {} generated iterations, {} finding(s)",
+            outcome.corpus_replayed,
+            outcome.iters_run,
+            outcome.findings.len()
+        );
+        for (i, finding) in outcome.findings.iter().enumerate() {
+            total_findings += 1;
+            let origin = if finding.from_corpus { "corpus regression" } else { "new" };
+            eprintln!("--- {target} finding {i} ({origin}) ---");
+            eprintln!("{}", finding.reason);
+            eprintln!("minimized input:\n{}", finding.input.serialize());
+            if flags.write_corpus && !finding.from_corpus {
+                let stem = format!("found-seed{}-{i}", flags.seed);
+                let path = psl_fuzz::write_corpus_entry(&finding.input, &stem)
+                    .map_err(|e| format!("writing corpus entry: {e}"))?;
+                eprintln!("corpus entry written: {}", path.display());
+            }
+        }
+    }
+    std::panic::set_hook(previous_hook);
+    if total_findings > 0 {
+        Err(format!("fuzzing found {total_findings} failing input(s)"))
+    } else {
+        eprintln!("all fuzz targets clean");
+        Ok(())
+    }
 }

@@ -162,27 +162,7 @@ impl std::str::FromStr for DomainName {
 
 /// Validate and canonicalise one label.
 fn canonicalise_label(raw: &str, reject: &impl Fn(DomainErrorKind) -> Error) -> Result<String> {
-    if raw.is_empty() {
-        return Err(reject(DomainErrorKind::EmptyLabel));
-    }
-
-    let lowered: String = if raw.is_ascii() {
-        raw.to_ascii_lowercase()
-    } else {
-        raw.chars().flat_map(|c| c.to_lowercase()).collect()
-    };
-
-    let ascii = if lowered.is_ascii() {
-        // If it claims to be punycode, it must decode.
-        if let Some(rest) = lowered.strip_prefix(punycode::ACE_PREFIX) {
-            if punycode::decode(rest).is_err() {
-                return Err(reject(DomainErrorKind::BadPunycodeLabel));
-            }
-        }
-        lowered
-    } else {
-        punycode::to_ascii_label(&lowered).map_err(|_| reject(DomainErrorKind::BadPunycodeLabel))?
-    };
+    let ascii = map_label_to_ascii(raw).map_err(reject)?;
 
     if ascii.len() > MAX_LABEL_LEN {
         return Err(reject(DomainErrorKind::LabelTooLong));
@@ -197,6 +177,90 @@ fn canonicalise_label(raw: &str, reject: &impl Fn(DomainErrorKind) -> Error) -> 
         return Err(reject(DomainErrorKind::BadHyphen));
     }
     Ok(ascii)
+}
+
+/// UTS 46-style case folding, shared by domain labels and list rules.
+///
+/// `char::to_lowercase` alone diverges from the IDNA mapping on exactly the
+/// characters that matter for canonicalisation:
+/// - `ß`/`ẞ` map to `ss` (`ẞ` must not stop at `ß`, or the mapping would
+///   not be idempotent);
+/// - final sigma `ς` maps to `σ` (`Σ`'s lowercase is context-dependent in
+///   Unicode; IDNA always folds to the non-final form).
+///
+/// `İ` (U+0130) needs no special arm: its Unicode lowercase `i` + U+0307
+/// *is* the UTS 46 mapping, and it is stable under re-application.
+pub(crate) fn idna_fold(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            'ß' | 'ẞ' => out.push_str("ss"),
+            'ς' => out.push('σ'),
+            _ => out.extend(c.to_lowercase()),
+        }
+    }
+    out
+}
+
+/// Map one raw label to its canonical ASCII form (shared with rule-label
+/// canonicalisation so a name canonicalises identically whether it arrives
+/// as a hostname or as a list rule).
+///
+/// An `xn--` label is not taken at face value: its decode is re-folded and
+/// re-encoded, and the label is rejected unless that round-trip reproduces
+/// it exactly. This closes every "two spellings, one name" hole — ACE
+/// forms hiding uppercase or final-sigma content, non-shortest-form
+/// punycode, and "hyper-ASCII" encodings of plain ASCII labels — any of
+/// which would break `parse(to_unicode(d)) == d` and let one registrable
+/// domain appear under two canonical names.
+pub(crate) fn map_label_to_ascii(raw: &str) -> std::result::Result<String, DomainErrorKind> {
+    if raw.is_empty() {
+        return Err(DomainErrorKind::EmptyLabel);
+    }
+    if raw.is_ascii() {
+        let lowered = raw.to_ascii_lowercase();
+        if let Some(rest) = lowered.strip_prefix(punycode::ACE_PREFIX) {
+            let decoded = punycode::decode(rest).map_err(|_| DomainErrorKind::BadPunycodeLabel)?;
+            let folded = idna_fold(&decoded);
+            if folded.is_ascii() {
+                // Decodes to plain ASCII (including the empty `xn--`): the
+                // unencoded spelling is the canonical one.
+                return Err(DomainErrorKind::BadPunycodeLabel);
+            }
+            if folded.chars().any(|c| c.is_ascii() && !is_label_ascii(c as u8)) {
+                // A `.` or other separator smuggled through punycode would
+                // re-frame the name when rendered in Unicode.
+                return Err(DomainErrorKind::BadPunycodeLabel);
+            }
+            let reencoded =
+                punycode::encode(&folded).map_err(|_| DomainErrorKind::BadPunycodeLabel)?;
+            if reencoded != rest {
+                return Err(DomainErrorKind::BadPunycodeLabel);
+            }
+            Ok(lowered)
+        } else {
+            Ok(lowered)
+        }
+    } else {
+        let folded = idna_fold(raw);
+        if folded.is_ascii() {
+            // e.g. `ẞ` folds to `ss`: now an ordinary ASCII label — unless
+            // folding manufactured an ACE prefix, which a re-parse would
+            // then try to decode.
+            if folded.starts_with(punycode::ACE_PREFIX) {
+                return Err(DomainErrorKind::BadPunycodeLabel);
+            }
+            Ok(folded)
+        } else {
+            punycode::to_ascii_label(&folded).map_err(|_| DomainErrorKind::BadPunycodeLabel)
+        }
+    }
+}
+
+/// ASCII bytes permitted in a canonical label (underscore included for
+/// `_dmarc`-style names; hyphen placement is checked separately).
+fn is_label_ascii(b: u8) -> bool {
+    b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_'
 }
 
 #[cfg(test)]
@@ -230,6 +294,57 @@ mod tests {
     #[test]
     fn rejects_bad_punycode_label() {
         assert!(DomainName::parse("xn--!!!.example").is_err());
+    }
+
+    #[test]
+    fn rejects_non_canonical_ace_labels() {
+        // Decodes to `σΣΣ`: uppercase content hiding behind an ACE form.
+        assert!(DomainName::parse("xn--7waa8g.example").is_err());
+        // Decodes fine but does not re-encode to itself.
+        assert!(DomainName::parse("xn--eka.example").is_err());
+        // "Hyper-ASCII": an ACE encoding of the plain ASCII label `abc`.
+        assert!(DomainName::parse("xn--abc-.example").is_err());
+        assert!(DomainName::parse("xn--.example").is_err());
+        // The genuinely canonical spelling still parses.
+        assert!(DomainName::parse("xn--bcher-kva.example").is_ok());
+    }
+
+    #[test]
+    fn sharp_s_folds_to_ss() {
+        // UTS 46: ß maps to ss (char::to_lowercase would keep ß and encode
+        // it, splitting straße/strasse into two registrable domains).
+        let d = DomainName::parse("straße.de").unwrap();
+        assert_eq!(d.as_str(), "strasse.de");
+        // Capital ẞ must reach ss too, not stop at ß.
+        assert_eq!(DomainName::parse("STRAẞE.de").unwrap(), d);
+        assert_eq!(DomainName::parse(d.as_str()).unwrap(), d);
+    }
+
+    #[test]
+    fn final_sigma_folds_to_sigma() {
+        let a = DomainName::parse("πας.gr").unwrap();
+        let b = DomainName::parse("πασ.gr").unwrap();
+        let c = DomainName::parse("ΠΑΣ.gr").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(DomainName::parse(a.as_str()).unwrap(), a);
+    }
+
+    #[test]
+    fn dotted_capital_i_is_idempotent() {
+        // İ lowercases to i + combining dot above (two chars); the result
+        // must be stable under a second parse and Unicode round-trip.
+        let d = DomainName::parse("İstanbul.example").unwrap();
+        assert_eq!(DomainName::parse(d.as_str()).unwrap(), d);
+        assert_eq!(DomainName::parse(&d.to_unicode()).unwrap(), d);
+    }
+
+    #[test]
+    fn unicode_round_trip_preserves_accepted_names() {
+        for host in ["bücher.example", "πας.gr", "日本.jp", "İ.com"] {
+            let d = DomainName::parse(host).unwrap();
+            assert_eq!(DomainName::parse(&d.to_unicode()).unwrap(), d, "{host}");
+        }
     }
 
     #[test]

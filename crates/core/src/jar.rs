@@ -80,8 +80,12 @@ impl SetCookie {
                         out.domain = Some(v.to_ascii_lowercase());
                     }
                 }
-                "path" if val.starts_with('/') => {
-                    out.path = Some(val.to_string());
+                "path" => {
+                    // RFC 6265 §5.2.4: an empty or non-absolute value
+                    // resets the cookie's path to the default path — it
+                    // must not be skipped, or an *earlier* absolute Path
+                    // would survive a later overriding attribute.
+                    out.path = if val.starts_with('/') { Some(val.to_string()) } else { None };
                 }
                 "secure" => out.secure = true,
                 _ => {}
@@ -151,6 +155,12 @@ impl<'l> CookieJar<'l> {
     pub fn set(&mut self, request_host: &DomainName, sc: &SetCookie) -> Result<(), StoreError> {
         let (domain, host_only) = match &sc.domain {
             Some(d) => {
+                // `DomainName::parse` strips one trailing dot as DNS-root
+                // notation, but RFC 6265 treats `Domain=example.com.` as a
+                // domain that can never match and ignores the cookie.
+                if d.ends_with('.') {
+                    return Err(StoreError::BadDomain);
+                }
                 let domain = DomainName::parse(d).map_err(|_| StoreError::BadDomain)?;
                 match evaluate_set_cookie(self.list, request_host, &domain, self.opts) {
                     CookieDecision::Allow => (domain, false),
@@ -238,6 +248,33 @@ mod tests {
         let sc = SetCookie::parse("a=b; Path=relative; Domain=").unwrap();
         assert_eq!(sc.path, None);
         assert_eq!(sc.domain, None);
+    }
+
+    #[test]
+    fn later_path_attribute_wins_even_when_non_absolute() {
+        // RFC 6265 §5.2: attributes are processed in order, last wins; a
+        // non-absolute value means "use the default path", not "keep the
+        // previous value".
+        let sc = SetCookie::parse("a=b; Path=/app; Path=relative").unwrap();
+        assert_eq!(sc.path, None);
+        let sc = SetCookie::parse("a=b; Path=relative; Path=/app").unwrap();
+        assert_eq!(sc.path.as_deref(), Some("/app"));
+        let sc = SetCookie::parse("a=b; Path=/app; Path=").unwrap();
+        assert_eq!(sc.path, None);
+    }
+
+    #[test]
+    fn trailing_dot_domain_is_rejected_not_stored() {
+        let l = list();
+        let mut jar = CookieJar::new(&l, MatchOpts::default());
+        assert_eq!(
+            jar.set_from_header(&d("app.example.com"), "sid=1; Domain=example.com."),
+            Err(StoreError::BadDomain)
+        );
+        assert!(jar.is_empty());
+        // Without the dot the same header stores fine.
+        jar.set_from_header(&d("app.example.com"), "sid=1; Domain=example.com").unwrap();
+        assert_eq!(jar.len(), 1);
     }
 
     #[test]

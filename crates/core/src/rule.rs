@@ -7,7 +7,6 @@
 //! `github.io`).
 
 use crate::error::{truncate_for_error, DomainErrorKind, Error, Result, RuleErrorKind};
-use crate::punycode;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -184,21 +183,14 @@ impl fmt::Display for Rule {
     }
 }
 
-/// Canonicalise one rule label (same rules as hostname labels, but rule
-/// files may carry Unicode which we punycode).
+/// Canonicalise one rule label: the same UTS 46 fold + punycode mapping as
+/// hostname labels ([`crate::domain::map_label_to_ascii`]), so a name
+/// canonicalises identically whether it arrives as a hostname or as a list
+/// rule. Rule labels stay laxer only about hyphen placement (`--` vendor
+/// prefixes and edge hyphens appear in real list history).
 fn canonical_rule_label(raw: &str) -> Result<String> {
-    if raw.is_empty() {
-        return Err(Error::InvalidDomain {
-            input: raw.into(),
-            reason: DomainErrorKind::EmptyLabel,
-        });
-    }
-    let lowered: String = if raw.is_ascii() {
-        raw.to_ascii_lowercase()
-    } else {
-        raw.chars().flat_map(|c| c.to_lowercase()).collect()
-    };
-    let ascii = if lowered.is_ascii() { lowered } else { punycode::to_ascii_label(&lowered)? };
+    let ascii = crate::domain::map_label_to_ascii(raw)
+        .map_err(|reason| Error::InvalidDomain { input: raw.into(), reason })?;
     if ascii.len() > crate::domain::MAX_LABEL_LEN {
         return Err(Error::InvalidDomain {
             input: raw.into(),

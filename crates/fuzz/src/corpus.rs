@@ -1,0 +1,194 @@
+//! The checked-in regression corpus.
+//!
+//! Every divergence the fuzzer ever found lives on as a small text file
+//! under `crates/fuzz/corpus/<target>/`; the corpus is replayed both by
+//! `cargo test` (forever-regressions) and at the start of every fuzz run
+//! (replay first, then use the entries as mutation seeds).
+//!
+//! File formats are plain text, one entry per file:
+//! - `hostname/`: line 1 is the hostname, the remaining lines are the
+//!   `.dat` list it ran against;
+//! - `dat/`: the raw `.dat` text;
+//! - `cookie/`: line 1 is the request host, line 2 the `Set-Cookie` value;
+//! - `service/`: the protocol frames, one per line.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// A fuzz target name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Hostname canonicalisation + matcher differential.
+    Hostname,
+    /// `.dat` parse/write round-trip.
+    Dat,
+    /// `Set-Cookie` parsing + jar invariants.
+    Cookie,
+    /// Protocol frames against a loopback server.
+    Service,
+}
+
+impl Target {
+    /// All targets, in the order `fuzz all` runs them.
+    pub const ALL: [Target; 4] = [Target::Hostname, Target::Dat, Target::Cookie, Target::Service];
+
+    /// The directory / CLI name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Target::Hostname => "hostname",
+            Target::Dat => "dat",
+            Target::Cookie => "cookie",
+            Target::Service => "service",
+        }
+    }
+
+    /// Parse a CLI target name.
+    pub fn from_name(s: &str) -> Option<Target> {
+        Target::ALL.into_iter().find(|t| t.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One concrete fuzz input, in the shape its target consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Input {
+    /// `(hostname, dat text)`.
+    Hostname(String, String),
+    /// Raw `.dat` text.
+    Dat(String),
+    /// `(request host, Set-Cookie header value)`.
+    Cookie(String, String),
+    /// Protocol frames.
+    Service(Vec<String>),
+}
+
+impl Input {
+    /// Which target this input belongs to.
+    pub fn target(&self) -> Target {
+        match self {
+            Input::Hostname(..) => Target::Hostname,
+            Input::Dat(..) => Target::Dat,
+            Input::Cookie(..) => Target::Cookie,
+            Input::Service(..) => Target::Service,
+        }
+    }
+
+    /// Corpus file representation.
+    pub fn serialize(&self) -> String {
+        match self {
+            Input::Hostname(host, dat) => format!("{host}\n{dat}"),
+            Input::Dat(text) => text.clone(),
+            Input::Cookie(host, header) => format!("{host}\n{header}\n"),
+            Input::Service(lines) => {
+                let mut out = String::new();
+                for line in lines {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                out
+            }
+        }
+    }
+
+    /// Parse a corpus file back into an input.
+    pub fn deserialize(target: Target, text: &str) -> Input {
+        match target {
+            Target::Hostname => {
+                let (host, dat) = text.split_once('\n').unwrap_or((text, ""));
+                Input::Hostname(host.to_string(), dat.to_string())
+            }
+            Target::Dat => Input::Dat(text.to_string()),
+            Target::Cookie => {
+                let mut lines = text.lines();
+                let host = lines.next().unwrap_or("").to_string();
+                let header = lines.next().unwrap_or("").to_string();
+                Input::Cookie(host, header)
+            }
+            Target::Service => Input::Service(text.lines().map(|l| l.to_string()).collect()),
+        }
+    }
+}
+
+/// `crates/fuzz/corpus/<target>` (resolved from this crate's manifest, so
+/// it works from `cargo test`, the CLI binary, and CI alike).
+pub fn corpus_dir(target: Target) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus").join(target.as_str())
+}
+
+/// All corpus entries for a target as `(file stem, input)`, sorted by file
+/// name so replay order is stable.
+pub fn read_corpus(target: Target) -> Vec<(String, Input)> {
+    let dir = corpus_dir(target);
+    let mut names: Vec<String> = match fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".txt"))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    names.sort();
+    names
+        .into_iter()
+        .filter_map(|name| {
+            let text = fs::read_to_string(dir.join(&name)).ok()?;
+            let stem = name.trim_end_matches(".txt").to_string();
+            Some((stem, Input::deserialize(target, &text)))
+        })
+        .collect()
+}
+
+/// Write a new corpus entry, returning its path. Never overwrites: a taken
+/// stem gets `-2`, `-3`, … appended.
+pub fn write_corpus_entry(input: &Input, stem: &str) -> std::io::Result<PathBuf> {
+    let dir = corpus_dir(input.target());
+    fs::create_dir_all(&dir)?;
+    let mut path = dir.join(format!("{stem}.txt"));
+    let mut n = 1;
+    while path.exists() {
+        n += 1;
+        path = dir.join(format!("{stem}-{n}.txt"));
+    }
+    fs::write(&path, input.serialize())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_round_trips() {
+        let cases = [
+            Input::Hostname("a.b.com".into(), "com\n*.uk\n".into()),
+            Input::Dat("com\n// c\n".into()),
+            Input::Cookie("a.example.com".into(), "sid=1; Domain=example.com".into()),
+            Input::Service(vec!["PING".into(), "BATCH 1".into(), "a.com".into()]),
+        ];
+        for input in cases {
+            let target = input.target();
+            let text = input.serialize();
+            assert_eq!(Input::deserialize(target, &text), input, "{target}");
+        }
+    }
+
+    #[test]
+    fn target_names_round_trip() {
+        for t in Target::ALL {
+            assert_eq!(Target::from_name(t.as_str()), Some(t));
+        }
+        assert_eq!(Target::from_name("nope"), None);
+    }
+
+    #[test]
+    fn corpus_dir_points_into_this_crate() {
+        let dir = corpus_dir(Target::Hostname);
+        assert!(dir.ends_with("corpus/hostname"));
+        assert!(dir.starts_with(env!("CARGO_MANIFEST_DIR")));
+    }
+}

@@ -1,0 +1,504 @@
+//! Grammar-based generators and structure mutators.
+//!
+//! Each generator produces *mostly* well-formed inputs biased toward the
+//! grammar's edge cases (wildcard/exception rules, punycode labels, dot
+//! and case pathologies, attribute repetition), because a differential
+//! oracle only learns something when at least one matcher accepts the
+//! input. The mutators then knock structured inputs slightly off-grammar:
+//! byte-level splices, label duplication, case flips, separator injection.
+//!
+//! All functions draw exclusively from [`FuzzRng`], so a seed fully
+//! determines the generated stream.
+
+use crate::rng::FuzzRng;
+use psl_core::Rule;
+
+/// Unicode code points with interesting canonicalisation behaviour:
+/// multi-char lowercase (`İ`), final sigma, sharp s (and its capital),
+/// combining marks, astral plane, plain diacritics, control-ish extended
+/// chars that survive punycode.
+const UNICODE_POOL: &[char] = &[
+    'İ',
+    'ς',
+    'σ',
+    'Σ',
+    'ß',
+    'ẞ',
+    'ü',
+    'Ü',
+    'é',
+    '☃',
+    '日',
+    '本',
+    'Ꭰ',
+    '\u{149}',
+    'Ǆ',
+    'ǆ',
+    '\u{307}',
+    '\u{80}',
+    '\u{ad}',
+    '𝔭',
+    '\u{10FFFF}',
+    'ı',
+];
+
+/// ASCII bytes a label is allowed to contain, plus a few it is not.
+const LABEL_ASCII: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_";
+
+// ---- labels and hostnames -------------------------------------------------
+
+/// One hostname label: plain ASCII, digit-heavy, hyphen-edged, underscore,
+/// raw Unicode, or a synthesized `xn--` ACE label (sometimes invalid).
+pub fn gen_label(rng: &mut FuzzRng) -> String {
+    match rng.below(10) {
+        // Plain short ASCII — the common case, keeps hosts realistic.
+        0..=4 => {
+            let len = rng.range(1, 8);
+            (0..len).map(|_| *rng.pick(LABEL_ASCII) as char).collect()
+        }
+        5 => {
+            // Length edge: exactly at / just past the 63-octet gate.
+            let len = *rng.pick(&[62usize, 63, 64]);
+            "a".repeat(len)
+        }
+        6 => {
+            // Hyphen / underscore edges.
+            let core: String =
+                (0..rng.range(1, 4)).map(|_| *rng.pick(LABEL_ASCII) as char).collect();
+            match rng.below(4) {
+                0 => format!("-{core}"),
+                1 => format!("{core}-"),
+                2 => format!("_{core}"),
+                _ => format!("{core}_{core}"),
+            }
+        }
+        7 => {
+            // Raw Unicode label (punycoded by the domain parser).
+            let len = rng.range(1, 4);
+            let mut s = String::new();
+            for _ in 0..len {
+                if rng.chance(1, 3) {
+                    s.push(*rng.pick(LABEL_ASCII) as char);
+                } else {
+                    s.push(*rng.pick(UNICODE_POOL));
+                }
+            }
+            s
+        }
+        8 => {
+            // Synthesized ACE label: encode a small Unicode string so the
+            // decode path (and its re-canonicalisation) gets exercised.
+            let len = rng.range(1, 3);
+            let mut s = String::new();
+            for _ in 0..len {
+                if rng.chance(1, 4) {
+                    s.push(*rng.pick(b"abcXYZ") as char);
+                } else {
+                    s.push(*rng.pick(UNICODE_POOL));
+                }
+            }
+            match psl_core::punycode::encode(&s) {
+                Ok(enc) => format!("xn--{enc}"),
+                Err(_) => "xn--zca".to_string(),
+            }
+        }
+        _ => {
+            // Free-form `xn--` junk: exercises the decode error path.
+            let len = rng.range(0, 6);
+            let tail: String = (0..len).map(|_| *rng.pick(LABEL_ASCII) as char).collect();
+            format!("xn--{tail}")
+        }
+    }
+}
+
+/// A hostname targeted at a rule set: usually a rule body with 0..=2 extra
+/// labels on the left (so wildcard and exception arms actually fire),
+/// otherwise a fully random dotted name; a final pass applies dot/case
+/// mutations (trailing dots, empty labels, flipped case).
+pub fn gen_hostname(rng: &mut FuzzRng, rules: &[Rule]) -> String {
+    let mut host = if !rules.is_empty() && rng.chance(3, 5) {
+        let rule = rng.pick(rules);
+        let mut parts: Vec<String> = Vec::new();
+        for _ in 0..rng.below(3) {
+            parts.push(gen_label(rng));
+        }
+        parts.extend(rule.labels().iter().cloned());
+        parts.join(".")
+    } else {
+        let n = rng.range(1, 4);
+        (0..n).map(|_| gen_label(rng)).collect::<Vec<_>>().join(".")
+    };
+    if rng.chance(1, 4) {
+        host = mutate_host(rng, &host);
+    }
+    host
+}
+
+/// Structure mutations on a hostname.
+pub fn mutate_host(rng: &mut FuzzRng, host: &str) -> String {
+    let mut out = host.to_string();
+    for _ in 0..rng.range(1, 2) {
+        out = match rng.below(8) {
+            0 => format!("{out}."),
+            1 => format!("{out}.."),
+            2 => format!(".{out}"),
+            3 => flip_case(rng, &out),
+            4 => {
+                // Duplicate a label.
+                let labels: Vec<&str> = out.split('.').collect();
+                let i = rng.below(labels.len());
+                let mut v: Vec<&str> = labels.clone();
+                v.insert(i, labels[i]);
+                v.join(".")
+            }
+            5 => splice_char(rng, &out, ['.', '-', '\u{307}', 'İ', 'ß']),
+            6 => drop_char(rng, &out),
+            _ => {
+                // Graft a fresh label on the left.
+                format!("{}.{out}", gen_label(rng))
+            }
+        };
+    }
+    out.retain(|c| c != '\n');
+    out
+}
+
+fn flip_case(rng: &mut FuzzRng, s: &str) -> String {
+    s.chars()
+        .map(
+            |c| {
+                if c.is_ascii_alphabetic() && rng.chance(1, 2) {
+                    (c as u8 ^ 0x20) as char
+                } else {
+                    c
+                }
+            },
+        )
+        .collect()
+}
+
+fn splice_char(rng: &mut FuzzRng, s: &str, pool: impl AsRef<[char]>) -> String {
+    let mut chars: Vec<char> = s.chars().collect();
+    let i = rng.below(chars.len() + 1);
+    chars.insert(i, *rng.pick(pool.as_ref()));
+    chars.into_iter().collect()
+}
+
+fn drop_char(rng: &mut FuzzRng, s: &str) -> String {
+    let mut chars: Vec<char> = s.chars().collect();
+    if chars.len() > 1 {
+        let i = rng.below(chars.len());
+        chars.remove(i);
+    }
+    chars.into_iter().collect()
+}
+
+// ---- .dat lists -----------------------------------------------------------
+
+/// A small `.dat` file: normal rules, wildcard/exception pairs, PRIVATE
+/// sections, comments, junk lines, duplicates, and misplaced markers.
+pub fn gen_dat(rng: &mut FuzzRng) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    let bodies: Vec<String> = (0..rng.range(1, 6))
+        .map(|_| {
+            let n = rng.range(1, 2);
+            (0..n).map(|_| gen_label(rng)).collect::<Vec<_>>().join(".")
+        })
+        .collect();
+
+    let n_rules = rng.range(1, 10);
+    for _ in 0..n_rules {
+        let body = rng.pick(&bodies).clone();
+        let line = match rng.below(10) {
+            // Wildcard + exception pair under a shared parent: the
+            // highest-value shape for prevailing-rule divergence hunting.
+            0 | 1 => {
+                lines.push(format!("*.{body}"));
+                format!("!{}.{body}", gen_label(rng))
+            }
+            2 => format!("*.{body}"),
+            3 => format!("!{}.{body}", gen_label(rng)),
+            4 => format!("{}.{body}", gen_label(rng)),
+            5 => format!("{body} // trailing comment"),
+            6 if rng.chance(1, 2) => format!("{body}."),
+            _ => body,
+        };
+        lines.push(line);
+    }
+
+    // Sprinkle structure: comments, blank lines, section markers (often
+    // properly paired, sometimes orphaned), junk.
+    let extras = rng.range(0, 5);
+    for _ in 0..extras {
+        let extra = match rng.below(7) {
+            0 => "// a comment".to_string(),
+            1 => String::new(),
+            2 => "// ===BEGIN PRIVATE DOMAINS===".to_string(),
+            3 => "// ===END PRIVATE DOMAINS===".to_string(),
+            4 => "// ===BEGIN ICANN DOMAINS===".to_string(),
+            5 => "*.".to_string(),
+            _ => format!("!{}", gen_label(rng)),
+        };
+        let at = rng.below(lines.len() + 1);
+        lines.insert(at, extra);
+    }
+    if rng.chance(1, 3) && !lines.is_empty() {
+        // Duplicate a line (first-occurrence-wins dedup path).
+        let i = rng.below(lines.len());
+        let dup = lines[i].clone();
+        lines.push(dup);
+    }
+    let mut text = lines.join("\n");
+    text.push('\n');
+    text
+}
+
+/// Byte/structure mutations on `.dat` text (newlines preserved as the
+/// framing: mutations act on one line at a time).
+pub fn mutate_dat(rng: &mut FuzzRng, dat: &str) -> String {
+    let mut lines: Vec<String> = dat.lines().map(|l| l.to_string()).collect();
+    if lines.is_empty() {
+        return gen_dat(rng);
+    }
+    match rng.below(5) {
+        0 => {
+            let i = rng.below(lines.len());
+            lines.remove(i);
+        }
+        1 => {
+            let i = rng.below(lines.len());
+            let line = lines[i].clone();
+            lines.insert(rng.below(lines.len() + 1), line);
+        }
+        2 => {
+            let i = rng.below(lines.len());
+            let mutated = mutate_host(rng, &lines[i].clone());
+            lines[i] = mutated;
+        }
+        3 => {
+            let at = rng.below(lines.len() + 1);
+            lines.insert(at, format!("*.{}", gen_label(rng)));
+        }
+        _ => {
+            let at = rng.below(lines.len() + 1);
+            lines.insert(at, "// ===BEGIN PRIVATE DOMAINS===".to_string());
+        }
+    }
+    let mut text = lines.join("\n");
+    text.push('\n');
+    text
+}
+
+// ---- Set-Cookie headers ---------------------------------------------------
+
+/// A `Set-Cookie` header targeted at `host`: Domain attributes are drawn
+/// from the host's own suffixes (the shapes the jar's PSL check cares
+/// about), with leading/trailing-dot, case, repetition, and junk variants.
+pub fn gen_set_cookie(rng: &mut FuzzRng, host: &str) -> String {
+    let name: String = match rng.below(5) {
+        0 => String::new(),
+        1 => " sid ".to_string(),
+        _ => (0..rng.range(1, 5)).map(|_| *rng.pick(LABEL_ASCII) as char).collect(),
+    };
+    let value: String = match rng.below(4) {
+        0 => String::new(),
+        1 => "v=w=x".to_string(),
+        _ => (0..rng.range(1, 8)).map(|_| *rng.pick(LABEL_ASCII) as char).collect(),
+    };
+    let mut header = format!("{name}={value}");
+    if rng.chance(1, 10) {
+        // No '=' at all: must be rejected without panicking.
+        header = name;
+    }
+
+    let labels: Vec<&str> = host.split('.').collect();
+    for _ in 0..rng.below(4) {
+        let attr = match rng.below(8) {
+            0 | 1 => {
+                // Domain: a suffix of the host (sometimes the host itself,
+                // sometimes a public suffix — the supercookie probe).
+                let start = rng.below(labels.len());
+                let mut dom = labels[start..].join(".");
+                match rng.below(5) {
+                    0 => dom = format!(".{dom}"),
+                    1 => dom = format!("{dom}."),
+                    2 => dom = flip_case(rng, &dom),
+                    _ => {}
+                }
+                format!("Domain={dom}")
+            }
+            2 => format!("Domain={}", gen_label(rng)),
+            3 => "Domain=".to_string(),
+            4 => {
+                let p = match rng.below(4) {
+                    0 => "/".to_string(),
+                    1 => "/app".to_string(),
+                    2 => "relative".to_string(),
+                    _ => String::new(),
+                };
+                format!("Path={p}")
+            }
+            5 => "Secure".to_string(),
+            6 => "HttpOnly".to_string(),
+            _ => {
+                let k: String =
+                    (0..rng.range(1, 6)).map(|_| *rng.pick(LABEL_ASCII) as char).collect();
+                format!("{k}={k}")
+            }
+        };
+        let sep = *rng.pick(&["; ", ";", " ;", ";  "]);
+        header.push_str(sep);
+        header.push_str(&attr);
+    }
+    if rng.chance(1, 8) {
+        header.push(';');
+    }
+    header.retain(|c| c != '\n');
+    header
+}
+
+// ---- service protocol frames ----------------------------------------------
+
+/// A protocol session: a sequence of frames with every `BATCH n` followed
+/// by exactly `n` host lines (incomplete batches would deadlock the
+/// loopback comparison against an unflushed server-side writer, which is
+/// the documented protocol contract, not a fuzzable bug).
+///
+/// `STATS`, `QUIT` and `SHUTDOWN` are excluded: `STATS` output embeds
+/// connection counters that legitimately differ between the loopback
+/// server and the direct engine, and the latter two end the session.
+pub fn gen_session(rng: &mut FuzzRng, rules: &[Rule]) -> Vec<String> {
+    let mut lines = Vec::new();
+    let n = rng.range(1, 8);
+    for _ in 0..n {
+        match rng.below(12) {
+            0..=2 => lines.push(format!("SUFFIX {}", gen_hostname(rng, rules))),
+            3..=5 => lines.push(format!("SITE {}", gen_hostname(rng, rules))),
+            6 => {
+                let date = gen_date(rng);
+                lines.push(format!("ASOF {date} {}", gen_hostname(rng, rules)));
+            }
+            7 => {
+                let k = rng.below(4);
+                lines.push(format!("BATCH {k}"));
+                for _ in 0..k {
+                    lines.push(gen_hostname(rng, rules));
+                }
+            }
+            8 => lines.push(if rng.chance(1, 2) {
+                "RELOAD latest".to_string()
+            } else {
+                format!("RELOAD {}", gen_date(rng))
+            }),
+            9 => lines.push("PING".to_string()),
+            10 => lines.push(match rng.below(5) {
+                0 => String::new(),
+                1 => "   ".to_string(),
+                2 => "suffix example.com".to_string(),
+                3 => "SUFFIX".to_string(),
+                _ => format!("NOPE {}", gen_label(rng)),
+            }),
+            _ => {
+                lines.push(format!("BATCH {}", *rng.pick(&["-1", "9999999999999999999", "x", ""])))
+            }
+        }
+    }
+    for line in &mut lines {
+        line.retain(|c| c != '\n');
+        line.truncate(1024);
+    }
+    lines
+}
+
+fn gen_date(rng: &mut FuzzRng) -> String {
+    match rng.below(6) {
+        0 => "not-a-date".to_string(),
+        1 => "1999-01-01".to_string(),
+        2 => "9999-12-31".to_string(),
+        _ => format!("20{:02}-{:02}-{:02}", rng.range(10, 24), rng.range(1, 12), rng.range(1, 28)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let run = |seed: u64| {
+            let mut rng = FuzzRng::new(seed);
+            let dat = gen_dat(&mut rng);
+            let rules = psl_core::List::parse(&dat).rules().to_vec();
+            let host = gen_hostname(&mut rng, &rules);
+            let cookie = gen_set_cookie(&mut rng, &host);
+            let session = gen_session(&mut rng, &rules);
+            (dat, host, cookie, session)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn sessions_are_batch_complete() {
+        // Every generated session must leave no batch pending, or the
+        // loopback differential would block on an unflushed writer.
+        for seed in 0..200 {
+            let mut rng = FuzzRng::new(seed);
+            let dat = gen_dat(&mut rng);
+            let rules = psl_core::List::parse(&dat).rules().to_vec();
+            let session = gen_session(&mut rng, &rules);
+            let limits = psl_service::Limits::default();
+            let mut pending = 0usize;
+            for line in &session {
+                if pending > 0 {
+                    pending -= 1;
+                    continue;
+                }
+                if let Ok(psl_service::Command::Batch(n)) =
+                    psl_service::parse_command(line, &limits)
+                {
+                    pending = n;
+                }
+            }
+            assert_eq!(pending, 0, "incomplete batch in session from seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_frames_stay_single_line_and_bounded() {
+        for seed in 0..100 {
+            let mut rng = FuzzRng::new(seed);
+            let session = gen_session(&mut rng, &[]);
+            for line in session {
+                assert!(!line.contains('\n'));
+                assert!(line.len() <= 1024);
+            }
+            let host = gen_hostname(&mut rng, &[]);
+            assert!(!host.contains('\n'));
+            let cookie = gen_set_cookie(&mut rng, &host);
+            assert!(!cookie.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn dat_generator_produces_parseable_rule_sets() {
+        // Not every line needs to parse, but the stream must regularly
+        // produce lists with wildcard/exception structure, or the matcher
+        // differential has nothing to chew on.
+        let mut rng = FuzzRng::new(1);
+        let mut wildcards = 0;
+        let mut exceptions = 0;
+        for _ in 0..300 {
+            let list = psl_core::List::parse(&gen_dat(&mut rng));
+            for r in list.rules() {
+                match r.kind() {
+                    psl_core::RuleKind::Wildcard => wildcards += 1,
+                    psl_core::RuleKind::Exception => exceptions += 1,
+                    psl_core::RuleKind::Normal => {}
+                }
+            }
+        }
+        assert!(wildcards > 50, "only {wildcards} wildcard rules in 300 lists");
+        assert!(exceptions > 50, "only {exceptions} exception rules in 300 lists");
+    }
+}

@@ -1,0 +1,133 @@
+//! Greedy shrinking for failing inputs.
+//!
+//! Everything here is framed as "remove a piece, keep the removal if the
+//! input still fails" driven by a caller-supplied predicate (the predicate
+//! is the target check wrapped in `catch_unwind`, so panics shrink the
+//! same way divergences do). Greedy single-piece removal to a fixpoint is
+//! quadratic, which is fine at fuzz-input sizes (tens of lines) and —
+//! unlike ddmin — trivially deterministic.
+
+/// Shrink a list of lines: repeatedly drop any single line whose removal
+/// keeps the input failing, until no single removal does.
+pub fn shrink_lines(lines: &[String], still_fails: impl Fn(&[String]) -> bool) -> Vec<String> {
+    shrink_blocks(&lines.iter().map(|l| vec![l.clone()]).collect::<Vec<_>>(), still_fails)
+}
+
+/// Shrink a list of *blocks* (groups of lines that only make sense
+/// together, e.g. a `BATCH n` command plus its `n` host lines), dropping
+/// whole blocks at a time.
+pub fn shrink_blocks(
+    blocks: &[Vec<String>],
+    still_fails: impl Fn(&[String]) -> bool,
+) -> Vec<String> {
+    let flatten = |bs: &[Vec<String>]| -> Vec<String> { bs.iter().flatten().cloned().collect() };
+    let mut current: Vec<Vec<String>> = blocks.to_vec();
+    let mut progress = true;
+    while progress && !current.is_empty() {
+        progress = false;
+        let mut i = 0;
+        while i < current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if still_fails(&flatten(&candidate)) {
+                current = candidate;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    flatten(&current)
+}
+
+/// Shrink a string character by character (used for hostnames, header
+/// values, and single rule lines after line-level shrinking has finished).
+pub fn shrink_chars(s: &str, still_fails: impl Fn(&str) -> bool) -> String {
+    let mut current: Vec<char> = s.chars().collect();
+    let mut progress = true;
+    while progress && !current.is_empty() {
+        progress = false;
+        let mut i = 0;
+        while i < current.len() {
+            let removed = current.remove(i);
+            let candidate: String = current.iter().collect();
+            if still_fails(&candidate) {
+                progress = true;
+            } else {
+                current.insert(i, removed);
+                i += 1;
+            }
+        }
+    }
+    current.into_iter().collect()
+}
+
+/// Group protocol session lines into shrinkable blocks: a `BATCH n` frame
+/// owns its next `n` lines (dropping the header without its hosts, or vice
+/// versa, would turn host lines into commands and re-frame the whole
+/// session rather than shrink it).
+pub fn session_blocks(lines: &[String]) -> Vec<Vec<String>> {
+    let limits = psl_service::Limits::default();
+    let mut blocks = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let mut block = vec![lines[i].clone()];
+        if let Ok(psl_service::Command::Batch(n)) = psl_service::parse_command(&lines[i], &limits) {
+            let end = (i + 1 + n).min(lines.len());
+            block.extend(lines[i + 1..end].iter().cloned());
+            i = end;
+        } else {
+            i += 1;
+        }
+        blocks.push(block);
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn line_shrinking_reaches_the_minimal_failing_subset() {
+        // "Fails" iff both "b" and "d" are present.
+        let fails = |ls: &[String]| ls.iter().any(|l| l == "b") && ls.iter().any(|l| l == "d");
+        let out = shrink_lines(&v(&["a", "b", "c", "d", "e"]), fails);
+        assert_eq!(out, v(&["b", "d"]));
+    }
+
+    #[test]
+    fn char_shrinking_is_greedy_and_terminates() {
+        let fails = |s: &str| s.contains('x');
+        assert_eq!(shrink_chars("aaxaa", fails), "x");
+        // Predicate that always fails: shrinks all the way to empty.
+        assert_eq!(shrink_chars("abcdef", |_| true), "");
+        // Predicate that never fails on candidates: input unchanged.
+        assert_eq!(shrink_chars("abc", |_| false), "abc");
+    }
+
+    #[test]
+    fn batch_frames_shrink_as_one_block() {
+        let lines = v(&["PING", "BATCH 2", "a.com", "b.com", "SUFFIX c.com"]);
+        let blocks = session_blocks(&lines);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[1], v(&["BATCH 2", "a.com", "b.com"]));
+
+        // Dropping the PING and SUFFIX blocks keeps the batch intact.
+        let fails = |ls: &[String]| ls.iter().any(|l| l == "a.com");
+        let out = shrink_blocks(&blocks, fails);
+        assert_eq!(out, v(&["BATCH 2", "a.com", "b.com"]));
+    }
+
+    #[test]
+    fn truncated_batch_still_forms_a_block() {
+        let lines = v(&["BATCH 5", "only.one"]);
+        let blocks = session_blocks(&lines);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0], lines);
+    }
+}

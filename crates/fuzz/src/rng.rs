@@ -1,0 +1,112 @@
+//! The fuzzer's own deterministic random stream.
+//!
+//! SplitMix64 — tiny, seedable, and stable across platforms. The fuzzer
+//! deliberately does not share the vendored `rand` shim used by the
+//! substrate generators: corpus reproducibility depends on this stream
+//! never changing, so it is pinned here, in ~40 lines, with its own tests.
+
+/// A SplitMix64 generator. Every fuzzing decision flows through one of
+/// these, so a `(seed, iteration)` pair fully determines the input.
+#[derive(Debug, Clone)]
+pub struct FuzzRng {
+    state: u64,
+}
+
+impl FuzzRng {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn new(seed: u64) -> FuzzRng {
+        FuzzRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` must be non-zero).
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "below(0)");
+        // Lemire multiply-shift; bias < 2^-64 per draw.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform value in `lo..=hi`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi, "range({lo}, {hi})");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        debug_assert!(den > 0 && num <= den);
+        (self.next_u64() % den) < num
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+
+    /// Derive an independent sub-stream (for the per-iteration generators,
+    /// so one iteration's draw count never perturbs the next iteration).
+    pub fn fork(&mut self) -> FuzzRng {
+        FuzzRng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_seed_fixed_stream() {
+        let mut a = FuzzRng::new(42);
+        let mut b = FuzzRng::new(42);
+        for _ in 0..256 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(FuzzRng::new(1).next_u64(), FuzzRng::new(2).next_u64());
+    }
+
+    #[test]
+    fn stream_is_pinned() {
+        // The corpus depends on this exact stream: changing the generator
+        // constants silently re-maps every (seed, iters) reproduction
+        // recipe, so the first outputs are pinned as a regression.
+        let mut rng = FuzzRng::new(0);
+        assert_eq!(rng.next_u64(), 16294208416658607535);
+        assert_eq!(rng.next_u64(), 7960286522194355700);
+        let mut rng = FuzzRng::new(42);
+        assert_eq!(rng.next_u64(), 13679457532755275413);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut rng = FuzzRng::new(7);
+        for _ in 0..2000 {
+            assert!(rng.below(3) < 3);
+            let v = rng.range(5, 9);
+            assert!((5..=9).contains(&v));
+        }
+        let mut lows = 0;
+        for _ in 0..10_000 {
+            if rng.chance(1, 4) {
+                lows += 1;
+            }
+        }
+        assert!((2000..3000).contains(&lows), "chance(1,4) hit {lows}/10000");
+    }
+
+    #[test]
+    fn forked_streams_diverge_from_parent() {
+        let mut parent = FuzzRng::new(9);
+        let mut child = parent.fork();
+        let a: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+}

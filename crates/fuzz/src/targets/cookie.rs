@@ -1,0 +1,201 @@
+//! `Set-Cookie` target: an independent reference parser (written straight
+//! from RFC 6265 §5.2) compared field-by-field against
+//! [`psl_core::SetCookie::parse`], plus jar storage invariants on a fixed
+//! PSL snapshot.
+
+use psl_core::{CookieJar, DomainName, List, MatchOpts, SetCookie};
+use std::sync::OnceLock;
+
+/// The list every jar check runs against: normal, wildcard, exception and
+/// PRIVATE rules, so the supercookie probes in the generator have real
+/// boundaries to hit.
+pub fn shared_list() -> &'static List {
+    static LIST: OnceLock<List> = OnceLock::new();
+    LIST.get_or_init(|| {
+        List::parse(
+            "com\nio\nnet\nco.uk\n*.uk\n!city.uk\n\
+             // ===BEGIN PRIVATE DOMAINS===\ngithub.io\n",
+        )
+    })
+}
+
+/// What the reference parser produced (mirrors [`SetCookie`]'s fields).
+#[derive(Debug, PartialEq, Eq)]
+struct RefCookie {
+    name: String,
+    value: String,
+    domain: Option<String>,
+    path: Option<String>,
+    secure: bool,
+}
+
+/// RFC 6265 §5.2, written independently of `jar.rs`:
+/// - §5.2.3 Domain: leading `.` removed, lowercased; an *empty* value
+///   ignores that cookie-av (the previous value stands);
+/// - §5.2.4 Path: a value that is empty or does not start with `/` resets
+///   the cookie's path to the default path — it does not keep an earlier
+///   absolute value (attributes are processed in order, last wins);
+/// - unknown attributes ignored.
+fn reference_parse(header: &str) -> Option<RefCookie> {
+    let mut parts = header.split(';');
+    let pair = parts.next()?.trim();
+    let (name, value) = pair.split_once('=')?;
+    let name = name.trim();
+    if name.is_empty() {
+        return None;
+    }
+    let mut out = RefCookie {
+        name: name.to_string(),
+        value: value.trim().to_string(),
+        domain: None,
+        path: None,
+        secure: false,
+    };
+    for attr in parts {
+        let attr = attr.trim();
+        let (key, val) = match attr.split_once('=') {
+            Some((k, v)) => (k.trim().to_ascii_lowercase(), v.trim()),
+            None => (attr.to_ascii_lowercase(), ""),
+        };
+        match key.as_str() {
+            "domain" => {
+                let v = val.strip_prefix('.').unwrap_or(val);
+                if !v.is_empty() {
+                    out.domain = Some(v.to_ascii_lowercase());
+                }
+            }
+            "path" => {
+                out.path = if val.starts_with('/') { Some(val.to_string()) } else { None };
+            }
+            "secure" => out.secure = true,
+            _ => {}
+        }
+    }
+    Some(out)
+}
+
+/// Check one `(request_host, Set-Cookie header)` pair.
+pub fn check_cookie(host: &str, header: &str) -> Result<(), String> {
+    // 1. Production parser vs. the reference, field by field.
+    let production = SetCookie::parse(header);
+    let reference = reference_parse(header);
+    match (&production, &reference) {
+        (None, None) => return Ok(()),
+        (Some(p), Some(r)) => {
+            let p = RefCookie {
+                name: p.name.clone(),
+                value: p.value.clone(),
+                domain: p.domain.clone(),
+                path: p.path.clone(),
+                secure: p.secure,
+            };
+            if p != *r {
+                return Err(format!(
+                    "Set-Cookie parse divergence on {header:?}: production={p:?} reference={r:?}"
+                ));
+            }
+        }
+        _ => {
+            return Err(format!(
+                "Set-Cookie accept/reject divergence on {header:?}: \
+                 production={production:?} reference={reference:?}"
+            ));
+        }
+    }
+    let sc = production.unwrap();
+
+    // 2. Jar storage invariants, only reachable with a parseable host.
+    let host = match DomainName::parse(host) {
+        Ok(h) => h,
+        Err(_) => return Ok(()),
+    };
+    let mut jar = CookieJar::new(shared_list(), MatchOpts::default());
+    let outcome = jar.set(&host, &sc);
+
+    // A Domain attribute with a trailing dot must never be stored
+    // (RFC 6265 §4.1.2.3 / §5.2.3: such cookies are ignored).
+    if let Some(d) = &sc.domain {
+        if d.ends_with('.') && outcome.is_ok() {
+            return Err(format!(
+                "trailing-dot Domain stored instead of rejected: {header:?} -> {:?}",
+                jar.cookies()
+            ));
+        }
+    }
+    if outcome.is_err() {
+        if !jar.is_empty() {
+            return Err(format!("refused Set-Cookie left state behind: {header:?}"));
+        }
+        return Ok(());
+    }
+
+    if jar.len() != 1 {
+        return Err(format!("one accepted Set-Cookie stored {} cookies", jar.len()));
+    }
+    let stored = jar.cookies()[0].clone();
+    if !stored.path.starts_with('/') {
+        return Err(format!(
+            "stored cookie has non-absolute path {:?} from {header:?}",
+            stored.path
+        ));
+    }
+    match DomainName::parse(stored.domain.as_str()) {
+        Ok(d) if d == stored.domain => {}
+        other => {
+            return Err(format!(
+                "stored cookie domain not canonical: {:?} reparses as {other:?}",
+                stored.domain.as_str()
+            ));
+        }
+    }
+    if !host.is_subdomain_of(&stored.domain) {
+        return Err(format!(
+            "stored cookie does not domain-match its setter: host={:?} domain={:?}",
+            host.as_str(),
+            stored.domain.as_str()
+        ));
+    }
+    if stored.host_only != sc.domain.is_none() {
+        return Err(format!(
+            "host_only flag wrong: Domain attr {:?} but host_only={}",
+            sc.domain, stored.host_only
+        ));
+    }
+
+    // Retrieval must return the cookie to its own scope...
+    if jar.cookies_for(&host, &stored.path, true).is_empty() {
+        return Err(format!("stored cookie not retrievable at its own path: {header:?}"));
+    }
+    // ...and replaying the identical header must replace, not duplicate.
+    jar.set(&host, &sc)
+        .map_err(|e| format!("replaying an accepted Set-Cookie was refused: {header:?}: {e:?}"))?;
+    if jar.len() != 1 {
+        return Err(format!(
+            "replaying an accepted Set-Cookie duplicated it: {} cookies",
+            jar.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinary_cookies_pass() {
+        check_cookie("app.example.com", "sid=abc; Domain=example.com; Path=/app; Secure").unwrap();
+        check_cookie("app.example.com", "sid=abc").unwrap();
+        check_cookie("alice.github.io", "t=1; Domain=github.io").unwrap(); // refused, cleanly
+        check_cookie("not..a..host", "sid=abc").unwrap();
+        check_cookie("example.com", "").unwrap(); // both parsers reject
+    }
+
+    #[test]
+    fn reference_parser_implements_last_wins_path() {
+        let r = reference_parse("a=b; Path=/app; Path=relative").unwrap();
+        assert_eq!(r.path, None, "later non-absolute Path must reset to default");
+        let r = reference_parse("a=b; Path=relative; Path=/app").unwrap();
+        assert_eq!(r.path.as_deref(), Some("/app"));
+    }
+}

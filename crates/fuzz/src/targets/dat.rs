@@ -1,0 +1,77 @@
+//! `.dat` target: parser round-trip fixpoint and rule/domain
+//! canonicalisation agreement.
+
+use psl_core::{parse_dat, write_dat, DomainName, Rule, Section};
+
+fn rule_key(r: &Rule) -> (String, Section) {
+    (r.as_text(), r.section())
+}
+
+/// Check one `.dat` text. The parser is lenient by design (hostile lines
+/// become per-line errors, never failures here); what must hold is that a
+/// parse → write → parse cycle preserves the rule set exactly and that
+/// `write_dat` output is a fixpoint.
+pub fn check_dat(text: &str) -> Result<(), String> {
+    let p1 = parse_dat(text);
+    let written = write_dat(&p1.rules);
+    let p2 = parse_dat(&written);
+
+    if !p2.errors.is_empty() {
+        let (line, msg) = &p2.errors[0];
+        return Err(format!("write_dat output does not re-parse cleanly: line {line}: {msg}"));
+    }
+
+    let mut k1: Vec<_> = p1.rules.iter().map(rule_key).collect();
+    let mut k2: Vec<_> = p2.rules.iter().map(rule_key).collect();
+    k1.sort();
+    k2.sort();
+    if k1 != k2 {
+        let missing: Vec<_> = k1.iter().filter(|k| !k2.contains(k)).collect();
+        let extra: Vec<_> = k2.iter().filter(|k| !k1.contains(k)).collect();
+        return Err(format!(
+            "rule set changed across round-trip: missing={missing:?} extra={extra:?}"
+        ));
+    }
+
+    let rewritten = write_dat(&p2.rules);
+    if rewritten != written {
+        return Err("write_dat is not a fixpoint of its own output".to_string());
+    }
+
+    // Cross-layer agreement: a rule body that is *also* a valid domain name
+    // must already be in domain-canonical form — otherwise the same label
+    // canonicalises differently depending on which layer saw it first.
+    for rule in &p1.rules {
+        let body = rule.labels().join(".");
+        if let Ok(dom) = DomainName::parse(&body) {
+            if dom.as_str() != body {
+                return Err(format!(
+                    "rule body and domain canonicalisation disagree: rule {:?} has body \
+                     {body:?} but DomainName::parse gives {:?}",
+                    rule.as_text(),
+                    dom.as_str()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realistic_lists_round_trip() {
+        check_dat("com\n*.uk\n!city.uk\n// ===BEGIN PRIVATE DOMAINS===\ngithub.io\n").unwrap();
+        check_dat("").unwrap();
+        check_dat("// only comments\n\n").unwrap();
+        check_dat("com\ncom\nCOM\n").unwrap(); // duplicates dedup stably
+    }
+
+    #[test]
+    fn hostile_lines_are_not_failures() {
+        check_dat("*.\n!\n..\nnot a rule at all\n\u{0}\n").unwrap();
+        check_dat("// ===END PRIVATE DOMAINS===\ncom\n").unwrap();
+    }
+}

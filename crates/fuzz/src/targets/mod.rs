@@ -1,0 +1,13 @@
+//! The four differential executors.
+//!
+//! Each target module exposes a `check_*` function that runs one concrete
+//! input through its invariants and returns `Err(reason)` on a divergence
+//! or broken invariant. Panics are *not* caught here — the [`crate::runner`]
+//! wraps every check in `catch_unwind` so a panic is just another failure.
+
+pub mod cookie;
+pub mod dat;
+pub mod hostname;
+pub mod service;
+
+pub use hostname::{ListUnderTest, MatcherFactory, TrieFactory};

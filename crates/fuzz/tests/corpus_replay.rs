@@ -1,0 +1,50 @@
+//! Every checked-in corpus entry is a minimized reproducer of a bug the
+//! fuzzer once found. This test replays each one through its target's
+//! check *directly* (no `catch_unwind`, no minimizer) and requires it to
+//! pass on HEAD — a regression here means a fixed bug came back.
+
+use psl_fuzz::targets::{cookie, dat, hostname, service};
+use psl_fuzz::{read_corpus, Input, Target, TrieFactory};
+
+fn replay(input: &Input) -> Result<(), String> {
+    match input {
+        Input::Hostname(host, dat_text) => {
+            let lut = hostname::ListUnderTest::build(dat_text, &TrieFactory);
+            hostname::check_host(&lut, host)
+        }
+        Input::Dat(text) => dat::check_dat(text),
+        Input::Cookie(host, header) => cookie::check_cookie(host, header),
+        Input::Service(lines) => service::check_session(lines),
+    }
+}
+
+#[test]
+fn all_corpus_entries_pass_on_head() {
+    let mut total = 0usize;
+    for target in Target::ALL {
+        for (name, input) in read_corpus(target) {
+            total += 1;
+            if let Err(reason) = replay(&input) {
+                panic!("corpus regression: {target}/{name}: {reason}");
+            }
+        }
+    }
+    // The entries harvested while fixing the PR's satellite bugs (ACE
+    // canonicalisation, cookie Domain/Path handling) must still be there —
+    // a silently emptied corpus would make this test vacuous.
+    assert!(total >= 6, "expected >=6 corpus entries, found {total}");
+}
+
+#[test]
+fn corpus_entries_round_trip_through_serialization() {
+    for target in Target::ALL {
+        for (name, input) in read_corpus(target) {
+            let again = Input::deserialize(target, &input.serialize());
+            assert_eq!(
+                again.serialize(),
+                input.serialize(),
+                "{target}/{name} not serialization-stable"
+            );
+        }
+    }
+}

@@ -189,6 +189,7 @@ fn serve_connection(
     }
 }
 
+#[derive(Debug)]
 enum LineRead {
     /// A complete line is in the buffer (without the trailing `\n`).
     Line,
@@ -201,9 +202,11 @@ enum LineRead {
 }
 
 /// Read one `\n`-terminated line of at most `max` bytes, tolerating read
-/// timeouts (used to poll `stop`) and draining oversized lines.
-fn read_line_bounded(
-    reader: &mut BufReader<TcpStream>,
+/// timeouts (used to poll `stop`) and draining oversized lines. EOF with
+/// bytes already buffered yields those bytes as a final unterminated line;
+/// the next call reports `Closed`.
+fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
     buf: &mut Vec<u8>,
     max: usize,
     stop: &AtomicBool,
@@ -238,7 +241,7 @@ fn read_line_bounded(
 }
 
 /// Discard input until the next newline (or EOF/stop).
-fn drain_to_newline(reader: &mut BufReader<TcpStream>, stop: &AtomicBool) -> std::io::Result<()> {
+fn drain_to_newline<R: BufRead>(reader: &mut R, stop: &AtomicBool) -> std::io::Result<()> {
     let mut chunk = Vec::with_capacity(4096);
     loop {
         chunk.clear();
@@ -261,37 +264,231 @@ fn drain_to_newline(reader: &mut BufReader<TcpStream>, stop: &AtomicBool) -> std
     }
 }
 
+/// Reload-relevant identity of the watched file: (mtime, length). Compared
+/// for equality, not ordering, so an mtime that goes *backwards* (a restore
+/// from backup, a delete/re-create that lands on an older timestamp) still
+/// registers as a change whenever either component differs.
+type FileSignature = (SystemTime, u64);
+
+fn file_signature(path: &std::path::Path) -> std::io::Result<FileSignature> {
+    let meta = std::fs::metadata(path)?;
+    Ok((meta.modified()?, meta.len()))
+}
+
 fn watch_loop(engine: Arc<Engine>, path: PathBuf, interval: Duration, stop: &AtomicBool) {
-    let mut last_mtime: Option<SystemTime> = None;
+    // Signature of the last file state we successfully published (or the
+    // startup baseline). Committed only after a successful read + publish,
+    // so a transient read failure is retried on the next tick rather than
+    // being skipped until the file happens to change again.
+    let mut published: Option<FileSignature> = None;
+    let mut baseline_recorded = false;
+    // Set while the file is missing or unstatable. Forces a reload on the
+    // next successful stat even if the signature matches — a delete +
+    // re-create can reproduce the old mtime and length exactly.
+    let mut saw_missing = false;
+    // Consecutive stat/read failures; drives the bounded backoff below.
+    let mut failures: u32 = 0;
     while !stop.load(Ordering::SeqCst) {
-        match std::fs::metadata(&path).and_then(|m| m.modified()) {
-            Ok(mtime) => {
-                if last_mtime != Some(mtime) {
-                    let first = last_mtime.is_none();
-                    last_mtime = Some(mtime);
-                    // On startup we only record the baseline mtime; the
-                    // serve command already loaded the initial list.
-                    if !first {
-                        match std::fs::read_to_string(&path) {
-                            Ok(text) => {
-                                let list = psl_core::List::parse(&text);
-                                let rules = list.len();
-                                let epoch =
-                                    engine.publish_list(path.display().to_string(), None, list);
-                                eprintln!(
-                                    "psl-service: reloaded {} (epoch {epoch}, {rules} rules)",
-                                    path.display()
-                                );
-                            }
-                            Err(e) => {
-                                eprintln!("psl-service: watch read {}: {e}", path.display())
-                            }
+        match file_signature(&path) {
+            Ok(sig) => {
+                if !baseline_recorded && !saw_missing {
+                    // Startup: the serve command already loaded the initial
+                    // list; just record where we started.
+                    published = Some(sig);
+                    baseline_recorded = true;
+                    failures = 0;
+                } else if published != Some(sig) || saw_missing {
+                    match std::fs::read_to_string(&path) {
+                        Ok(text) => {
+                            let list = psl_core::List::parse(&text);
+                            let rules = list.len();
+                            let epoch = engine.publish_list(path.display().to_string(), None, list);
+                            eprintln!(
+                                "psl-service: reloaded {} (epoch {epoch}, {rules} rules)",
+                                path.display()
+                            );
+                            published = Some(sig);
+                            baseline_recorded = true;
+                            saw_missing = false;
+                            failures = 0;
+                        }
+                        Err(e) => {
+                            failures = failures.saturating_add(1);
+                            eprintln!("psl-service: watch read {}: {e}", path.display());
                         }
                     }
+                } else {
+                    failures = 0;
                 }
             }
-            Err(e) => eprintln!("psl-service: watch stat {}: {e}", path.display()),
+            Err(e) => {
+                saw_missing = true;
+                failures = failures.saturating_add(1);
+                eprintln!("psl-service: watch stat {}: {e}", path.display());
+            }
         }
-        std::thread::sleep(interval);
+        // Bounded exponential backoff while failing — 1, 2, 4, then 8 poll
+        // intervals — sleeping one interval at a time so a stop request is
+        // still observed promptly.
+        for _ in 0..(1u32 << failures.min(3)) {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(interval);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// A `Read` impl driven by a script of chunks and errors, so the
+    /// bounded line reader can be exercised against timeout boundaries,
+    /// interrupts, and truncated streams without a socket.
+    struct ScriptedReader {
+        script: VecDeque<Result<Vec<u8>, ErrorKind>>,
+    }
+
+    impl ScriptedReader {
+        fn new(script: impl IntoIterator<Item = Result<&'static [u8], ErrorKind>>) -> Self {
+            ScriptedReader { script: script.into_iter().map(|s| s.map(|b| b.to_vec())).collect() }
+        }
+    }
+
+    impl Read for ScriptedReader {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            match self.script.pop_front() {
+                None => Ok(0),
+                Some(Err(kind)) => Err(kind.into()),
+                Some(Ok(bytes)) => {
+                    let n = bytes.len().min(out.len());
+                    out[..n].copy_from_slice(&bytes[..n]);
+                    if n < bytes.len() {
+                        self.script.push_front(Ok(bytes[n..].to_vec()));
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    fn reader(
+        script: impl IntoIterator<Item = Result<&'static [u8], ErrorKind>>,
+    ) -> BufReader<ScriptedReader> {
+        BufReader::new(ScriptedReader::new(script))
+    }
+
+    fn no_stop() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+
+    #[test]
+    fn eof_without_newline_at_exactly_max_yields_the_line_then_closed() {
+        let mut r = reader([Ok(b"abcd".as_slice())]);
+        let stop = no_stop();
+        let mut buf = Vec::new();
+        assert!(matches!(read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(), LineRead::Line));
+        assert_eq!(buf, b"abcd");
+        buf.clear();
+        assert!(matches!(read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(), LineRead::Closed));
+    }
+
+    #[test]
+    fn exactly_max_bytes_plus_newline_is_a_line() {
+        let mut r = reader([Ok(b"abcd\nnext\n".as_slice())]);
+        let stop = no_stop();
+        let mut buf = Vec::new();
+        assert!(matches!(read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(), LineRead::Line));
+        assert_eq!(buf, b"abcd");
+        buf.clear();
+        assert!(matches!(read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(), LineRead::Line));
+        assert_eq!(buf, b"next");
+    }
+
+    #[test]
+    fn one_byte_over_max_is_oversized_and_the_connection_stays_usable() {
+        let mut r = reader([Ok(b"abcde and much more junk\nPING\n".as_slice())]);
+        let stop = no_stop();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(),
+            LineRead::Oversized
+        ));
+        buf.clear();
+        assert!(matches!(read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(), LineRead::Line));
+        assert_eq!(buf, b"PING");
+    }
+
+    #[test]
+    fn interrupted_mid_line_loses_no_bytes() {
+        let mut r =
+            reader([Ok(b"ab".as_slice()), Err(ErrorKind::Interrupted), Ok(b"cd\n".as_slice())]);
+        let stop = no_stop();
+        let mut buf = Vec::new();
+        assert!(matches!(read_line_bounded(&mut r, &mut buf, 16, &stop).unwrap(), LineRead::Line));
+        assert_eq!(buf, b"abcd");
+    }
+
+    #[test]
+    fn timeout_mid_line_resumes_without_losing_bytes() {
+        let mut r = reader([
+            Ok(b"ab".as_slice()),
+            Err(ErrorKind::WouldBlock),
+            Err(ErrorKind::TimedOut),
+            Ok(b"cd\n".as_slice()),
+        ]);
+        let stop = no_stop();
+        let mut buf = Vec::new();
+        assert!(matches!(read_line_bounded(&mut r, &mut buf, 16, &stop).unwrap(), LineRead::Line));
+        assert_eq!(buf, b"abcd");
+    }
+
+    #[test]
+    fn overlong_line_drain_hitting_eof_reports_oversized_then_closed() {
+        let mut r = reader([Ok(b"aaaaaaaa".as_slice())]);
+        let stop = no_stop();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(),
+            LineRead::Oversized
+        ));
+        buf.clear();
+        assert!(matches!(read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(), LineRead::Closed));
+    }
+
+    #[test]
+    fn stop_requested_during_a_timeout_returns_stopped() {
+        let mut r = reader([Err(ErrorKind::WouldBlock)]);
+        let stop = AtomicBool::new(true);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(),
+            LineRead::Stopped
+        ));
+    }
+
+    #[test]
+    fn hard_errors_propagate() {
+        let mut r = reader([Ok(b"ab".as_slice()), Err(ErrorKind::ConnectionReset)]);
+        let stop = no_stop();
+        let mut buf = Vec::new();
+        let err = read_line_bounded(&mut r, &mut buf, 16, &stop).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn drain_swallows_interrupts_and_stops_at_newline() {
+        let mut r = reader([
+            Ok(b"junk".as_slice()),
+            Err(ErrorKind::Interrupted),
+            Ok(b"more\nkeep".as_slice()),
+        ]);
+        let stop = no_stop();
+        drain_to_newline(&mut r, &stop).unwrap();
+        let mut buf = Vec::new();
+        assert!(matches!(read_line_bounded(&mut r, &mut buf, 16, &stop).unwrap(), LineRead::Line));
+        assert_eq!(buf, b"keep");
     }
 }
