@@ -42,5 +42,5 @@ pub mod walker;
 
 pub use markdown::render_markdown;
 pub use pipeline::{build_substrates, run_all, FullReport, PipelineConfig, Substrates};
-pub use sweep::{stats_for_single_list, sweep, SweepConfig, VersionStats};
+pub use sweep::{stats_for_single_list, sweep, sweep_rebuild, SweepConfig, VersionStats};
 pub use sweep_incremental::sweep_incremental;

@@ -7,10 +7,16 @@
 //! (Figure 6), and the number of hostnames mapped to a different site than
 //! under the most recent list (Figure 7).
 //!
-//! Hostname label splits are computed once; versions are swept in parallel
-//! with crossbeam scoped threads.
+//! Hostname label splits are computed **and interned** once: the history is
+//! compiled into per-version [`FrozenList`] arenas through a shared
+//! [`psl_core::LabelInterner`] ([`History::compiled_versions`]), each
+//! hostname becomes a `Box<[u32]>` of label ids, and every version is then
+//! matched by zero-allocation arena walks over those id slices. Versions
+//! are swept in parallel with crossbeam scoped threads. The pre-compilation
+//! rebuild-per-version implementation survives as [`sweep_rebuild`] for the
+//! ablation bench.
 
-use psl_core::{Date, List, MatchOpts};
+use psl_core::{Date, FrozenList, List, MatchOpts};
 use psl_history::History;
 use psl_webcorpus::WebCorpus;
 use serde::{Deserialize, Serialize};
@@ -59,6 +65,21 @@ fn site_suffix_lens(list: &List, reversed: &[Vec<&str>], opts: MatchOpts) -> Vec
         .collect()
 }
 
+/// [`site_suffix_lens`] over pre-interned id slices and a compiled arena:
+/// the per-version hot loop of the sweep.
+fn site_suffix_lens_ids(frozen: &FrozenList, host_ids: &[Box<[u32]>], opts: MatchOpts) -> Vec<u32> {
+    host_ids
+        .iter()
+        .map(|ids| {
+            let n = ids.len();
+            match frozen.disposition_by_ids(ids, opts) {
+                Some(d) => (d.suffix_len.min(n.saturating_sub(1)) + 1).min(n) as u32,
+                None => n as u32,
+            }
+        })
+        .collect()
+}
+
 /// Dense site ids for each host, given per-host site lengths (in labels,
 /// counted from the right). Hosts share a site id iff their site strings
 /// are equal.
@@ -84,8 +105,26 @@ fn stats_for_list(
     latest_lens: Option<&[u32]>,
     opts: MatchOpts,
 ) -> (usize, u64, usize) {
-    let lens = site_suffix_lens(list, reversed, opts);
-    let (ids, sites) = site_ids(corpus, &lens);
+    stats_from_lens(corpus, &site_suffix_lens(list, reversed, opts), latest_lens)
+}
+
+/// As [`stats_for_list`], but over the compiled arena and pre-interned ids.
+fn stats_for_frozen(
+    corpus: &WebCorpus,
+    host_ids: &[Box<[u32]>],
+    frozen: &FrozenList,
+    latest_lens: Option<&[u32]>,
+    opts: MatchOpts,
+) -> (usize, u64, usize) {
+    stats_from_lens(corpus, &site_suffix_lens_ids(frozen, host_ids, opts), latest_lens)
+}
+
+fn stats_from_lens(
+    corpus: &WebCorpus,
+    lens: &[u32],
+    latest_lens: Option<&[u32]>,
+) -> (usize, u64, usize) {
+    let (ids, sites) = site_ids(corpus, lens);
     let third_party = corpus
         .requests()
         .iter()
@@ -101,27 +140,76 @@ fn stats_for_list(
 }
 
 /// Run the sweep over every version of the history.
+///
+/// The production path: the history is compiled once (incrementally,
+/// through a shared interner) into per-version [`FrozenList`] arenas, the
+/// corpus's reversed label splits are interned once into id slices, and
+/// every `(version, host)` resolution is then a zero-allocation arena
+/// walk. [`sweep_rebuild`] computes the same numbers the pre-compilation
+/// way; the tests hold them exactly equal.
 pub fn sweep(history: &History, corpus: &WebCorpus, config: &SweepConfig) -> Vec<VersionStats> {
-    let reversed = corpus.reversed_labels();
     let opts = config.opts;
+
+    let mut compiled = history.compiled_versions();
+    let reversed = corpus.reversed_labels();
+    // Intern every corpus hostname once; labels absent from all rules get
+    // fresh ids that match no arena edge, which is exactly how the string
+    // path treats unknown labels.
+    let host_ids: Vec<Box<[u32]>> =
+        reversed.iter().map(|labels| compiled.intern_reversed(labels)).collect();
 
     // The latest grouping, for the Figure 7 comparison. Two hostnames are
     // "in a different site" when their site *string* changes; since a
     // host's site is always one of its own suffixes, comparing suffix
     // lengths is equivalent and cheaper.
+    let versions = compiled.versions();
+    let latest_frozen = &versions.last().expect("history non-empty").1;
+    let latest_lens = site_suffix_lens_ids(latest_frozen, &host_ids, opts);
+
+    let threads = thread_count(config, versions.len());
+    let mut out: Vec<Option<VersionStats>> = vec![None; versions.len()];
+    let chunk = versions.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, version_chunk) in out.chunks_mut(chunk).zip(versions.chunks(chunk)) {
+            let host_ids = &host_ids;
+            let latest_lens = &latest_lens;
+            scope.spawn(move |_| {
+                for (slot, (vdate, frozen)) in slot_chunk.iter_mut().zip(version_chunk) {
+                    let (sites, third_party, moved) =
+                        stats_for_frozen(corpus, host_ids, frozen, Some(latest_lens), opts);
+                    *slot = Some(VersionStats {
+                        date: *vdate,
+                        rule_count: frozen.len(),
+                        sites,
+                        third_party_requests: third_party,
+                        hosts_in_different_site_vs_latest: moved,
+                    });
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    out.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+/// The pre-compilation sweep: build a full [`List`] snapshot per version
+/// and match hostnames as string labels. Kept as the ablation baseline the
+/// bench suite (and `pslharm bench`) measures the compiled path against;
+/// results are identical to [`sweep`].
+pub fn sweep_rebuild(
+    history: &History,
+    corpus: &WebCorpus,
+    config: &SweepConfig,
+) -> Vec<VersionStats> {
+    let reversed = corpus.reversed_labels();
+    let opts = config.opts;
+
     let latest = history.latest_snapshot();
     let latest_lens = site_suffix_lens(&latest, &reversed, opts);
 
     let versions = history.versions();
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(versions.len().max(1))
-    } else {
-        config.threads
-    };
-
+    let threads = thread_count(config, versions.len());
     let mut out: Vec<Option<VersionStats>> = vec![None; versions.len()];
     let chunk = versions.len().div_ceil(threads);
     crossbeam::thread::scope(|scope| {
@@ -147,6 +235,14 @@ pub fn sweep(history: &History, corpus: &WebCorpus, config: &SweepConfig) -> Vec
     .expect("sweep worker panicked");
 
     out.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+fn thread_count(config: &SweepConfig, versions: usize) -> usize {
+    if config.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(versions.max(1))
+    } else {
+        config.threads
+    }
 }
 
 /// Stats for one specific list (used by Table 3's per-project counts and
@@ -232,6 +328,24 @@ mod tests {
         let par = sweep(&h, &c, &SweepConfig::default());
         let ser = sweep(&h, &c, &SweepConfig { threads: 1, ..Default::default() });
         assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn compiled_sweep_matches_rebuild_exactly() {
+        let (h, c) = fixture();
+        for opts in [
+            MatchOpts::default(),
+            MatchOpts { include_private: false, implicit_wildcard: true },
+            MatchOpts { include_private: true, implicit_wildcard: false },
+        ] {
+            let config = SweepConfig { opts, ..Default::default() };
+            let compiled = sweep(&h, &c, &config);
+            let rebuilt = sweep_rebuild(&h, &c, &config);
+            assert_eq!(compiled.len(), rebuilt.len());
+            for (a, b) in compiled.iter().zip(&rebuilt) {
+                assert_eq!(a, b, "diverged at {}", a.date);
+            }
+        }
     }
 
     #[test]

@@ -88,6 +88,7 @@ pub fn sweep_incremental(
     for &vdate in history.versions() {
         // Apply this version's rule changes and collect affected hosts.
         let mut affected: Vec<u32> = Vec::new();
+        let mut removed_any = false;
         while ei < events.len() && events[ei].0 <= vdate {
             let (_, is_add, rule) = events[ei];
             ei += 1;
@@ -96,7 +97,9 @@ pub fn sweep_incremental(
                 trie.insert(rule);
                 trie.len() > before
             } else {
-                trie.remove(rule)
+                let hit = trie.remove(rule);
+                removed_any |= hit;
+                hit
             };
             if changed {
                 if is_add {
@@ -119,6 +122,9 @@ pub fn sweep_incremental(
                     }
                 }
             }
+        }
+        if removed_any {
+            trie.compact();
         }
         if first_version {
             affected = (0..n_hosts as u32).collect();

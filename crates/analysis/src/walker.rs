@@ -26,14 +26,20 @@ where
     let mut trie = SuffixTrie::default();
     let mut ei = 0;
     for &v in history.versions() {
+        let mut removed = false;
         while ei < events.len() && events[ei].0 <= v {
             let (_, is_add, rule) = events[ei];
             if is_add {
                 trie.insert(rule);
             } else {
-                trie.remove(rule);
+                removed |= trie.remove(rule);
             }
             ei += 1;
+        }
+        if removed {
+            // Reclaim dead nodes so a long walk doesn't accumulate garbage
+            // (matching behaviour is unchanged either way).
+            trie.compact();
         }
         visit(v, &trie);
     }

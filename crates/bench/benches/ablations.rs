@@ -6,7 +6,7 @@
 //! - corpus scale (how the per-version cost grows with hostnames).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use psl_analysis::sweep::{sweep, SweepConfig};
+use psl_analysis::sweep::{sweep, sweep_rebuild, SweepConfig};
 use psl_analysis::sweep_incremental::sweep_incremental;
 use psl_bench::{scaled_corpus, world};
 use psl_core::trie::disposition_linear;
@@ -103,11 +103,15 @@ fn ablation_sweep_impl(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("naive_rebuild", |b| {
         let config = SweepConfig { threads: 1, ..Default::default() };
-        b.iter(|| std::hint::black_box(sweep(&w.history, &w.corpus, &config).len()))
+        b.iter(|| std::hint::black_box(sweep_rebuild(&w.history, &w.corpus, &config).len()))
     });
     g.bench_function("incremental", |b| {
         let config = SweepConfig { threads: 1, ..Default::default() };
         b.iter(|| std::hint::black_box(sweep_incremental(&w.history, &w.corpus, &config).len()))
+    });
+    g.bench_function("compiled", |b| {
+        let config = SweepConfig { threads: 1, ..Default::default() };
+        b.iter(|| std::hint::black_box(sweep(&w.history, &w.corpus, &config).len()))
     });
     g.finish();
 }

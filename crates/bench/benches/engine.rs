@@ -2,7 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psl_bench::world;
-use psl_core::{parse_dat, punycode, DomainName, List, MatchOpts, SuffixTrie};
+use psl_core::{
+    parse_dat, punycode, DomainName, FrozenList, LabelInterner, List, MatchOpts, SuffixTrie,
+};
 use psl_history::DatingIndex;
 
 fn bench_parse_dat(c: &mut Criterion) {
@@ -24,9 +26,27 @@ fn bench_trie_build(c: &mut Criterion) {
 fn bench_lookup(c: &mut Criterion) {
     let w = world();
     let list = w.history.latest_snapshot();
+    let trie = SuffixTrie::from_rules(list.rules());
     let opts = MatchOpts::default();
     let hosts: Vec<Vec<&str>> =
         w.corpus.hosts().iter().take(1000).map(|h| h.labels_reversed()).collect();
+
+    // The pointer-chasing trie walk: the pre-compilation production path,
+    // kept as the baseline the FrozenList is measured against.
+    c.bench_function("trie_disposition_1000_hosts", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for h in &hosts {
+                if let Some(d) = trie.disposition(h, opts) {
+                    acc += d.suffix_len;
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    // The compiled path as callers with string labels see it (one interner
+    // probe per label, then the arena walk).
     c.bench_function("disposition_1000_hosts", |b| {
         b.iter(|| {
             let mut acc = 0usize;
@@ -39,10 +59,43 @@ fn bench_lookup(c: &mut Criterion) {
         })
     });
 
+    // The zero-allocation inner loop: hosts pre-interned to id slices once
+    // (as the sweep and the service cache do), arena walk only.
+    let host_ids: Vec<Vec<u32>> = hosts
+        .iter()
+        .map(|h| {
+            let mut ids = Vec::new();
+            list.reversed_ids(h, &mut ids);
+            ids
+        })
+        .collect();
+    c.bench_function("frozen_ids_disposition_1000_hosts", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for ids in &host_ids {
+                if let Some(d) = list.disposition_ids(ids, opts) {
+                    acc += d.suffix_len;
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
     let miss = DomainName::parse("deep.sub.never-a-suffix.unknowntld").unwrap();
     let miss_rev = miss.labels_reversed();
     c.bench_function("disposition_miss", |b| {
         b.iter(|| std::hint::black_box(list.disposition_reversed(&miss_rev, opts)))
+    });
+}
+
+fn bench_frozen_compile(c: &mut Criterion) {
+    let w = world();
+    let rules = w.history.rules_at(w.history.latest_version());
+    c.bench_function("frozen_compile_full_list", |b| {
+        b.iter(|| {
+            let mut interner = LabelInterner::new();
+            std::hint::black_box(FrozenList::compile(&rules, &mut interner).len())
+        })
     });
 }
 
@@ -101,6 +154,7 @@ criterion_group!(
     engine,
     bench_parse_dat,
     bench_trie_build,
+    bench_frozen_compile,
     bench_lookup,
     bench_registrable_domain,
     bench_punycode,

@@ -10,6 +10,7 @@
 //! pslharm serve   [--addr A] [--threads N] [--watch PATH]    run the query server
 //! pslharm query   [--addr A] CMD [ARGS...]                   one protocol command
 //! pslharm loadgen [--addr A] [--requests N] [--check]        replay load, report throughput
+//! pslharm bench   [--seed N] [--json PATH]                   quick perf report + agreement gate
 //! ```
 //!
 //! Scale: the default is a laptop-scale configuration (small history and
@@ -41,6 +42,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
         "loadgen" => cmd_loadgen(rest),
+        "bench" => cmd_bench(rest),
         "lint" => cmd_lint(rest),
         "blame" => cmd_blame(rest),
         "corpus-stats" => cmd_corpus_stats(rest),
@@ -60,9 +62,10 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: pslharm <all|fig2..fig7|table1..table3|cookieharm|dbound|certharm|updatefail|replay|notify|conformance|suffix|serve|query|loadgen|fuzz> \
+const USAGE: &str = "usage: pslharm <all|fig2..fig7|table1..table3|cookieharm|dbound|certharm|updatefail|replay|notify|conformance|suffix|serve|query|loadgen|bench|fuzz> \
 [--seed N] [--paper-scale] [--threads N] [--json PATH] [--addr HOST:PORT] [domains...]
-       pslharm fuzz <hostname|dat|cookie|service|all> [--seed N] [--iters N] [--time-budget SECS] [--write-corpus]";
+       pslharm fuzz <hostname|dat|cookie|service|all> [--seed N] [--iters N] [--time-budget SECS] [--write-corpus]
+       pslharm bench [--seed N] [--threads N] [--requests N] [--json PATH]";
 
 /// Common flags.
 struct Flags {
@@ -301,10 +304,10 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
         println!("  FAIL {f}");
     }
 
-    // 3. Three-way differential sweep over every history version.
+    // 3. Four-way differential sweep over every history version.
     let hosts = psl_conformance::probe_corpus(&history, flags.seed.wrapping_add(3), 10_000);
     eprintln!(
-        "differential sweep: {} versions x {} hostnames x 3 option sets ...",
+        "differential sweep: {} versions x {} hostnames x 3 option sets x 4 executors ...",
         history.version_count(),
         hosts.len()
     );
@@ -317,13 +320,14 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
     );
     for d in sweep.divergences.iter().take(10) {
         println!(
-            "  DIVERGENCE at {}: {} (minimized: {}) trie={} linear={} naive={}",
+            "  DIVERGENCE at {}: {} (minimized: {}) trie={} linear={} naive={} frozen={}",
             d.version.as_deref().unwrap_or("-"),
             d.host,
             d.minimized,
             d.production,
             d.linear,
-            d.naive
+            d.naive,
+            d.frozen
         );
     }
 
@@ -532,6 +536,247 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     }
     if flags.check && report.mismatches > 0 {
         return Err(format!("loadgen: {} mismatched answers", report.mismatches));
+    }
+    Ok(())
+}
+
+// ---- Bench ----------------------------------------------------------------
+
+/// The machine-readable output of `pslharm bench --json`.
+#[derive(serde::Serialize)]
+struct BenchReport {
+    seed: u64,
+    engine: EngineBench,
+    sweep: SweepBench,
+    loadgen: LoadgenBench,
+    agreement: AgreementBench,
+}
+
+/// Single-host lookup latency for each matching path.
+#[derive(serde::Serialize)]
+struct EngineBench {
+    hosts: usize,
+    trie_ns_per_lookup: f64,
+    frozen_str_ns_per_lookup: f64,
+    frozen_ids_ns_per_lookup: f64,
+    speedup_ids_vs_trie: f64,
+}
+
+/// Full-history sweep wall clock: per-version rebuild vs. compiled arenas.
+#[derive(serde::Serialize)]
+struct SweepBench {
+    versions: usize,
+    hosts: usize,
+    threads: usize,
+    rebuild_ms: f64,
+    compiled_ms: f64,
+    speedup: f64,
+}
+
+/// Loopback server throughput under the replayed corpus.
+#[derive(serde::Serialize)]
+struct LoadgenBench {
+    requests: u64,
+    lookups_per_s: f64,
+    cache_hit_ratio: f64,
+}
+
+/// The four-way executor agreement gate the numbers are only valid under.
+#[derive(serde::Serialize)]
+struct AgreementBench {
+    shipped_vectors: usize,
+    sweep_comparisons: u64,
+    divergences: usize,
+}
+
+/// Best-of-`reps` wall clock for `f` after `warmup` discarded runs. The
+/// accumulated return value is black-boxed so the work cannot be elided.
+fn time_best(warmup: u32, reps: u32, mut f: impl FnMut() -> u64) -> std::time::Duration {
+    let mut sink = 0u64;
+    for _ in 0..warmup {
+        sink = sink.wrapping_add(f());
+    }
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        sink = sink.wrapping_add(f());
+        best = best.min(start.elapsed());
+    }
+    std::hint::black_box(sink);
+    best
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    if !flags.extra.is_empty() {
+        return Err(format!("bench: unexpected arguments {:?}", flags.extra));
+    }
+    let config = config_for(&flags);
+    eprintln!("generating history + corpus (seed {}) ...", flags.seed);
+    let history = psl_history::generate(&config.history);
+    let corpus = psl_webcorpus::generate_corpus(&history, &config.corpus);
+    let latest = history.latest_snapshot();
+
+    // 1. Engine micro-bench: the same 1,000-host batch through the three
+    //    lookup paths (pointer-chasing trie, compiled arena from string
+    //    labels, compiled arena from pre-interned ids).
+    let trie = psl_core::SuffixTrie::from_rules(latest.rules());
+    let opts = config.sweep.opts;
+    let hosts_rev: Vec<Vec<&str>> =
+        corpus.hosts().iter().take(1000).map(|h| h.labels_reversed()).collect();
+    let host_ids: Vec<Vec<u32>> = hosts_rev
+        .iter()
+        .map(|h| {
+            let mut ids = Vec::new();
+            latest.reversed_ids(h, &mut ids);
+            ids
+        })
+        .collect();
+    let n = hosts_rev.len();
+    let trie_best = time_best(3, 20, || {
+        hosts_rev.iter().map(|h| trie.disposition(h, opts).map_or(0, |d| d.suffix_len as u64)).sum()
+    });
+    let frozen_str_best = time_best(3, 20, || {
+        hosts_rev
+            .iter()
+            .map(|h| latest.disposition_reversed(h, opts).map_or(0, |d| d.suffix_len as u64))
+            .sum()
+    });
+    let frozen_ids_best = time_best(3, 20, || {
+        host_ids
+            .iter()
+            .map(|ids| latest.disposition_ids(ids, opts).map_or(0, |d| d.suffix_len as u64))
+            .sum()
+    });
+    let per = |d: std::time::Duration| d.as_nanos() as f64 / n as f64;
+    let engine = EngineBench {
+        hosts: n,
+        trie_ns_per_lookup: per(trie_best),
+        frozen_str_ns_per_lookup: per(frozen_str_best),
+        frozen_ids_ns_per_lookup: per(frozen_ids_best),
+        speedup_ids_vs_trie: per(trie_best) / per(frozen_ids_best).max(f64::EPSILON),
+    };
+    eprintln!(
+        "engine: trie {:.1} ns/lookup, frozen(str) {:.1}, frozen(ids) {:.1} ({:.2}x vs trie)",
+        engine.trie_ns_per_lookup,
+        engine.frozen_str_ns_per_lookup,
+        engine.frozen_ids_ns_per_lookup,
+        engine.speedup_ids_vs_trie
+    );
+
+    // 2. Agreement gate: the shipped vectors plus a four-way differential
+    //    sweep over every history version. Nonzero divergences fail the
+    //    whole bench (numbers from a wrong matcher are worthless).
+    let vectors = psl_conformance::parse_vectors(psl_conformance::SHIPPED_VECTORS)
+        .map_err(|e| e.to_string())?;
+    let shipped =
+        psl_conformance::run_vectors(&psl_core::embedded_list(), &vectors, MatchOpts::default());
+    let probe = psl_conformance::probe_corpus(&history, flags.seed.wrapping_add(3), 2_000);
+    let oracle = psl_conformance::sweep_history(&history, &probe, 0);
+    let agreement = AgreementBench {
+        shipped_vectors: shipped.total,
+        sweep_comparisons: oracle.comparisons as u64,
+        divergences: oracle.divergences.len() + shipped.failures.len(),
+    };
+    eprintln!(
+        "agreement: {} shipped vectors, {} differential comparisons, {} divergences",
+        agreement.shipped_vectors, agreement.sweep_comparisons, agreement.divergences
+    );
+
+    // 3. Full-history sweep wall clock: snapshot-rebuild ablation vs. the
+    //    compiled production path, same thread budget.
+    let t = std::time::Instant::now();
+    let rebuild = psl_analysis::sweep_rebuild(&history, &corpus, &config.sweep);
+    let rebuild_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = std::time::Instant::now();
+    let compiled = psl_analysis::sweep(&history, &corpus, &config.sweep);
+    let compiled_ms = t.elapsed().as_secs_f64() * 1e3;
+    if rebuild != compiled {
+        return Err("bench: compiled sweep disagrees with rebuild sweep".into());
+    }
+    let sweep = SweepBench {
+        versions: compiled.len(),
+        hosts: corpus.host_count(),
+        threads: config.sweep.threads,
+        rebuild_ms,
+        compiled_ms,
+        speedup: rebuild_ms / compiled_ms.max(f64::EPSILON),
+    };
+    eprintln!(
+        "sweep: {} versions x {} hosts: rebuild {:.0} ms, compiled {:.0} ms ({:.2}x)",
+        sweep.versions, sweep.hosts, sweep.rebuild_ms, sweep.compiled_ms, sweep.speedup
+    );
+
+    // 4. Loopback server + load generator: end-to-end lookups/s over TCP.
+    let loadgen = {
+        use std::sync::Arc;
+        let history = Arc::new(history);
+        let store = Arc::new(psl_core::SnapshotStore::new(
+            format!("history:{}", history.latest_version()),
+            Some(history.latest_version()),
+            history.latest_snapshot(),
+        ));
+        let workers = if flags.threads == 0 { 4 } else { flags.threads };
+        let engine = psl_service::Engine::new(
+            store,
+            Some(Arc::clone(&history)),
+            psl_service::EngineConfig { workers, ..Default::default() },
+            psl_service::monotonic_clock(),
+        );
+        let server = psl_service::Server::bind(
+            Arc::clone(&engine),
+            psl_service::ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                read_timeout: std::time::Duration::from_millis(50),
+                watch: None,
+            },
+        )
+        .map_err(|e| format!("bench: binding loopback server: {e}"))?;
+        let addr = server.local_addr().map_err(|e| e.to_string())?;
+        let stop = server.stop_handle();
+        let join = std::thread::spawn(move || server.run());
+        let hosts: Vec<String> = corpus.hosts().iter().map(|h| h.as_str().to_string()).collect();
+        let report = psl_service::loadgen::run(
+            &psl_service::LoadgenConfig {
+                addr: addr.to_string(),
+                requests: flags.requests,
+                connections: flags.connections,
+                batch: flags.batch,
+                check: false,
+            },
+            &hosts,
+            None,
+        );
+        stop.stop();
+        join.join().map_err(|_| "bench: server thread panicked")?.map_err(|e| e.to_string())?;
+        let report = report?;
+        if report.errors > 0 {
+            return Err(format!("bench: loadgen saw {} protocol errors", report.errors));
+        }
+        LoadgenBench {
+            requests: report.requests,
+            lookups_per_s: report.throughput_rps,
+            cache_hit_ratio: report.cache_hit_ratio,
+        }
+    };
+    eprintln!(
+        "loadgen: {} requests at {:.0} lookups/s (cache hit ratio {:.3})",
+        loadgen.requests, loadgen.lookups_per_s, loadgen.cache_hit_ratio
+    );
+
+    let report = BenchReport { seed: flags.seed, engine, sweep, loadgen, agreement };
+    let payload = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    if let Some(path) = &flags.json {
+        std::fs::write(path, &payload).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    } else {
+        println!("{payload}");
+    }
+    if report.agreement.divergences > 0 {
+        return Err(format!(
+            "bench: {} executor divergences — numbers rejected",
+            report.agreement.divergences
+        ));
     }
     Ok(())
 }

@@ -1,11 +1,13 @@
-//! Three-way differential matcher oracle.
+//! Four-way differential matcher oracle.
 //!
-//! Every hostname is pushed through three structurally independent
+//! Every hostname is pushed through four structurally independent
 //! implementations of the prevailing-rule algorithm:
 //!
-//! 1. the production trie walk ([`psl_core::SuffixTrie`]),
+//! 1. the mutable trie walk ([`psl_core::SuffixTrie`]),
 //! 2. the linear full-scan reference ([`psl_core::trie::disposition_linear`]),
-//! 3. the naive longest-suffix-wins map matcher ([`psl_core::NaiveMap`]).
+//! 3. the naive longest-suffix-wins map matcher ([`psl_core::NaiveMap`]),
+//! 4. the compiled flat-arena matcher ([`psl_core::FrozenList`], queried
+//!    through the [`List`] it backs — the actual production path).
 //!
 //! Any disagreement is a bug in at least one of them. The sweep runs the
 //! comparison across every version of a [`History`], reports the first
@@ -33,6 +35,8 @@ pub struct Divergence {
     pub linear: String,
     /// The naive map answer.
     pub naive: String,
+    /// The compiled flat-arena answer.
+    pub frozen: String,
 }
 
 /// Result of a differential sweep.
@@ -83,12 +87,16 @@ const OPTS_MATRIX: [MatchOpts; 3] = [
     MatchOpts { include_private: true, implicit_wildcard: false },
 ];
 
-/// Compare the three matchers on one rule set over a host corpus,
-/// returning the first divergence (with a minimized reproducer).
+/// Compare the four matchers on one rule set over a host corpus,
+/// returning the first divergence (with a minimized reproducer). `frozen`
+/// is the compiled production list built from the same rules (its
+/// [`List::disposition_reversed`] resolves through the [`psl_core::FrozenList`]
+/// arena).
 pub fn first_divergence(
     production: &impl ProductionMatcher,
     rules: &[Rule],
     naive: &NaiveMap,
+    frozen: &List,
     hosts: &[DomainName],
     comparisons: &mut usize,
 ) -> Option<Divergence> {
@@ -99,8 +107,9 @@ pub fn first_divergence(
             let p = production.disposition(&reversed, opts);
             let l = disposition_linear(rules, &reversed, opts);
             let n = naive.disposition(&reversed, opts);
-            if p != l || l != n {
-                let minimized = minimize(production, rules, naive, &reversed, opts);
+            let f = frozen.disposition_reversed(&reversed, opts);
+            if p != l || l != n || n != f {
+                let minimized = minimize(production, rules, naive, frozen, &reversed, opts);
                 return Some(Divergence {
                     version: None,
                     host: host.as_str().to_string(),
@@ -108,6 +117,7 @@ pub fn first_divergence(
                     production: render(p),
                     linear: render(l),
                     naive: render(n),
+                    frozen: render(f),
                 });
             }
         }
@@ -121,6 +131,7 @@ fn minimize(
     production: &impl ProductionMatcher,
     rules: &[Rule],
     naive: &NaiveMap,
+    frozen: &List,
     reversed: &[&str],
     opts: MatchOpts,
 ) -> String {
@@ -128,7 +139,8 @@ fn minimize(
         let p = production.disposition(rev, opts);
         let l = disposition_linear(rules, rev, opts);
         let n = naive.disposition(rev, opts);
-        p != l || l != n
+        let f = frozen.disposition_reversed(rev, opts);
+        p != l || l != n || n != f
     };
 
     // Labels here are in reversed (TLD-first) order; the leftmost label of
@@ -157,7 +169,7 @@ fn minimize(
     labels.join(".")
 }
 
-/// Run the three-way comparison over every version of a history (or the
+/// Run the four-way comparison over every version of a history (or the
 /// `limit` most recent versions when `limit > 0`).
 pub fn sweep_history(history: &History, hosts: &[DomainName], limit: usize) -> SweepOutcome {
     let versions: Vec<Date> = {
@@ -174,7 +186,10 @@ pub fn sweep_history(history: &History, hosts: &[DomainName], limit: usize) -> S
         let rules = history.rules_at(version);
         let trie = SuffixTrie::from_rules(&rules);
         let naive = NaiveMap::from_rules(&rules);
-        if let Some(mut d) = first_divergence(&trie, &rules, &naive, hosts, &mut comparisons) {
+        let frozen = List::from_rules(rules.clone());
+        if let Some(mut d) =
+            first_divergence(&trie, &rules, &naive, &frozen, hosts, &mut comparisons)
+        {
             d.version = Some(version.to_string());
             divergences.push(d);
         }
@@ -223,12 +238,13 @@ fn label(rng: &mut rand::rngs::StdRng) -> String {
     (0..len).map(|_| ALPHA[rng.gen_range(0..ALPHA.len())] as char).collect()
 }
 
-/// Convenience: three-way check of a bare [`List`] over a host corpus.
+/// Convenience: four-way check of a bare [`List`] over a host corpus (the
+/// list itself supplies the compiled executor).
 pub fn check_list(list: &List, hosts: &[DomainName]) -> Option<Divergence> {
     let naive = NaiveMap::from_rules(list.rules());
     let trie = SuffixTrie::from_rules(list.rules());
     let mut comparisons = 0;
-    first_divergence(&trie, list.rules(), &naive, hosts, &mut comparisons)
+    first_divergence(&trie, list.rules(), &naive, list, hosts, &mut comparisons)
 }
 
 #[cfg(test)]
@@ -278,13 +294,33 @@ mod tests {
         let naive = NaiveMap::from_rules(&rules);
         let hosts = vec![DomainName::parse("deep.sub.city.kobe.jp").unwrap()];
         let mut comparisons = 0;
-        let d = first_divergence(&broken, &rules, &naive, &hosts, &mut comparisons)
+        let d = first_divergence(&broken, &rules, &naive, &list, &hosts, &mut comparisons)
             .expect("oracle must catch the exception-blind matcher");
         assert_eq!(d.host, "deep.sub.city.kobe.jp");
         // Minimization drops the irrelevant leading labels.
         assert_eq!(d.minimized, "city.kobe.jp");
         assert_ne!(d.production, d.linear);
         assert_eq!(d.linear, d.naive);
+        assert_eq!(d.naive, d.frozen, "healthy executors stay in agreement");
+    }
+
+    /// The converse direction: a healthy trie with a *broken compiled*
+    /// executor must also trip the oracle (the fourth executor is not
+    /// decorative).
+    #[test]
+    fn broken_frozen_executor_is_caught() {
+        let list = List::parse("jp\n*.kobe.jp\n!city.kobe.jp\n");
+        let rules = list.rules().to_vec();
+        // "Break" the compiled side by compiling a different rule set.
+        let skewed = List::parse("jp\n*.kobe.jp\n");
+        let trie = SuffixTrie::from_rules(&rules);
+        let naive = NaiveMap::from_rules(&rules);
+        let hosts = vec![DomainName::parse("x.city.kobe.jp").unwrap()];
+        let mut comparisons = 0;
+        let d = first_divergence(&trie, &rules, &naive, &skewed, &hosts, &mut comparisons)
+            .expect("oracle must catch the skewed compiled list");
+        assert_eq!(d.production, d.linear);
+        assert_ne!(d.naive, d.frozen);
     }
 
     #[test]

@@ -1,0 +1,662 @@
+//! Compiled, immutable matcher: interned labels + a flat arena trie.
+//!
+//! [`SuffixTrie`] is the *mutable* matching structure: pointer-chasing
+//! `HashMap<Box<str>, Node>` nodes, hashing every label of every hostname on
+//! every lookup. That is the right shape for incremental edits (the history
+//! walker inserts and removes rules version by version) but the wrong shape
+//! for the hot paths: the §5 sweep resolves every corpus hostname against
+//! every historical list version, and the service resolves the same names
+//! over and over for concurrent clients.
+//!
+//! This module compiles a rule set into a [`FrozenList`]:
+//!
+//! - every label string is mapped to a dense `u32` id by a [`LabelInterner`]
+//!   (shared across all versions of a history, so a hostname is split and
+//!   interned **once** and then swept against every version as a `&[u32]`);
+//! - nodes live in one contiguous arena in struct-of-arrays layout
+//!   (`span_start`/`span_len`/`slots` are indexed by node id);
+//! - children are sorted `(label_id, node_idx)` spans in two parallel flat
+//!   arrays, resolved by binary search — no hashing, no pointers;
+//! - the three per-node rule slots (normal/wildcard/exception × section)
+//!   are packed into a six-bit bitfield, one byte per node.
+//!
+//! [`FrozenList::disposition_by_ids`] walks that arena with **zero heap
+//! allocation per lookup**, and [`FrozenList::disposition`] does the same
+//! for string labels by interning lazily (unknown labels map to the
+//! [`UNKNOWN_LABEL`] sentinel, which by construction can never equal an edge
+//! label — but still gets consumed by wildcard rules, exactly like the
+//! mutable trie's walk).
+
+use crate::rule::{Rule, RuleKind, Section};
+use crate::trie::{Disposition, MatchKind, MatchOpts, SuffixTrie};
+use std::collections::{BTreeMap, HashMap};
+
+/// Sentinel id for a label that has never been interned. Guaranteed never
+/// to be issued by [`LabelInterner::intern`], so comparing it against edge
+/// labels always misses — which is precisely the semantics of walking the
+/// mutable trie with a label string absent from every rule.
+pub const UNKNOWN_LABEL: u32 = u32::MAX;
+
+/// FNV-1a, for hot-path maps whose keys cannot be attacker-steered into
+/// collision floods. The interner's key set is fixed once compilation
+/// finishes (rule labels only — lookups never insert), so the
+/// hash-flooding resistance of the default `SipHash` buys nothing there,
+/// while its cost is paid once per label of every hostname on the service
+/// and sweep hot paths. The service's bounded per-worker lookup cache uses
+/// it too: a flood can at worst degrade one worker's fixed-capacity cache
+/// to chain scans, never grow memory.
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        // One multiply per 4-byte word: label ids hash in a single step
+        // instead of four byte rounds.
+        self.0 = (self.0 ^ u64::from(i)).wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.0 = (self.0 ^ i as u64).wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// `BuildHasher` for [`FnvHasher`] (see its DoS discussion before reaching
+/// for this over the default hasher).
+pub type FnvBuild = std::hash::BuildHasherDefault<FnvHasher>;
+
+/// Maps label strings to dense `u32` ids, shared across all compiled
+/// versions of a history so corpus hostnames can be interned once.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LabelInterner {
+    map: HashMap<Box<str>, u32, FnvBuild>,
+    labels: Vec<Box<str>>,
+}
+
+impl LabelInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct labels interned.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Intern `label`, returning its dense id (existing id if seen before).
+    pub fn intern(&mut self, label: &str) -> u32 {
+        if let Some(&id) = self.map.get(label) {
+            return id;
+        }
+        let id = u32::try_from(self.labels.len()).expect("interner overflow");
+        assert!(id < UNKNOWN_LABEL, "interner exhausted the id space");
+        self.labels.push(label.into());
+        self.map.insert(label.into(), id);
+        id
+    }
+
+    /// The id of `label`, if it has been interned.
+    pub fn id(&self, label: &str) -> Option<u32> {
+        self.map.get(label).copied()
+    }
+
+    /// The id of `label`, or [`UNKNOWN_LABEL`] if never interned.
+    pub fn id_or_unknown(&self, label: &str) -> u32 {
+        self.map.get(label).copied().unwrap_or(UNKNOWN_LABEL)
+    }
+
+    /// The label string for an id issued by this interner.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.labels.get(id as usize).map(|s| &**s)
+    }
+
+    /// Intern every label of a reversed hostname, returning an owned id
+    /// slice suitable for sweeping against many versions.
+    pub fn intern_reversed(&mut self, reversed: &[&str]) -> Box<[u32]> {
+        reversed.iter().map(|l| self.intern(l)).collect()
+    }
+
+    /// Map a reversed hostname to ids without interning new labels
+    /// (unknown labels become [`UNKNOWN_LABEL`]). Reuses `out` to keep the
+    /// caller's hot loop allocation-free after warm-up.
+    pub fn ids_reversed(&self, reversed: &[&str], out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(reversed.iter().map(|l| self.id_or_unknown(l)));
+    }
+
+    /// As [`LabelInterner::ids_reversed`], but splitting a canonical dotted
+    /// hostname on the fly — no intermediate label vector, which matters on
+    /// the service's per-request path.
+    pub fn ids_of_host(&self, host: &str, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(host.rsplit('.').map(|l| self.id_or_unknown(l)));
+    }
+}
+
+// Per-node slot bitfield: presence and section of each rule kind that
+// terminates (or, for wildcards, anchors) at the node.
+const NORMAL: u8 = 1 << 0;
+const NORMAL_PRIVATE: u8 = 1 << 1;
+const WILDCARD: u8 = 1 << 2;
+const WILDCARD_PRIVATE: u8 = 1 << 3;
+const EXCEPTION: u8 = 1 << 4;
+const EXCEPTION_PRIVATE: u8 = 1 << 5;
+
+fn kind_bits(kind: RuleKind) -> (u8, u8) {
+    match kind {
+        RuleKind::Normal => (NORMAL, NORMAL_PRIVATE),
+        RuleKind::Wildcard => (WILDCARD, WILDCARD_PRIVATE),
+        RuleKind::Exception => (EXCEPTION, EXCEPTION_PRIVATE),
+    }
+}
+
+/// A compiled, immutable rule set: flat arena trie over interned labels.
+///
+/// Node `0` is the root. Node `n`'s children occupy
+/// `edge_labels[span_start[n] .. span_start[n] + span_len[n]]` (sorted by
+/// label id, with the matching node index at the same offset of
+/// `edge_targets`). Matching semantics are identical to
+/// [`SuffixTrie::disposition`]; the proptests in this module and the
+/// conformance differential oracle hold the two implementations equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenList {
+    span_start: Vec<u32>,
+    span_len: Vec<u32>,
+    slots: Vec<u8>,
+    edge_labels: Vec<u32>,
+    edge_targets: Vec<u32>,
+    // Direct dispatch for the root (by far the widest node: every TLD is a
+    // child): `root_table[label_id]` is the child node, or `NO_NODE`.
+    // Sized to the largest root edge label, so it never indexes by
+    // `UNKNOWN_LABEL`.
+    root_table: Vec<u32>,
+    rules: usize,
+}
+
+// Absent entry in `root_table`. Distinct from any node index: nodes are
+// created by a `u32::try_from` that would have to overflow first.
+const NO_NODE: u32 = u32::MAX;
+
+// Spans at or below this length are scanned linearly: for the tiny
+// fan-outs below the root the scan stays in one cache line and beats
+// binary search's branchy halving.
+const LINEAR_SPAN: usize = 16;
+
+impl Default for FrozenList {
+    fn default() -> Self {
+        // A lone root node with no edges and no slots: matches nothing.
+        FrozenList {
+            span_start: vec![0],
+            span_len: vec![0],
+            slots: vec![0],
+            edge_labels: Vec::new(),
+            edge_targets: Vec::new(),
+            root_table: Vec::new(),
+            rules: 0,
+        }
+    }
+}
+
+impl FrozenList {
+    /// Compile a rule set directly (labels are interned in rule order).
+    pub fn compile<'a>(
+        rules: impl IntoIterator<Item = &'a Rule>,
+        interner: &mut LabelInterner,
+    ) -> Self {
+        let mut b = Builder::new();
+        for rule in rules {
+            let mut node = 0u32;
+            for label in rule.labels().iter().rev() {
+                node = b.child(node, interner.intern(label));
+            }
+            b.set_slot(node, rule.kind(), rule.section());
+        }
+        b.finish()
+    }
+
+    /// Compile from an existing (typically incrementally-maintained)
+    /// mutable trie. Children are visited in sorted label order so the
+    /// interner's id assignment is deterministic regardless of `HashMap`
+    /// iteration order.
+    pub fn freeze(trie: &SuffixTrie, interner: &mut LabelInterner) -> Self {
+        fn copy(b: &mut Builder, dst: u32, node: &crate::trie::Node, interner: &mut LabelInterner) {
+            if let Some(section) = node.normal {
+                b.set_slot(dst, RuleKind::Normal, section);
+            }
+            if let Some(section) = node.wildcard {
+                b.set_slot(dst, RuleKind::Wildcard, section);
+            }
+            if let Some(section) = node.exception {
+                b.set_slot(dst, RuleKind::Exception, section);
+            }
+            let mut kids: Vec<(&str, &crate::trie::Node)> =
+                node.children.iter().map(|(k, v)| (&**k, v)).collect();
+            kids.sort_unstable_by_key(|(label, _)| *label);
+            for (label, child) in kids {
+                let c = b.child(dst, interner.intern(label));
+                copy(b, c, child, interner);
+            }
+        }
+
+        let mut b = Builder::new();
+        copy(&mut b, 0, trie.root(), interner);
+        let frozen = b.finish();
+        debug_assert_eq!(frozen.rules, trie.len());
+        frozen
+    }
+
+    /// Number of compiled rules (distinct `(path, kind)` slots, matching
+    /// [`SuffixTrie::len`] and the deduplicated list length).
+    pub fn len(&self) -> usize {
+        self.rules
+    }
+
+    /// True if no rules were compiled in.
+    pub fn is_empty(&self) -> bool {
+        self.rules == 0
+    }
+
+    /// Number of arena nodes (including the root).
+    pub fn node_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of edges (equals `node_count() - 1`: the arena is a tree).
+    pub fn edge_count(&self) -> usize {
+        self.edge_labels.len()
+    }
+
+    /// Approximate heap footprint of the arena arrays in bytes: 9 bytes
+    /// per node, 8 per edge, plus the root dispatch table. (The shared
+    /// interner is accounted separately — it is paid once per history, not
+    /// per version.)
+    pub fn arena_bytes(&self) -> usize {
+        self.slots.len() * (4 + 4 + 1)
+            + self.edge_labels.len() * (4 + 4)
+            + self.root_table.len() * 4
+    }
+
+    /// The prevailing-rule decision for a hostname given as reversed
+    /// interned label ids (TLD first). Zero heap allocation. Semantics
+    /// identical to [`SuffixTrie::disposition`]; ids unknown to the
+    /// compiling interner must be passed as [`UNKNOWN_LABEL`].
+    pub fn disposition_by_ids(&self, reversed: &[u32], opts: MatchOpts) -> Option<Disposition> {
+        self.walk(reversed.iter().copied(), opts)
+    }
+
+    /// The prevailing-rule decision for reversed string labels, interning
+    /// lazily against `interner` (read-only; unknown labels become
+    /// [`UNKNOWN_LABEL`] on the fly). Zero heap allocation.
+    pub fn disposition(
+        &self,
+        interner: &LabelInterner,
+        reversed: &[&str],
+        opts: MatchOpts,
+    ) -> Option<Disposition> {
+        self.walk(reversed.iter().map(|l| interner.id_or_unknown(l)), opts)
+    }
+
+    /// Shared walk over a stream of label ids. Mirrors the mutable trie's
+    /// walk exactly: a wildcard anchored at the current node consumes the
+    /// incoming label *before* the child edge is resolved, and the child's
+    /// normal/exception slots are inspected after descending.
+    fn walk(&self, ids: impl Iterator<Item = u32>, opts: MatchOpts) -> Option<Disposition> {
+        let allowed = |private: bool| opts.include_private || !private;
+        let section = |private: bool| if private { Section::Private } else { Section::Icann };
+
+        let mut best_exception: Option<(usize, Section)> = None;
+        let mut best_match: Option<(usize, RuleKind, Section)> = None;
+
+        let mut node = 0usize;
+        let mut saw_label = false;
+        for (i, label) in ids.enumerate() {
+            saw_label = true;
+            let slot = self.slots[node];
+            if slot & WILDCARD != 0 {
+                let private = slot & WILDCARD_PRIVATE != 0;
+                if allowed(private) {
+                    best_match = Some((i + 1, RuleKind::Wildcard, section(private)));
+                }
+            }
+            let child = if node == 0 {
+                match self.root_table.get(label as usize) {
+                    Some(&c) if c != NO_NODE => c as usize,
+                    _ => break,
+                }
+            } else {
+                let start = self.span_start[node] as usize;
+                let len = self.span_len[node] as usize;
+                let span = &self.edge_labels[start..start + len];
+                let pos = if len <= LINEAR_SPAN {
+                    span.iter().position(|&l| l == label)
+                } else {
+                    span.binary_search(&label).ok()
+                };
+                let Some(pos) = pos else {
+                    break;
+                };
+                self.edge_targets[start + pos] as usize
+            };
+            let cslot = self.slots[child];
+            if cslot & NORMAL != 0 {
+                let private = cslot & NORMAL_PRIVATE != 0;
+                if allowed(private) {
+                    best_match = Some((i + 1, RuleKind::Normal, section(private)));
+                }
+            }
+            if cslot & EXCEPTION != 0 {
+                let private = cslot & EXCEPTION_PRIVATE != 0;
+                if allowed(private) {
+                    best_exception = Some((i + 1, section(private)));
+                }
+            }
+            node = child;
+        }
+
+        if let Some((match_len, section)) = best_exception {
+            // Exception rules strip their leftmost label.
+            return Some(Disposition {
+                suffix_len: match_len - 1,
+                kind: MatchKind::Rule(RuleKind::Exception),
+                section: Some(section),
+            });
+        }
+        if let Some((match_len, kind, section)) = best_match {
+            return Some(Disposition {
+                suffix_len: match_len,
+                kind: MatchKind::Rule(kind),
+                section: Some(section),
+            });
+        }
+        if opts.implicit_wildcard && saw_label {
+            return Some(Disposition {
+                suffix_len: 1,
+                kind: MatchKind::ImplicitWildcard,
+                section: None,
+            });
+        }
+        None
+    }
+}
+
+/// Arena construction state. Nodes are created in first-visit order (which
+/// for [`FrozenList::freeze`] is a sorted depth-first order, making the
+/// final arrays deterministic); `BTreeMap` keeps each child span sorted by
+/// label id for free.
+struct Builder {
+    children: Vec<BTreeMap<u32, u32>>,
+    slots: Vec<u8>,
+    rules: usize,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder { children: vec![BTreeMap::new()], slots: vec![0], rules: 0 }
+    }
+
+    /// Get or create the child of `node` along `label`.
+    fn child(&mut self, node: u32, label: u32) -> u32 {
+        if let Some(&c) = self.children[node as usize].get(&label) {
+            return c;
+        }
+        let c = u32::try_from(self.children.len()).expect("arena overflow");
+        self.children.push(BTreeMap::new());
+        self.slots.push(0);
+        self.children[node as usize].insert(label, c);
+        c
+    }
+
+    /// Set one rule slot, mirroring [`SuffixTrie::insert`]: last write wins
+    /// per `(path, kind)`, and only a previously-empty slot counts as a new
+    /// rule.
+    fn set_slot(&mut self, node: u32, kind: RuleKind, section: Section) {
+        let (present, private) = kind_bits(kind);
+        let slot = &mut self.slots[node as usize];
+        if *slot & present == 0 {
+            self.rules += 1;
+        }
+        *slot |= present;
+        if section == Section::Private {
+            *slot |= private;
+        } else {
+            *slot &= !private;
+        }
+    }
+
+    fn finish(self) -> FrozenList {
+        let n = self.children.len();
+        let mut span_start = Vec::with_capacity(n);
+        let mut span_len = Vec::with_capacity(n);
+        let mut edge_labels = Vec::new();
+        let mut edge_targets = Vec::new();
+        for kids in &self.children {
+            span_start.push(u32::try_from(edge_labels.len()).expect("edge overflow"));
+            span_len.push(u32::try_from(kids.len()).expect("span overflow"));
+            for (&label, &target) in kids {
+                edge_labels.push(label);
+                edge_targets.push(target);
+            }
+        }
+        let root = &self.children[0];
+        let table_len = root.keys().next_back().map_or(0, |&max| max as usize + 1);
+        let mut root_table = vec![NO_NODE; table_len];
+        for (&label, &target) in root {
+            root_table[label as usize] = target;
+        }
+        FrozenList {
+            span_start,
+            span_len,
+            slots: self.slots,
+            edge_labels,
+            edge_targets,
+            root_table,
+            rules: self.rules,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rules(texts: &[(&str, Section)]) -> Vec<Rule> {
+        texts.iter().map(|(t, s)| Rule::parse(t, *s).unwrap()).collect()
+    }
+
+    const BASIC: &[(&str, Section)] = &[
+        ("com", Section::Icann),
+        ("uk", Section::Icann),
+        ("co.uk", Section::Icann),
+        ("*.ck", Section::Icann),
+        ("!www.ck", Section::Icann),
+        ("github.io", Section::Private),
+        ("io", Section::Icann),
+    ];
+
+    /// All three compiled paths (ids, strings, frozen-from-trie) must agree
+    /// with the mutable trie on every host × option combination.
+    fn assert_agrees(rule_set: &[Rule], hosts: &[Vec<&str>]) {
+        let trie = SuffixTrie::from_rules(rule_set);
+        let mut interner = LabelInterner::new();
+        let compiled = FrozenList::compile(rule_set, &mut interner);
+        let mut interner2 = LabelInterner::new();
+        let frozen = FrozenList::freeze(&trie, &mut interner2);
+        assert_eq!(compiled.len(), trie.len());
+        assert_eq!(frozen.len(), trie.len());
+        let mut ids = Vec::new();
+        for host in hosts {
+            for include_private in [false, true] {
+                for implicit_wildcard in [false, true] {
+                    let opts = MatchOpts { include_private, implicit_wildcard };
+                    let want = trie.disposition(host, opts);
+                    assert_eq!(compiled.disposition(&interner, host, opts), want, "{host:?}");
+                    assert_eq!(frozen.disposition(&interner2, host, opts), want, "{host:?}");
+                    interner.ids_reversed(host, &mut ids);
+                    assert_eq!(compiled.disposition_by_ids(&ids, opts), want, "{host:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_matches_trie_on_basics() {
+        let rs = rules(BASIC);
+        let hosts: Vec<Vec<&str>> = vec![
+            vec!["com", "example", "www"],
+            vec!["uk", "co", "example"],
+            vec!["uk", "co"],
+            vec!["ck"],
+            vec!["ck", "shop"],
+            vec!["ck", "www"],
+            vec!["ck", "www", "deep"],
+            vec!["io", "github", "alice"],
+            vec!["zz", "example"],
+            vec!["unknown", "labels", "everywhere"],
+            vec![],
+        ];
+        assert_agrees(&rs, &hosts);
+    }
+
+    #[test]
+    fn unknown_labels_use_sentinel_and_still_hit_wildcards() {
+        let rs = rules(&[("*.ck", Section::Icann)]);
+        let mut interner = LabelInterner::new();
+        let frozen = FrozenList::compile(&rs, &mut interner);
+        assert_eq!(interner.id("never-seen"), None);
+        assert_eq!(interner.id_or_unknown("never-seen"), UNKNOWN_LABEL);
+        // The sentinel must be consumed by the wildcard anchored at "ck".
+        let d = frozen
+            .disposition_by_ids(&[interner.id("ck").unwrap(), UNKNOWN_LABEL], MatchOpts::default())
+            .unwrap();
+        assert_eq!(d.suffix_len, 2);
+        assert_eq!(d.kind, MatchKind::Rule(RuleKind::Wildcard));
+        // But it can never follow an edge.
+        let d = frozen.disposition_by_ids(&[UNKNOWN_LABEL, UNKNOWN_LABEL], MatchOpts::default());
+        assert_eq!(d.unwrap().kind, MatchKind::ImplicitWildcard);
+    }
+
+    #[test]
+    fn empty_and_default_lists() {
+        let frozen = FrozenList::default();
+        assert!(frozen.is_empty());
+        assert_eq!(frozen.node_count(), 1);
+        assert!(frozen.disposition_by_ids(&[], MatchOpts::default()).is_none());
+        let d = frozen.disposition_by_ids(&[0], MatchOpts::default()).unwrap();
+        assert_eq!(d.kind, MatchKind::ImplicitWildcard);
+        let mut interner = LabelInterner::new();
+        let compiled = FrozenList::compile(&[], &mut interner);
+        assert_eq!(compiled, frozen);
+    }
+
+    #[test]
+    fn duplicate_paths_count_once_and_last_section_wins() {
+        let rs = vec![
+            Rule::parse("dup.com", Section::Icann).unwrap(),
+            Rule::parse("dup.com", Section::Private).unwrap(),
+        ];
+        let mut interner = LabelInterner::new();
+        let frozen = FrozenList::compile(&rs, &mut interner);
+        assert_eq!(frozen.len(), 1);
+        let d = frozen.disposition(&interner, &["com", "dup"], MatchOpts::default()).unwrap();
+        assert_eq!(d.section, Some(Section::Private));
+        // Matches the trie's last-write-wins slot semantics.
+        assert_eq!(
+            d,
+            SuffixTrie::from_rules(&rs).disposition(&["com", "dup"], MatchOpts::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn arena_is_compact() {
+        let rs = rules(BASIC);
+        let mut interner = LabelInterner::new();
+        let frozen = FrozenList::compile(&rs, &mut interner);
+        // Distinct path prefixes: com, uk, co.uk, ck, www.ck, io,
+        // github.io → 7 non-root nodes. Root children are com/uk/ck/io
+        // (ids 0, 1, 3, 5 in rule order), so the dispatch table spans 6
+        // slots.
+        assert_eq!(frozen.node_count(), 8);
+        assert_eq!(frozen.edge_count(), 7);
+        assert_eq!(frozen.arena_bytes(), 8 * 9 + 7 * 8 + 6 * 4);
+    }
+
+    #[test]
+    fn interner_round_trips() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern("com");
+        let b = interner.intern("uk");
+        assert_eq!(interner.intern("com"), a);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.resolve(a), Some("com"));
+        assert_eq!(interner.resolve(b), Some("uk"));
+        assert_eq!(interner.resolve(UNKNOWN_LABEL), None);
+        assert_eq!(interner.intern_reversed(&["com", "new"]).as_ref(), &[a, 2]);
+    }
+
+    fn small_label() -> impl Strategy<Value = String> {
+        prop_oneof![Just("a".into()), Just("b".into()), Just("c".into()), Just("d".into())]
+    }
+
+    proptest! {
+        /// Satellite: `FrozenList::disposition` equals
+        /// `SuffixTrie::disposition` for random rule sets × random
+        /// hostnames × the full `MatchOpts` matrix, via both the
+        /// compile-from-rules and freeze-from-trie paths and both the
+        /// string and id entry points.
+        #[test]
+        fn frozen_agrees_with_trie(
+            rule_specs in proptest::collection::vec(
+                (0u8..3, proptest::collection::vec(small_label(), 1..4)),
+                0..12,
+            ),
+            hosts in proptest::collection::vec(
+                proptest::collection::vec(small_label(), 0..5),
+                1..8,
+            ),
+        ) {
+            let mut rs = Vec::new();
+            for (kind, labels) in rule_specs {
+                let section = if labels.len() % 2 == 0 { Section::Private } else { Section::Icann };
+                let rule = match kind {
+                    0 => Rule::normal(labels, section),
+                    1 => Rule::wildcard(labels, section),
+                    _ => {
+                        if labels.len() < 2 { continue; }
+                        Rule::exception(labels, section)
+                    }
+                };
+                rs.push(rule);
+            }
+            let hosts: Vec<Vec<&str>> = hosts
+                .iter()
+                .map(|h| h.iter().map(|s| s.as_str()).collect())
+                .collect();
+            assert_agrees(&rs, &hosts);
+        }
+    }
+}

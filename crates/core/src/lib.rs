@@ -44,6 +44,7 @@ pub mod date;
 pub mod domain;
 pub mod embedded;
 pub mod error;
+pub mod frozen;
 pub mod jar;
 pub mod lint;
 pub mod list;
@@ -59,6 +60,7 @@ pub use date::Date;
 pub use domain::DomainName;
 pub use embedded::{embedded_list, MINI_PSL_DAT};
 pub use error::{Error, Result};
+pub use frozen::{FnvBuild, FnvHasher, FrozenList, LabelInterner, UNKNOWN_LABEL};
 pub use jar::{Cookie, CookieJar, SetCookie};
 pub use lint::{lint, Finding};
 pub use list::List;

@@ -5,16 +5,23 @@
 //! registrable-domain (eTLD+1) extraction, and site grouping.
 
 use crate::domain::DomainName;
+use crate::frozen::{FrozenList, LabelInterner};
 use crate::parser::{self, ParsedList};
 use crate::rule::{Rule, RuleKind, Section};
-use crate::trie::{Disposition, MatchOpts, SuffixTrie};
+use crate::trie::{Disposition, MatchOpts};
 use std::collections::HashSet;
 
 /// A queryable Public Suffix List.
+///
+/// The production matching path is the compiled [`FrozenList`] (flat arena
+/// trie over interned labels); the mutable [`crate::SuffixTrie`] remains
+/// the structure for incremental edits and serves as a differential
+/// reference for this one in tests, conformance, and the fuzzer.
 #[derive(Debug, Clone, Default)]
 pub struct List {
     rules: Vec<Rule>,
-    trie: SuffixTrie,
+    interner: LabelInterner,
+    frozen: FrozenList,
 }
 
 impl List {
@@ -28,8 +35,9 @@ impl List {
                 unique.push(rule);
             }
         }
-        let trie = SuffixTrie::from_rules(&unique);
-        List { rules: unique, trie }
+        let mut interner = LabelInterner::new();
+        let frozen = FrozenList::compile(&unique, &mut interner);
+        List { rules: unique, interner, frozen }
     }
 
     /// Parse `.dat` text leniently (bad lines are dropped; see
@@ -60,16 +68,52 @@ impl List {
     }
 
     /// The prevailing-rule decision for reversed hostname labels (TLD
-    /// first). This is the hot-path entry point used by the corpus sweep.
+    /// first). Resolved by the compiled matcher: labels are mapped to
+    /// interned ids on the fly (no allocation) and walked through the flat
+    /// arena.
     pub fn disposition_reversed(&self, reversed: &[&str], opts: MatchOpts) -> Option<Disposition> {
-        self.trie.disposition(reversed, opts)
+        self.frozen.disposition(&self.interner, reversed, opts)
+    }
+
+    /// The prevailing-rule decision for reversed labels already interned
+    /// via this list's interner (see [`List::reversed_ids`]). The
+    /// zero-allocation hot path for callers that cache id slices, such as
+    /// the service's per-worker lookup cache.
+    pub fn disposition_ids(&self, reversed_ids: &[u32], opts: MatchOpts) -> Option<Disposition> {
+        self.frozen.disposition_by_ids(reversed_ids, opts)
+    }
+
+    /// Map reversed labels to this list's interned ids (unknown labels
+    /// become the [`crate::frozen::UNKNOWN_LABEL`] sentinel), reusing
+    /// `out`. The resulting slice feeds [`List::disposition_ids`] and
+    /// doubles as a cache key: the disposition depends only on the id
+    /// sequence.
+    pub fn reversed_ids(&self, reversed: &[&str], out: &mut Vec<u32>) {
+        self.interner.ids_reversed(reversed, out);
+    }
+
+    /// As [`List::reversed_ids`], but splitting a canonical dotted hostname
+    /// (e.g. [`DomainName::as_str`]) on the fly, with no intermediate label
+    /// vector.
+    pub fn reversed_ids_str(&self, host: &str, out: &mut Vec<u32>) {
+        self.interner.ids_of_host(host, out);
+    }
+
+    /// The label interner backing the compiled matcher.
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// The compiled matcher itself.
+    pub fn frozen(&self) -> &FrozenList {
+        &self.frozen
     }
 
     /// The public suffix (eTLD) of a domain, as a number of trailing
     /// labels. `None` only in strict mode when nothing matches.
     pub fn suffix_len(&self, domain: &DomainName, opts: MatchOpts) -> Option<usize> {
         let reversed = domain.labels_reversed();
-        self.trie.disposition(&reversed, opts).map(|d| d.suffix_len.min(domain.label_count()))
+        self.disposition_reversed(&reversed, opts).map(|d| d.suffix_len.min(domain.label_count()))
     }
 
     /// The public suffix (eTLD) of a domain as text, e.g. `co.uk` for

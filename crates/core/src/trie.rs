@@ -11,17 +11,27 @@ use crate::rule::{Rule, RuleKind, Section};
 use std::collections::HashMap;
 
 /// One node of the trie. The path from the root to a node spells a suffix
-/// right-to-left.
+/// right-to-left. Crate-visible so `frozen` can compile the trie into its
+/// arena form without an intermediate rule-list round trip.
 #[derive(Debug, Default, Clone)]
-struct Node {
-    children: HashMap<Box<str>, Node>,
+pub(crate) struct Node {
+    pub(crate) children: HashMap<Box<str>, Node>,
     /// A normal rule terminates at this node.
-    normal: Option<Section>,
+    pub(crate) normal: Option<Section>,
     /// A wildcard rule `*.<path>` is anchored at this node: it matches any
     /// hostname extending this node's path by at least one more label.
-    wildcard: Option<Section>,
+    pub(crate) wildcard: Option<Section>,
     /// An exception rule `!<path>` terminates at this node.
-    exception: Option<Section>,
+    pub(crate) exception: Option<Section>,
+}
+
+impl Node {
+    fn is_dead(&self) -> bool {
+        self.children.is_empty()
+            && self.normal.is_none()
+            && self.wildcard.is_none()
+            && self.exception.is_none()
+    }
 }
 
 /// How a matched rule was found.
@@ -108,10 +118,49 @@ impl SuffixTrie {
         *slot = Some(rule.section());
     }
 
+    /// Crate-visible root accessor for [`crate::frozen::FrozenList::freeze`].
+    pub(crate) fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Number of nodes in the trie, including the root. Removals leave
+    /// dead empty nodes behind until [`SuffixTrie::compact`] runs, so this
+    /// can exceed the node count of an equivalent freshly-built trie.
+    pub fn node_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            1 + node.children.values().map(count).sum::<usize>()
+        }
+        count(&self.root)
+    }
+
+    /// Prune dead subtrees left behind by [`SuffixTrie::remove`]: nodes
+    /// with no rule slots and no live descendants. Returns the number of
+    /// nodes reclaimed. Matching behaviour is unchanged (dead nodes can
+    /// only ever be walked *through*, never matched), but compacting keeps
+    /// long-lived incrementally-maintained tries — and anything frozen
+    /// from them — from accumulating garbage across thousands of history
+    /// versions.
+    pub fn compact(&mut self) -> usize {
+        fn prune(node: &mut Node) -> usize {
+            let mut reclaimed = 0;
+            node.children.retain(|_, child| {
+                reclaimed += prune(child);
+                if child.is_dead() {
+                    reclaimed += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            reclaimed
+        }
+        prune(&mut self.root)
+    }
+
     /// Remove one rule. Returns true if the rule's slot was occupied.
-    /// Empty nodes left behind are pruned lazily (they are harmless for
-    /// matching; a `compact` pass could reclaim them, but removal volume
-    /// in real histories is tiny).
+    /// Empty nodes are left behind (they are harmless for matching);
+    /// callers doing bulk removals run [`SuffixTrie::compact`] afterwards
+    /// to reclaim them.
     pub fn remove(&mut self, rule: &Rule) -> bool {
         let mut node = &mut self.root;
         for label in rule.labels().iter().rev() {
@@ -373,6 +422,47 @@ mod tests {
         assert_eq!(d.suffix_len, 2);
         assert_eq!(t.len(), n);
         let _ = rs;
+    }
+
+    #[test]
+    fn compact_reclaims_dead_nodes_after_removal() {
+        let (rs, mut t) = trie(BASIC);
+        let built_nodes = t.node_count();
+        // Remove the two deepest paths; their nodes become dead weight.
+        assert!(t.remove(&Rule::parse("!www.ck", Section::Icann).unwrap()));
+        assert!(t.remove(&Rule::parse("github.io", Section::Private).unwrap()));
+        assert_eq!(t.node_count(), built_nodes, "remove leaves dead nodes in place");
+        let reclaimed = t.compact();
+        // www.ck and github.io die; ck survives (a wildcard anchors there)
+        // and io survives (it holds its own normal rule).
+        assert_eq!(reclaimed, 2);
+        assert_eq!(t.node_count(), built_nodes - 2);
+        // Compacting must not change matching.
+        let d = t.disposition(&["ck", "www"], MatchOpts::default()).unwrap();
+        assert_eq!(d.kind, MatchKind::Rule(RuleKind::Wildcard));
+        let d = t.disposition(&["io", "github", "alice"], MatchOpts::default()).unwrap();
+        assert_eq!(d.suffix_len, 1);
+        // Rebuilding from the live set gives the same node count.
+        let live: Vec<Rule> = rs
+            .iter()
+            .filter(|r| r.as_text() != "!www.ck" && r.as_text() != "github.io")
+            .cloned()
+            .collect();
+        assert_eq!(t.node_count(), SuffixTrie::from_rules(&live).node_count());
+        // Compacting again is a no-op.
+        assert_eq!(t.compact(), 0);
+    }
+
+    #[test]
+    fn compact_prunes_whole_dead_chains() {
+        let mut t = SuffixTrie::default();
+        let deep = Rule::parse("a.b.c.d.e", Section::Icann).unwrap();
+        t.insert(&deep);
+        assert_eq!(t.node_count(), 6);
+        assert!(t.remove(&deep));
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.compact(), 5);
+        assert_eq!(t.node_count(), 1);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Hostname target: canonicalisation invariants + three-way matcher
+//! Hostname target: canonicalisation invariants + four-way matcher
 //! differential on a generated rule set.
 
 use psl_conformance::{first_divergence, ProductionMatcher};
@@ -31,7 +31,7 @@ impl ProductionMatcher for DynMatcher<'_> {
     }
 }
 
-/// One generated rule set with all three matchers built, queried for many
+/// One generated rule set with all four matchers built, queried for many
 /// hostnames before the next set is generated.
 pub struct ListUnderTest {
     /// The `.dat` text the rule set came from (kept for corpus entries).
@@ -40,22 +40,26 @@ pub struct ListUnderTest {
     pub rules: Vec<Rule>,
     naive: NaiveMap,
     production: Box<dyn ProductionMatcher>,
+    /// The compiled arena executor ([`List`] routes every disposition
+    /// through its `FrozenList`), cross-checked against the other three.
+    frozen: List,
 }
 
 impl ListUnderTest {
     /// Parse `dat` and build the production + reference matchers.
     pub fn build(dat: &str, factory: &dyn MatcherFactory) -> ListUnderTest {
-        let rules = List::parse(dat).rules().to_vec();
+        let frozen = List::parse(dat);
+        let rules = frozen.rules().to_vec();
         let naive = NaiveMap::from_rules(&rules);
         let production = factory.build(&rules);
-        ListUnderTest { dat: dat.to_string(), rules, naive, production }
+        ListUnderTest { dat: dat.to_string(), rules, naive, production, frozen }
     }
 }
 
 /// Check one hostname against `lut`. A host the parser *rejects* is fine
 /// (rejection is an answer); a host it accepts must canonicalise
 /// idempotently, round-trip through Unicode and punycode, and get the same
-/// disposition from all three matchers under every option set.
+/// disposition from all four matchers under every option set.
 pub fn check_host(lut: &ListUnderTest, host: &str) -> Result<(), String> {
     let parsed = match DomainName::parse(host) {
         Ok(d) => d,
@@ -126,19 +130,22 @@ pub fn check_host(lut: &ListUnderTest, host: &str) -> Result<(), String> {
         }
     }
 
-    // Three-way matcher differential (trie vs. linear vs. naive) under the
-    // full option matrix; `first_divergence` minimizes the host itself.
+    // Four-way matcher differential (trie vs. linear vs. naive vs. compiled
+    // arena) under the full option matrix; `first_divergence` minimizes the
+    // host itself.
     let mut comparisons = 0usize;
     if let Some(div) = first_divergence(
         &DynMatcher(&*lut.production),
         &lut.rules,
         &lut.naive,
+        &lut.frozen,
         std::slice::from_ref(&parsed),
         &mut comparisons,
     ) {
         return Err(format!(
-            "matcher divergence on {:?} (minimized {:?}): production={} linear={} naive={}",
-            div.host, div.minimized, div.production, div.linear, div.naive
+            "matcher divergence on {:?} (minimized {:?}): production={} linear={} naive={} \
+             frozen={}",
+            div.host, div.minimized, div.production, div.linear, div.naive, div.frozen
         ));
     }
     Ok(())

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod blame;
+pub mod compile;
 pub mod dating;
 pub mod export;
 pub mod generator;
@@ -27,6 +28,7 @@ pub mod seeds;
 pub mod store;
 
 pub use blame::{blame, churn_by_year, publication_cadence_days, removed_rule_lifetimes, Blame};
+pub use compile::CompiledHistory;
 pub use dating::{fingerprint, DatedCopy, DatingIndex, MatchQuality};
 pub use export::{all_versions_dat, from_json, to_json, version_dat};
 pub use generator::{generate, GeneratorConfig};

@@ -1,41 +1,50 @@
 //! A bounded LRU cache for lookup results.
 //!
 //! Each worker thread owns one — no sharing, no locks on the hot path. The
-//! cache maps a hostname to its suffix length (in labels) under one
-//! snapshot epoch; a reload clears it wholesale (epoch-tagged entries would
-//! keep stale strings alive across many reloads for no benefit).
+//! cache maps a key (the engine uses the host's interned label-id slice,
+//! `Box<[u32]>`) to its suffix code under one snapshot epoch; a reload
+//! clears it wholesale (epoch-tagged entries would keep stale keys alive
+//! across many reloads for no benefit).
 //!
 //! Implementation: a slab of entries threaded onto an intrusive
 //! doubly-linked list (indices, not pointers — no `unsafe`), plus a
 //! `HashMap` from key to slab index. All operations are O(1).
 
+use psl_core::FnvBuild;
+use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::hash::Hash;
 
 const NIL: usize = usize::MAX;
 
 #[derive(Debug)]
-struct Entry<V> {
-    key: String,
+struct Entry<K, V> {
+    key: K,
     value: V,
     prev: usize,
     next: usize,
 }
 
-/// A fixed-capacity least-recently-used map from hostname to `V`.
+/// A fixed-capacity least-recently-used map from `K` to `V`.
+///
+/// Keys hash with FNV rather than the DoS-resistant default: the cache is
+/// bounded, so a crafted collision flood can at worst degrade one worker's
+/// probes to capacity-bounded chain scans — it cannot grow memory — and
+/// the cheap hash is what keeps the ~99%-hit lookup path fast.
 #[derive(Debug)]
-pub struct LruCache<V> {
-    map: HashMap<String, usize>,
-    slab: Vec<Entry<V>>,
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize, FnvBuild>,
+    slab: Vec<Entry<K, V>>,
     head: usize,
     tail: usize,
     capacity: usize,
 }
 
-impl<V: Copy> LruCache<V> {
+impl<K: Hash + Eq + Clone, V: Copy> LruCache<K, V> {
     /// Create a cache holding at most `capacity` entries (0 disables it).
     pub fn new(capacity: usize) -> Self {
         LruCache {
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            map: HashMap::with_capacity_and_hasher(capacity.min(1 << 20), FnvBuild::default()),
             slab: Vec::with_capacity(capacity.min(1 << 20)),
             head: NIL,
             tail: NIL,
@@ -53,8 +62,14 @@ impl<V: Copy> LruCache<V> {
         self.map.is_empty()
     }
 
-    /// Look up `key`, marking it most-recently-used on a hit.
-    pub fn get(&mut self, key: &str) -> Option<V> {
+    /// Look up `key` (any borrowed form of `K`, so a `&[u32]` probe needs
+    /// no allocation against `Box<[u32]>` keys), marking it
+    /// most-recently-used on a hit.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         let &idx = self.map.get(key)?;
         self.detach(idx);
         self.attach_front(idx);
@@ -63,11 +78,11 @@ impl<V: Copy> LruCache<V> {
 
     /// Insert (or refresh) `key`, evicting the least-recently-used entry
     /// when at capacity.
-    pub fn insert(&mut self, key: &str, value: V) {
+    pub fn insert(&mut self, key: K, value: V) {
         if self.capacity == 0 {
             return;
         }
-        if let Some(&idx) = self.map.get(key) {
+        if let Some(&idx) = self.map.get(&key) {
             self.slab[idx].value = value;
             self.detach(idx);
             self.attach_front(idx);
@@ -77,15 +92,15 @@ impl<V: Copy> LruCache<V> {
             // Reuse the LRU slot: re-key it instead of growing the slab.
             let idx = self.tail;
             self.detach(idx);
-            let old_key = std::mem::replace(&mut self.slab[idx].key, key.to_string());
+            let old_key = std::mem::replace(&mut self.slab[idx].key, key.clone());
             self.map.remove(&old_key);
             self.slab[idx].value = value;
             idx
         } else {
-            self.slab.push(Entry { key: key.to_string(), value, prev: NIL, next: NIL });
+            self.slab.push(Entry { key: key.clone(), value, prev: NIL, next: NIL });
             self.slab.len() - 1
         };
-        self.map.insert(key.to_string(), idx);
+        self.map.insert(key, idx);
         self.attach_front(idx);
     }
 
@@ -133,21 +148,21 @@ mod tests {
 
     #[test]
     fn hit_and_miss() {
-        let mut c = LruCache::new(4);
+        let mut c: LruCache<String, u32> = LruCache::new(4);
         assert_eq!(c.get("a.com"), None);
-        c.insert("a.com", 1u32);
+        c.insert("a.com".to_string(), 1u32);
         assert_eq!(c.get("a.com"), Some(1));
         assert_eq!(c.len(), 1);
     }
 
     #[test]
     fn evicts_least_recently_used() {
-        let mut c = LruCache::new(3);
-        c.insert("a", 1u32);
-        c.insert("b", 2);
-        c.insert("c", 3);
+        let mut c: LruCache<String, u32> = LruCache::new(3);
+        c.insert("a".to_string(), 1u32);
+        c.insert("b".to_string(), 2);
+        c.insert("c".to_string(), 3);
         assert_eq!(c.get("a"), Some(1)); // refresh a; b is now LRU
-        c.insert("d", 4);
+        c.insert("d".to_string(), 4);
         assert_eq!(c.get("b"), None);
         assert_eq!(c.get("a"), Some(1));
         assert_eq!(c.get("c"), Some(3));
@@ -157,34 +172,49 @@ mod tests {
 
     #[test]
     fn insert_refreshes_value_and_recency() {
-        let mut c = LruCache::new(2);
-        c.insert("a", 1u32);
-        c.insert("b", 2);
-        c.insert("a", 10); // refresh a; b is LRU
-        c.insert("c", 3);
+        let mut c: LruCache<String, u32> = LruCache::new(2);
+        c.insert("a".to_string(), 1u32);
+        c.insert("b".to_string(), 2);
+        c.insert("a".to_string(), 10); // refresh a; b is LRU
+        c.insert("c".to_string(), 3);
         assert_eq!(c.get("b"), None);
         assert_eq!(c.get("a"), Some(10));
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
-        let mut c = LruCache::new(0);
-        c.insert("a", 1u32);
+        let mut c: LruCache<String, u32> = LruCache::new(0);
+        c.insert("a".to_string(), 1u32);
         assert_eq!(c.get("a"), None);
         assert!(c.is_empty());
     }
 
     #[test]
     fn clear_empties_everything() {
-        let mut c = LruCache::new(8);
+        let mut c: LruCache<String, u32> = LruCache::new(8);
         for i in 0..8u32 {
-            c.insert(&format!("h{i}"), i);
+            c.insert(format!("h{i}"), i);
         }
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.get("h3"), None);
-        c.insert("h3", 3);
+        c.insert("h3".to_string(), 3);
         assert_eq!(c.get("h3"), Some(3));
+    }
+
+    #[test]
+    fn id_slice_keys_probe_without_owning() {
+        // The engine's key shape: owned Box<[u32]> keys, borrowed &[u32]
+        // probes.
+        let mut c: LruCache<Box<[u32]>, u32> = LruCache::new(2);
+        let key: Box<[u32]> = vec![3, 1, 4].into_boxed_slice();
+        c.insert(key, 42);
+        let probe: Vec<u32> = vec![3, 1, 4];
+        assert_eq!(c.get(probe.as_slice()), Some(42));
+        assert_eq!(c.get([3, 1].as_slice()), None);
+        // The empty slice is a valid key (the root-only lookup).
+        c.insert(Vec::new().into_boxed_slice(), 7);
+        assert_eq!(c.get([].as_slice()), Some(7));
     }
 
     proptest! {
@@ -193,7 +223,7 @@ mod tests {
         #[test]
         fn matches_reference_model(ops in proptest::collection::vec((0u8..2, 0u32..12), 0..200)) {
             let capacity = 4;
-            let mut c = LruCache::new(capacity);
+            let mut c: LruCache<String, u32> = LruCache::new(capacity);
             // Reference: Vec of (key, value), front = most recent.
             let mut model: Vec<(String, u32)> = Vec::new();
             for (op, k) in ops {
@@ -205,7 +235,7 @@ mod tests {
                         model.insert(0, kv);
                         v
                     });
-                    prop_assert_eq!(c.get(&key), expect);
+                    prop_assert_eq!(c.get(key.as_str()), expect);
                 } else {
                     if let Some(i) = model.iter().position(|(mk, _)| *mk == key) {
                         model.remove(i);
@@ -213,7 +243,7 @@ mod tests {
                         model.pop();
                     }
                     model.insert(0, (key.clone(), k * 7));
-                    c.insert(&key, k * 7);
+                    c.insert(key, k * 7);
                 }
                 prop_assert!(c.len() <= capacity);
                 prop_assert_eq!(c.len(), model.len());

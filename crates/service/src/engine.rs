@@ -82,13 +82,17 @@ struct VersionCache {
     order: VecDeque<Date>,
 }
 
-/// Per-worker connection-independent state.
+/// Per-worker connection-independent state. The lookup cache is keyed by
+/// the host's interned label-id slice under the current snapshot (see
+/// [`Engine::handle_line`]'s suffix path): ids are computed once and serve
+/// as both the cache key and the compiled matcher's zero-allocation input.
 #[derive(Debug)]
 pub struct WorkerState {
     id: usize,
     reader: SnapshotReader,
-    cache: LruCache<u32>,
+    cache: LruCache<Box<[u32]>, u32>,
     cache_epoch: u64,
+    ids_scratch: Vec<u32>,
     pending_batch: usize,
 }
 
@@ -153,6 +157,7 @@ impl Engine {
             reader,
             cache: LruCache::new(self.config.cache_capacity),
             cache_epoch: epoch,
+            ids_scratch: Vec::new(),
             pending_batch: 0,
         }
     }
@@ -274,19 +279,36 @@ impl Engine {
     }
 
     /// Cached suffix-code lookup under the current snapshot.
+    ///
+    /// The host's labels are mapped once to the snapshot list's interned
+    /// ids (unknown labels share a sentinel that matches no rule, so the
+    /// suffix code is a pure function of the id sequence). The id slice is
+    /// probed against the LRU without allocating; only a miss pays for the
+    /// boxed key, and the compiled-arena walk it keys is allocation-free.
     fn code_cached(&self, ws: &mut WorkerState, host: &DomainName) -> u32 {
-        let snap_epoch = ws.reader.current().epoch;
-        if snap_epoch != ws.cache_epoch {
+        // Take the scratch buffer out of `ws` so the snapshot reference can
+        // coexist with cache borrows (field borrows stay disjoint, and no
+        // per-lookup `Arc` refcount traffic).
+        let mut ids = std::mem::take(&mut ws.ids_scratch);
+        let snap = ws.reader.current();
+        if snap.epoch != ws.cache_epoch {
             ws.cache.clear();
-            ws.cache_epoch = snap_epoch;
+            ws.cache_epoch = snap.epoch;
         }
-        if let Some(code) = ws.cache.get(host.as_str()) {
-            self.metrics.record_cache(1, 0);
-            return code;
-        }
-        self.metrics.record_cache(0, 1);
-        let code = lookup::suffix_code(&ws.reader.current().list, host, self.config.opts);
-        ws.cache.insert(host.as_str(), code);
+        snap.list.reversed_ids_str(host.as_str(), &mut ids);
+        let code = match ws.cache.get(ids.as_slice()) {
+            Some(code) => {
+                self.metrics.record_cache(1, 0);
+                code
+            }
+            None => {
+                self.metrics.record_cache(0, 1);
+                let code = lookup::suffix_code_ids(&snap.list, &ids, self.config.opts);
+                ws.cache.insert(ids.as_slice().into(), code);
+                code
+            }
+        };
+        ws.ids_scratch = ids;
         code
     }
 

@@ -22,6 +22,17 @@ pub fn suffix_code(list: &List, host: &DomainName, opts: MatchOpts) -> u32 {
     }
 }
 
+/// As [`suffix_code`], but over the host's reversed labels pre-interned
+/// via [`List::reversed_ids`]. The engine's hot path computes the id slice
+/// once as its cache key and resolves misses through this entry point with
+/// zero further allocation.
+pub fn suffix_code_ids(list: &List, reversed_ids: &[u32], opts: MatchOpts) -> u32 {
+    match list.disposition_ids(reversed_ids, opts) {
+        Some(d) => d.suffix_len.min(reversed_ids.len()) as u32,
+        None => NO_MATCH,
+    }
+}
+
 /// A fully resolved lookup.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Resolved {
@@ -98,6 +109,28 @@ mod tests {
         assert_eq!(r.suffix, None);
         assert_eq!(r.registrable, None);
         assert_eq!(r.site, "foo.nosuchtld");
+    }
+
+    #[test]
+    fn ids_path_codes_agree_with_string_path() {
+        let l = list();
+        let mut ids = Vec::new();
+        for host in ["www.example.co.uk", "co.uk", "alice.github.io", "x.zz", "foo.nosuchtld"] {
+            let dom = d(host);
+            let reversed = dom.labels_reversed();
+            l.reversed_ids(&reversed, &mut ids);
+            for opts in [
+                MatchOpts::default(),
+                MatchOpts { include_private: false, implicit_wildcard: true },
+                MatchOpts { include_private: true, implicit_wildcard: false },
+            ] {
+                assert_eq!(
+                    suffix_code_ids(&l, &ids, opts),
+                    suffix_code(&l, &dom, opts),
+                    "{host} {opts:?}"
+                );
+            }
+        }
     }
 
     #[test]
