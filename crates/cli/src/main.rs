@@ -43,6 +43,8 @@ fn main() -> ExitCode {
         "query" => cmd_query(rest),
         "loadgen" => cmd_loadgen(rest),
         "bench" => cmd_bench(rest),
+        "compile" => cmd_compile(rest),
+        "inspect" => cmd_inspect(rest),
         "lint" => cmd_lint(rest),
         "blame" => cmd_blame(rest),
         "corpus-stats" => cmd_corpus_stats(rest),
@@ -64,8 +66,10 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: pslharm <all|fig2..fig7|table1..table3|cookieharm|dbound|certharm|updatefail|replay|notify|conformance|suffix|serve|query|loadgen|bench|fuzz> \
 [--seed N] [--paper-scale] [--threads N] [--json PATH] [--addr HOST:PORT] [domains...]
-       pslharm fuzz <hostname|dat|cookie|service|all> [--seed N] [--iters N] [--time-budget SECS] [--write-corpus]
-       pslharm bench [--seed N] [--threads N] [--requests N] [--json PATH]";
+       pslharm fuzz <hostname|dat|cookie|service|snapshot|all> [--seed N] [--iters N] [--time-budget SECS] [--write-corpus]
+       pslharm bench [--seed N] [--threads N] [--requests N] [--json PATH]
+       pslharm compile [LIST.dat] --out PATH [--embedded | --history [--checkpoint-every N]] [--seed N]
+       pslharm inspect PATH";
 
 /// Common flags.
 struct Flags {
@@ -84,6 +88,9 @@ struct Flags {
     iters: u64,
     time_budget: Option<u64>,
     write_corpus: bool,
+    out: Option<String>,
+    history: bool,
+    checkpoint_every: u32,
     extra: Vec<String>,
 }
 
@@ -104,6 +111,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         iters: 500,
         time_budget: None,
         write_corpus: false,
+        out: None,
+        history: false,
+        checkpoint_every: psl_history::DEFAULT_CHECKPOINT_EVERY,
         extra: Vec::new(),
     };
     let mut it = args.iter();
@@ -153,6 +163,18 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 flags.time_budget = Some(v.parse().map_err(|_| format!("bad time budget {v:?}"))?);
             }
             "--write-corpus" => flags.write_corpus = true,
+            "--out" => {
+                flags.out = Some(it.next().ok_or("--out needs a path")?.clone());
+            }
+            "--history" => flags.history = true,
+            "--checkpoint-every" => {
+                let v = it.next().ok_or("--checkpoint-every needs a value")?;
+                flags.checkpoint_every =
+                    v.parse().map_err(|_| format!("bad checkpoint cadence {v:?}"))?;
+                if flags.checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be >= 1".into());
+                }
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}"));
             }
@@ -411,7 +433,8 @@ fn cmd_suffix(args: &[String]) -> Result<(), String> {
 /// server answers from the generated history's latest snapshot (so
 /// `loadgen --check` can recompute expectations from the same `--seed`);
 /// `--embedded` serves the real embedded list instead, and `--watch PATH`
-/// loads (and hot-reloads) a `.dat` file.
+/// loads (and hot-reloads) a `.dat` file or compiled binary snapshot
+/// (format sniffed by magic, see `pslharm compile`).
 fn build_engine(flags: &Flags) -> Result<std::sync::Arc<psl_service::Engine>, String> {
     use std::sync::Arc;
     let config = config_for(flags);
@@ -420,8 +443,7 @@ fn build_engine(flags: &Flags) -> Result<std::sync::Arc<psl_service::Engine>, St
     let latest = history.latest_version();
 
     let store = if let Some(path) = &flags.watch {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let list = psl_core::List::parse(&text);
+        let list = psl_service::load_list_file(std::path::Path::new(path))?;
         Arc::new(psl_core::SnapshotStore::new(path.clone(), None, list))
     } else if flags.embedded {
         Arc::new(psl_core::SnapshotStore::new("embedded", None, psl_core::embedded_list()))
@@ -547,6 +569,7 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
 struct BenchReport {
     seed: u64,
     engine: EngineBench,
+    coldstart: ColdstartBench,
     sweep: SweepBench,
     loadgen: LoadgenBench,
     agreement: AgreementBench,
@@ -560,6 +583,29 @@ struct EngineBench {
     frozen_str_ns_per_lookup: f64,
     frozen_ids_ns_per_lookup: f64,
     speedup_ids_vs_trie: f64,
+}
+
+/// Cold start: parsing + compiling `.dat` text vs. loading the compiled
+/// binary snapshot of the same list (`pslharm compile`).
+#[derive(serde::Serialize)]
+struct ColdstartBench {
+    rules: usize,
+    snapshot_bytes: usize,
+    /// `.dat` text → rules → compiled arena (`List::parse`).
+    parse_compile_us: f64,
+    /// Snapshot bytes → validated, query-ready zero-copy view
+    /// (`SnapshotView::parse` — answers dispositions straight off the
+    /// mapped bytes, the cold-start fast path).
+    view_parse_us: f64,
+    /// Snapshot bytes → validated owned arena (`FrozenList::load`).
+    arena_load_us: f64,
+    /// Snapshot bytes → full `List` incl. decompiled rule text
+    /// (`List::load_snapshot` — only needed when the rule set itself must
+    /// be re-emitted or diffed).
+    full_load_us: f64,
+    /// `parse_compile_us / view_parse_us`: how much faster a process is
+    /// answering its first query from a snapshot than from `.dat` text.
+    speedup: f64,
 }
 
 /// Full-history sweep wall clock: per-version rebuild vs. compiled arenas.
@@ -664,7 +710,48 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         engine.speedup_ids_vs_trie
     );
 
-    // 2. Agreement gate: the shipped vectors plus a four-way differential
+    // 2. Cold start: text parse+compile vs. binary snapshot load for the
+    //    same list — the number that justifies shipping snapshots at all.
+    let dat_text = latest.to_dat();
+    let snap_bytes = latest.write_snapshot();
+    let parse_best = time_best(2, 10, || psl_core::List::parse(&dat_text).len() as u64);
+    let view_parse_best = time_best(2, 10, || {
+        // Parse + one real lookup: the timed unit is "process can answer
+        // its first query", not just header validation.
+        let view = psl_core::SnapshotView::parse(&snap_bytes).expect("own snapshot");
+        let d = view.disposition(&["com", "example"], psl_core::MatchOpts::default());
+        view.rules() as u64 + d.is_some() as u64
+    });
+    let arena_load_best = time_best(2, 10, || {
+        let (_, frozen) = psl_core::FrozenList::load(&snap_bytes).expect("own snapshot");
+        frozen.len() as u64
+    });
+    let full_load_best = time_best(2, 10, || {
+        psl_core::List::load_snapshot(&snap_bytes).expect("own snapshot").len() as u64
+    });
+    let us = |d: std::time::Duration| d.as_nanos() as f64 / 1e3;
+    let coldstart = ColdstartBench {
+        rules: latest.len(),
+        snapshot_bytes: snap_bytes.len(),
+        parse_compile_us: us(parse_best),
+        view_parse_us: us(view_parse_best),
+        arena_load_us: us(arena_load_best),
+        full_load_us: us(full_load_best),
+        speedup: us(parse_best) / us(view_parse_best).max(f64::EPSILON),
+    };
+    eprintln!(
+        "coldstart: {} rules: parse+compile {:.0} us, snapshot view {:.0} us ({:.1}x), \
+         arena load {:.0} us, full list load {:.0} us ({} KiB snapshot)",
+        coldstart.rules,
+        coldstart.parse_compile_us,
+        coldstart.view_parse_us,
+        coldstart.speedup,
+        coldstart.arena_load_us,
+        coldstart.full_load_us,
+        coldstart.snapshot_bytes / 1024
+    );
+
+    // 3. Agreement gate: the shipped vectors plus a four-way differential
     //    sweep over every history version. Nonzero divergences fail the
     //    whole bench (numbers from a wrong matcher are worthless).
     let vectors = psl_conformance::parse_vectors(psl_conformance::SHIPPED_VECTORS)
@@ -683,7 +770,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         agreement.shipped_vectors, agreement.sweep_comparisons, agreement.divergences
     );
 
-    // 3. Full-history sweep wall clock: snapshot-rebuild ablation vs. the
+    // 4. Full-history sweep wall clock: snapshot-rebuild ablation vs. the
     //    compiled production path, same thread budget.
     let t = std::time::Instant::now();
     let rebuild = psl_analysis::sweep_rebuild(&history, &corpus, &config.sweep);
@@ -707,7 +794,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         sweep.versions, sweep.hosts, sweep.rebuild_ms, sweep.compiled_ms, sweep.speedup
     );
 
-    // 4. Loopback server + load generator: end-to-end lookups/s over TCP.
+    // 5. Loopback server + load generator: end-to-end lookups/s over TCP.
     let loadgen = {
         use std::sync::Arc;
         let history = Arc::new(history);
@@ -764,7 +851,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         loadgen.requests, loadgen.lookups_per_s, loadgen.cache_hit_ratio
     );
 
-    let report = BenchReport { seed: flags.seed, engine, sweep, loadgen, agreement };
+    let report = BenchReport { seed: flags.seed, engine, coldstart, sweep, loadgen, agreement };
     let payload = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     if let Some(path) = &flags.json {
         std::fs::write(path, &payload).map_err(|e| format!("writing {path}: {e}"))?;
@@ -776,6 +863,116 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         return Err(format!(
             "bench: {} executor divergences — numbers rejected",
             report.agreement.divergences
+        ));
+    }
+    Ok(())
+}
+
+// ---- Snapshot compilation / inspection ------------------------------------
+
+/// `pslharm compile`: produce a binary artifact that `serve --watch`,
+/// `inspect`, and `List::load_snapshot` all accept. The source is, in
+/// priority order: `--history` (the full generated history as one
+/// delta-compressed file), an explicit list path argument (`.dat` text or
+/// an existing snapshot, re-emitted canonically), `--embedded`, or the
+/// generated history's latest version.
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let out = flags.out.clone().ok_or("compile: --out PATH is required")?;
+    if flags.extra.len() > 1 {
+        return Err(format!("compile: unexpected arguments {:?}", &flags.extra[1..]));
+    }
+
+    let (bytes, what) = if flags.history {
+        if !flags.extra.is_empty() || flags.embedded {
+            return Err("compile: --history compiles the generated history; it takes no list \
+                        path and no --embedded"
+                .into());
+        }
+        eprintln!("generating history (seed {}) ...", flags.seed);
+        let history = psl_history::generate(&config_for(&flags).history);
+        let bytes = history.write_compiled_file(flags.checkpoint_every);
+        let what = format!(
+            "history file: {} versions ({} .. {}), checkpoint every {}",
+            history.version_count(),
+            history.first_version(),
+            history.latest_version(),
+            flags.checkpoint_every
+        );
+        (bytes, what)
+    } else {
+        let list = if let Some(path) = flags.extra.first() {
+            psl_service::load_list_file(std::path::Path::new(path))?
+        } else if flags.embedded {
+            psl_core::embedded_list()
+        } else {
+            eprintln!("generating history (seed {}) ...", flags.seed);
+            let history = psl_history::generate(&config_for(&flags).history);
+            history.latest_snapshot()
+        };
+        let what = format!("list snapshot: {} rules", list.len());
+        (list.write_snapshot(), what)
+    };
+
+    std::fs::write(&out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("pslharm compile: wrote {out} ({} B, {what})", bytes.len());
+    Ok(())
+}
+
+/// `pslharm inspect`: decode a compiled artifact's header without
+/// materializing anything — the debugging view of the on-disk format.
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let path =
+        flags.extra.first().ok_or("inspect: give a compiled snapshot or history file path")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+
+    if bytes.starts_with(&psl_core::LIST_MAGIC) {
+        let view = psl_core::SnapshotView::parse(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: list snapshot, format v{}", psl_core::LIST_FORMAT_VERSION);
+        println!(
+            "  {} rules, {} labels, {} nodes, {} edges, {} root entries, {} B total",
+            view.rules(),
+            view.label_count(),
+            view.node_count(),
+            view.edge_count(),
+            view.root_table_len(),
+            view.byte_len()
+        );
+        println!("  sections:");
+        for (name, offset, len) in view.sections() {
+            println!("    {name:<14} offset {offset:>8}  {len:>8} B");
+        }
+    } else if bytes.starts_with(&psl_history::HISTORY_MAGIC) {
+        let file =
+            psl_history::CompiledHistoryFile::load(bytes).map_err(|e| format!("{path}: {e}"))?;
+        let dates = file.dates();
+        println!("{path}: compiled history, format v{}", psl_history::HISTORY_FORMAT_VERSION);
+        println!(
+            "  {} versions ({} .. {}), checkpoint every {}, {} interned labels, {} B total",
+            file.version_count(),
+            dates.first().expect("non-empty by validation"),
+            dates.last().expect("non-empty by validation"),
+            file.checkpoint_every(),
+            file.interner().len(),
+            file.byte_len()
+        );
+        let (mut adds, mut dels) = (0usize, 0usize);
+        for i in 0..file.version_count() {
+            let (d, a) = file.delta_counts(i);
+            dels += d;
+            adds += a;
+        }
+        println!(
+            "  {} rule records ({adds} adds, {dels} removals); latest version: {} rules",
+            file.record_count(),
+            file.latest().len()
+        );
+    } else {
+        return Err(format!(
+            "{path}: not a compiled artifact (expected {:?} or {:?} magic)",
+            String::from_utf8_lossy(&psl_core::LIST_MAGIC),
+            String::from_utf8_lossy(&psl_history::HISTORY_MAGIC)
         ));
     }
     Ok(())
@@ -1154,7 +1351,7 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
         psl_fuzz::Target::ALL.to_vec()
     } else {
         vec![psl_fuzz::Target::from_name(which).ok_or_else(|| {
-            format!("unknown fuzz target {which:?} (hostname|dat|cookie|service|all)")
+            format!("unknown fuzz target {which:?} (hostname|dat|cookie|service|snapshot|all)")
         })?]
     };
     let config = psl_fuzz::FuzzConfig {

@@ -89,6 +89,70 @@ pub fn assert_golden<T: Serialize>(path: &Path, value: &T) {
     }
 }
 
+/// Compare raw `bytes` against a checked-in *binary* fixture (the golden
+/// vectors for the compiled snapshot format). Semantics mirror
+/// [`check_golden`]: `PSL_BLESS=1` (re)writes the fixture; a mismatch
+/// reports the first differing byte offset, because for a frozen binary
+/// format "what changed" is an offset, not a line.
+pub fn check_golden_bytes(path: &Path, bytes: &[u8]) -> Result<GoldenStatus, GoldenError> {
+    if blessing() {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| GoldenError {
+                path: path.to_path_buf(),
+                message: format!("create fixture dir: {e}"),
+            })?;
+        }
+        std::fs::write(path, bytes).map_err(|e| GoldenError {
+            path: path.to_path_buf(),
+            message: format!("write fixture: {e}"),
+        })?;
+        return Ok(GoldenStatus::Blessed);
+    }
+
+    let expected = std::fs::read(path).map_err(|_| GoldenError {
+        path: path.to_path_buf(),
+        message: "fixture missing — run with PSL_BLESS=1 to create it".to_string(),
+    })?;
+    if expected == bytes {
+        return Ok(GoldenStatus::Match);
+    }
+    Err(GoldenError { path: path.to_path_buf(), message: first_byte_diff(&expected, bytes) })
+}
+
+/// Assert-style wrapper around [`check_golden_bytes`].
+pub fn assert_golden_bytes(path: &Path, bytes: &[u8]) {
+    match check_golden_bytes(path, bytes) {
+        Ok(GoldenStatus::Match) => {}
+        Ok(GoldenStatus::Blessed) => {
+            eprintln!("blessed golden binary fixture {}", path.display());
+        }
+        Err(e) => panic!("{e}"),
+    }
+}
+
+fn first_byte_diff(expected: &[u8], actual: &[u8]) -> String {
+    let n = expected.len().min(actual.len());
+    for i in 0..n {
+        if expected[i] != actual[i] {
+            return format!(
+                "first difference at byte {i}: fixture has 0x{:02x}, output has 0x{:02x} \
+                 (fixture {} B, output {} B). A changed snapshot format needs a header \
+                 version bump AND a deliberate PSL_BLESS=1 re-bless.",
+                expected[i],
+                actual[i],
+                expected.len(),
+                actual.len()
+            );
+        }
+    }
+    format!(
+        "lengths differ: fixture has {} B, output has {} B (equal up to byte {n}). A changed \
+         snapshot format needs a header version bump AND a deliberate PSL_BLESS=1 re-bless.",
+        expected.len(),
+        actual.len()
+    )
+}
+
 fn first_diff(expected: &str, actual: &str) -> String {
     for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
         if e != a {

@@ -26,7 +26,10 @@ pub use differential::{
     SweepOutcome,
 };
 pub use generate::{generate_vectors, GenerateConfig};
-pub use golden::{assert_golden, blessing, check_golden, GoldenError, GoldenStatus};
+pub use golden::{
+    assert_golden, assert_golden_bytes, blessing, check_golden, check_golden_bytes, GoldenError,
+    GoldenStatus,
+};
 pub use vectors::{
     parse_vectors, registrable_for, run_vectors, ParseVectorError, TestVector, VectorFailure,
     VectorOutcome, SHIPPED_VECTORS,

@@ -155,16 +155,39 @@ impl LabelInterner {
         out.clear();
         out.extend(host.rsplit('.').map(|l| self.id_or_unknown(l)));
     }
+
+    /// The interned label strings in id order (`labels().nth(i)` is the
+    /// string behind id `i`). This is the serialization order the snapshot
+    /// format's string arena uses.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.labels.iter().map(|s| &**s)
+    }
+
+    /// Rebuild an interner from label strings in id order, as read back
+    /// from a snapshot's string arena. Duplicate strings keep their first
+    /// id in the lookup map (later ids still [`LabelInterner::resolve`]),
+    /// mirroring how [`LabelInterner::intern`] would have behaved.
+    pub fn from_labels(labels: Vec<String>) -> Self {
+        let mut map: HashMap<Box<str>, u32, FnvBuild> = HashMap::default();
+        let labels: Vec<Box<str>> = labels.into_iter().map(Box::<str>::from).collect();
+        for (i, label) in labels.iter().enumerate() {
+            let id = u32::try_from(i).expect("interner overflow");
+            assert!(id < UNKNOWN_LABEL, "interner exhausted the id space");
+            map.entry(label.clone()).or_insert(id);
+        }
+        LabelInterner { map, labels }
+    }
 }
 
 // Per-node slot bitfield: presence and section of each rule kind that
-// terminates (or, for wildcards, anchors) at the node.
-const NORMAL: u8 = 1 << 0;
-const NORMAL_PRIVATE: u8 = 1 << 1;
-const WILDCARD: u8 = 1 << 2;
-const WILDCARD_PRIVATE: u8 = 1 << 3;
-const EXCEPTION: u8 = 1 << 4;
-const EXCEPTION_PRIVATE: u8 = 1 << 5;
+// terminates (or, for wildcards, anchors) at the node. `pub(crate)` so the
+// snapshot loader can validate hostile slot bytes against the real layout.
+pub(crate) const NORMAL: u8 = 1 << 0;
+pub(crate) const NORMAL_PRIVATE: u8 = 1 << 1;
+pub(crate) const WILDCARD: u8 = 1 << 2;
+pub(crate) const WILDCARD_PRIVATE: u8 = 1 << 3;
+pub(crate) const EXCEPTION: u8 = 1 << 4;
+pub(crate) const EXCEPTION_PRIVATE: u8 = 1 << 5;
 
 fn kind_bits(kind: RuleKind) -> (u8, u8) {
     match kind {
@@ -199,12 +222,24 @@ pub struct FrozenList {
 
 // Absent entry in `root_table`. Distinct from any node index: nodes are
 // created by a `u32::try_from` that would have to overflow first.
-const NO_NODE: u32 = u32::MAX;
+pub(crate) const NO_NODE: u32 = u32::MAX;
 
 // Spans at or below this length are scanned linearly: for the tiny
 // fan-outs below the root the scan stays in one cache line and beats
 // binary search's branchy halving.
-const LINEAR_SPAN: usize = 16;
+pub(crate) const LINEAR_SPAN: usize = 16;
+
+/// Borrowed views of every arena array, in the order the snapshot format
+/// serialises them.
+pub(crate) struct FrozenParts<'a> {
+    pub span_start: &'a [u32],
+    pub span_len: &'a [u32],
+    pub slots: &'a [u8],
+    pub edge_labels: &'a [u32],
+    pub edge_targets: &'a [u32],
+    pub root_table: &'a [u32],
+    pub rules: usize,
+}
 
 impl Default for FrozenList {
     fn default() -> Self {
@@ -267,6 +302,102 @@ impl FrozenList {
         let frozen = b.finish();
         debug_assert_eq!(frozen.rules, trie.len());
         frozen
+    }
+
+    /// Compile from already-interned label-id paths (TLD first, the same
+    /// reversed order the walk consumes). This is the canonical
+    /// materialisation path for delta-encoded history files: feeding
+    /// records in sorted `(path, kind)` order always produces the same
+    /// arena bytes, independent of how the record set was reassembled.
+    pub fn compile_ids<'a, I>(records: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a [u32], RuleKind, Section)>,
+    {
+        let mut b = Builder::new();
+        for (path, kind, section) in records {
+            let mut node = 0u32;
+            for &id in path {
+                node = b.child(node, id);
+            }
+            b.set_slot(node, kind, section);
+        }
+        b.finish()
+    }
+
+    /// Reconstruct the rule set from the arena (sorted depth-first order,
+    /// so the output is deterministic but not necessarily the original
+    /// list order). Every edge label must resolve through `interner` —
+    /// true for any arena compiled against it, and for any snapshot that
+    /// passed [`FrozenList::load`] validation.
+    pub fn decompile_rules(&self, interner: &LabelInterner) -> Vec<Rule> {
+        fn emit(
+            fl: &FrozenList,
+            node: usize,
+            path: &mut Vec<String>,
+            interner: &LabelInterner,
+            out: &mut Vec<Rule>,
+        ) {
+            let slot = fl.slots[node];
+            if node != 0 && slot != 0 {
+                // Rule labels read leftmost-first; `path` is root-first.
+                let labels = |p: &[String]| p.iter().rev().cloned().collect::<Vec<_>>();
+                let section = |private: bool| {
+                    if private {
+                        Section::Private
+                    } else {
+                        Section::Icann
+                    }
+                };
+                if slot & NORMAL != 0 {
+                    out.push(Rule::normal(labels(path), section(slot & NORMAL_PRIVATE != 0)));
+                }
+                if slot & WILDCARD != 0 {
+                    out.push(Rule::wildcard(labels(path), section(slot & WILDCARD_PRIVATE != 0)));
+                }
+                if slot & EXCEPTION != 0 {
+                    out.push(Rule::exception(labels(path), section(slot & EXCEPTION_PRIVATE != 0)));
+                }
+            }
+            let start = fl.span_start[node] as usize;
+            let len = fl.span_len[node] as usize;
+            for i in start..start + len {
+                let label =
+                    interner.resolve(fl.edge_labels[i]).expect("edge label interned").to_string();
+                path.push(label);
+                emit(fl, fl.edge_targets[i] as usize, path, interner, out);
+                path.pop();
+            }
+        }
+
+        let mut out = Vec::with_capacity(self.rules);
+        emit(self, 0, &mut Vec::new(), interner, &mut out);
+        out
+    }
+
+    /// Borrowed views of the arena arrays, for the snapshot writer.
+    pub(crate) fn parts(&self) -> FrozenParts<'_> {
+        FrozenParts {
+            span_start: &self.span_start,
+            span_len: &self.span_len,
+            slots: &self.slots,
+            edge_labels: &self.edge_labels,
+            edge_targets: &self.edge_targets,
+            root_table: &self.root_table,
+            rules: self.rules,
+        }
+    }
+
+    /// Reassemble from arrays a snapshot loader has already validated.
+    pub(crate) fn from_parts(
+        span_start: Vec<u32>,
+        span_len: Vec<u32>,
+        slots: Vec<u8>,
+        edge_labels: Vec<u32>,
+        edge_targets: Vec<u32>,
+        root_table: Vec<u32>,
+        rules: usize,
+    ) -> Self {
+        FrozenList { span_start, span_len, slots, edge_labels, edge_targets, root_table, rules }
     }
 
     /// Number of compiled rules (distinct `(path, kind)` slots, matching

@@ -52,6 +52,7 @@ pub mod naive;
 pub mod parser;
 pub mod punycode;
 pub mod rule;
+pub mod snapfile;
 pub mod snapshot;
 pub mod trie;
 pub mod url;
@@ -67,6 +68,10 @@ pub use list::List;
 pub use naive::NaiveMap;
 pub use parser::{parse_dat, parse_dat_strict, write_dat, ParsedList};
 pub use rule::{Rule, RuleKind, Section};
+pub use snapfile::{
+    checksum64, reseal, write_list_snapshot, SnapshotError, SnapshotView, LIST_FORMAT_VERSION,
+    LIST_MAGIC,
+};
 pub use snapshot::{Snapshot, SnapshotReader, SnapshotStore};
 pub use trie::{Disposition, MatchKind, MatchOpts, SuffixTrie};
 pub use url::{Host, Url};

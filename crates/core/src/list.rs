@@ -47,6 +47,28 @@ impl List {
         List::from_rules(rules)
     }
 
+    /// Rebuild a list around an already-compiled arena (typically one
+    /// loaded from a snapshot): the rule vector is decompiled from the
+    /// arena, so `rules()` reflects exactly what the matcher will answer.
+    pub fn from_compiled(interner: LabelInterner, frozen: FrozenList) -> Self {
+        let rules = frozen.decompile_rules(&interner);
+        List { rules, interner, frozen }
+    }
+
+    /// Serialise the compiled matcher into snapshot bytes (see
+    /// [`crate::snapfile`]). `List::load_snapshot(&list.write_snapshot())`
+    /// reproduces the matcher bit for bit.
+    pub fn write_snapshot(&self) -> Vec<u8> {
+        crate::snapfile::write_list_snapshot(&self.interner, &self.frozen)
+    }
+
+    /// Load a list from snapshot bytes, validating them as hostile input.
+    /// The rule vector is decompiled from the loaded arena.
+    pub fn load_snapshot(bytes: &[u8]) -> Result<Self, crate::snapfile::SnapshotError> {
+        let (interner, frozen) = FrozenList::load(bytes)?;
+        Ok(List::from_compiled(interner, frozen))
+    }
+
     /// The rules, in list order.
     pub fn rules(&self) -> &[Rule] {
         &self.rules

@@ -1,0 +1,391 @@
+//! Fault-injection battery for the snapshot loader.
+//!
+//! The loader ([`SnapshotView::parse`] / [`FrozenList::load`]) treats its
+//! input as hostile. This battery corrupts a pristine snapshot every way
+//! the format can break — each header field, truncation at every section
+//! boundary, checksum flips, out-of-range indices planted in every arena
+//! section — and asserts each case returns a *typed* error: never a panic,
+//! never a silently-accepted wrong matcher. Structural mutations are
+//! re-sealed (checksum recomputed) so they penetrate past the checksum
+//! gate and actually reach the deeper validation layer they target.
+
+use psl_core::snapfile::HEADER_LEN;
+use psl_core::{embedded_list, reseal, FrozenList, SnapshotError, SnapshotView};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn pristine() -> Vec<u8> {
+    embedded_list().write_snapshot()
+}
+
+/// Parse under `catch_unwind`: a panic is a battery failure in its own
+/// right (the loader's contract is typed errors only).
+fn parse_no_panic(bytes: &[u8]) -> Result<(), SnapshotError> {
+    catch_unwind(AssertUnwindSafe(|| SnapshotView::parse(bytes).map(|_| ())))
+        .unwrap_or_else(|_| panic!("loader panicked instead of returning a typed error"))
+}
+
+fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Apply `mutate` to a pristine snapshot, re-seal the checksum, and assert
+/// the loader rejects it with the expected error shape.
+fn expect_resealed(
+    mutate: impl FnOnce(&mut Vec<u8>, &Sections),
+    expected: impl Fn(&SnapshotError) -> bool,
+    what: &str,
+) {
+    let mut bytes = pristine();
+    let sections = Sections::of(&bytes);
+    mutate(&mut bytes, &sections);
+    reseal(&mut bytes);
+    match parse_no_panic(&bytes) {
+        Err(e) if expected(&e) => {}
+        Err(e) => panic!("{what}: rejected, but with unexpected error {e:?} ({e})"),
+        Ok(()) => panic!("{what}: hostile snapshot was accepted"),
+    }
+}
+
+/// Byte offsets of each section in a pristine snapshot, plus counts.
+struct Sections {
+    offsets: Vec<(String, u64, u64)>,
+    node_count: usize,
+    label_count: usize,
+}
+
+impl Sections {
+    fn of(bytes: &[u8]) -> Sections {
+        let view = SnapshotView::parse(bytes).expect("pristine snapshot must parse");
+        Sections {
+            offsets: view.sections().iter().map(|&(n, o, l)| (n.to_string(), o, l)).collect(),
+            node_count: view.node_count(),
+            label_count: view.label_count(),
+        }
+    }
+
+    fn start(&self, name: &str) -> usize {
+        self.offsets.iter().find(|(n, ..)| n == name).map(|&(_, o, _)| o as usize).unwrap()
+    }
+}
+
+#[test]
+fn pristine_snapshot_parses() {
+    let bytes = pristine();
+    assert!(parse_no_panic(&bytes).is_ok());
+    let (interner, frozen) = FrozenList::load(&bytes).unwrap();
+    assert_eq!(frozen.len(), embedded_list().len());
+    assert!(!interner.is_empty());
+}
+
+#[test]
+fn every_single_byte_flip_is_rejected() {
+    let bytes = pristine();
+    for i in 0..bytes.len() {
+        let mut b = bytes.clone();
+        b[i] ^= 0xff;
+        assert!(parse_no_panic(&b).is_err(), "flipping byte {i} of {} was accepted", bytes.len());
+    }
+}
+
+#[test]
+fn truncation_at_every_section_boundary_is_rejected() {
+    let bytes = pristine();
+    let sections = Sections::of(&bytes);
+    let mut cuts: Vec<usize> =
+        vec![0, 1, 4, 8, 11, 12, 16, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 9, bytes.len() - 1];
+    for &(_, off, len) in &sections.offsets {
+        cuts.push(off as usize);
+        cuts.push((off + len) as usize);
+        cuts.push(off as usize + 1);
+    }
+    for cut in cuts {
+        let cut = cut.min(bytes.len() - 1);
+        // Both raw truncation and truncation with a freshly-sealed
+        // checksum must be rejected (the header pins the exact length).
+        let mut b = bytes[..cut].to_vec();
+        assert!(parse_no_panic(&b).is_err(), "truncation to {cut} bytes was accepted");
+        reseal(&mut b);
+        assert!(parse_no_panic(&b).is_err(), "re-sealed truncation to {cut} bytes was accepted");
+    }
+}
+
+#[test]
+fn checksum_byte_flips_are_rejected() {
+    let bytes = pristine();
+    for i in bytes.len() - 8..bytes.len() {
+        let mut b = bytes.clone();
+        b[i] ^= 0x01;
+        match parse_no_panic(&b) {
+            Err(SnapshotError::ChecksumMismatch { .. }) => {}
+            other => panic!("flipped checksum byte {i}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut bytes = pristine();
+    bytes[0] = b'X';
+    reseal(&mut bytes);
+    assert_eq!(parse_no_panic(&bytes), Err(SnapshotError::BadMagic));
+}
+
+#[test]
+fn tiny_buffers_are_truncated_not_panics() {
+    for len in 0..HEADER_LEN + 8 {
+        let mut b = pristine();
+        b.truncate(len);
+        match parse_no_panic(&b) {
+            Err(
+                SnapshotError::Truncated { .. }
+                | SnapshotError::BadMagic
+                | SnapshotError::UnsupportedVersion { .. },
+            ) => {}
+            other => panic!("len {len}: {other:?}"),
+        }
+    }
+}
+
+/// (offset, poison value, what, expected error shape).
+type HeaderCase = (usize, u32, &'static str, fn(&SnapshotError) -> bool);
+
+#[test]
+fn each_header_field_corruption_is_typed() {
+    let cases: Vec<HeaderCase> = vec![
+        (8, 99, "format_version", |e| {
+            matches!(e, SnapshotError::UnsupportedVersion { found: 99, .. })
+        }),
+        (12, 0x8000_0001, "flags", |e| matches!(e, SnapshotError::BadFlags { .. })),
+        (24, 1_000_000, "rules", |e| matches!(e, SnapshotError::RuleCountMismatch { .. })),
+        (28, u32::MAX, "label_count sentinel", |e| {
+            matches!(e, SnapshotError::CountTooLarge { what: "label" })
+        }),
+        (28, 7, "label_count", |e| matches!(e, SnapshotError::SectionSizeMismatch { .. })),
+        (32, 0, "node_count zero", |e| matches!(e, SnapshotError::EmptyNodeTable)),
+        (32, u32::MAX, "node_count sentinel", |e| {
+            matches!(e, SnapshotError::CountTooLarge { what: "node" })
+        }),
+        (36, 3, "edge_count", |e| matches!(e, SnapshotError::EdgeNodeMismatch { .. })),
+        (40, 2, "root_table_len", |e| matches!(e, SnapshotError::SectionSizeMismatch { .. })),
+        (44, 5, "reserved", |e| matches!(e, SnapshotError::BadFlags { .. })),
+    ];
+    for (off, val, what, expected) in cases {
+        expect_resealed(|b, _| put_u32(b, off, val), expected, what);
+    }
+    // total_len: header pins the exact byte length.
+    expect_resealed(
+        |b, _| put_u64(b, 16, 1 << 40),
+        |e| matches!(e, SnapshotError::LengthMismatch { .. }),
+        "total_len",
+    );
+    // Appending trailing bytes breaks the pinned length too.
+    expect_resealed(
+        |b, _| b.extend_from_slice(&[0u8; 16]),
+        |e| matches!(e, SnapshotError::LengthMismatch { .. }),
+        "appended bytes",
+    );
+}
+
+#[test]
+fn section_table_corruptions_are_typed() {
+    // Unaligned offset.
+    expect_resealed(
+        |b, _| {
+            let off = u64::from_le_bytes(b[48..56].try_into().unwrap());
+            put_u64(b, 48, off + 4);
+        },
+        |e| matches!(e, SnapshotError::Misaligned { section: "label_offsets", .. }),
+        "unaligned section",
+    );
+    // Offset pointing back into the header.
+    expect_resealed(
+        |b, _| put_u64(b, 48, 8),
+        |e| matches!(e, SnapshotError::SectionOverlap { .. } | SnapshotError::Misaligned { .. }),
+        "section inside header",
+    );
+    // Second section overlapping the first.
+    expect_resealed(
+        |b, _| {
+            let first = u64::from_le_bytes(b[48..56].try_into().unwrap());
+            put_u64(b, 48 + 16, first);
+        },
+        |e| matches!(e, SnapshotError::SectionOverlap { section: "label_bytes" }),
+        "overlapping sections",
+    );
+    // Length running past the buffer.
+    expect_resealed(
+        |b, _| put_u64(b, 48 + 8, 1 << 33),
+        |e| matches!(e, SnapshotError::SectionOutOfBounds { section: "label_offsets" }),
+        "section past the buffer",
+    );
+    // Wrong size for a count-implied section (span_start is section 2).
+    expect_resealed(
+        |b, _| {
+            let len_at = 48 + 2 * 16 + 8;
+            let len = u64::from_le_bytes(b[len_at..len_at + 8].try_into().unwrap());
+            put_u64(b, len_at, len - 4);
+        },
+        |e| matches!(e, SnapshotError::SectionSizeMismatch { section: "span_start", .. }),
+        "undersized span_start",
+    );
+}
+
+#[test]
+fn planted_out_of_range_indices_are_typed() {
+    // Dangling edge label (>= label_count).
+    expect_resealed(
+        |b, s| put_u32(b, s.start("edge_labels"), s.label_count as u32),
+        |e| matches!(e, SnapshotError::DanglingLabel { .. }),
+        "edge label out of range",
+    );
+    // Edge target out of range.
+    expect_resealed(
+        |b, s| put_u32(b, s.start("edge_targets"), s.node_count as u32 + 5),
+        |e| matches!(e, SnapshotError::DanglingNode { .. }),
+        "edge target out of range",
+    );
+    // Edge target pointing at the root.
+    expect_resealed(
+        |b, s| put_u32(b, s.start("edge_targets"), 0),
+        |e| matches!(e, SnapshotError::DanglingNode { .. }),
+        "edge target at root",
+    );
+    // Two edges sharing a target: not a tree.
+    expect_resealed(
+        |b, s| {
+            let t0 = s.start("edge_targets");
+            let first = u32::from_le_bytes(b[t0..t0 + 4].try_into().unwrap());
+            put_u32(b, t0 + 4, first);
+        },
+        |e| matches!(e, SnapshotError::NotATree { .. }),
+        "duplicate edge target",
+    );
+    // Span arithmetic broken.
+    expect_resealed(
+        |b, s| put_u32(b, s.start("span_start") + 4, 7_000_000),
+        |e| matches!(e, SnapshotError::NonContiguousSpans { .. }),
+        "span_start out of range",
+    );
+    expect_resealed(
+        |b, s| {
+            let off = s.start("span_len");
+            let len = u32::from_le_bytes(b[off..off + 4].try_into().unwrap());
+            put_u32(b, off, len + 1);
+        },
+        |e| matches!(e, SnapshotError::NonContiguousSpans { .. }),
+        "span_len inflated",
+    );
+    // Root span order scrambled (swap the first two root edge labels).
+    expect_resealed(
+        |b, s| {
+            let off = s.start("edge_labels");
+            let a = u32::from_le_bytes(b[off..off + 4].try_into().unwrap());
+            let c = u32::from_le_bytes(b[off + 4..off + 8].try_into().unwrap());
+            put_u32(b, off, c);
+            put_u32(b, off + 4, a);
+        },
+        |e| {
+            matches!(
+                e,
+                SnapshotError::UnsortedSpan { node: 0 } | SnapshotError::BadRootTable { .. }
+            )
+        },
+        "unsorted root span",
+    );
+    // Label prefix sums: non-monotonic, then out of the byte arena.
+    expect_resealed(
+        |b, s| put_u32(b, s.start("label_offsets") + 4, u32::MAX),
+        |e| matches!(e, SnapshotError::BadLabelOffsets { .. }),
+        "label offsets out of arena",
+    );
+    expect_resealed(
+        |b, s| put_u32(b, s.start("label_offsets"), 3),
+        |e| matches!(e, SnapshotError::BadLabelOffsets { index: 0 }),
+        "label offsets not starting at 0",
+    );
+    // Invalid UTF-8 planted in the string arena.
+    expect_resealed(
+        |b, s| b[s.start("label_bytes")] = 0xff,
+        |e| matches!(e, SnapshotError::LabelNotUtf8 { .. }),
+        "label not UTF-8",
+    );
+    // Root dispatch entry disagreeing with the root span.
+    expect_resealed(
+        |b, s| {
+            let off = s.start("root_table");
+            let cur = u32::from_le_bytes(b[off..off + 4].try_into().unwrap());
+            put_u32(b, off, cur.wrapping_add(1));
+        },
+        |e| matches!(e, SnapshotError::BadRootTable { .. }),
+        "root table entry skewed",
+    );
+}
+
+#[test]
+fn slot_corruptions_are_typed() {
+    // Undefined high bits.
+    expect_resealed(
+        |b, s| b[s.start("slots") + 1] |= 0x40,
+        |e| matches!(e, SnapshotError::BadSlotBits { .. }),
+        "slot bit above 0x3f",
+    );
+    // Section bit without its presence bit (NORMAL_PRIVATE alone).
+    expect_resealed(
+        |b, s| {
+            let off = s.start("slots") + 1;
+            b[off] = (b[off] & !0x01) | 0x02;
+        },
+        |e| {
+            matches!(e, SnapshotError::BadSlotBits { .. } | SnapshotError::RuleCountMismatch { .. })
+        },
+        "orphan section bit",
+    );
+    // Rule slots on the root node.
+    expect_resealed(
+        |b, s| b[s.start("slots")] |= 0x01,
+        |e| matches!(e, SnapshotError::RootSlot | SnapshotError::RuleCountMismatch { .. }),
+        "root slot",
+    );
+    // An exception planted at depth 1 (first child of the root). The first
+    // node created is a direct child of the root in every compile order.
+    expect_resealed(
+        |b, s| b[s.start("slots") + 1] |= 0x10,
+        |e| {
+            matches!(
+                e,
+                SnapshotError::ShallowException { .. } | SnapshotError::RuleCountMismatch { .. }
+            )
+        },
+        "shallow exception",
+    );
+}
+
+/// Loading random garbage of assorted sizes must always produce a typed
+/// error (deterministic xorshift noise, no panics).
+#[test]
+fn random_garbage_never_panics() {
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for len in [0usize, 7, 8, 16, 177, 200, 512, 4096] {
+        for _ in 0..8 {
+            let mut buf: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            assert!(parse_no_panic(&buf).is_err(), "garbage of len {len} accepted");
+            // Same, but wearing a valid magic + version + seal.
+            if buf.len() >= 12 {
+                buf[..8].copy_from_slice(&psl_core::LIST_MAGIC);
+                put_u32(&mut buf, 8, psl_core::LIST_FORMAT_VERSION);
+                reseal(&mut buf);
+                assert!(parse_no_panic(&buf).is_err(), "sealed garbage of len {len} accepted");
+            }
+        }
+    }
+}

@@ -10,7 +10,10 @@
 //!   `.dat` list it ran against;
 //! - `dat/`: the raw `.dat` text;
 //! - `cookie/`: line 1 is the request host, line 2 the `Set-Cookie` value;
-//! - `service/`: the protocol frames, one per line.
+//! - `service/`: the protocol frames, one per line;
+//! - `snapshot/`: line 1 is the byte-mutation spec (see
+//!   [`crate::targets::snapshot`]), the remaining lines are the `.dat`
+//!   list whose compiled snapshot the spec mutates.
 
 use std::fs;
 use std::path::PathBuf;
@@ -26,11 +29,14 @@ pub enum Target {
     Cookie,
     /// Protocol frames against a loopback server.
     Service,
+    /// Binary snapshot loader under byte-level corruption.
+    Snapshot,
 }
 
 impl Target {
     /// All targets, in the order `fuzz all` runs them.
-    pub const ALL: [Target; 4] = [Target::Hostname, Target::Dat, Target::Cookie, Target::Service];
+    pub const ALL: [Target; 5] =
+        [Target::Hostname, Target::Dat, Target::Snapshot, Target::Cookie, Target::Service];
 
     /// The directory / CLI name.
     pub fn as_str(self) -> &'static str {
@@ -39,6 +45,7 @@ impl Target {
             Target::Dat => "dat",
             Target::Cookie => "cookie",
             Target::Service => "service",
+            Target::Snapshot => "snapshot",
         }
     }
 
@@ -65,6 +72,9 @@ pub enum Input {
     Cookie(String, String),
     /// Protocol frames.
     Service(Vec<String>),
+    /// `(mutation spec, dat text)` — the spec mutates the compiled
+    /// snapshot of the list before it is fed to the loader.
+    Snapshot(String, String),
 }
 
 impl Input {
@@ -75,6 +85,7 @@ impl Input {
             Input::Dat(..) => Target::Dat,
             Input::Cookie(..) => Target::Cookie,
             Input::Service(..) => Target::Service,
+            Input::Snapshot(..) => Target::Snapshot,
         }
     }
 
@@ -92,6 +103,7 @@ impl Input {
                 }
                 out
             }
+            Input::Snapshot(spec, dat) => format!("{spec}\n{dat}"),
         }
     }
 
@@ -110,6 +122,10 @@ impl Input {
                 Input::Cookie(host, header)
             }
             Target::Service => Input::Service(text.lines().map(|l| l.to_string()).collect()),
+            Target::Snapshot => {
+                let (spec, dat) = text.split_once('\n').unwrap_or((text, ""));
+                Input::Snapshot(spec.to_string(), dat.to_string())
+            }
         }
     }
 }
@@ -169,6 +185,8 @@ mod tests {
             Input::Dat("com\n// c\n".into()),
             Input::Cookie("a.example.com".into(), "sid=1; Domain=example.com".into()),
             Input::Service(vec!["PING".into(), "BATCH 1".into(), "a.com".into()]),
+            Input::Snapshot("8=99 fix".into(), "com\n*.uk\n".into()),
+            Input::Snapshot(String::new(), "com\n".into()),
         ];
         for input in cases {
             let target = input.target();

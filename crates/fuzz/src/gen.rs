@@ -289,6 +289,55 @@ pub fn mutate_dat(rng: &mut FuzzRng, dat: &str) -> String {
     text
 }
 
+// ---- snapshot mutation specs ----------------------------------------------
+
+/// Byte offsets with structural meaning in every list snapshot: magic,
+/// format version, flags, total length, the count block, and the start of
+/// the section table. Mutations here exercise specific header gates
+/// instead of scattering across the (checksum-protected) payload.
+const SNAPSHOT_HOT_OFFSETS: &[usize] = &[0, 7, 8, 12, 16, 24, 28, 32, 36, 40, 44, 48, 56, 64];
+
+/// A snapshot mutation spec (see `targets::snapshot` for the grammar).
+/// Biased structure-aware: most specs reseal the checksum so mutations
+/// reach structural validation, and most offsets land in the header.
+pub fn gen_snapshot_spec(rng: &mut FuzzRng) -> String {
+    let mut toks: Vec<String> = Vec::new();
+    for _ in 0..rng.below(5) {
+        let tok = match rng.below(8) {
+            0 => format!("len={}", rng.below(8192)),
+            1..=4 => format!("{}={}", rng.pick(SNAPSHOT_HOT_OFFSETS), rng.below(256)),
+            5 => format!("{}={}", rng.below(200), rng.below(256)),
+            _ => format!("{}={}", rng.below(16384), rng.below(256)),
+        };
+        toks.push(tok);
+    }
+    if rng.chance(2, 3) {
+        toks.push("fix".to_string());
+    }
+    toks.join(" ")
+}
+
+/// Mutate an existing spec: add a token, drop one, or toggle `fix`.
+pub fn mutate_snapshot_spec(rng: &mut FuzzRng, spec: &str) -> String {
+    let mut toks: Vec<String> = spec.split_whitespace().map(|t| t.to_string()).collect();
+    match rng.below(4) {
+        0 => toks.push(format!("{}={}", rng.below(16384), rng.below(256))),
+        1 if !toks.is_empty() => {
+            let i = rng.below(toks.len());
+            toks.remove(i);
+        }
+        2 => toks.push(format!("len={}", rng.below(8192))),
+        _ => {
+            if let Some(i) = toks.iter().position(|t| t == "fix") {
+                toks.remove(i);
+            } else {
+                toks.push("fix".to_string());
+            }
+        }
+    }
+    toks.join(" ")
+}
+
 // ---- Set-Cookie headers ---------------------------------------------------
 
 /// A `Set-Cookie` header targeted at `host`: Domain attributes are drawn

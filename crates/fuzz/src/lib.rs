@@ -16,7 +16,11 @@
 //!   RFC 6265 §5.2 reference parser, plus jar storage invariants;
 //! - **service** — protocol sessions replayed over real TCP against a
 //!   loopback server and compared byte-for-byte with a direct engine
-//!   computation.
+//!   computation;
+//! - **snapshot** — byte-level corruption of compiled binary snapshots
+//!   fed to the zero-copy loader: typed rejection or a self-consistent
+//!   accept (view walk == materialized arena == trie of decompiled
+//!   rules), never a panic.
 //!
 //! Everything is deterministic: a tiny pinned SplitMix64 stream
 //! ([`rng::FuzzRng`], no external fuzzing deps) means a `(seed, iters)`

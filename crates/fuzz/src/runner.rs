@@ -5,7 +5,7 @@ use crate::corpus::{read_corpus, Input, Target};
 use crate::gen;
 use crate::minimize::{session_blocks, shrink_blocks, shrink_chars, shrink_lines};
 use crate::rng::FuzzRng;
-use crate::targets::{cookie, dat, hostname, service};
+use crate::targets::{cookie, dat, hostname, service, snapshot};
 use crate::targets::{ListUnderTest, MatcherFactory, TrieFactory};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -89,6 +89,7 @@ fn check_input(input: &Input, factory: &dyn MatcherFactory) -> Result<(), String
         Input::Dat(text) => dat::check_dat(text),
         Input::Cookie(host, header) => cookie::check_cookie(host, header),
         Input::Service(lines) => service::check_session(lines),
+        Input::Snapshot(spec, dat_text) => snapshot::check_snapshot(spec, dat_text),
     }
 }
 
@@ -151,6 +152,23 @@ fn minimize_input(input: &Input, factory: &dyn MatcherFactory) -> Input {
                 shrink_blocks(&session_blocks(lines), |ls| fails(&Input::Service(ls.to_vec())));
             Input::Service(kept)
         }
+        Input::Snapshot(spec, dat_text) => {
+            // Drop spec tokens first (fewer mutations = clearer failure),
+            // then shrink the rule list under the surviving spec.
+            let toks: Vec<String> = spec.split_whitespace().map(|t| t.to_string()).collect();
+            let kept_toks =
+                shrink_lines(&toks, |ts| fails(&Input::Snapshot(ts.join(" "), dat_text.clone())));
+            let spec_min = kept_toks.join(" ");
+            let dat_lines: Vec<String> = dat_text.lines().map(|l| l.to_string()).collect();
+            let kept = shrink_lines(&dat_lines, |ls| {
+                let mut text = ls.join("\n");
+                text.push('\n');
+                fails(&Input::Snapshot(spec_min.clone(), text))
+            });
+            let mut dat_min = kept.join("\n");
+            dat_min.push('\n');
+            Input::Snapshot(spec_min, dat_min)
+        }
     }
 }
 
@@ -182,6 +200,13 @@ fn generate_input(
                 out.extend(gen::gen_session(rng, rules_for_hosts));
                 return Input::Service(out);
             }
+            Input::Snapshot(spec, dat_text) => {
+                return if rng.chance(2, 3) {
+                    Input::Snapshot(gen::mutate_snapshot_spec(rng, &spec), dat_text)
+                } else {
+                    Input::Snapshot(spec, gen::mutate_dat(rng, &dat_text))
+                };
+            }
         }
     }
     match target {
@@ -195,6 +220,7 @@ fn generate_input(
             Input::Cookie(host, header)
         }
         Target::Service => Input::Service(gen::gen_session(rng, rules_for_hosts)),
+        Target::Snapshot => Input::Snapshot(gen::gen_snapshot_spec(rng), gen::gen_dat(rng)),
     }
 }
 

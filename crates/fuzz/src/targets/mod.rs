@@ -1,4 +1,4 @@
-//! The four differential executors.
+//! The five differential executors.
 //!
 //! Each target module exposes a `check_*` function that runs one concrete
 //! input through its invariants and returns `Err(reason)` on a divergence
@@ -9,5 +9,6 @@ pub mod cookie;
 pub mod dat;
 pub mod hostname;
 pub mod service;
+pub mod snapshot;
 
 pub use hostname::{ListUnderTest, MatcherFactory, TrieFactory};

@@ -3,7 +3,7 @@
 //! check *directly* (no `catch_unwind`, no minimizer) and requires it to
 //! pass on HEAD — a regression here means a fixed bug came back.
 
-use psl_fuzz::targets::{cookie, dat, hostname, service};
+use psl_fuzz::targets::{cookie, dat, hostname, service, snapshot};
 use psl_fuzz::{read_corpus, Input, Target, TrieFactory};
 
 fn replay(input: &Input) -> Result<(), String> {
@@ -15,6 +15,7 @@ fn replay(input: &Input) -> Result<(), String> {
         Input::Dat(text) => dat::check_dat(text),
         Input::Cookie(host, header) => cookie::check_cookie(host, header),
         Input::Service(lines) => service::check_session(lines),
+        Input::Snapshot(spec, dat_text) => snapshot::check_snapshot(spec, dat_text),
     }
 }
 

@@ -21,6 +21,12 @@ pub struct CompiledHistory {
 }
 
 impl CompiledHistory {
+    /// Reassemble from an interner + versions a loader already produced
+    /// (see [`crate::histfile::CompiledHistoryFile::to_compiled_history`]).
+    pub(crate) fn from_parts(interner: LabelInterner, versions: Vec<(Date, FrozenList)>) -> Self {
+        CompiledHistory { interner, versions }
+    }
+
     /// Compile all versions of `history` incrementally (version *k+1* is
     /// derived from version *k*'s rule set, not rebuilt from scratch).
     pub fn build(history: &History) -> Self {

@@ -23,6 +23,7 @@ pub mod dating;
 pub mod export;
 pub mod generator;
 pub mod growth;
+pub mod histfile;
 pub mod history;
 pub mod seeds;
 pub mod store;
@@ -33,5 +34,9 @@ pub use dating::{fingerprint, DatedCopy, DatingIndex, MatchQuality};
 pub use export::{all_versions_dat, from_json, to_json, version_dat};
 pub use generator::{generate, GeneratorConfig};
 pub use growth::{GrowthPoint, GrowthSeries};
+pub use histfile::{
+    write_history_file, CompiledHistoryFile, DEFAULT_CHECKPOINT_EVERY, HISTORY_FORMAT_VERSION,
+    HISTORY_MAGIC,
+};
 pub use history::{Diff, History, RuleSpan};
 pub use store::{Commit, CommitId, Delta, ListStore};

@@ -1,0 +1,209 @@
+//! Round-trip and fault-injection tests for the delta-compressed
+//! compiled-history file.
+//!
+//! The core invariant: materialising any version from any checkpoint
+//! cadence produces the *same arena bytes* (delta-materialised ==
+//! direct-compiled), and every materialised version answers dispositions
+//! exactly like the text-built [`History::snapshot_at`] list.
+
+use proptest::prelude::*;
+use psl_core::{Date, MatchOpts, SnapshotError};
+use psl_history::{
+    generate, CompiledHistoryFile, GeneratorConfig, History, DEFAULT_CHECKPOINT_EVERY,
+};
+
+fn history(seed: u64) -> History {
+    generate(&GeneratorConfig::small(seed))
+}
+
+fn probes() -> Vec<Vec<&'static str>> {
+    vec![
+        vec!["com", "myshopify", "shop"],
+        vec!["uk", "co", "x"],
+        vec!["jp", "kobe", "city", "deep"],
+        vec!["com"],
+        vec!["zz", "unknown"],
+        vec![],
+    ]
+}
+
+fn opts_matrix() -> [MatchOpts; 3] {
+    [
+        MatchOpts::default(),
+        MatchOpts { include_private: false, implicit_wildcard: true },
+        MatchOpts { include_private: true, implicit_wildcard: false },
+    ]
+}
+
+#[test]
+fn round_trip_matches_snapshots() {
+    let h = history(711);
+    let bytes = h.write_compiled_file(DEFAULT_CHECKPOINT_EVERY);
+    let file = CompiledHistoryFile::load(bytes).unwrap();
+    assert_eq!(file.version_count(), h.version_count());
+    assert_eq!(file.dates(), h.versions());
+    assert_eq!(file.checkpoint_every(), DEFAULT_CHECKPOINT_EVERY);
+
+    for (i, &v) in h.versions().iter().enumerate() {
+        let frozen = file.materialize(i);
+        assert_eq!(frozen.len(), h.rule_count_at(v), "rule count at {v}");
+        if i % 7 != 0 {
+            continue; // full disposition sweep on a sample
+        }
+        let list = h.snapshot_at(v);
+        for probe in probes() {
+            for opts in opts_matrix() {
+                assert_eq!(
+                    frozen.disposition(file.interner(), &probe, opts),
+                    list.disposition_reversed(&probe, opts),
+                    "probe {probe:?} at {v}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn writer_is_deterministic() {
+    let a = history(712).write_compiled_file(8);
+    let b = history(712).write_compiled_file(8);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn at_and_latest_semantics() {
+    let h = history(713);
+    let file = CompiledHistoryFile::load(h.write_compiled_file(4)).unwrap();
+    let before = Date::from_days_since_epoch(h.first_version().days_since_epoch() - 1);
+    assert!(file.at(before).is_none());
+    assert_eq!(file.at(h.first_version()).unwrap().len(), h.rule_count_at(h.first_version()));
+    assert_eq!(file.latest().len(), h.rule_count_at(h.latest_version()));
+    // ASOF between two versions resolves to the older one.
+    if h.version_count() >= 2 {
+        let between = Date::from_days_since_epoch(h.versions()[1].days_since_epoch() - 1);
+        assert_eq!(file.at(between).unwrap(), file.materialize(0));
+    }
+}
+
+#[test]
+fn to_compiled_history_matches_incremental_build() {
+    let h = history(714);
+    let file = CompiledHistoryFile::load(h.write_compiled_file(DEFAULT_CHECKPOINT_EVERY)).unwrap();
+    let from_file = file.to_compiled_history();
+    let built = h.compiled_versions();
+    assert_eq!(from_file.len(), built.len());
+    for (i, ((va, fa), (vb, fb))) in from_file.versions().iter().zip(built.versions()).enumerate() {
+        assert_eq!(va, vb);
+        assert_eq!(fa.len(), fb.len(), "version {i}");
+        if i % 9 != 0 {
+            continue;
+        }
+        for probe in probes() {
+            for opts in opts_matrix() {
+                assert_eq!(
+                    fa.disposition(from_file.interner(), &probe, opts),
+                    fb.disposition(built.interner(), &probe, opts),
+                    "probe {probe:?} version {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deltas_beat_full_snapshots_on_size() {
+    let h = history(715);
+    let delta = h.write_compiled_file(DEFAULT_CHECKPOINT_EVERY).len();
+    let full = h.write_compiled_file(1).len();
+    assert!(
+        delta < full / 2,
+        "delta encoding ({delta} B) should be far smaller than per-version checkpoints ({full} B)"
+    );
+}
+
+#[test]
+fn corruption_is_rejected_with_typed_errors() {
+    let h = history(716);
+    let bytes = h.write_compiled_file(4);
+
+    // Pristine loads.
+    assert!(CompiledHistoryFile::load(bytes.clone()).is_ok());
+
+    // Any single byte flip trips the checksum (or an earlier header gate).
+    for i in [0usize, 9, 13, 20, 30, bytes.len() / 2, bytes.len() - 1] {
+        let mut b = bytes.clone();
+        b[i] ^= 0xff;
+        assert!(CompiledHistoryFile::load(b).is_err(), "flip at {i} accepted");
+    }
+
+    // Truncations at header and arbitrary boundaries.
+    for cut in [0usize, 7, 11, 100, bytes.len() - 9, bytes.len() - 1] {
+        let mut b = bytes[..cut.min(bytes.len() - 1)].to_vec();
+        assert!(CompiledHistoryFile::load(b.clone()).is_err());
+        psl_core::reseal(&mut b);
+        assert!(CompiledHistoryFile::load(b).is_err());
+    }
+
+    // Version skew.
+    let mut b = bytes.clone();
+    b[8] = 99;
+    psl_core::reseal(&mut b);
+    assert!(matches!(
+        CompiledHistoryFile::load(b),
+        Err(SnapshotError::UnsupportedVersion { found: 99, .. })
+    ));
+
+    // A checkpoint version claiming removals.
+    let mut b = bytes.clone();
+    let del_counts_off =
+        u64::from_le_bytes(b[40 + 4 * 16..40 + 4 * 16 + 8].try_into().unwrap()) as usize;
+    b[del_counts_off..del_counts_off + 4].copy_from_slice(&1u32.to_le_bytes());
+    psl_core::reseal(&mut b);
+    assert!(matches!(
+        CompiledHistoryFile::load(b),
+        Err(SnapshotError::BadCheckpoint { version: 0 } | SnapshotError::BadRecord { .. })
+    ));
+
+    // A record label id beyond the interner.
+    let mut b = bytes.clone();
+    let records_off =
+        u64::from_le_bytes(b[40 + 6 * 16..40 + 6 * 16 + 8].try_into().unwrap()) as usize;
+    // First record word, then its first label id.
+    b[records_off + 4..records_off + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+    psl_core::reseal(&mut b);
+    assert!(matches!(
+        CompiledHistoryFile::load(b),
+        Err(SnapshotError::BadRecord { version: 0, .. })
+    ));
+
+    // Garbage that wears the right magic.
+    let mut garbage = vec![0xabu8; 300];
+    garbage[..8].copy_from_slice(&psl_history::HISTORY_MAGIC);
+    garbage[8..12].copy_from_slice(&psl_history::HISTORY_FORMAT_VERSION.to_le_bytes());
+    psl_core::reseal(&mut garbage);
+    assert!(CompiledHistoryFile::load(garbage).is_err());
+}
+
+proptest! {
+    /// Delta-materialised == direct-compiled, bit for bit: the same
+    /// version materialised through different checkpoint cadences (1 =
+    /// every version a full snapshot) yields identical arenas.
+    #[test]
+    fn materialization_independent_of_checkpoint_cadence(
+        seed in 720u64..726,
+        cadence in 2u32..9,
+        stride in 1usize..5,
+    ) {
+        let h = history(seed);
+        let direct = CompiledHistoryFile::load(h.write_compiled_file(1)).unwrap();
+        let delta = CompiledHistoryFile::load(h.write_compiled_file(cadence)).unwrap();
+        prop_assert_eq!(direct.version_count(), delta.version_count());
+        let mut i = 0;
+        while i < direct.version_count() {
+            prop_assert_eq!(direct.materialize(i), delta.materialize(i), "version {}", i);
+            i += stride;
+        }
+        // And the interners agree id for id (same event-order assignment).
+        prop_assert_eq!(direct.interner(), delta.interner());
+    }
+}

@@ -43,4 +43,4 @@ pub use engine::{frozen_clock, monotonic_clock, Control, Engine, EngineConfig, W
 pub use loadgen::{fetch_stats, query_once, LoadgenConfig, LoadgenReport};
 pub use metrics::{Metrics, StatsReport};
 pub use protocol::{parse_command, Command, Limits, ProtoError};
-pub use server::{Server, ServerConfig, StopHandle};
+pub use server::{load_list_file, Server, ServerConfig, StopHandle};

@@ -9,9 +9,13 @@
 //! `SHUTDOWN` (or dropping a [`ServerHandle`]'s stop flag from a test)
 //! stops the whole pool without killing in-flight commands.
 //!
-//! An optional watcher thread polls a `.dat` file's mtime and republishes
+//! An optional watcher thread polls a list file's mtime and republishes
 //! the snapshot when it changes — the SIGHUP-style reload path for
-//! deployments that manage the list as a file.
+//! deployments that manage the list as a file. The watched file may be
+//! either `.dat` text or a compiled binary snapshot ([`load_list_file`]
+//! sniffs the magic); a half-written snapshot fails its checksum and is
+//! simply retried on the next poll tick, so an atomic-rename deployment
+//! and a sloppy in-place `cp` both converge.
 
 use crate::engine::{Control, Engine};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
@@ -264,6 +268,21 @@ fn drain_to_newline<R: BufRead>(reader: &mut R, stop: &AtomicBool) -> std::io::R
     }
 }
 
+/// Load a list from `path`, sniffing the format: a file that starts with
+/// the compiled-snapshot magic is loaded through the zero-copy binary
+/// loader ([`psl_core::List::load_snapshot`]); anything else is parsed as
+/// `.dat` text. This is the one ingestion point the server (cold start and
+/// watcher alike) uses, so text and binary deployments behave identically.
+pub fn load_list_file(path: &std::path::Path) -> Result<psl_core::List, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    if bytes.starts_with(&psl_core::LIST_MAGIC) {
+        psl_core::List::load_snapshot(&bytes)
+            .map_err(|e| format!("loading snapshot {}: {e}", path.display()))
+    } else {
+        Ok(psl_core::List::parse(&String::from_utf8_lossy(&bytes)))
+    }
+}
+
 /// Reload-relevant identity of the watched file: (mtime, length). Compared
 /// for equality, not ordering, so an mtime that goes *backwards* (a restore
 /// from backup, a delete/re-create that lands on an older timestamp) still
@@ -298,9 +317,8 @@ fn watch_loop(engine: Arc<Engine>, path: PathBuf, interval: Duration, stop: &Ato
                     baseline_recorded = true;
                     failures = 0;
                 } else if published != Some(sig) || saw_missing {
-                    match std::fs::read_to_string(&path) {
-                        Ok(text) => {
-                            let list = psl_core::List::parse(&text);
+                    match load_list_file(&path) {
+                        Ok(list) => {
                             let rules = list.len();
                             let epoch = engine.publish_list(path.display().to_string(), None, list);
                             eprintln!(
@@ -314,7 +332,7 @@ fn watch_loop(engine: Arc<Engine>, path: PathBuf, interval: Duration, stop: &Ato
                         }
                         Err(e) => {
                             failures = failures.saturating_add(1);
-                            eprintln!("psl-service: watch read {}: {e}", path.display());
+                            eprintln!("psl-service: watch reload {e}");
                         }
                     }
                 } else {
@@ -382,6 +400,40 @@ mod tests {
 
     fn no_stop() -> AtomicBool {
         AtomicBool::new(false)
+    }
+
+    fn tmp_file(name: &str, bytes: &[u8]) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("psl-loadfile-{}-{name}", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn load_list_file_sniffs_text_vs_snapshot() {
+        let text = tmp_file("text.dat", b"com\n*.uk\n");
+        let loaded = load_list_file(&text).unwrap();
+        assert_eq!(loaded.len(), 2);
+
+        let snap_bytes = psl_core::List::parse("com\n*.uk\n!x.uk\n").write_snapshot();
+        let snap = tmp_file("snap.bin", &snap_bytes);
+        let loaded = load_list_file(&snap).unwrap();
+        assert_eq!(loaded.len(), 3);
+
+        // A half-written snapshot (right magic, truncated payload) is a
+        // typed failure, not a silently empty list.
+        let torn = tmp_file("torn.bin", &snap_bytes[..snap_bytes.len() / 2]);
+        let err = load_list_file(&torn).unwrap_err();
+        assert!(err.contains("snapshot"), "{err}");
+
+        for p in [text, snap, torn] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn load_list_file_missing_path_is_an_error() {
+        let err = load_list_file(std::path::Path::new("/nonexistent/psl.dat")).unwrap_err();
+        assert!(err.contains("reading"), "{err}");
     }
 
     #[test]

@@ -113,9 +113,9 @@ fn await_suffix(
 
 /// Write `content` to `path` atomically (temp file + rename), optionally
 /// forcing the file's mtime so a re-create can reproduce an old signature.
-fn write_atomic(path: &Path, content: &str, mtime: Option<SystemTime>) {
+fn write_atomic(path: &Path, content: impl AsRef<[u8]>, mtime: Option<SystemTime>) {
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, content).unwrap();
+    std::fs::write(&tmp, content.as_ref()).unwrap();
     if let Some(m) = mtime {
         let f = std::fs::OpenOptions::new().write(true).open(&tmp).unwrap();
         f.set_modified(m).unwrap();
@@ -153,6 +153,36 @@ fn watcher_reloads_after_delete_and_recreate_even_with_identical_signature() {
     // The signature was committed after the successful publish: the watcher
     // settles and does not re-publish the same file in a loop.
     std::thread::sleep(INTERVAL * 10);
+    assert_eq!(server.epoch(), 3);
+}
+
+#[test]
+fn watcher_reloads_compiled_snapshots_and_switches_back_to_text() {
+    let server = WatchedServer::spawn("snapshot", "alpha\n");
+    let (mut reader, mut writer) = server.connect();
+    assert_eq!(roundtrip(&mut reader, &mut writer, "SUFFIX x.b.alpha"), "OK alpha");
+    assert_eq!(server.epoch(), 1);
+
+    // Overwrite the watched file with the *binary snapshot* of a different
+    // list: the watcher must sniff the magic and load it zero-copy.
+    let snap = List::parse("alpha\nsnap.alpha\n").write_snapshot();
+    write_atomic(&server.path, &snap, None);
+    await_suffix(&mut reader, &mut writer, "x.snap.alpha", "snap.alpha");
+    assert_eq!(server.epoch(), 2);
+
+    // A corrupted snapshot (bad checksum) must be rejected and retried,
+    // never published.
+    let mut bad = snap.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0xff;
+    write_atomic(&server.path, &bad, None);
+    std::thread::sleep(INTERVAL * 12);
+    assert_eq!(server.epoch(), 2, "corrupt snapshot must not publish");
+    assert_eq!(roundtrip(&mut reader, &mut writer, "SUFFIX x.snap.alpha"), "OK snap.alpha");
+
+    // And swapping back to plain `.dat` text keeps working.
+    write_atomic(&server.path, "alpha\ntext.alpha\n", None);
+    await_suffix(&mut reader, &mut writer, "x.text.alpha", "text.alpha");
     assert_eq!(server.epoch(), 3);
 }
 
