@@ -66,6 +66,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: pslharm <all|fig2..fig7|table1..table3|cookieharm|dbound|certharm|updatefail|replay|notify|conformance|suffix|serve|query|loadgen|bench|fuzz> \
 [--seed N] [--paper-scale] [--threads N] [--json PATH] [--addr HOST:PORT] [domains...]
+       pslharm serve [--addr HOST:PORT] [--http-addr HOST:PORT] [--max-conns N] [--reactor-workers N] [--watch PATH]
+       pslharm loadgen [--addr HOST:PORT] [--requests N] [--connections N] [--batch N] [--check | --pipeline [--window N]]
        pslharm fuzz <hostname|dat|cookie|service|snapshot|all> [--seed N] [--iters N] [--time-budget SECS] [--write-corpus]
        pslharm bench [--seed N] [--threads N] [--requests N] [--json PATH]
        pslharm compile [LIST.dat] --out PATH [--embedded | --history [--checkpoint-every N]] [--seed N]
@@ -79,11 +81,16 @@ struct Flags {
     json: Option<String>,
     markdown: Option<String>,
     addr: String,
+    http_addr: Option<String>,
+    max_conns: usize,
+    reactor_workers: Option<usize>,
     watch: Option<String>,
     embedded: bool,
     requests: u64,
     connections: usize,
     batch: usize,
+    pipeline: bool,
+    window: usize,
     check: bool,
     iters: u64,
     time_budget: Option<u64>,
@@ -102,11 +109,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         json: None,
         markdown: None,
         addr: "127.0.0.1:7378".to_string(),
+        http_addr: None,
+        max_conns: 16_384,
+        reactor_workers: None,
         watch: None,
         embedded: false,
         requests: 100_000,
         connections: 4,
         batch: 512,
+        pipeline: false,
+        window: 256,
         check: false,
         iters: 500,
         time_budget: None,
@@ -136,6 +148,23 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--addr" => {
                 flags.addr = it.next().ok_or("--addr needs host:port")?.clone();
+            }
+            "--http-addr" => {
+                flags.http_addr = Some(it.next().ok_or("--http-addr needs host:port")?.clone());
+            }
+            "--max-conns" => {
+                let v = it.next().ok_or("--max-conns needs a value")?;
+                flags.max_conns = v.parse().map_err(|_| format!("bad --max-conns {v:?}"))?;
+            }
+            "--reactor-workers" => {
+                let v = it.next().ok_or("--reactor-workers needs a value")?;
+                flags.reactor_workers =
+                    Some(v.parse().map_err(|_| format!("bad --reactor-workers {v:?}"))?);
+            }
+            "--pipeline" => flags.pipeline = true,
+            "--window" => {
+                let v = it.next().ok_or("--window needs a value")?;
+                flags.window = v.parse().map_err(|_| format!("bad --window {v:?}"))?;
             }
             "--watch" => {
                 flags.watch = Some(it.next().ok_or("--watch needs a path")?.clone());
@@ -473,19 +502,30 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .watch
         .as_ref()
         .map(|p| (std::path::PathBuf::from(p), std::time::Duration::from_millis(500)));
-    let server = psl_service::Server::bind(
+    let server = psl_service::Server::bind_with(
         std::sync::Arc::clone(&engine),
         psl_service::ServerConfig { addr: flags.addr.clone(), watch, ..Default::default() },
+        psl_service::ReactorOptions {
+            http_addr: flags.http_addr.clone(),
+            max_conns: flags.max_conns,
+            workers: flags.reactor_workers,
+            ..Default::default()
+        },
     )
     .map_err(|e| format!("binding {}: {e}", flags.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     let snap = engine.store().load();
+    let workers = flags.reactor_workers.unwrap_or(engine.config().workers).max(1);
     println!(
         "pslharm serve: listening on {addr} ({} workers, snapshot {} / {} rules)",
-        engine.config().workers,
+        workers,
         snap.label,
         snap.list.len()
     );
+    if let Some(http) = server.http_local_addr() {
+        let http = http.map_err(|e| e.to_string())?;
+        println!("pslharm serve: admin plane on http://{http} (max {} conns)", flags.max_conns);
+    }
     // Make sure the "listening" line is visible to anyone piping us (the CI
     // smoke step backgrounds this process and greps for it).
     use std::io::Write;
@@ -519,6 +559,37 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     let history = psl_history::generate(&config.history);
     let corpus = psl_webcorpus::generate_corpus(&history, &config.corpus);
     let hosts: Vec<String> = corpus.hosts().iter().map(|h| h.as_str().to_string()).collect();
+
+    if flags.pipeline {
+        if flags.check {
+            return Err("loadgen: --pipeline counts responses; it cannot --check them".into());
+        }
+        let report = psl_service::loadgen::run_pipelined(
+            &psl_service::PipelineConfig {
+                addr: flags.addr.clone(),
+                connections: flags.connections,
+                requests: flags.requests,
+                batch: flags.batch,
+                window: flags.window,
+                drivers: if flags.threads == 0 { 2 } else { flags.threads },
+                ..Default::default()
+            },
+            &hosts,
+        )?;
+        let payload = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        println!("{payload}");
+        if let Some(path) = &flags.json {
+            std::fs::write(path, &payload).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        if report.errors > 0 {
+            return Err(format!("loadgen: {} protocol errors", report.errors));
+        }
+        if report.disconnects > 0 {
+            return Err(format!("loadgen: {} connections dropped mid-run", report.disconnects));
+        }
+        return Ok(());
+    }
 
     // --check recomputes the expected answer for every host directly from
     // the latest generated snapshot; it is only meaningful against a server
@@ -572,6 +643,7 @@ struct BenchReport {
     coldstart: ColdstartBench,
     sweep: SweepBench,
     loadgen: LoadgenBench,
+    reactor: ReactorBench,
     agreement: AgreementBench,
 }
 
@@ -625,6 +697,30 @@ struct LoadgenBench {
     requests: u64,
     lookups_per_s: f64,
     cache_hit_ratio: f64,
+}
+
+/// Connections-vs-throughput curve for the epoll reactor, measured with
+/// the pipelined load generator (many `BATCH` frames in flight per
+/// connection, a few driver threads multiplexing all sockets).
+#[derive(serde::Serialize)]
+struct ReactorBench {
+    /// The process fd budget the top curve point was derived from.
+    nofile_limit: u64,
+    batch: usize,
+    window: usize,
+    points: Vec<ReactorPoint>,
+}
+
+/// One point on the reactor curve.
+#[derive(serde::Serialize)]
+struct ReactorPoint {
+    connections: usize,
+    established: usize,
+    requests: u64,
+    completed: u64,
+    disconnects: u64,
+    elapsed_seconds: f64,
+    lookups_per_s: f64,
 }
 
 /// The four-way executor agreement gate the numbers are only valid under.
@@ -795,14 +891,16 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     );
 
     // 5. Loopback server + load generator: end-to-end lookups/s over TCP.
+    let bench_history = std::sync::Arc::new(history);
+    let bench_store = std::sync::Arc::new(psl_core::SnapshotStore::new(
+        format!("history:{}", bench_history.latest_version()),
+        Some(bench_history.latest_version()),
+        bench_history.latest_snapshot(),
+    ));
     let loadgen = {
         use std::sync::Arc;
-        let history = Arc::new(history);
-        let store = Arc::new(psl_core::SnapshotStore::new(
-            format!("history:{}", history.latest_version()),
-            Some(history.latest_version()),
-            history.latest_snapshot(),
-        ));
+        let history = Arc::clone(&bench_history);
+        let store = Arc::clone(&bench_store);
         let workers = if flags.threads == 0 { 4 } else { flags.threads };
         let engine = psl_service::Engine::new(
             store,
@@ -851,7 +949,101 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         loadgen.requests, loadgen.lookups_per_s, loadgen.cache_hit_ratio
     );
 
-    let report = BenchReport { seed: flags.seed, engine, coldstart, sweep, loadgen, agreement };
+    // 6. Reactor curve: established-connection count vs. pipelined
+    //    throughput. The server runs as a child `pslharm serve` process so
+    //    client and server each get a full RLIMIT_NOFILE budget — in one
+    //    process every connection costs two fds and a 20k hard cap (a
+    //    common container ceiling) tops out below 10k connections.
+    let reactor = {
+        let nofile_limit = psl_service::reactor::epoll::raise_nofile_limit(24_000);
+        let top = 10_000.min(nofile_limit.saturating_sub(1_024) as usize).max(1);
+        let exe = std::env::current_exe().map_err(|e| format!("bench: current_exe: {e}"))?;
+        let mut child = std::process::Command::new(exe)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--seed",
+                &flags.seed.to_string(),
+                "--threads",
+                &if flags.threads == 0 { 4 } else { flags.threads }.to_string(),
+                "--max-conns",
+                &(top + 64).to_string(),
+            ])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| format!("bench: spawning reactor server: {e}"))?;
+        // Kill the child on any error path below; a kill after a clean
+        // shutdown is a harmless no-op.
+        struct ChildGuard(std::process::Child);
+        impl Drop for ChildGuard {
+            fn drop(&mut self) {
+                let _ = self.0.kill();
+                let _ = self.0.wait();
+            }
+        }
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut guard = ChildGuard(child);
+        let addr = {
+            use std::io::BufRead;
+            let mut lines = std::io::BufReader::new(stdout).lines();
+            loop {
+                let line = lines
+                    .next()
+                    .ok_or("bench: reactor server exited before listening")?
+                    .map_err(|e| format!("bench: reading server output: {e}"))?;
+                if let Some(rest) = line.split("listening on ").nth(1) {
+                    break rest
+                        .split_whitespace()
+                        .next()
+                        .ok_or("bench: malformed listening line")?
+                        .to_string();
+                }
+            }
+        };
+        let hosts: Vec<String> = corpus.hosts().iter().map(|h| h.as_str().to_string()).collect();
+
+        let (batch, window) = (64, flags.window.max(64));
+        let mut points = Vec::new();
+        for &connections in &[1usize, 64, 512, 2_048, top] {
+            if points.iter().any(|p: &ReactorPoint| p.connections == connections) {
+                continue; // top collapsed onto an existing point
+            }
+            let report = psl_service::loadgen::run_pipelined(
+                &psl_service::PipelineConfig {
+                    addr: addr.clone(),
+                    connections,
+                    requests: flags.requests.max(connections as u64 * 20),
+                    batch,
+                    window,
+                    drivers: 2,
+                    ..Default::default()
+                },
+                &hosts,
+            )?;
+            eprintln!(
+                "reactor: {} conns ({} established): {:.0} lookups/s, {} disconnects",
+                connections, report.established, report.throughput_rps, report.disconnects
+            );
+            points.push(ReactorPoint {
+                connections,
+                established: report.established,
+                requests: report.requests,
+                completed: report.completed,
+                disconnects: report.disconnects,
+                elapsed_seconds: report.elapsed_seconds,
+                lookups_per_s: report.throughput_rps,
+            });
+        }
+        psl_service::query_once(&addr, "SHUTDOWN")
+            .map_err(|e| format!("bench: shutting down reactor server: {e}"))?;
+        guard.0.wait().map_err(|e| format!("bench: reaping reactor server: {e}"))?;
+        ReactorBench { nofile_limit, batch, window, points }
+    };
+
+    let report =
+        BenchReport { seed: flags.seed, engine, coldstart, sweep, loadgen, reactor, agreement };
     let payload = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     if let Some(path) = &flags.json {
         std::fs::write(path, &payload).map_err(|e| format!("writing {path}: {e}"))?;

@@ -82,6 +82,22 @@ struct VersionCache {
     order: VecDeque<Date>,
 }
 
+/// Per-connection protocol state. Split out of [`WorkerState`] because a
+/// reactor worker multiplexes many connections over one worker state: the
+/// snapshot reader and LRU cache are shareable across connections, but
+/// `BATCH` progress belongs to exactly one connection.
+#[derive(Debug, Default)]
+pub struct ConnState {
+    pending_batch: usize,
+}
+
+impl ConnState {
+    /// Hosts still expected for an in-progress `BATCH`.
+    pub fn pending_batch(&self) -> usize {
+        self.pending_batch
+    }
+}
+
 /// Per-worker connection-independent state. The lookup cache is keyed by
 /// the host's interned label-id slice under the current snapshot (see
 /// [`Engine::handle_line`]'s suffix path): ids are computed once and serve
@@ -93,21 +109,40 @@ pub struct WorkerState {
     cache: LruCache<Box<[u32]>, u32>,
     cache_epoch: u64,
     ids_scratch: Vec<u32>,
-    pending_batch: usize,
+    /// Embedded connection state for single-connection drivers
+    /// ([`Engine::handle_line`]); the reactor keeps one [`ConnState`] per
+    /// connection instead and calls [`Engine::handle_conn_line`].
+    conn: ConnState,
 }
 
 impl WorkerState {
-    /// Hosts still expected for an in-progress `BATCH`.
+    /// Hosts still expected for an in-progress `BATCH` on the embedded
+    /// connection state.
     pub fn pending_batch(&self) -> usize {
-        self.pending_batch
+        self.conn.pending_batch
     }
 }
+
+/// One snapshot publication remembered by the bounded publish log (the
+/// `GET /versions` timeline).
+#[derive(Debug, Clone)]
+struct PublishEvent {
+    epoch: u64,
+    label: String,
+    version: Option<String>,
+    rules: usize,
+    at_us: u64,
+}
+
+/// How many publish events the timeline retains.
+const PUBLISH_LOG_CAP: usize = 64;
 
 /// The shared query engine.
 pub struct Engine {
     store: Arc<SnapshotStore>,
     history: Option<Arc<History>>,
     version_cache: Mutex<VersionCache>,
+    publish_log: Mutex<VecDeque<PublishEvent>>,
     metrics: Metrics,
     config: EngineConfig,
     clock: ClockFn,
@@ -123,10 +158,21 @@ impl Engine {
         clock: ClockFn,
     ) -> Arc<Self> {
         let now = clock();
+        let initial = {
+            let snap = store.load();
+            PublishEvent {
+                epoch: snap.epoch,
+                label: snap.label.clone(),
+                version: snap.version.map(|v| v.to_string()),
+                rules: snap.list.len(),
+                at_us: now,
+            }
+        };
         Arc::new(Engine {
             store,
             history,
             version_cache: Mutex::new(VersionCache::default()),
+            publish_log: Mutex::new(VecDeque::from([initial])),
             metrics: Metrics::new(config.workers, now),
             config,
             clock,
@@ -158,7 +204,7 @@ impl Engine {
             cache: LruCache::new(self.config.cache_capacity),
             cache_epoch: epoch,
             ids_scratch: Vec::new(),
-            pending_batch: 0,
+            conn: ConnState::default(),
         }
     }
 
@@ -168,10 +214,28 @@ impl Engine {
     }
 
     /// Handle one input line, appending response line(s) (each
-    /// `\n`-terminated) to `out`.
+    /// `\n`-terminated) to `out`, using the worker's embedded connection
+    /// state. Single-connection drivers (tests, the golden harness, the
+    /// fuzz differential target) use this; the reactor calls
+    /// [`Engine::handle_conn_line`] with one [`ConnState`] per connection.
     pub fn handle_line(&self, ws: &mut WorkerState, line: &str, out: &mut String) -> Control {
-        if ws.pending_batch > 0 {
-            ws.pending_batch -= 1;
+        let mut conn = std::mem::take(&mut ws.conn);
+        let control = self.handle_conn_line(ws, &mut conn, line, out);
+        ws.conn = conn;
+        control
+    }
+
+    /// Handle one input line for the connection whose protocol state is
+    /// `conn`, appending response line(s) (each `\n`-terminated) to `out`.
+    pub fn handle_conn_line(
+        &self,
+        ws: &mut WorkerState,
+        conn: &mut ConnState,
+        line: &str,
+        out: &mut String,
+    ) -> Control {
+        if conn.pending_batch > 0 {
+            conn.pending_batch -= 1;
             self.metrics.record_batch_host();
             let host = line.strip_suffix('\r').unwrap_or(line).trim();
             if host.len() > self.config.limits.max_line_bytes {
@@ -216,7 +280,7 @@ impl Engine {
                 (CommandKind::Asof, Control::Continue)
             }
             Command::Batch(n) => {
-                ws.pending_batch = n;
+                conn.pending_batch = n;
                 (CommandKind::Batch, Control::Continue)
             }
             Command::Reload(target) => {
@@ -266,9 +330,82 @@ impl Engine {
 
     /// Publish an externally built list (file-watch reloads).
     pub fn publish_list(&self, label: impl Into<String>, version: Option<Date>, list: List) -> u64 {
-        let epoch = self.store.publish(label, version, list);
-        self.metrics.record_publish((self.clock)());
+        let label = label.into();
+        let rules = list.len();
+        let epoch = self.store.publish(label.clone(), version, list);
+        let now = (self.clock)();
+        self.metrics.record_publish(now);
+        let mut log = self.publish_log.lock().expect("publish log poisoned");
+        log.push_back(PublishEvent {
+            epoch,
+            label,
+            version: version.map(|v| v.to_string()),
+            rules,
+            at_us: now,
+        });
+        while log.len() > PUBLISH_LOG_CAP {
+            log.pop_front();
+        }
         epoch
+    }
+
+    /// The `GET /health` body: liveness plus served-snapshot identity.
+    pub fn health_report(&self) -> serde_json::Value {
+        let now = (self.clock)();
+        let snap = self.store.load();
+        serde_json::json!({
+            "status": "ok",
+            "epoch": snap.epoch,
+            "rules": snap.list.len(),
+            "uptime_seconds": self.metrics.uptime_seconds(now),
+            "snapshot_age_seconds": self.metrics.snapshot_age_seconds(now),
+        })
+    }
+
+    /// The `GET /versions` body: the currently served snapshot, whether a
+    /// dated history backs it, and the bounded publish timeline.
+    pub fn versions_report(&self) -> serde_json::Value {
+        let now = (self.clock)();
+        let snap = self.store.load();
+        let log = self.publish_log.lock().expect("publish log poisoned");
+        let events: Vec<serde_json::Value> = log
+            .iter()
+            .map(|e| {
+                serde_json::json!({
+                    "epoch": e.epoch,
+                    "label": e.label,
+                    "version": e.version,
+                    "rules": e.rules,
+                    "age_seconds": now.saturating_sub(e.at_us) as f64 / 1e6,
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "current": serde_json::json!({
+                "epoch": snap.epoch,
+                "label": snap.label,
+                "version": snap.version.map(|v| v.to_string()),
+                "rules": snap.list.len(),
+            }),
+            "history_versions": self.history.as_ref().map(|h| h.versions().len()),
+            "events": events,
+        })
+    }
+
+    /// The `GET /cache` body: per-worker LRU effectiveness and occupancy.
+    pub fn cache_report(&self) -> serde_json::Value {
+        serde_json::json!({
+            "capacity_per_worker": self.config.cache_capacity,
+            "epoch": self.store.epoch(),
+            "workers": self.metrics.cache_worker_stats(),
+        })
+    }
+
+    /// `POST /reload` semantics: publish the snapshot for `target`
+    /// (`latest` or a date) and describe the result as JSON.
+    pub fn reload_target(&self, target: &str) -> Result<serde_json::Value, ProtoError> {
+        let (epoch, label, rules) = self.reload_inner(target)?;
+        Ok(serde_json::json!({ "epoch": epoch, "version": label, "rules": rules }))
     }
 
     // ---- command implementations -----------------------------------------
@@ -278,14 +415,15 @@ impl Engine {
             .map_err(|e| ProtoError { code: "host", message: format!("{raw:?}: {e}") })
     }
 
-    /// Cached suffix-code lookup under the current snapshot.
+    /// Cached suffix-code lookup under the current snapshot, for a host
+    /// already in canonical dotted form.
     ///
     /// The host's labels are mapped once to the snapshot list's interned
     /// ids (unknown labels share a sentinel that matches no rule, so the
     /// suffix code is a pure function of the id sequence). The id slice is
     /// probed against the LRU without allocating; only a miss pays for the
     /// boxed key, and the compiled-arena walk it keys is allocation-free.
-    fn code_cached(&self, ws: &mut WorkerState, host: &DomainName) -> u32 {
+    fn code_for_canonical(&self, ws: &mut WorkerState, host: &str) -> u32 {
         // Take the scratch buffer out of `ws` so the snapshot reference can
         // coexist with cache borrows (field borrows stay disjoint, and no
         // per-lookup `Arc` refcount traffic).
@@ -294,17 +432,19 @@ impl Engine {
         if snap.epoch != ws.cache_epoch {
             ws.cache.clear();
             ws.cache_epoch = snap.epoch;
+            self.metrics.set_cache_entries(ws.id, 0);
         }
-        snap.list.reversed_ids_str(host.as_str(), &mut ids);
+        snap.list.reversed_ids_str(host, &mut ids);
         let code = match ws.cache.get(ids.as_slice()) {
             Some(code) => {
-                self.metrics.record_cache(1, 0);
+                self.metrics.record_cache(ws.id, 1, 0);
                 code
             }
             None => {
-                self.metrics.record_cache(0, 1);
+                self.metrics.record_cache(ws.id, 0, 1);
                 let code = lookup::suffix_code_ids(&snap.list, &ids, self.config.opts);
                 ws.cache.insert(ids.as_slice().into(), code);
+                self.metrics.set_cache_entries(ws.id, ws.cache.len() as u64);
                 code
             }
         };
@@ -317,8 +457,19 @@ impl Engine {
         ws: &mut WorkerState,
         raw: &str,
     ) -> Result<lookup::Resolved, ProtoError> {
+        // Fast path (the DESIGN.md §11 regression repair): a host already
+        // in canonical form skips `DomainName::parse` — no canonical-string
+        // allocation, and its labels are interned exactly once, the id
+        // slice serving as both the LRU key and the compiled matcher's
+        // input. Anything the recogniser is unsure about falls back to the
+        // real parser, whose canonical output re-enters the same cache
+        // keyed identically (ids are a function of canonical text).
+        if is_canonical_host(raw) {
+            let code = self.code_for_canonical(ws, raw);
+            return Ok(lookup::decode_str(raw, code));
+        }
         let host = self.parse_host(raw)?;
-        let code = self.code_cached(ws, &host);
+        let code = self.code_for_canonical(ws, host.as_str());
         Ok(lookup::decode(&host, code))
     }
 
@@ -372,6 +523,11 @@ impl Engine {
     }
 
     fn reload(&self, target: &str) -> Result<String, ProtoError> {
+        let (epoch, label, rules) = self.reload_inner(target)?;
+        Ok(format!("epoch={epoch} version={label} rules={rules}"))
+    }
+
+    fn reload_inner(&self, target: &str) -> Result<(u64, String, usize), ProtoError> {
         let history = self.history()?;
         let version = if target.eq_ignore_ascii_case("latest") {
             history.latest_version()
@@ -388,7 +544,7 @@ impl Engine {
         let list = history.snapshot_at(version);
         let rules = list.len();
         let epoch = self.publish_list(format!("history:{version}"), Some(version), list);
-        Ok(format!("epoch={epoch} version=history:{version} rules={rules}"))
+        Ok((epoch, format!("history:{version}"), rules))
     }
 
     fn err(&self, out: &mut String, e: &ProtoError) {
@@ -402,6 +558,49 @@ fn ok(out: &mut String, body: &str) {
     out.push_str("OK ");
     out.push_str(body);
     out.push('\n');
+}
+
+/// Conservative recogniser for hosts already in [`DomainName`] canonical
+/// form: lowercase ASCII `[a-z0-9_-]` labels, no edge hyphens, in-range
+/// lengths. Anything it is unsure about — uppercase, Unicode, `xn--`
+/// punycode (which needs round-trip validation), trailing dots, or
+/// all-numeric names (candidate IPv4 literals) — returns `false` and takes
+/// the full parser, which owns rejection semantics. A `true` here
+/// guarantees `DomainName::parse(s)` would succeed and return `s`
+/// unchanged, so the fast path and the parse path intern identical label
+/// sequences and share cache entries.
+fn is_canonical_host(s: &str) -> bool {
+    if s.is_empty() || s.len() > 253 {
+        return false;
+    }
+    let mut labels = 0usize;
+    let mut all_numeric = true;
+    for label in s.split('.') {
+        if label.is_empty() || label.len() > 63 {
+            return false;
+        }
+        let bytes = label.as_bytes();
+        if bytes[0] == b'-' || bytes[bytes.len() - 1] == b'-' {
+            return false;
+        }
+        if bytes.starts_with(b"xn--") {
+            return false;
+        }
+        let mut numeric = true;
+        for &b in bytes {
+            match b {
+                b'0'..=b'9' => {}
+                b'a'..=b'z' | b'_' | b'-' => numeric = false,
+                _ => return false,
+            }
+        }
+        all_numeric &= numeric;
+        labels += 1;
+        if labels > 127 {
+            return false;
+        }
+    }
+    !all_numeric
 }
 
 #[cfg(test)]
@@ -557,5 +756,88 @@ mod tests {
         assert!(one(&engine, &mut ws, "SUFFIX").starts_with("ERR args "));
         assert!(one(&engine, &mut ws, "SUFFIX ..bad..").starts_with("ERR host "));
         assert_eq!(engine.stats_report().commands.errors, 3);
+    }
+
+    #[test]
+    fn canonical_host_recogniser_is_conservative() {
+        for good in ["example.com", "a.b-c.d_e.co.uk", "single", "www.1234.com", "1digit.lead.ok"] {
+            assert!(is_canonical_host(good), "{good}");
+            // The guarantee the fast path relies on: parse is an identity.
+            assert_eq!(DomainName::parse(good).unwrap().as_str(), good, "{good}");
+        }
+        for needs_parse in [
+            "",
+            "Example.com",      // uppercase
+            "example.com.",     // trailing dot
+            "a..b",             // empty label
+            "-a.com",           // edge hyphen
+            "a-.com",           // edge hyphen
+            "xn--bcher-kva.de", // punycode needs round-trip validation
+            "bücher.de",        // Unicode
+            "127.0.0.1",        // IPv4 literal
+            "1.2.3",            // all-numeric
+            "a b.com",          // forbidden byte
+            &"a".repeat(64),    // label too long
+            &"a.".repeat(127),  // name too long once counted
+        ] {
+            assert!(!is_canonical_host(needs_parse), "{needs_parse:?}");
+        }
+    }
+
+    #[test]
+    fn fast_and_parse_paths_share_cache_entries() {
+        let (engine, _) = engine_with_history();
+        let mut ws = engine.worker_state(0);
+        // Canonical spelling takes the fast path and misses once...
+        one(&engine, &mut ws, "SITE www.example.com");
+        // ...then a non-canonical spelling of the same host parses down to
+        // the identical id key and must hit.
+        assert_eq!(
+            one(&engine, &mut ws, "SITE WWW.Example.COM."),
+            one(&engine, &mut ws, "SITE www.example.com")
+        );
+        let r = engine.stats_report();
+        assert_eq!(r.cache.misses, 1, "one interned key for all three spellings");
+        assert_eq!(r.cache.hits, 2);
+    }
+
+    #[test]
+    fn health_and_versions_and_cache_reports_are_json() {
+        let (engine, _) = engine_with_history();
+        let mut ws = engine.worker_state(0);
+        one(&engine, &mut ws, "SITE www.example.com");
+
+        let health = engine.health_report();
+        assert_eq!(health["status"], "ok");
+        assert_eq!(health["epoch"], 1);
+
+        let versions = engine.versions_report();
+        assert_eq!(versions["current"]["epoch"], 1);
+        assert_eq!(versions["events"].as_array().unwrap().len(), 1, "startup publish");
+
+        one(&engine, &mut ws, "RELOAD latest");
+        let versions = engine.versions_report();
+        assert_eq!(versions["current"]["epoch"], 2);
+        assert_eq!(versions["events"].as_array().unwrap().len(), 2);
+
+        let cache = engine.cache_report();
+        assert_eq!(cache["capacity_per_worker"], 8192);
+        let workers = cache["workers"].as_array().unwrap();
+        assert_eq!(workers.len(), engine.config().workers);
+    }
+
+    #[test]
+    fn reload_target_publishes_and_errors_match_line_protocol() {
+        let (engine, history) = engine_with_history();
+        let first = history.first_version();
+        let out = engine.reload_target(&first.to_string()).unwrap();
+        assert_eq!(out["epoch"], 2);
+        assert_eq!(out["version"], format!("history:{first}"));
+        assert!(engine.reload_target("not-a-date").is_err());
+
+        let store = Arc::new(SnapshotStore::new("embedded", None, psl_core::embedded_list()));
+        let engine = Engine::new(store, None, EngineConfig::default(), frozen_clock());
+        let err = engine.reload_target("latest").unwrap_err();
+        assert_eq!(err.code, "state");
     }
 }

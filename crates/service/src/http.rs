@@ -1,0 +1,347 @@
+//! A minimal HTTP/1.1 layer for the admin/metrics plane.
+//!
+//! The reactor serves two listeners; the second speaks just enough
+//! HTTP/1.1 for `curl`, health probes, and metric scrapers: request line +
+//! headers + optional `Content-Length` body, keep-alive by default,
+//! `Connection: close` honoured. The module is split in the classic three
+//! ways so each half stays pure and testable:
+//!
+//! - [`parse_request`] — an incremental parser over the connection's read
+//!   buffer (returns `NeedMore` until a full request is buffered);
+//! - [`handle_request`] — the route table, mapping requests onto engine
+//!   queries; every response body is JSON;
+//! - [`write_response`] — the response serializer (status line, headers,
+//!   `Content-Length`-framed body).
+//!
+//! Endpoints:
+//!
+//! ```text
+//! GET  /health   -> {"status":"ok",...}      liveness + snapshot identity
+//! GET  /stats    -> StatsReport              the STATS dump as HTTP JSON
+//! GET  /versions -> {"current":...,"events":[...]}  publish timeline
+//! GET  /cache    -> {"capacity":...,"workers":[...]} per-worker LRU state
+//! POST /reload   -> {"epoch":...}            publish a new snapshot
+//! ```
+
+use crate::engine::Engine;
+
+/// Hard cap on buffered request bytes (head + body) before the connection
+/// is rejected with `431` — the admin plane never needs big requests.
+pub const MAX_REQUEST_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (query string stripped).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length`-framed body (empty when absent).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Outcome of a parse attempt over the buffered bytes.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Parsed {
+    /// A complete request; `consumed` bytes belong to it.
+    Complete {
+        /// The request.
+        request: Request,
+        /// How many buffered bytes the request occupied.
+        consumed: usize,
+    },
+    /// The buffer holds only a prefix; read more.
+    NeedMore,
+    /// Malformed request; answer 400 and close.
+    Bad(&'static str),
+}
+
+/// Incrementally parse one request from `buf`.
+pub fn parse_request(buf: &[u8]) -> Parsed {
+    // Head/body boundary: the first CRLFCRLF (bare-LF tolerated).
+    let Some((head_end, body_start)) = find_head_end(buf) else {
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Parsed::Bad("request head too large");
+        }
+        return Parsed::NeedMore;
+    };
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return Parsed::Bad("request head is not UTF-8"),
+    };
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Parsed::Bad("malformed request line");
+    };
+    if parts.next().is_some() {
+        return Parsed::Bad("malformed request line");
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Parsed::Bad("unsupported HTTP version");
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Parsed::Bad("malformed header line");
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => match v.parse::<usize>() {
+            Ok(n) if n <= MAX_REQUEST_BYTES => n,
+            Ok(_) => return Parsed::Bad("body too large"),
+            Err(_) => return Parsed::Bad("bad content-length"),
+        },
+        None => 0,
+    };
+    if headers.iter().any(|(n, v)| n == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Parsed::Bad("chunked bodies are not supported");
+    }
+    if buf.len() < body_start + content_length {
+        return Parsed::NeedMore;
+    }
+
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+        .unwrap_or_default();
+    let keep_alive = if version == "HTTP/1.0" {
+        connection.contains("keep-alive")
+    } else {
+        !connection.contains("close")
+    };
+
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Parsed::Complete {
+        request: Request {
+            method: method.to_ascii_uppercase(),
+            path,
+            headers,
+            body: buf[body_start..body_start + content_length].to_vec(),
+            keep_alive,
+        },
+        consumed: body_start + content_length,
+    }
+}
+
+/// Locate the end of the head: byte offset of the blank line and the byte
+/// offset where the body starts.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    for i in 0..buf.len() {
+        if buf[i] == b'\n' {
+            if i + 1 < buf.len() + 1 && buf[i + 1..].first() == Some(&b'\n') {
+                return Some((i, i + 2));
+            }
+            if buf[i + 1..].starts_with(b"\r\n") {
+                return Some((i, i + 3));
+            }
+        }
+    }
+    None
+}
+
+/// Serialize one response. JSON bodies get `Content-Type:
+/// application/json`; the `Connection` header mirrors `keep_alive`.
+pub fn write_response(out: &mut Vec<u8>, status: u16, reason: &str, body: &[u8], keep_alive: bool) {
+    out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
+    out.extend_from_slice(b"Content-Type: application/json\r\n");
+    out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    out.extend_from_slice(if keep_alive {
+        b"Connection: keep-alive\r\n"
+    } else {
+        b"Connection: close\r\n"
+    });
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+}
+
+/// A handled request, ready for [`write_response`].
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Reason phrase for the status line.
+    pub reason: &'static str,
+    /// JSON body.
+    pub body: String,
+}
+
+fn json_error(status: u16, reason: &'static str, detail: &str) -> Response {
+    Response {
+        status,
+        reason,
+        body: serde_json::to_string(&serde_json::json!({ "error": detail }))
+            .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string()),
+    }
+}
+
+fn json_ok(value: serde_json::Value) -> Response {
+    Response {
+        status: 200,
+        reason: "OK",
+        body: serde_json::to_string(&value).unwrap_or_else(|_| "{}".to_string()),
+    }
+}
+
+/// Route one request against the engine. Pure with respect to I/O: the
+/// reactor owns the socket; `POST /reload` mutates only engine state.
+pub fn handle_request(engine: &Engine, request: &Request) -> Response {
+    engine.metrics().record_http_request();
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => json_ok(engine.health_report()),
+        ("GET", "/stats") => match serde_json::to_value(&engine.stats_report()) {
+            Ok(v) => json_ok(v),
+            Err(e) => json_error(500, "Internal Server Error", &e.to_string()),
+        },
+        ("GET", "/versions") => json_ok(engine.versions_report()),
+        ("GET", "/cache") => json_ok(engine.cache_report()),
+        ("POST", "/reload") => {
+            let target = String::from_utf8_lossy(&request.body);
+            let target = target.trim();
+            let target = if target.is_empty() { "latest" } else { target };
+            match engine.reload_target(target) {
+                Ok(outcome) => json_ok(outcome),
+                Err(e) => json_error(409, "Conflict", &e.to_string()),
+            }
+        }
+        ("GET" | "POST", "/health" | "/stats" | "/versions" | "/cache" | "/reload") => {
+            json_error(405, "Method Not Allowed", "method not allowed for this path")
+        }
+        _ => json_error(404, "Not Found", "no such endpoint"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(raw: &[u8]) -> (Request, usize) {
+        match parse_request(raw) {
+            Parsed::Complete { request, consumed } => (request, consumed),
+            other => panic!("expected complete request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let (req, consumed) = parse_ok(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/health");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(req.body.is_empty());
+        assert_eq!(consumed, b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n".len());
+    }
+
+    #[test]
+    fn strips_query_strings_and_uppercases_method() {
+        let (req, _) = parse_ok(b"get /stats?pretty=1 HTTP/1.1\r\n\r\n");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+    }
+
+    #[test]
+    fn incremental_parsing_needs_more_until_blank_line() {
+        assert_eq!(parse_request(b"GET /health HT"), Parsed::NeedMore);
+        assert_eq!(parse_request(b"GET /health HTTP/1.1\r\nHost: x\r\n"), Parsed::NeedMore);
+    }
+
+    #[test]
+    fn content_length_body_is_framed() {
+        let raw = b"POST /reload HTTP/1.1\r\nContent-Length: 6\r\n\r\nlatest";
+        let (req, consumed) = parse_ok(raw);
+        assert_eq!(req.body, b"latest");
+        assert_eq!(consumed, raw.len());
+        // Body not fully buffered yet: NeedMore.
+        assert_eq!(parse_request(&raw[..raw.len() - 2]), Parsed::NeedMore);
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one() {
+        let raw = b"GET /health HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\n\r\n";
+        let (req, consumed) = parse_ok(raw);
+        assert_eq!(req.path, "/health");
+        let (req2, _) = parse_ok(&raw[consumed..]);
+        assert_eq!(req2.path, "/stats");
+    }
+
+    #[test]
+    fn connection_close_and_http10_semantics() {
+        let (req, _) = parse_ok(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!req.keep_alive);
+        let (req, _) = parse_ok(b"GET /health HTTP/1.0\r\n\r\n");
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        let (req, _) = parse_ok(b"GET /health HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let (req, consumed) = parse_ok(b"GET /health HTTP/1.1\nHost: x\n\nrest");
+        assert_eq!(req.path, "/health");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(&b"GET /health HTTP/1.1\nHost: x\n\nrest"[consumed..], b"rest");
+    }
+
+    #[test]
+    fn malformed_requests_are_bad() {
+        assert!(matches!(parse_request(b"NONSENSE\r\n\r\n"), Parsed::Bad(_)));
+        assert!(matches!(parse_request(b"GET /x SPDY/9\r\n\r\n"), Parsed::Bad(_)));
+        assert!(matches!(
+            parse_request(b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Parsed::Bad(_)
+        ));
+        assert!(matches!(
+            parse_request(b"POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+            Parsed::Bad(_)
+        ));
+        assert!(matches!(
+            parse_request(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Parsed::Bad(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_not_buffered_forever() {
+        let huge = vec![b'a'; MAX_REQUEST_BYTES + 1];
+        assert!(matches!(parse_request(&huge), Parsed::Bad(_)));
+    }
+
+    #[test]
+    fn response_writer_frames_with_content_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", b"{\"a\":1}", true);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 7\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"a\":1}"), "{text}");
+
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "Not Found", b"{}", false);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+    }
+}

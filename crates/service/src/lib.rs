@@ -15,8 +15,13 @@
 //! - [`engine`] — protocol semantics over a [`psl_core::SnapshotStore`]
 //!   (epoch-based hot reload) and a [`psl_history::History`] (`ASOF`
 //!   time-travel lookups, `RELOAD <version>`);
-//! - [`server`] — std `TcpListener` + crossbeam worker threads;
-//! - [`loadgen`] — a batching load generator with optional answer checking.
+//! - [`http`] — a minimal HTTP/1.1 parser + the admin-plane routes
+//!   (`/health`, `/stats`, `/versions`, `/cache`, `/reload`);
+//! - [`reactor`] — the nonblocking epoll event loop: sharded workers,
+//!   request pipelining, write backpressure, admission control;
+//! - [`server`] — listener setup, reactor worker threads, file watcher;
+//! - [`loadgen`] — a batching load generator with optional answer
+//!   checking, plus a pipelined high-concurrency mode.
 //!
 //! ## Protocol quickstart
 //!
@@ -28,19 +33,29 @@
 //!
 //! See `README.md` § "Serving" for the full protocol reference.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and re-allowed in exactly one leaf module:
+// `reactor::epoll`, the thin extern-"C" epoll/eventfd binding (the std
+// library exposes no readiness API and new dependencies are off the table).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod engine;
+pub mod http;
 pub mod loadgen;
 pub mod lookup;
 pub mod metrics;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
-pub use engine::{frozen_clock, monotonic_clock, Control, Engine, EngineConfig, WorkerState};
-pub use loadgen::{fetch_stats, query_once, LoadgenConfig, LoadgenReport};
-pub use metrics::{Metrics, StatsReport};
+pub use engine::{
+    frozen_clock, monotonic_clock, ConnState, Control, Engine, EngineConfig, WorkerState,
+};
+pub use loadgen::{
+    fetch_stats, query_once, LoadgenConfig, LoadgenReport, PipelineConfig, PipelinedReport,
+};
+pub use metrics::{Metrics, NetStats, StatsReport};
 pub use protocol::{parse_command, Command, Limits, ProtoError};
+pub use reactor::ReactorOptions;
 pub use server::{load_list_file, Server, ServerConfig, StopHandle};

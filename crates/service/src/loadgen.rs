@@ -6,11 +6,25 @@
 //! (fetched via `STATS` after the run). With `check` enabled every response
 //! is compared against an expected answer computed directly from
 //! `psl-core`, turning the load test into an end-to-end correctness sweep.
+//!
+//! Two modes:
+//!
+//! - [`run`] — thread-per-connection, lock-step batches (send a `BATCH`,
+//!   read its answers, repeat). Measures latency percentiles faithfully,
+//!   but caps realistic concurrency at a few hundred connections.
+//! - [`run_pipelined`] — a handful of driver threads, each multiplexing
+//!   thousands of nonblocking connections through its own epoll set, with
+//!   many `BATCH` frames in flight per connection (bounded by `window`).
+//!   This is the mode that exercises the server reactor's accept
+//!   distribution, pipelining, and backpressure at 10k+ connections.
 
 use crate::metrics::StatsReport;
+use crate::reactor::conn::OutBuf;
+use crate::reactor::epoll::{self, Epoll, EpollEvent};
 use serde::{Deserialize, Serialize};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
 use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -275,6 +289,342 @@ fn drive_connection(
     Ok(tally)
 }
 
+// ---- pipelined high-concurrency mode ---------------------------------------
+
+/// Parameters for [`run_pipelined`].
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent connections to establish (all held open for the whole
+    /// run).
+    pub connections: usize,
+    /// Total lookups to issue (split across connections).
+    pub requests: u64,
+    /// Hosts per `BATCH` frame.
+    pub batch: usize,
+    /// Maximum responses outstanding per connection — the pipelining
+    /// depth. New frames are queued whenever in-flight answers drop below
+    /// this.
+    pub window: usize,
+    /// Driver threads (each multiplexes its share of the connections).
+    pub drivers: usize,
+    /// Abort a driver whose connections stop making progress for this
+    /// long; their unfinished requests count as disconnects, not a hang.
+    pub timeout: Duration,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            addr: "127.0.0.1:7378".to_string(),
+            connections: 2048,
+            requests: 500_000,
+            batch: 64,
+            window: 256,
+            drivers: 2,
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// The JSON summary of a pipelined run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelinedReport {
+    /// Connections requested.
+    pub connections: usize,
+    /// Connections actually established.
+    pub established: usize,
+    /// Lookups the run intended to issue.
+    pub requests: u64,
+    /// Responses actually received.
+    pub completed: u64,
+    /// `ERR` responses among them.
+    pub errors: u64,
+    /// Connections the server closed (or that failed) before finishing
+    /// their quota.
+    pub disconnects: u64,
+    /// Wall-clock duration from first connect to last response.
+    pub elapsed_seconds: f64,
+    /// `completed / elapsed_seconds`.
+    pub throughput_rps: f64,
+}
+
+/// One multiplexed loadgen connection.
+struct PipeConn {
+    stream: TcpStream,
+    out: OutBuf,
+    /// Hosts not yet queued into a frame.
+    to_send: u64,
+    /// Responses awaited.
+    outstanding: u64,
+    completed: u64,
+    errors: u64,
+    /// Next read byte begins a response line (`E…` = `ERR`).
+    at_line_start: bool,
+    cursor: usize,
+}
+
+impl PipeConn {
+    /// Queue `BATCH` frames until the pipelining window is full.
+    fn top_up(&mut self, hosts: &[String], batch: usize, window: usize, frame: &mut String) {
+        while self.to_send > 0 && self.outstanding + (batch as u64) <= window as u64 {
+            let n = (batch as u64).min(self.to_send) as usize;
+            frame.clear();
+            frame.push_str(&format!("BATCH {n}\n"));
+            for _ in 0..n {
+                frame.push_str(&hosts[self.cursor]);
+                frame.push('\n');
+                self.cursor = (self.cursor + 1) % hosts.len();
+            }
+            self.out.push(frame.as_bytes());
+            self.to_send -= n as u64;
+            self.outstanding += n as u64;
+        }
+    }
+
+    /// Count response lines in freshly read bytes.
+    fn absorb(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            if self.at_line_start && b == b'E' {
+                self.errors += 1;
+            }
+            self.at_line_start = b == b'\n';
+            if b == b'\n' {
+                self.completed += 1;
+                self.outstanding = self.outstanding.saturating_sub(1);
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.to_send == 0 && self.outstanding == 0
+    }
+}
+
+/// Per-driver outcome.
+struct DriverTally {
+    established: usize,
+    completed: u64,
+    errors: u64,
+    disconnects: u64,
+}
+
+/// Run the pipelined load. Unlike [`run`], responses are only counted (one
+/// line per host), not content-checked — the goal is connection scale and
+/// pipelining depth, with correctness covered by [`run`]'s check mode.
+pub fn run_pipelined(config: &PipelineConfig, hosts: &[String]) -> Result<PipelinedReport, String> {
+    if hosts.is_empty() {
+        return Err("loadgen needs a non-empty host corpus".into());
+    }
+    let connections = config.connections.max(1);
+    let drivers = config.drivers.clamp(1, connections);
+    // One fd per connection plus epoll fds and slack.
+    let _ = epoll::raise_nofile_limit(connections as u64 + 512);
+
+    let tallies: Mutex<Vec<DriverTally>> = Mutex::new(Vec::new());
+    let failure: Mutex<Option<String>> = Mutex::new(None);
+    let per_conn = config.requests / connections as u64;
+    let remainder = config.requests % connections as u64;
+    let started = Instant::now();
+
+    crossbeam::thread::scope(|scope| {
+        for d in 0..drivers {
+            let tallies = &tallies;
+            let failure = &failure;
+            // Connection indices [lo, hi) belong to driver d.
+            let lo = d * connections / drivers;
+            let hi = (d + 1) * connections / drivers;
+            scope.spawn(move |_| {
+                let quotas: Vec<u64> =
+                    (lo..hi).map(|c| per_conn + u64::from((c as u64) < remainder)).collect();
+                match drive_pipelined(config, hosts, &quotas) {
+                    Ok(tally) => tallies.lock().expect("tally lock").push(tally),
+                    Err(e) => {
+                        failure.lock().expect("failure lock").get_or_insert(e);
+                    }
+                }
+            });
+        }
+    })
+    .map_err(|_| "a loadgen driver panicked".to_string())?;
+
+    if let Some(e) = failure.lock().expect("failure lock").take() {
+        return Err(e);
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let mut report = PipelinedReport {
+        connections,
+        established: 0,
+        requests: config.requests,
+        completed: 0,
+        errors: 0,
+        disconnects: 0,
+        elapsed_seconds: elapsed,
+        throughput_rps: 0.0,
+    };
+    for t in tallies.into_inner().expect("tally lock") {
+        report.established += t.established;
+        report.completed += t.completed;
+        report.errors += t.errors;
+        report.disconnects += t.disconnects;
+    }
+    report.throughput_rps = report.completed as f64 / elapsed;
+    Ok(report)
+}
+
+/// Connect with bounded retries — at thousands of simultaneous dials the
+/// listener backlog overflows transiently and the kernel drops SYNs.
+fn connect_retrying(addr: &str) -> Result<TcpStream, String> {
+    let mut last = String::new();
+    for attempt in 0..20 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = e.to_string();
+                std::thread::sleep(Duration::from_millis(10 << attempt.min(5)));
+            }
+        }
+    }
+    Err(format!("connect {addr}: {last}"))
+}
+
+fn drive_pipelined(
+    config: &PipelineConfig,
+    hosts: &[String],
+    quotas: &[u64],
+) -> Result<DriverTally, String> {
+    let batch = config.batch.clamp(1, 65536);
+    let window = config.window.max(batch);
+    let epoll = Epoll::new().map_err(|e| format!("epoll_create1: {e}"))?;
+    let mut conns: Vec<Option<PipeConn>> = Vec::with_capacity(quotas.len());
+    let mut tally = DriverTally { established: 0, completed: 0, errors: 0, disconnects: 0 };
+    let mut frame = String::with_capacity(batch * 32);
+
+    for &quota in quotas {
+        let stream = connect_retrying(&config.addr)?;
+        stream.set_nodelay(true).map_err(|e| e.to_string())?;
+        stream.set_nonblocking(true).map_err(|e| e.to_string())?;
+        let mut conn = PipeConn {
+            stream,
+            out: OutBuf::default(),
+            to_send: quota,
+            outstanding: 0,
+            completed: 0,
+            errors: 0,
+            at_line_start: true,
+            cursor: (conns.len() * hosts.len() / quotas.len().max(1)) % hosts.len(),
+        };
+        conn.top_up(hosts, batch, window, &mut frame);
+        let token = conns.len() as u64;
+        epoll
+            .add(conn.stream.as_raw_fd(), epoll::EPOLLIN | epoll::EPOLLOUT, token)
+            .map_err(|e| format!("epoll add: {e}"))?;
+        conns.push(Some(conn));
+        tally.established += 1;
+    }
+
+    let mut open: usize = conns.iter().filter(|c| c.is_some()).count();
+    let mut events = vec![EpollEvent::zeroed(); 1024];
+    let mut read_buf = vec![0u8; 64 * 1024];
+    let mut last_progress = Instant::now();
+
+    while open > 0 {
+        if last_progress.elapsed() >= config.timeout {
+            // Count every unfinished connection as a disconnect and stop.
+            for slot in conns.iter_mut() {
+                if let Some(c) = slot.take() {
+                    tally.completed += c.completed;
+                    tally.errors += c.errors;
+                    tally.disconnects += 1;
+                    let _ = epoll.delete(c.stream.as_raw_fd());
+                }
+            }
+            break;
+        }
+        let n = epoll.wait(&mut events, 1000).map_err(|e| format!("epoll_wait: {e}"))?;
+        for event in events.iter().take(n) {
+            let idx = event.token() as usize;
+            let Some(conn) = conns[idx].as_mut() else { continue };
+            match step_pipe_conn(conn, hosts, batch, window, &mut frame, &mut read_buf) {
+                Ok(progressed) => {
+                    if progressed {
+                        last_progress = Instant::now();
+                    }
+                    if conn.done() {
+                        let c = conns[idx].take().expect("present");
+                        tally.completed += c.completed;
+                        tally.errors += c.errors;
+                        let _ = epoll.delete(c.stream.as_raw_fd());
+                        open -= 1;
+                    } else {
+                        // Keep EPOLLOUT interest only while there is
+                        // something to write, so idle waits don't spin.
+                        let want = if conn.out.pending() > 0 {
+                            epoll::EPOLLIN | epoll::EPOLLOUT
+                        } else {
+                            epoll::EPOLLIN
+                        };
+                        let _ = epoll.modify(conn.stream.as_raw_fd(), want, idx as u64);
+                    }
+                }
+                Err(_) => {
+                    let c = conns[idx].take().expect("present");
+                    tally.completed += c.completed;
+                    tally.errors += c.errors;
+                    tally.disconnects += 1;
+                    let _ = epoll.delete(c.stream.as_raw_fd());
+                    open -= 1;
+                    last_progress = Instant::now();
+                }
+            }
+        }
+    }
+    Ok(tally)
+}
+
+/// One readiness step: drain reads, top the window back up, flush writes.
+/// `Err` means the connection is dead. `Ok(true)` means bytes moved.
+fn step_pipe_conn(
+    conn: &mut PipeConn,
+    hosts: &[String],
+    batch: usize,
+    window: usize,
+    frame: &mut String,
+    read_buf: &mut [u8],
+) -> Result<bool, ()> {
+    let mut progressed = false;
+    loop {
+        match conn.stream.read(read_buf) {
+            Ok(0) => return Err(()),
+            Ok(n) => {
+                progressed = true;
+                conn.absorb(&read_buf[..n]);
+                if n < read_buf.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    conn.top_up(hosts, batch, window, frame);
+    while conn.out.pending() > 0 {
+        match conn.stream.write(conn.out.unwritten()) {
+            Ok(0) => return Err(()),
+            Ok(n) => {
+                progressed = true;
+                conn.out.consume(n);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    Ok(progressed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +654,52 @@ mod tests {
         assert!(run(&config, &hosts, None).is_err(), "check without expectations");
         let short = vec![];
         assert!(run(&config, &hosts, Some(&short)).is_err(), "misaligned expectations");
+    }
+
+    #[test]
+    fn pipelined_window_bounds_outstanding_frames() {
+        let hosts: Vec<String> = (0..8).map(|i| format!("h{i}.example.com")).collect();
+        let stream = {
+            // A socket pair via a throwaway listener; the conn only needs
+            // a TcpStream to exist, not to be read here.
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let s = TcpStream::connect(addr).unwrap();
+            let _accepted = listener.accept().unwrap();
+            s
+        };
+        let mut conn = PipeConn {
+            stream,
+            out: OutBuf::default(),
+            to_send: 1000,
+            outstanding: 0,
+            completed: 0,
+            errors: 0,
+            at_line_start: true,
+            cursor: 0,
+        };
+        let mut frame = String::new();
+        conn.top_up(&hosts, 10, 35, &mut frame);
+        // Window 35 fits three 10-host frames; a fourth would overflow.
+        assert_eq!(conn.outstanding, 30);
+        assert_eq!(conn.to_send, 970);
+        let queued = String::from_utf8(conn.out.unwritten().to_vec()).unwrap();
+        assert_eq!(queued.matches("BATCH 10\n").count(), 3);
+
+        // Absorbing responses frees window for more frames.
+        conn.absorb(b"OK a.com\nERR host nope\nOK b.com\n");
+        assert_eq!(conn.completed, 3);
+        assert_eq!(conn.errors, 1);
+        assert_eq!(conn.outstanding, 27);
+        conn.top_up(&hosts, 10, 40, &mut frame);
+        assert_eq!(conn.outstanding, 37);
+
+        // A response split across reads still counts once.
+        let before = conn.completed;
+        conn.absorb(b"OK split");
+        conn.absorb(b".example\n");
+        assert_eq!(conn.completed, before + 1);
+        assert!(!conn.done());
     }
 
     #[test]

@@ -46,15 +46,45 @@ pub struct Resolved {
 
 /// Expand a [`suffix_code`] for `host` into the three derived strings.
 pub fn decode(host: &DomainName, code: u32) -> Resolved {
+    decode_str(host.as_str(), code)
+}
+
+/// As [`decode`], but over a canonical dotted name that never went through
+/// [`DomainName::parse`] — the engine's canonical-host fast path resolves
+/// straight from the wire string, so decoding must too.
+pub fn decode_str(host: &str, code: u32) -> Resolved {
     if code == NO_MATCH {
-        return Resolved { suffix: None, registrable: None, site: host.as_str().to_string() };
+        return Resolved { suffix: None, registrable: None, site: host.to_string() };
     }
-    let total = host.label_count();
+    let total = host.bytes().filter(|&b| b == b'.').count() + 1;
     let n = (code as usize).min(total);
-    let suffix = host.suffix_of_len(n).map(str::to_string);
-    let registrable = if n < total { host.suffix_of_len(n + 1).map(str::to_string) } else { None };
-    let site = registrable.clone().unwrap_or_else(|| host.as_str().to_string());
+    let suffix = suffix_of_len_str(host, n).map(str::to_string);
+    let registrable =
+        if n < total { suffix_of_len_str(host, n + 1).map(str::to_string) } else { None };
+    let site = registrable.clone().unwrap_or_else(|| host.to_string());
     Resolved { suffix, registrable, site }
+}
+
+/// The name formed by the last `n` labels of a canonical dotted name
+/// (mirrors [`DomainName::suffix_of_len`]).
+fn suffix_of_len_str(host: &str, n: usize) -> Option<&str> {
+    if n == 0 {
+        return None;
+    }
+    let bytes = host.as_bytes();
+    let mut idx = bytes.len();
+    let mut remaining = n;
+    loop {
+        match bytes[..idx].iter().rposition(|&b| b == b'.') {
+            Some(dot) if remaining == 1 => return Some(&host[dot + 1..]),
+            Some(dot) => {
+                idx = dot;
+                remaining -= 1;
+            }
+            None if remaining == 1 => return Some(host),
+            None => return None,
+        }
+    }
 }
 
 /// One-shot lookup (trie walk + decode), for callers without a cache.
@@ -129,6 +159,17 @@ mod tests {
                     suffix_code(&l, &dom, opts),
                     "{host} {opts:?}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_str_agrees_with_decode_for_every_code() {
+        for host in ["www.example.co.uk", "co.uk", "alice.github.io", "x.zz", "single"] {
+            let dom = d(host);
+            let max_code = dom.label_count() as u32 + 1;
+            for code in (0..=max_code).chain([NO_MATCH]) {
+                assert_eq!(decode_str(host, code), decode(&dom, code), "{host} code={code}");
             }
         }
     }

@@ -31,8 +31,19 @@ struct Counters {
     ping: AtomicU64,
     errors: AtomicU64,
     connections: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
+    http_requests: AtomicU64,
+    shed_connections: AtomicU64,
+    slow_client_disconnects: AtomicU64,
+}
+
+/// One worker's lookup-cache shard: hit/miss counters plus an entry-count
+/// gauge. Sharded like the latency histograms so the hot path touches only
+/// cache lines its own worker owns.
+#[derive(Debug, Default)]
+struct CacheShard {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    entries: AtomicU64,
 }
 
 /// Which counter a handled command bumps.
@@ -59,6 +70,8 @@ pub enum CommandKind {
 pub struct Metrics {
     counters: Counters,
     latency_shards: Vec<Mutex<Histogram>>,
+    cache_shards: Vec<CacheShard>,
+    active_connections: AtomicU64,
     latency_max_us: AtomicU64,
     started_us: AtomicU64,
     snapshot_published_us: AtomicU64,
@@ -71,9 +84,12 @@ impl Metrics {
         let shards = (0..workers.max(1))
             .map(|_| Mutex::new(Histogram::new(LAT_LO, LAT_HI, LAT_BINS)))
             .collect();
+        let cache_shards = (0..workers.max(1)).map(|_| CacheShard::default()).collect();
         Metrics {
             counters: Counters::default(),
             latency_shards: shards,
+            cache_shards,
+            active_connections: AtomicU64::new(0),
             latency_max_us: AtomicU64::new(0),
             started_us: AtomicU64::new(now_us),
             snapshot_published_us: AtomicU64::new(now_us),
@@ -119,14 +135,78 @@ impl Metrics {
         self.counters.connections.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Count lookup-cache hits and misses (any worker).
-    pub fn record_cache(&self, hits: u64, misses: u64) {
+    /// Raise the live-connection gauge (reactor accept path).
+    pub fn connection_opened(&self) {
+        self.active_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lower the live-connection gauge (reactor close path).
+    pub fn connection_closed(&self) {
+        self.active_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Live connections right now (also the reactor's admission counter).
+    pub fn active_connections(&self) -> u64 {
+        self.active_connections.load(Ordering::Relaxed)
+    }
+
+    /// Count one HTTP admin-plane request.
+    pub fn record_http_request(&self) {
+        self.counters.http_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one connection refused by admission control.
+    pub fn record_shed(&self) {
+        self.counters.shed_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one connection dropped for not draining its responses.
+    pub fn record_slow_client_disconnect(&self) {
+        self.counters.slow_client_disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count lookup-cache hits and misses on `worker`'s shard (wrapped, so
+    /// any id is safe).
+    pub fn record_cache(&self, worker: usize, hits: u64, misses: u64) {
+        let shard = &self.cache_shards[worker % self.cache_shards.len()];
         if hits > 0 {
-            self.counters.cache_hits.fetch_add(hits, Ordering::Relaxed);
+            shard.hits.fetch_add(hits, Ordering::Relaxed);
         }
         if misses > 0 {
-            self.counters.cache_misses.fetch_add(misses, Ordering::Relaxed);
+            shard.misses.fetch_add(misses, Ordering::Relaxed);
         }
+    }
+
+    /// Update `worker`'s cached-entry gauge.
+    pub fn set_cache_entries(&self, worker: usize, entries: u64) {
+        self.cache_shards[worker % self.cache_shards.len()]
+            .entries
+            .store(entries, Ordering::Relaxed);
+    }
+
+    /// Per-worker cache shard snapshots (the `GET /cache` body).
+    pub fn cache_worker_stats(&self) -> Vec<WorkerCacheStats> {
+        self.cache_shards
+            .iter()
+            .enumerate()
+            .map(|(worker, shard)| {
+                let hits = shard.hits.load(Ordering::Relaxed);
+                let misses = shard.misses.load(Ordering::Relaxed);
+                let total = hits + misses;
+                WorkerCacheStats {
+                    worker,
+                    hits,
+                    misses,
+                    entries: shard.entries.load(Ordering::Relaxed),
+                    hit_ratio: if total == 0 { 0.0 } else { hits as f64 / total as f64 },
+                }
+            })
+            .collect()
+    }
+
+    /// Seconds since the registry (and so the engine) was created.
+    pub fn uptime_seconds(&self, now_us: u64) -> f64 {
+        now_us.saturating_sub(self.started_us.load(Ordering::Relaxed)) as f64 / 1e6
     }
 
     /// Note that a new snapshot was published at `now_us`.
@@ -161,8 +241,12 @@ impl Metrics {
             max_us: load(&self.latency_max_us),
         };
 
-        let hits = load(&c.cache_hits);
-        let misses = load(&c.cache_misses);
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for shard in &self.cache_shards {
+            hits += shard.hits.load(Ordering::Relaxed);
+            misses += shard.misses.load(Ordering::Relaxed);
+        }
         let total = hits + misses;
         let hit_ratio = if total == 0 { 0.0 } else { hits as f64 / total as f64 };
 
@@ -182,6 +266,12 @@ impl Metrics {
                 ping: load(&c.ping),
                 errors: load(&c.errors),
                 connections: load(&c.connections),
+            },
+            net: NetStats {
+                active_connections: self.active_connections.load(Ordering::Relaxed),
+                http_requests: load(&c.http_requests),
+                shed_connections: load(&c.shed_connections),
+                slow_client_disconnects: load(&c.slow_client_disconnects),
             },
             lookups: single_lookups + load(&c.batch_hosts),
             cache: CacheStats { hits, misses, hit_ratio },
@@ -274,6 +364,35 @@ pub struct CommandCounts {
     pub connections: u64,
 }
 
+/// Network-plane counters from the reactor (connection lifecycle,
+/// admission control, backpressure enforcement, HTTP admin traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Connections currently established.
+    pub active_connections: u64,
+    /// HTTP admin-plane requests handled.
+    pub http_requests: u64,
+    /// Connections refused by the max-connections admission gate.
+    pub shed_connections: u64,
+    /// Connections dropped for never draining their responses.
+    pub slow_client_disconnects: u64,
+}
+
+/// One worker's lookup-cache shard, as reported by `GET /cache`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerCacheStats {
+    /// Worker (shard) index.
+    pub worker: usize,
+    /// Cache hits on this shard.
+    pub hits: u64,
+    /// Cache misses on this shard.
+    pub misses: u64,
+    /// Entries currently cached by this worker.
+    pub entries: u64,
+    /// `hits / (hits + misses)`, 0 when idle.
+    pub hit_ratio: f64,
+}
+
 /// Lookup-cache effectiveness.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CacheStats {
@@ -313,6 +432,8 @@ pub struct StatsReport {
     pub snapshot: SnapshotInfo,
     /// Per-command counters.
     pub commands: CommandCounts,
+    /// Reactor network-plane counters.
+    pub net: NetStats,
     /// Total lookups answered (`SUFFIX` + `SITE` + `ASOF` + batch hosts).
     pub lookups: u64,
     /// Lookup-cache effectiveness.
@@ -341,7 +462,7 @@ mod tests {
         }
         m.record_error();
         m.record_connection();
-        m.record_cache(3, 1);
+        m.record_cache(0, 3, 1);
         let r = m.report(2_000_000, info());
         assert_eq!(r.commands.suffix, 1);
         assert_eq!(r.commands.site, 2);
@@ -409,5 +530,40 @@ mod tests {
         assert_eq!(m.snapshot_age_seconds(3_000_000), 2.0);
         m.record_publish(5_000_000);
         assert_eq!(m.snapshot_age_seconds(5_500_000), 0.5);
+    }
+
+    #[test]
+    fn cache_shards_stay_per_worker_but_aggregate() {
+        let m = Metrics::new(3, 0);
+        m.record_cache(0, 10, 2);
+        m.record_cache(1, 5, 5);
+        m.record_cache(4, 0, 3); // wraps to shard 1
+        m.set_cache_entries(0, 7);
+        let workers = m.cache_worker_stats();
+        assert_eq!(workers.len(), 3);
+        assert_eq!((workers[0].hits, workers[0].misses, workers[0].entries), (10, 2, 7));
+        assert_eq!((workers[1].hits, workers[1].misses), (5, 8));
+        assert_eq!((workers[2].hits, workers[2].misses), (0, 0));
+        let r = m.report(0, info());
+        assert_eq!(r.cache.hits, 15);
+        assert_eq!(r.cache.misses, 10);
+    }
+
+    #[test]
+    fn connection_gauge_and_net_counters() {
+        let m = Metrics::new(1, 0);
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        m.record_http_request();
+        m.record_shed();
+        m.record_slow_client_disconnect();
+        assert_eq!(m.active_connections(), 1);
+        let r = m.report(0, info());
+        assert_eq!(r.net.active_connections, 1);
+        assert_eq!(r.net.http_requests, 1);
+        assert_eq!(r.net.shed_connections, 1);
+        assert_eq!(r.net.slow_client_disconnects, 1);
+        assert_eq!(m.uptime_seconds(2_500_000), 2.5);
     }
 }

@@ -67,10 +67,21 @@ pub enum Command {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtoError {
     /// Stable machine-readable code (`empty`, `verb`, `args`, `limit`,
-    /// `host`, `date`).
+    /// `host`, `date`, `state`, `busy`). `busy` is special: the reactor
+    /// sends `ERR busy …` as its load-shed answer when admission control
+    /// refuses a connection, then closes it — clients should back off and
+    /// reconnect rather than retry on the same socket.
     pub code: &'static str,
     /// Human-readable detail.
     pub message: String,
+}
+
+impl ProtoError {
+    /// The load-shed rejection sent (once, then the connection closes)
+    /// when the server is at its connection cap.
+    pub fn busy() -> Self {
+        ProtoError::new("busy", "server is at its connection capacity".to_string())
+    }
 }
 
 impl ProtoError {
@@ -241,5 +252,6 @@ mod tests {
     fn err_line_rendering() {
         let e = parse("BATCH x").unwrap_err();
         assert!(e.to_line().starts_with("ERR args "));
+        assert!(ProtoError::busy().to_line().starts_with("ERR busy "));
     }
 }

@@ -1,0 +1,285 @@
+//! Per-connection plumbing: bounded line framing and the output queue.
+//!
+//! These are the pure-data halves of the reactor's connection state
+//! machine: bytes read from a socket go into a [`LineFramer`], which yields
+//! complete protocol lines under the same bounded-line semantics the
+//! blocking server enforced (an overlong line is answered once and
+//! discarded up to its newline, the connection survives); response bytes go
+//! into an [`OutBuf`], whose fill level drives write backpressure (EPOLLOUT
+//! interest, read suspension above the high watermark, slow-client
+//! disconnect). Neither type does I/O, so every edge is unit-testable.
+
+/// One framed event from the reader.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Framed {
+    /// A complete line (newline stripped). Borrow it before pushing more
+    /// bytes; the framer reuses its buffer.
+    Line,
+    /// A line exceeded the limit; its bytes are being discarded. Reported
+    /// exactly once per overlong line so the caller can answer `ERR limit`.
+    Oversized,
+}
+
+/// Incremental, bounded `\n`-framing over a growing byte buffer.
+///
+/// The buffer is compacted lazily: consumed lines advance a cursor, and the
+/// prefix is dropped only when it outgrows half the buffer, so per-line
+/// cost stays amortised O(length) even when thousands of pipelined lines
+/// arrive in one read.
+#[derive(Debug)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+    /// Start of unconsumed bytes in `buf`.
+    pos: usize,
+    /// Longest accepted line, in bytes (without the newline).
+    max_line: usize,
+    /// Discarding an overlong line until its newline.
+    discarding: bool,
+    /// Scratch holding the most recently framed line.
+    line: Vec<u8>,
+}
+
+impl LineFramer {
+    /// A framer accepting lines of at most `max_line` bytes.
+    pub fn new(max_line: usize) -> Self {
+        LineFramer { buf: Vec::new(), pos: 0, max_line, discarding: false, line: Vec::new() }
+    }
+
+    /// Append freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > self.buf.len() / 2) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed buffered bytes (a partial line, or pipelined lines not
+    /// yet pulled).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pull the next framed event, if a complete line (or an overflow
+    /// verdict) is available. Returns `None` when more bytes are needed.
+    pub fn next_frame(&mut self) -> Option<Framed> {
+        loop {
+            let pending = &self.buf[self.pos..];
+            let nl = pending.iter().position(|&b| b == b'\n');
+            if self.discarding {
+                match nl {
+                    Some(i) => {
+                        self.pos += i + 1;
+                        self.discarding = false;
+                        continue;
+                    }
+                    None => {
+                        // Drop the junk without growing.
+                        self.buf.clear();
+                        self.pos = 0;
+                        return None;
+                    }
+                }
+            }
+            return match nl {
+                Some(i) if i > self.max_line => {
+                    self.pos += i + 1;
+                    Some(Framed::Oversized)
+                }
+                Some(i) => {
+                    self.line.clear();
+                    self.line.extend_from_slice(&pending[..i]);
+                    self.pos += i + 1;
+                    Some(Framed::Line)
+                }
+                None if pending.len() > self.max_line => {
+                    self.buf.clear();
+                    self.pos = 0;
+                    self.discarding = true;
+                    Some(Framed::Oversized)
+                }
+                None => None,
+            };
+        }
+    }
+
+    /// The line most recently framed by [`LineFramer::next_frame`].
+    pub fn line(&self) -> &[u8] {
+        &self.line
+    }
+
+    /// Flush a final unterminated line at EOF (matching the blocking
+    /// server: EOF with buffered bytes yields them as the last line).
+    /// Returns `false` when nothing was buffered or the tail was being
+    /// discarded.
+    pub fn take_eof_line(&mut self) -> bool {
+        if self.discarding || self.buffered() == 0 {
+            return false;
+        }
+        self.line.clear();
+        let pending = &self.buf[self.pos..];
+        self.line.extend_from_slice(pending);
+        self.buf.clear();
+        self.pos = 0;
+        true
+    }
+}
+
+/// The bounded per-connection output queue.
+///
+/// Responses are appended at the tail; socket writes consume from a head
+/// cursor. Like the framer, the consumed prefix is dropped lazily so a
+/// slow drain does not turn into O(n²) memmoves.
+#[derive(Debug, Default)]
+pub struct OutBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl OutBuf {
+    /// Queue response bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes queued but not yet written.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// The unwritten slice (pass to `write`).
+    pub fn unwritten(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Mark `n` bytes as written.
+    pub fn consume(&mut self, n: usize) {
+        self.pos = (self.pos + n).min(self.buf.len());
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > self.buf.len() / 2 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(framer: &mut LineFramer) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(ev) = framer.next_frame() {
+            match ev {
+                Framed::Line => out.push(String::from_utf8_lossy(framer.line()).into_owned()),
+                Framed::Oversized => out.push("<oversized>".into()),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn frames_pipelined_lines_from_one_read() {
+        let mut f = LineFramer::new(64);
+        f.extend(b"PING\nSUFFIX a.com\nBATCH 2\n");
+        assert_eq!(lines(&mut f), ["PING", "SUFFIX a.com", "BATCH 2"]);
+        assert_eq!(f.buffered(), 0);
+    }
+
+    #[test]
+    fn partial_line_waits_for_more_bytes() {
+        let mut f = LineFramer::new(64);
+        f.extend(b"SUF");
+        assert_eq!(f.next_frame(), None);
+        f.extend(b"FIX a.com\nPI");
+        assert_eq!(lines(&mut f), ["SUFFIX a.com"]);
+        f.extend(b"NG\n");
+        assert_eq!(lines(&mut f), ["PING"]);
+    }
+
+    #[test]
+    fn exactly_max_bytes_is_a_line_one_more_is_oversized() {
+        let mut f = LineFramer::new(4);
+        f.extend(b"abcd\nabcde\nPING\n");
+        assert_eq!(lines(&mut f), ["abcd", "<oversized>", "PING"]);
+    }
+
+    #[test]
+    fn overlong_line_spanning_many_reads_reports_once_and_recovers() {
+        let mut f = LineFramer::new(4);
+        f.extend(b"aaaaaaaa");
+        assert_eq!(f.next_frame(), Some(Framed::Oversized));
+        // Still mid-discard: more junk is swallowed silently...
+        f.extend(b"bbbbbbbb");
+        assert_eq!(f.next_frame(), None);
+        // ...until the newline, after which framing resumes.
+        f.extend(b"ccc\nPING\n");
+        assert_eq!(lines(&mut f), ["PING"]);
+    }
+
+    #[test]
+    fn discard_mode_does_not_buffer_junk() {
+        let mut f = LineFramer::new(4);
+        f.extend(b"aaaaaaaa");
+        assert_eq!(f.next_frame(), Some(Framed::Oversized));
+        for _ in 0..1000 {
+            f.extend(b"jjjjjjjjjjjjjjjj");
+            assert_eq!(f.next_frame(), None);
+            assert_eq!(f.buffered(), 0, "junk must not accumulate");
+        }
+    }
+
+    #[test]
+    fn eof_flushes_a_final_unterminated_line() {
+        let mut f = LineFramer::new(64);
+        f.extend(b"PING\nQUI");
+        assert_eq!(lines(&mut f), ["PING"]);
+        assert!(f.take_eof_line());
+        assert_eq!(f.line(), b"QUI");
+        assert!(!f.take_eof_line(), "flushing consumed the tail");
+    }
+
+    #[test]
+    fn eof_mid_discard_flushes_nothing() {
+        let mut f = LineFramer::new(4);
+        f.extend(b"aaaaaaaa");
+        assert_eq!(f.next_frame(), Some(Framed::Oversized));
+        assert!(!f.take_eof_line());
+    }
+
+    #[test]
+    fn empty_lines_frame_as_empty() {
+        let mut f = LineFramer::new(8);
+        f.extend(b"\n\nPING\n");
+        assert_eq!(lines(&mut f), ["", "", "PING"]);
+    }
+
+    #[test]
+    fn outbuf_tracks_partial_writes() {
+        let mut o = OutBuf::default();
+        o.push(b"OK pong\n");
+        o.push(b"OK bye\n");
+        assert_eq!(o.pending(), 15);
+        assert_eq!(o.unwritten(), b"OK pong\nOK bye\n");
+        o.consume(8);
+        assert_eq!(o.unwritten(), b"OK bye\n");
+        o.consume(7);
+        assert_eq!(o.pending(), 0);
+        assert!(o.unwritten().is_empty());
+    }
+
+    #[test]
+    fn outbuf_reclaims_consumed_prefix() {
+        let mut o = OutBuf::default();
+        for _ in 0..100 {
+            o.push(&[b'x'; 1024]);
+            o.consume(1024);
+        }
+        assert_eq!(o.pending(), 0);
+        // Fully drained queues reset, so capacity cannot creep upward from
+        // an ever-growing consumed prefix.
+        assert!(o.buf.capacity() <= 4096, "capacity {}", o.buf.capacity());
+    }
+}

@@ -1,36 +1,46 @@
-//! The threaded TCP server.
+//! The TCP server: listener setup, worker threads, and the file watcher.
 //!
-//! One `std::net::TcpListener` shared by N crossbeam worker threads. Each
-//! worker accepts connections itself (the kernel load-balances accepts), so
-//! there is no dispatcher thread and no cross-thread handoff; a worker
-//! serves one connection at a time with its own [`WorkerState`] (snapshot
-//! reader + LRU cache). The listener is non-blocking and every socket read
-//! carries a timeout, so workers observe the shared stop flag promptly —
-//! `SHUTDOWN` (or dropping a [`ServerHandle`]'s stop flag from a test)
-//! stops the whole pool without killing in-flight commands.
+//! The accept/serve machinery itself lives in [`crate::reactor`]: N worker
+//! threads each run a nonblocking epoll event loop, both listeners (line
+//! protocol + optional HTTP admin plane) registered with `EPOLLEXCLUSIVE`
+//! in every worker so the kernel load-balances accepts without a
+//! dispatcher thread. This module owns what surrounds the loops: binding
+//! (with a widened accept backlog and a best-effort `RLIMIT_NOFILE`
+//! raise, since the reactor's whole point is tens of thousands of
+//! concurrent sockets), the crossbeam thread scope, the shared
+//! [`reactor::StopState`] that makes `SHUTDOWN` a syscall-latency event
+//! rather than a poll tick, and the optional list-file watcher thread.
 //!
-//! An optional watcher thread polls a list file's mtime and republishes
-//! the snapshot when it changes — the SIGHUP-style reload path for
-//! deployments that manage the list as a file. The watched file may be
-//! either `.dat` text or a compiled binary snapshot ([`load_list_file`]
-//! sniffs the magic); a half-written snapshot fails its checksum and is
-//! simply retried on the next poll tick, so an atomic-rename deployment
-//! and a sloppy in-place `cp` both converge.
+//! The watcher polls a list file's mtime and republishes the snapshot when
+//! it changes — the SIGHUP-style reload path for deployments that manage
+//! the list as a file. The watched file may be either `.dat` text or a
+//! compiled binary snapshot ([`load_list_file`] sniffs the magic); a
+//! half-written snapshot fails its checksum and is simply retried on the
+//! next poll tick, so an atomic-rename deployment and a sloppy in-place
+//! `cp` both converge. Its sleeps go through [`reactor::StopState::sleep`],
+//! so shutdown never waits out a poll interval.
 
-use crate::engine::{Control, Engine};
-use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use crate::engine::Engine;
+use crate::reactor::{self, epoll, ReactorOptions, StopState};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::io::AsRawFd;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, SystemTime};
+
+/// Listen backlog requested beyond the std default of 128 — a loadgen
+/// opening thousands of connections at once overflows a short backlog into
+/// kernel-dropped SYNs and retransmit stalls.
+const LISTEN_BACKLOG: i32 = 4096;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7378` (port 0 = ephemeral).
     pub addr: String,
-    /// Per-read socket timeout; also the stop-flag polling cadence.
+    /// Historic knob from the blocking server, kept so existing callers
+    /// and tests compile: the reactor has no per-read timeouts (readiness
+    /// is event-driven), so this is unused.
     pub read_timeout: Duration,
     /// Optional `.dat` file to watch: `(path, poll interval)`.
     pub watch: Option<(PathBuf, Duration)>,
@@ -49,38 +59,64 @@ impl Default for ServerConfig {
 /// A bound (but not yet running) server.
 pub struct Server {
     listener: TcpListener,
+    http_listener: Option<TcpListener>,
     engine: Arc<Engine>,
     config: ServerConfig,
-    stop: Arc<AtomicBool>,
+    options: ReactorOptions,
+    stop: Arc<StopState>,
 }
 
-/// Cooperative stop flag for a running server.
+/// Cooperative stop handle for a running server.
 #[derive(Debug, Clone)]
-pub struct StopHandle(Arc<AtomicBool>);
+pub struct StopHandle(Arc<StopState>);
 
 impl StopHandle {
-    /// Ask the server to stop; workers exit at their next poll tick.
+    /// Ask the server to stop; every reactor worker is woken through its
+    /// eventfd doorbell, so shutdown latency is bounded by a syscall, not
+    /// a polling interval.
     pub fn stop(&self) {
-        self.0.store(true, Ordering::SeqCst);
+        self.0.trigger();
     }
 
     /// Has a stop been requested?
     pub fn stopped(&self) -> bool {
-        self.0.load(Ordering::SeqCst)
+        self.0.stopped()
     }
 }
 
 impl Server {
-    /// Bind the listener. The worker count comes from the engine config.
+    /// Bind the line-protocol listener with default reactor options (no
+    /// HTTP admin plane). The worker count comes from the engine config.
     pub fn bind(engine: Arc<Engine>, config: ServerConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
-        Ok(Server { listener, engine, config, stop: Arc::new(AtomicBool::new(false)) })
+        Server::bind_with(engine, config, ReactorOptions::default())
     }
 
-    /// The bound address (resolves port 0).
+    /// Bind with explicit reactor options, including the optional HTTP
+    /// admin listener.
+    pub fn bind_with(
+        engine: Arc<Engine>,
+        config: ServerConfig,
+        options: ReactorOptions,
+    ) -> std::io::Result<Server> {
+        // Best-effort: every connection is one fd (plus epoll + listeners);
+        // ask for headroom over the connection cap and accept what we get.
+        let _ = epoll::raise_nofile_limit(options.max_conns as u64 + 512);
+        let listener = bind_listener(&config.addr)?;
+        let http_listener = match &options.http_addr {
+            Some(addr) => Some(bind_listener(addr)?),
+            None => None,
+        };
+        Ok(Server { listener, http_listener, engine, config, options, stop: StopState::new() })
+    }
+
+    /// The bound line-protocol address (resolves port 0).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The bound HTTP admin-plane address, when one was configured.
+    pub fn http_local_addr(&self) -> Option<std::io::Result<SocketAddr>> {
+        self.http_listener.as_ref().map(|l| l.local_addr())
     }
 
     /// A handle that can stop the running server from another thread.
@@ -88,23 +124,26 @@ impl Server {
         StopHandle(Arc::clone(&self.stop))
     }
 
-    /// Run the accept/serve loop, blocking until a stop is requested
-    /// (`SHUTDOWN` command, watcher failure is non-fatal). Worker threads
-    /// are crossbeam-scoped, so this returns only after every worker
-    /// drained its current connection.
+    /// Run the reactor, blocking until a stop is requested (`SHUTDOWN`
+    /// command, `POST /reload` failure is non-fatal, [`StopHandle::stop`]).
+    /// Worker threads are crossbeam-scoped, so this returns only after
+    /// every worker tore down its connections.
     pub fn run(&self) -> std::io::Result<()> {
-        let workers = self.engine.config().workers.max(1);
+        let workers = self.options.workers.unwrap_or(self.engine.config().workers).max(1);
         crossbeam::thread::scope(|scope| {
             for id in 0..workers {
                 let engine = Arc::clone(&self.engine);
                 let listener = &self.listener;
-                let stop = &self.stop;
-                let timeout = self.config.read_timeout;
-                scope.spawn(move |_| worker_loop(id, engine, listener, stop, timeout));
+                let http = self.http_listener.as_ref();
+                let options = &self.options;
+                let stop = &*self.stop;
+                scope.spawn(move |_| {
+                    reactor::worker_loop(id, &engine, listener, http, options, stop)
+                });
             }
             if let Some((path, interval)) = self.config.watch.clone() {
                 let engine = Arc::clone(&self.engine);
-                let stop = &self.stop;
+                let stop = &*self.stop;
                 scope.spawn(move |_| watch_loop(engine, path, interval, stop));
             }
         })
@@ -113,166 +152,20 @@ impl Server {
     }
 }
 
-fn worker_loop(
-    id: usize,
-    engine: Arc<Engine>,
-    listener: &TcpListener,
-    stop: &AtomicBool,
-    timeout: Duration,
-) {
-    let mut ws = engine.worker_state(id);
-    while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                engine.note_connection();
-                if let Err(e) = serve_connection(&engine, &mut ws, stream, stop, timeout) {
-                    // Client-side hangups are routine; keep serving.
-                    if e.kind() != ErrorKind::BrokenPipe && e.kind() != ErrorKind::ConnectionReset {
-                        eprintln!("psl-service: connection error: {e}");
-                    }
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            Err(e) => {
-                eprintln!("psl-service: accept error: {e}");
-                std::thread::sleep(Duration::from_millis(10));
-            }
-        }
-    }
-}
-
-fn serve_connection(
-    engine: &Engine,
-    ws: &mut crate::engine::WorkerState,
-    stream: TcpStream,
-    stop: &AtomicBool,
-    timeout: Duration,
-) -> std::io::Result<()> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(timeout))?;
-    let max_line = engine.config().limits.max_line_bytes;
-    let mut reader = BufReader::with_capacity(64 * 1024, stream.try_clone()?);
-    let mut writer = BufWriter::with_capacity(64 * 1024, stream);
-    let mut line = Vec::with_capacity(256);
-    let mut out = String::with_capacity(256);
-
-    loop {
-        line.clear();
-        match read_line_bounded(&mut reader, &mut line, max_line, stop)? {
-            LineRead::Closed => return Ok(()),
-            LineRead::Stopped => return Ok(()),
-            LineRead::Oversized => {
-                // The offending bytes were drained up to the next newline;
-                // answer once and keep the connection usable.
-                engine.metrics().record_error();
-                writer.write_all(b"ERR limit line too long\n")?;
-                writer.flush()?;
-                continue;
-            }
-            LineRead::Line => {}
-        }
-        let text = String::from_utf8_lossy(&line);
-        out.clear();
-        let control = engine.handle_line(ws, text.trim_end_matches('\n'), &mut out);
-        writer.write_all(out.as_bytes())?;
-        // Mid-batch we let the BufWriter coalesce; otherwise flush so
-        // request/response clients see their answer immediately.
-        if ws.pending_batch() == 0 {
-            writer.flush()?;
-        }
-        match control {
-            Control::Continue => {}
-            Control::Quit => return Ok(()),
-            Control::Shutdown => {
-                stop.store(true, Ordering::SeqCst);
-                return Ok(());
-            }
-        }
-    }
-}
-
-#[derive(Debug)]
-enum LineRead {
-    /// A complete line is in the buffer (without the trailing `\n`).
-    Line,
-    /// Peer closed the connection.
-    Closed,
-    /// Stop was requested while waiting for input.
-    Stopped,
-    /// The line exceeded the limit (already drained to the next newline).
-    Oversized,
-}
-
-/// Read one `\n`-terminated line of at most `max` bytes, tolerating read
-/// timeouts (used to poll `stop`) and draining oversized lines. EOF with
-/// bytes already buffered yields those bytes as a final unterminated line;
-/// the next call reports `Closed`.
-fn read_line_bounded<R: BufRead>(
-    reader: &mut R,
-    buf: &mut Vec<u8>,
-    max: usize,
-    stop: &AtomicBool,
-) -> std::io::Result<LineRead> {
-    loop {
-        // +1 so a line of exactly `max` bytes plus its newline fits.
-        let mut limited = reader.by_ref().take((max + 1 - buf.len().min(max)) as u64);
-        match limited.read_until(b'\n', buf) {
-            Ok(0) => {
-                return Ok(if buf.is_empty() { LineRead::Closed } else { LineRead::Line });
-            }
-            Ok(_) => {
-                if buf.last() == Some(&b'\n') {
-                    buf.pop();
-                    return Ok(LineRead::Line);
-                }
-                if buf.len() > max {
-                    drain_to_newline(reader, stop)?;
-                    return Ok(LineRead::Oversized);
-                }
-                // Short read without newline (timeout boundary): keep going.
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if stop.load(Ordering::SeqCst) {
-                    return Ok(LineRead::Stopped);
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-/// Discard input until the next newline (or EOF/stop).
-fn drain_to_newline<R: BufRead>(reader: &mut R, stop: &AtomicBool) -> std::io::Result<()> {
-    let mut chunk = Vec::with_capacity(4096);
-    loop {
-        chunk.clear();
-        let mut limited = reader.by_ref().take(4096);
-        match limited.read_until(b'\n', &mut chunk) {
-            Ok(0) => return Ok(()),
-            Ok(_) => {
-                if chunk.last() == Some(&b'\n') {
-                    return Ok(());
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if stop.load(Ordering::SeqCst) {
-                    return Ok(());
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
+/// Bind one nonblocking listener with the widened backlog.
+fn bind_listener(addr: &str) -> std::io::Result<TcpListener> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    epoll::widen_backlog(listener.as_raw_fd(), LISTEN_BACKLOG)?;
+    Ok(listener)
 }
 
 /// Load a list from `path`, sniffing the format: a file that starts with
 /// the compiled-snapshot magic is loaded through the zero-copy binary
 /// loader ([`psl_core::List::load_snapshot`]); anything else is parsed as
-/// `.dat` text. This is the one ingestion point the server (cold start and
-/// watcher alike) uses, so text and binary deployments behave identically.
+/// `.dat` text. This is the one ingestion point the server (cold start,
+/// watcher, and `POST /reload` alike) uses, so text and binary deployments
+/// behave identically.
 pub fn load_list_file(path: &std::path::Path) -> Result<psl_core::List, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     if bytes.starts_with(&psl_core::LIST_MAGIC) {
@@ -294,7 +187,7 @@ fn file_signature(path: &std::path::Path) -> std::io::Result<FileSignature> {
     Ok((meta.modified()?, meta.len()))
 }
 
-fn watch_loop(engine: Arc<Engine>, path: PathBuf, interval: Duration, stop: &AtomicBool) {
+fn watch_loop(engine: Arc<Engine>, path: PathBuf, interval: Duration, stop: &StopState) {
     // Signature of the last file state we successfully published (or the
     // startup baseline). Committed only after a successful read + publish,
     // so a transient read failure is retried on the next tick rather than
@@ -307,7 +200,7 @@ fn watch_loop(engine: Arc<Engine>, path: PathBuf, interval: Duration, stop: &Ato
     let mut saw_missing = false;
     // Consecutive stat/read failures; drives the bounded backoff below.
     let mut failures: u32 = 0;
-    while !stop.load(Ordering::SeqCst) {
+    while !stop.stopped() {
         match file_signature(&path) {
             Ok(sig) => {
                 if !baseline_recorded && !saw_missing {
@@ -346,13 +239,12 @@ fn watch_loop(engine: Arc<Engine>, path: PathBuf, interval: Duration, stop: &Ato
             }
         }
         // Bounded exponential backoff while failing — 1, 2, 4, then 8 poll
-        // intervals — sleeping one interval at a time so a stop request is
-        // still observed promptly.
+        // intervals. The stop-aware sleep returns early (and truthfully)
+        // the instant a shutdown is triggered.
         for _ in 0..(1u32 << failures.min(3)) {
-            if stop.load(Ordering::SeqCst) {
+            if stop.sleep(interval) {
                 return;
             }
-            std::thread::sleep(interval);
         }
     }
 }
@@ -360,47 +252,6 @@ fn watch_loop(engine: Arc<Engine>, path: PathBuf, interval: Duration, stop: &Ato
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::VecDeque;
-
-    /// A `Read` impl driven by a script of chunks and errors, so the
-    /// bounded line reader can be exercised against timeout boundaries,
-    /// interrupts, and truncated streams without a socket.
-    struct ScriptedReader {
-        script: VecDeque<Result<Vec<u8>, ErrorKind>>,
-    }
-
-    impl ScriptedReader {
-        fn new(script: impl IntoIterator<Item = Result<&'static [u8], ErrorKind>>) -> Self {
-            ScriptedReader { script: script.into_iter().map(|s| s.map(|b| b.to_vec())).collect() }
-        }
-    }
-
-    impl Read for ScriptedReader {
-        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
-            match self.script.pop_front() {
-                None => Ok(0),
-                Some(Err(kind)) => Err(kind.into()),
-                Some(Ok(bytes)) => {
-                    let n = bytes.len().min(out.len());
-                    out[..n].copy_from_slice(&bytes[..n]);
-                    if n < bytes.len() {
-                        self.script.push_front(Ok(bytes[n..].to_vec()));
-                    }
-                    Ok(n)
-                }
-            }
-        }
-    }
-
-    fn reader(
-        script: impl IntoIterator<Item = Result<&'static [u8], ErrorKind>>,
-    ) -> BufReader<ScriptedReader> {
-        BufReader::new(ScriptedReader::new(script))
-    }
-
-    fn no_stop() -> AtomicBool {
-        AtomicBool::new(false)
-    }
 
     fn tmp_file(name: &str, bytes: &[u8]) -> PathBuf {
         let path = std::env::temp_dir().join(format!("psl-loadfile-{}-{name}", std::process::id()));
@@ -437,110 +288,27 @@ mod tests {
     }
 
     #[test]
-    fn eof_without_newline_at_exactly_max_yields_the_line_then_closed() {
-        let mut r = reader([Ok(b"abcd".as_slice())]);
-        let stop = no_stop();
-        let mut buf = Vec::new();
-        assert!(matches!(read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(), LineRead::Line));
-        assert_eq!(buf, b"abcd");
-        buf.clear();
-        assert!(matches!(read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(), LineRead::Closed));
+    fn stop_handle_round_trips_through_stop_state() {
+        let stop = StopState::new();
+        let handle = StopHandle(Arc::clone(&stop));
+        assert!(!handle.stopped());
+        handle.stop();
+        assert!(handle.stopped());
+        assert!(stop.stopped());
     }
 
     #[test]
-    fn exactly_max_bytes_plus_newline_is_a_line() {
-        let mut r = reader([Ok(b"abcd\nnext\n".as_slice())]);
-        let stop = no_stop();
-        let mut buf = Vec::new();
-        assert!(matches!(read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(), LineRead::Line));
-        assert_eq!(buf, b"abcd");
-        buf.clear();
-        assert!(matches!(read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(), LineRead::Line));
-        assert_eq!(buf, b"next");
-    }
-
-    #[test]
-    fn one_byte_over_max_is_oversized_and_the_connection_stays_usable() {
-        let mut r = reader([Ok(b"abcde and much more junk\nPING\n".as_slice())]);
-        let stop = no_stop();
-        let mut buf = Vec::new();
-        assert!(matches!(
-            read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(),
-            LineRead::Oversized
-        ));
-        buf.clear();
-        assert!(matches!(read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(), LineRead::Line));
-        assert_eq!(buf, b"PING");
-    }
-
-    #[test]
-    fn interrupted_mid_line_loses_no_bytes() {
-        let mut r =
-            reader([Ok(b"ab".as_slice()), Err(ErrorKind::Interrupted), Ok(b"cd\n".as_slice())]);
-        let stop = no_stop();
-        let mut buf = Vec::new();
-        assert!(matches!(read_line_bounded(&mut r, &mut buf, 16, &stop).unwrap(), LineRead::Line));
-        assert_eq!(buf, b"abcd");
-    }
-
-    #[test]
-    fn timeout_mid_line_resumes_without_losing_bytes() {
-        let mut r = reader([
-            Ok(b"ab".as_slice()),
-            Err(ErrorKind::WouldBlock),
-            Err(ErrorKind::TimedOut),
-            Ok(b"cd\n".as_slice()),
-        ]);
-        let stop = no_stop();
-        let mut buf = Vec::new();
-        assert!(matches!(read_line_bounded(&mut r, &mut buf, 16, &stop).unwrap(), LineRead::Line));
-        assert_eq!(buf, b"abcd");
-    }
-
-    #[test]
-    fn overlong_line_drain_hitting_eof_reports_oversized_then_closed() {
-        let mut r = reader([Ok(b"aaaaaaaa".as_slice())]);
-        let stop = no_stop();
-        let mut buf = Vec::new();
-        assert!(matches!(
-            read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(),
-            LineRead::Oversized
-        ));
-        buf.clear();
-        assert!(matches!(read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(), LineRead::Closed));
-    }
-
-    #[test]
-    fn stop_requested_during_a_timeout_returns_stopped() {
-        let mut r = reader([Err(ErrorKind::WouldBlock)]);
-        let stop = AtomicBool::new(true);
-        let mut buf = Vec::new();
-        assert!(matches!(
-            read_line_bounded(&mut r, &mut buf, 4, &stop).unwrap(),
-            LineRead::Stopped
-        ));
-    }
-
-    #[test]
-    fn hard_errors_propagate() {
-        let mut r = reader([Ok(b"ab".as_slice()), Err(ErrorKind::ConnectionReset)]);
-        let stop = no_stop();
-        let mut buf = Vec::new();
-        let err = read_line_bounded(&mut r, &mut buf, 16, &stop).unwrap_err();
-        assert_eq!(err.kind(), ErrorKind::ConnectionReset);
-    }
-
-    #[test]
-    fn drain_swallows_interrupts_and_stops_at_newline() {
-        let mut r = reader([
-            Ok(b"junk".as_slice()),
-            Err(ErrorKind::Interrupted),
-            Ok(b"more\nkeep".as_slice()),
-        ]);
-        let stop = no_stop();
-        drain_to_newline(&mut r, &stop).unwrap();
-        let mut buf = Vec::new();
-        assert!(matches!(read_line_bounded(&mut r, &mut buf, 16, &stop).unwrap(), LineRead::Line));
-        assert_eq!(buf, b"keep");
+    fn stop_aware_sleep_wakes_early_on_trigger() {
+        let stop = StopState::new();
+        let waker = Arc::clone(&stop);
+        let started = std::time::Instant::now();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.trigger();
+        });
+        // A 10-second sleep must return promptly once triggered.
+        assert!(stop.sleep(Duration::from_secs(10)));
+        assert!(started.elapsed() < Duration::from_secs(5));
+        t.join().unwrap();
     }
 }

@@ -419,6 +419,123 @@ impl Deserialize for Value {
     }
 }
 
+// ---- serde_json-style Value ergonomics -------------------------------------
+
+static NULL_VALUE: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object field access, `serde_json` style: missing keys (and
+    /// non-objects) index to `Value::Null` instead of panicking.
+    fn index(&self, key: &str) -> &Value {
+        self.get_field(key).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Array element access; out of range (and non-arrays) yield `Null`.
+    fn index(&self, idx: usize) -> &Value {
+        self.as_seq().and_then(|s| s.get(idx)).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl Value {
+    /// The elements of an array, under the name `serde_json` uses.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        self.as_seq()
+    }
+
+    /// Numeric payload as `u64`, when losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            Value::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `i64`, when losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, or `None`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Is this `Value::Null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+macro_rules! impl_value_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Int(i) => (*i as i128) == (*other as i128),
+                    Value::UInt(u) => (*u as i128) == (*other as i128),
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+impl_value_eq_num!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -137,6 +137,35 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Convert any `Serialize` into a [`Value`] tree. Infallible with this
+/// shim's tree-based model; the `Result` mirrors real `serde_json`.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Support point for [`json!`]; not part of the public API surface.
+#[doc(hidden)]
+pub fn __value_of<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// A pared-down `serde_json::json!`: object literals with string-literal
+/// keys, array literals, `null`, and arbitrary `Serialize` expressions as
+/// values. Unlike the real macro, *nested* object/array literals must be
+/// wrapped in their own `json!(…)` call (a brace literal is not a Rust
+/// expression, and this shim does not tt-munch).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Seq(vec![ $( $crate::__value_of(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Map(vec![ $( (($key).to_string(), $crate::__value_of(&$val)) ),* ])
+    };
+    ($other:expr) => { $crate::__value_of(&$other) };
+}
+
 /// Serialize to two-space-indented JSON.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
