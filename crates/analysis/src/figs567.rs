@@ -3,8 +3,9 @@
 //! [`mod@crate::sweep`] results.
 
 use crate::sweep::{sweep, SweepConfig, VersionStats};
+use crate::sweep_stream::{sweep_stream, StreamSweepConfig};
 use psl_history::History;
-use psl_webcorpus::WebCorpus;
+use psl_webcorpus::{StreamCorpus, WebCorpus};
 use serde::Serialize;
 
 /// One per-version row shared by Figures 5, 6 and 7.
@@ -44,9 +45,32 @@ pub fn run(history: &History, corpus: &WebCorpus, config: &SweepConfig) -> Sweep
     package(&stats, corpus)
 }
 
+/// Run the *streaming* sweep — the corpus is never materialized — and
+/// package the same report shape as [`run`]. In exact counting mode the
+/// output is byte-identical to the materialized path for any shard
+/// count.
+pub fn run_streaming(
+    history: &History,
+    stream: &StreamCorpus,
+    config: &StreamSweepConfig,
+) -> SweepReport {
+    let out = sweep_stream(history, stream, config);
+    package_totals(&out.stats, stream.host_count(), out.total_requests as usize)
+}
+
 /// Package precomputed sweep stats (lets callers reuse one sweep for all
 /// three figures).
 pub fn package(stats: &[VersionStats], corpus: &WebCorpus) -> SweepReport {
+    package_totals(stats, corpus.host_count(), corpus.request_count())
+}
+
+/// [`package`] with explicit corpus totals, for callers that streamed
+/// the corpus instead of holding it.
+pub fn package_totals(
+    stats: &[VersionStats],
+    unique_hostnames: usize,
+    total_requests: usize,
+) -> SweepReport {
     let rows: Vec<SweepRow> = stats
         .iter()
         .map(|s| SweepRow {
@@ -62,12 +86,7 @@ pub fn package(stats: &[VersionStats], corpus: &WebCorpus) -> SweepReport {
         (Some(f), Some(l)) => l.sites as i64 - f.sites as i64,
         _ => 0,
     };
-    SweepReport {
-        rows,
-        extra_sites_latest_vs_first: extra,
-        unique_hostnames: corpus.host_count(),
-        total_requests: corpus.request_count(),
-    }
+    SweepReport { rows, extra_sites_latest_vs_first: extra, unique_hostnames, total_requests }
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@ pub mod pipeline;
 pub mod report;
 pub mod sweep;
 pub mod sweep_incremental;
+pub mod sweep_stream;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -42,5 +43,10 @@ pub mod walker;
 
 pub use markdown::render_markdown;
 pub use pipeline::{build_substrates, run_all, FullReport, PipelineConfig, Substrates};
-pub use sweep::{stats_for_single_list, sweep, sweep_rebuild, SweepConfig, VersionStats};
+pub use sweep::{
+    resolved_threads, stats_for_single_list, sweep, sweep_rebuild, SweepConfig, VersionStats,
+};
 pub use sweep_incremental::sweep_incremental;
+pub use sweep_stream::{
+    sweep_stream, ShardAccumulator, SiteCounter, SiteSet, StreamSweepConfig, StreamSweepOutcome,
+};

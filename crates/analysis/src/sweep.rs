@@ -66,8 +66,13 @@ fn site_suffix_lens(list: &List, reversed: &[Vec<&str>], opts: MatchOpts) -> Vec
 }
 
 /// [`site_suffix_lens`] over pre-interned id slices and a compiled arena:
-/// the per-version hot loop of the sweep.
-fn site_suffix_lens_ids(frozen: &FrozenList, host_ids: &[Box<[u32]>], opts: MatchOpts) -> Vec<u32> {
+/// the per-version hot loop of the sweep (shared with the streaming
+/// pipeline in [`crate::sweep_stream`]).
+pub(crate) fn site_suffix_lens_ids(
+    frozen: &FrozenList,
+    host_ids: &[Box<[u32]>],
+    opts: MatchOpts,
+) -> Vec<u32> {
     host_ids
         .iter()
         .map(|ids| {
@@ -238,10 +243,18 @@ pub fn sweep_rebuild(
 }
 
 fn thread_count(config: &SweepConfig, versions: usize) -> usize {
-    if config.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(versions.max(1))
+    resolved_threads(config.threads, versions)
+}
+
+/// Resolve a `threads` setting (0 = auto) to the actual worker count: the
+/// machine's available parallelism, capped by the number of work items.
+/// Public so the bench harness records the worker count a sweep really
+/// used instead of echoing the configured `0` placeholder.
+pub fn resolved_threads(threads: usize, work_items: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(work_items.max(1))
     } else {
-        config.threads
+        threads
     }
 }
 

@@ -1,0 +1,487 @@
+//! The streaming paper-scale sweep: sharded generation, mergeable
+//! accumulators, bounded memory.
+//!
+//! The materialized sweep ([`crate::sweep::sweep`]) holds the whole
+//! request list in memory, which caps it three orders of magnitude short
+//! of the paper's 498M-request HTTP Archive snapshot. This pipeline
+//! never materializes the corpus:
+//!
+//! 1. **Sharded generation.** A [`StreamCorpus`] yields each shard's
+//!    `(page, request)` pairs on demand from per-page derived RNG seeds,
+//!    so shard `s` of `K` produces the same pairs no matter how many
+//!    shards exist or which worker runs it.
+//! 2. **Mergeable accumulators.** Each `(shard, version)` pair owns a
+//!    [`ShardAccumulator`]: a site set (exact id set or HyperLogLog
+//!    sketch), a third-party request count, a moved-host count, and a
+//!    request count. [`ShardAccumulator::merge`] is associative,
+//!    commutative, and — in exact mode — provably equal to the
+//!    single-pass counters (the tests pin K-shard output byte-identical
+//!    to the legacy sweep for several K).
+//! 3. **Version-blocked pipeline.** Versions are processed in blocks
+//!    sized so the per-block `site_id`/`len` arrays fit a fixed memory
+//!    budget; within a block a scoped-thread worker pool drains shards
+//!    from an atomic counter and merges into the master accumulators.
+//!    Peak RSS is `O(hosts × block + shards × sites)` — independent of
+//!    the request count, which only affects how long the stream runs.
+//!
+//! Site identity without strings: under any version, a host's site is a
+//! *suffix of itself*, so the site string is fully determined by the
+//! host's reversed interned-label ids and the site length. The prefix
+//! `ids[..len]` is therefore a perfect site key (the shared interner is
+//! injective), and dense per-version site ids come from one hash of that
+//! borrowed slice — no allocation per host.
+
+use crate::sweep::{resolved_threads, site_suffix_lens_ids, VersionStats};
+use psl_core::MatchOpts;
+use psl_history::History;
+use psl_stats::HyperLogLog;
+use psl_webcorpus::{Request, StreamCorpus};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How distinct sites are counted per `(shard, version)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteCounter {
+    /// Exact: a hash set of dense site ids. Memory grows with the number
+    /// of distinct sites (not requests); the right mode for laptop-scale
+    /// host populations and the reference the sketch is validated
+    /// against.
+    Exact,
+    /// Approximate: a HyperLogLog sketch with `2^precision` registers
+    /// (fixed memory; standard error `1.04 / sqrt(2^precision)`).
+    Sketch {
+        /// HLL precision (register count exponent, 4..=18).
+        precision: u8,
+    },
+}
+
+impl SiteCounter {
+    /// The default sketch mode: 0.81% standard error, 16 KiB per
+    /// accumulator.
+    pub const DEFAULT_SKETCH: SiteCounter =
+        SiteCounter::Sketch { precision: HyperLogLog::DEFAULT_PRECISION };
+}
+
+/// Configuration for [`sweep_stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSweepConfig {
+    /// Matching options (browsers: defaults).
+    pub opts: MatchOpts,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Shard count (0 = auto: 4 × threads, so the atomic work queue
+    /// load-balances uneven shards).
+    pub shards: usize,
+    /// Site counting mode.
+    pub counter: SiteCounter,
+    /// Memory budget in bytes for the per-block `len`/`site_id` arrays
+    /// (0 = 256 MiB). Determines how many versions are in flight at
+    /// once; the request stream is replayed once per block.
+    pub block_bytes: usize,
+}
+
+impl Default for StreamSweepConfig {
+    fn default() -> Self {
+        StreamSweepConfig {
+            opts: MatchOpts::default(),
+            threads: 0,
+            shards: 0,
+            counter: SiteCounter::Exact,
+            block_bytes: 0,
+        }
+    }
+}
+
+const DEFAULT_BLOCK_BYTES: usize = 256 << 20;
+
+/// A per-`(shard, version)` set of distinct sites.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SiteSet {
+    /// Exact dense-site-id set.
+    Exact(HashSet<u32>),
+    /// HyperLogLog sketch over mixed site ids.
+    Sketch(HyperLogLog),
+}
+
+impl SiteSet {
+    /// Empty set in the given mode.
+    pub fn new(counter: SiteCounter) -> Self {
+        match counter {
+            SiteCounter::Exact => SiteSet::Exact(HashSet::new()),
+            SiteCounter::Sketch { precision } => SiteSet::Sketch(HyperLogLog::new(precision)),
+        }
+    }
+
+    /// Observe a dense site id. Dense ids are assigned globally per
+    /// version (in host order), so the same site hashes identically in
+    /// every shard — the property that makes register-max merging count
+    /// the union.
+    pub fn insert(&mut self, site_id: u32) {
+        match self {
+            SiteSet::Exact(set) => {
+                set.insert(site_id);
+            }
+            SiteSet::Sketch(hll) => hll.insert_u64(u64::from(site_id)),
+        }
+    }
+
+    /// Number of distinct sites observed (exact or estimated).
+    pub fn count(&self) -> usize {
+        match self {
+            SiteSet::Exact(set) => set.len(),
+            SiteSet::Sketch(hll) => hll.count() as usize,
+        }
+    }
+
+    /// Merge another set of the same mode into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the modes (or sketch precisions) differ — shard plans
+    /// never mix modes, so a mismatch is a programming error.
+    pub fn merge(&mut self, other: &SiteSet) {
+        match (self, other) {
+            (SiteSet::Exact(a), SiteSet::Exact(b)) => a.extend(b.iter().copied()),
+            (SiteSet::Sketch(a), SiteSet::Sketch(b)) => a.merge(b),
+            _ => panic!("cannot merge site sets of different modes"),
+        }
+    }
+}
+
+/// Mergeable per-`(shard, version)` counter state for the Figs. 5–7
+/// metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardAccumulator {
+    /// Distinct sites among this shard's hosts (Figure 5).
+    pub sites: SiteSet,
+    /// Requests in this shard whose page and resource fall in different
+    /// sites (Figure 6).
+    pub third_party_requests: u64,
+    /// This shard's hosts whose site length differs from the latest
+    /// version's (Figure 7).
+    pub hosts_moved: u64,
+    /// Requests this shard streamed (version-independent; summing over
+    /// shards recovers the corpus size without materializing it).
+    pub requests: u64,
+}
+
+impl ShardAccumulator {
+    /// Empty accumulator in the given site-counting mode.
+    pub fn new(counter: SiteCounter) -> Self {
+        ShardAccumulator {
+            sites: SiteSet::new(counter),
+            third_party_requests: 0,
+            hosts_moved: 0,
+            requests: 0,
+        }
+    }
+
+    /// Merge another shard's state into this one. Associative and
+    /// commutative (set union / register max / addition), so shards can
+    /// finish — and merge — in any order.
+    pub fn merge(&mut self, other: &ShardAccumulator) {
+        self.sites.merge(&other.sites);
+        self.third_party_requests += other.third_party_requests;
+        self.hosts_moved += other.hosts_moved;
+        self.requests += other.requests;
+    }
+}
+
+/// Everything [`sweep_stream`] learned, plus the shape of the run.
+#[derive(Debug, Clone)]
+pub struct StreamSweepOutcome {
+    /// Per-version stats, same shape as [`crate::sweep::sweep`].
+    pub stats: Vec<VersionStats>,
+    /// Total requests streamed (counted, not materialized).
+    pub total_requests: u64,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Shards actually used.
+    pub shards: usize,
+    /// Number of version blocks the memory budget induced.
+    pub version_blocks: usize,
+}
+
+/// Run the streaming sweep over every version of the history.
+///
+/// Equivalent to `sweep(history, &stream.materialize(), …)` in exact
+/// mode — byte-identical [`VersionStats`] for any shard count, thread
+/// count, or block size (property-tested below) — without ever holding
+/// the request list in memory.
+pub fn sweep_stream(
+    history: &History,
+    stream: &StreamCorpus,
+    config: &StreamSweepConfig,
+) -> StreamSweepOutcome {
+    let opts = config.opts;
+    let mut compiled = history.compiled_versions();
+    // Intern the host population once; labels absent from all rules get
+    // fresh ids that match no arena edge, exactly like the string path.
+    let host_ids: Vec<Box<[u32]>> =
+        stream.hosts().iter().map(|h| compiled.intern_reversed(&h.labels_reversed())).collect();
+    let versions = compiled.versions();
+    let n_hosts = host_ids.len();
+
+    let latest_frozen = &versions.last().expect("history non-empty").1;
+    let latest_lens = site_suffix_lens_ids(latest_frozen, &host_ids, opts);
+
+    let threads = resolved_threads(config.threads, usize::MAX);
+    let shards = if config.shards == 0 { (threads * 4).max(1) } else { config.shards };
+    // Versions per block: the lens + site_id arrays cost 8 bytes per
+    // (version, host); fit them in the budget.
+    let budget = if config.block_bytes == 0 { DEFAULT_BLOCK_BYTES } else { config.block_bytes };
+    let block = (budget / (8 * n_hosts.max(1))).clamp(1, versions.len().max(1));
+
+    let mut stats: Vec<VersionStats> = Vec::with_capacity(versions.len());
+    let mut total_requests: u64 = 0;
+    let mut version_blocks = 0usize;
+
+    for chunk in versions.chunks(block) {
+        version_blocks += 1;
+
+        // ---- Per-version site lengths and dense site ids (parallel). ----
+        let mut per_version: Vec<Option<(Vec<u32>, Vec<u32>)>> = vec![None; chunk.len()];
+        let vchunk = chunk.len().div_ceil(threads.min(chunk.len()).max(1));
+        crossbeam::thread::scope(|scope| {
+            for (slots, vers) in per_version.chunks_mut(vchunk).zip(chunk.chunks(vchunk)) {
+                let host_ids = &host_ids;
+                scope.spawn(move |_| {
+                    for (slot, (_, frozen)) in slots.iter_mut().zip(vers) {
+                        let lens = site_suffix_lens_ids(frozen, host_ids, opts);
+                        *slot = Some((dense_site_ids(host_ids, &lens), lens));
+                    }
+                });
+            }
+        })
+        .expect("site-id worker panicked");
+        let per_version: Vec<(Vec<u32>, Vec<u32>)> =
+            per_version.into_iter().map(|s| s.expect("every version computed")).collect();
+
+        // ---- Shard pass: workers drain shards from an atomic queue. ------
+        let master: Mutex<Vec<ShardAccumulator>> =
+            Mutex::new(chunk.iter().map(|_| ShardAccumulator::new(config.counter)).collect());
+        let next_shard = AtomicU64::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                let per_version = &per_version;
+                let latest_lens = &latest_lens;
+                let master = &master;
+                let next_shard = &next_shard;
+                scope.spawn(move |_| {
+                    let mut buf: Vec<Request> = Vec::new();
+                    loop {
+                        let s = next_shard.fetch_add(1, Ordering::Relaxed);
+                        if s >= shards as u64 {
+                            break;
+                        }
+                        let mut accs: Vec<ShardAccumulator> = per_version
+                            .iter()
+                            .map(|_| ShardAccumulator::new(config.counter))
+                            .collect();
+                        // Host slice: site membership + moved-vs-latest.
+                        for h in (s as usize..n_hosts).step_by(shards) {
+                            for (acc, (site_ids, lens)) in accs.iter_mut().zip(per_version) {
+                                acc.sites.insert(site_ids[h]);
+                                if lens[h] != latest_lens[h] {
+                                    acc.hosts_moved += 1;
+                                }
+                            }
+                        }
+                        // Page slice: stream this shard's requests once,
+                        // classifying against every version in the block.
+                        for page in stream.shard_pages(s, shards as u64) {
+                            stream.page_requests(page, &mut buf);
+                            for r in &buf {
+                                let (p, q) = (r.page as usize, r.request as usize);
+                                for (acc, (site_ids, _)) in accs.iter_mut().zip(per_version) {
+                                    if site_ids[p] != site_ids[q] {
+                                        acc.third_party_requests += 1;
+                                    }
+                                }
+                            }
+                            let n = buf.len() as u64;
+                            for acc in &mut accs {
+                                acc.requests += n;
+                            }
+                        }
+                        let mut m = master.lock().expect("master accumulators poisoned");
+                        for (mv, a) in m.iter_mut().zip(&accs) {
+                            mv.merge(a);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("shard worker panicked");
+
+        // ---- Package this block. -----------------------------------------
+        let master = master.into_inner().expect("master accumulators poisoned");
+        if version_blocks == 1 {
+            total_requests = master.first().map(|m| m.requests).unwrap_or(0);
+        }
+        for ((vdate, frozen), acc) in chunk.iter().zip(&master) {
+            stats.push(VersionStats {
+                date: *vdate,
+                rule_count: frozen.len(),
+                sites: acc.sites.count(),
+                third_party_requests: acc.third_party_requests,
+                hosts_in_different_site_vs_latest: acc.hosts_moved as usize,
+            });
+        }
+    }
+
+    StreamSweepOutcome { stats, total_requests, threads, shards, version_blocks }
+}
+
+/// Dense site ids for the host population under one version: hosts share
+/// an id iff their site strings are equal. Keys are borrowed id-slice
+/// prefixes (`ids[..len]`); assignment order is host order, so the ids
+/// are deterministic and shard-independent.
+fn dense_site_ids(host_ids: &[Box<[u32]>], lens: &[u32]) -> Vec<u32> {
+    let mut interner: HashMap<&[u32], u32> = HashMap::with_capacity(host_ids.len());
+    let mut out = Vec::with_capacity(host_ids.len());
+    for (ids, &len) in host_ids.iter().zip(lens) {
+        let key = &ids[..(len as usize).min(ids.len())];
+        let next = interner.len() as u32;
+        out.push(*interner.entry(key).or_insert(next));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{sweep, SweepConfig};
+    use proptest::prelude::*;
+    use psl_history::{generate, GeneratorConfig};
+    use psl_webcorpus::{build_stream, CorpusConfig};
+
+    fn fixture() -> (History, StreamCorpus) {
+        let h = generate(&GeneratorConfig::small(101));
+        let sc = build_stream(&h, &CorpusConfig::small(13));
+        (h, sc)
+    }
+
+    #[test]
+    fn exact_mode_matches_legacy_sweep_for_any_shard_count() {
+        let (h, sc) = fixture();
+        let corpus = sc.materialize();
+        let legacy = sweep(&h, &corpus, &SweepConfig::default());
+        for shards in [1usize, 2, 3, 7] {
+            let out = sweep_stream(&h, &sc, &StreamSweepConfig { shards, ..Default::default() });
+            assert_eq!(out.stats, legacy, "shards={shards}");
+            assert_eq!(out.total_requests, corpus.request_count() as u64, "shards={shards}");
+            assert_eq!(out.shards, shards);
+        }
+    }
+
+    #[test]
+    fn streamed_rows_are_byte_identical_to_materialized_rows() {
+        let (h, sc) = fixture();
+        let corpus = sc.materialize();
+        let materialized = crate::figs567::run(&h, &corpus, &SweepConfig::default());
+        let streamed = crate::figs567::run_streaming(&h, &sc, &StreamSweepConfig::default());
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&materialized).unwrap(),
+        );
+    }
+
+    #[test]
+    fn single_thread_and_block_splits_change_nothing() {
+        let (h, sc) = fixture();
+        let reference = sweep_stream(&h, &sc, &StreamSweepConfig::default());
+        let one_thread = sweep_stream(
+            &h,
+            &sc,
+            &StreamSweepConfig { threads: 1, shards: 5, ..Default::default() },
+        );
+        assert_eq!(one_thread.stats, reference.stats);
+        // A 1-byte budget forces one version per block: every version
+        // replays the stream alone, exercising the block boundary logic.
+        let tiny_blocks =
+            sweep_stream(&h, &sc, &StreamSweepConfig { block_bytes: 1, ..Default::default() });
+        assert_eq!(tiny_blocks.stats, reference.stats);
+        assert_eq!(tiny_blocks.version_blocks, h.version_count());
+        assert_eq!(reference.total_requests, tiny_blocks.total_requests);
+    }
+
+    #[test]
+    fn sketch_mode_stays_within_error_bound_and_touches_nothing_else() {
+        let (h, sc) = fixture();
+        let exact = sweep_stream(&h, &sc, &StreamSweepConfig::default());
+        let sketch = sweep_stream(
+            &h,
+            &sc,
+            &StreamSweepConfig { counter: SiteCounter::DEFAULT_SKETCH, ..Default::default() },
+        );
+        assert_eq!(exact.stats.len(), sketch.stats.len());
+        for (e, s) in exact.stats.iter().zip(&sketch.stats) {
+            // Only the site cardinality is estimated; every other column
+            // is computed exactly in both modes.
+            assert_eq!(e.date, s.date);
+            assert_eq!(e.rule_count, s.rule_count);
+            assert_eq!(e.third_party_requests, s.third_party_requests);
+            assert_eq!(e.hosts_in_different_site_vs_latest, s.hosts_in_different_site_vs_latest);
+            let err = (s.sites as f64 - e.sites as f64).abs() / e.sites.max(1) as f64;
+            assert!(err <= 0.01, "{}: exact {} sketch {} err {err:.4}", e.date, e.sites, s.sites);
+        }
+    }
+
+    /// Build an accumulator from scripted observations.
+    fn acc_from(
+        counter: SiteCounter,
+        sites: &[u32],
+        third_party: u64,
+        moved: u64,
+        requests: u64,
+    ) -> ShardAccumulator {
+        let mut a = ShardAccumulator::new(counter);
+        for &s in sites {
+            a.sites.insert(s);
+        }
+        a.third_party_requests = third_party;
+        a.hosts_moved = moved;
+        a.requests = requests;
+        a
+    }
+
+    proptest! {
+        #[test]
+        fn accumulator_merge_is_commutative_and_associative(
+            xs in proptest::collection::vec(0u32..5000, 0..100),
+            ys in proptest::collection::vec(0u32..5000, 0..100),
+            zs in proptest::collection::vec(0u32..5000, 0..100),
+            counts in proptest::collection::vec(0u64..1_000_000, 9),
+            sketch in 0u8..2,
+        ) {
+            let counter = if sketch == 1 {
+                SiteCounter::Sketch { precision: 8 }
+            } else {
+                SiteCounter::Exact
+            };
+            let a = acc_from(counter, &xs, counts[0], counts[1], counts[2]);
+            let b = acc_from(counter, &ys, counts[3], counts[4], counts[5]);
+            let c = acc_from(counter, &zs, counts[6], counts[7], counts[8]);
+            // Commutative.
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(&ab, &ba);
+            // Associative.
+            let mut ab_c = ab.clone();
+            ab_c.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            prop_assert_eq!(&ab_c, &a_bc);
+            // Identity: merging an empty accumulator changes nothing.
+            let mut a_e = a.clone();
+            a_e.merge(&ShardAccumulator::new(counter));
+            prop_assert_eq!(&a_e, &a);
+        }
+    }
+}

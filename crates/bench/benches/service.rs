@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psl_bench::world;
-use psl_core::SnapshotStore;
-use psl_service::{Engine, EngineConfig, Server, ServerConfig};
+use psl_service::{owned_store, Engine, EngineConfig, Server, ServerConfig};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -14,11 +13,7 @@ use std::time::Duration;
 fn bench_engine(seed_cache: usize) -> Arc<Engine> {
     let w = world();
     let latest = w.history.latest_version();
-    let store = Arc::new(SnapshotStore::new(
-        format!("history:{latest}"),
-        Some(latest),
-        w.history.latest_snapshot(),
-    ));
+    let store = owned_store(format!("history:{latest}"), Some(latest), w.history.latest_snapshot());
     Engine::new(
         store,
         None,
@@ -76,7 +71,7 @@ fn bench_tcp_batch(c: &mut Criterion) {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             read_timeout: Duration::from_millis(50),
-            watch: None,
+            ..Default::default()
         },
     )
     .expect("bind");

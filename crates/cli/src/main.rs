@@ -11,6 +11,7 @@
 //! pslharm query   [--addr A] CMD [ARGS...]                   one protocol command
 //! pslharm loadgen [--addr A] [--requests N] [--check]        replay load, report throughput
 //! pslharm bench   [--seed N] [--json PATH]                   quick perf report + agreement gate
+//! pslharm sweep   [--requests N] [--shards auto] [--sketch]  streaming Figs 5-7 at paper scale
 //! ```
 //!
 //! Scale: the default is a laptop-scale configuration (small history and
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(rest),
         "loadgen" => cmd_loadgen(rest),
         "bench" => cmd_bench(rest),
+        "sweep" => cmd_sweep(rest),
         "compile" => cmd_compile(rest),
         "inspect" => cmd_inspect(rest),
         "lint" => cmd_lint(rest),
@@ -64,12 +66,13 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: pslharm <all|fig2..fig7|table1..table3|cookieharm|dbound|certharm|updatefail|replay|notify|conformance|suffix|serve|query|loadgen|bench|fuzz> \
+const USAGE: &str = "usage: pslharm <all|fig2..fig7|table1..table3|cookieharm|dbound|certharm|updatefail|replay|notify|conformance|suffix|serve|query|loadgen|bench|sweep|fuzz> \
 [--seed N] [--paper-scale] [--threads N] [--json PATH] [--addr HOST:PORT] [domains...]
-       pslharm serve [--addr HOST:PORT] [--http-addr HOST:PORT] [--max-conns N] [--reactor-workers N] [--watch PATH]
+       pslharm serve [--addr HOST:PORT] [--http-addr HOST:PORT] [--max-conns N] [--reactor-workers N] [--watch PATH] [--mmap]
        pslharm loadgen [--addr HOST:PORT] [--requests N] [--connections N] [--batch N] [--check | --pipeline [--window N]]
        pslharm fuzz <hostname|dat|cookie|service|snapshot|all> [--seed N] [--iters N] [--time-budget SECS] [--write-corpus]
-       pslharm bench [--seed N] [--threads N] [--requests N] [--json PATH]
+       pslharm bench [--seed N] [--threads N] [--requests N] [--scale-max E] [--json PATH]
+       pslharm sweep [--seed N] [--requests N] [--shards N|auto] [--threads N] [--sketch] [--json PATH]
        pslharm compile [LIST.dat] --out PATH [--embedded | --history [--checkpoint-every N]] [--seed N]
        pslharm inspect PATH";
 
@@ -98,6 +101,10 @@ struct Flags {
     out: Option<String>,
     history: bool,
     checkpoint_every: u32,
+    shards: usize,
+    sketch: bool,
+    scale_max: u32,
+    mmap: bool,
     extra: Vec<String>,
 }
 
@@ -126,6 +133,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         out: None,
         history: false,
         checkpoint_every: psl_history::DEFAULT_CHECKPOINT_EVERY,
+        shards: 0,
+        sketch: false,
+        scale_max: 6,
+        mmap: false,
         extra: Vec::new(),
     };
     let mut it = args.iter();
@@ -192,6 +203,23 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 flags.time_budget = Some(v.parse().map_err(|_| format!("bad time budget {v:?}"))?);
             }
             "--write-corpus" => flags.write_corpus = true,
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value or 'auto'")?;
+                flags.shards = if v == "auto" {
+                    0
+                } else {
+                    v.parse().map_err(|_| format!("bad shard count {v:?}"))?
+                };
+            }
+            "--sketch" => flags.sketch = true,
+            "--scale-max" => {
+                let v = it.next().ok_or("--scale-max needs an exponent")?;
+                flags.scale_max = v.parse().map_err(|_| format!("bad --scale-max {v:?}"))?;
+                if !(5..=9).contains(&flags.scale_max) {
+                    return Err("--scale-max must be in 5..=9".into());
+                }
+            }
+            "--mmap" => flags.mmap = true,
             "--out" => {
                 flags.out = Some(it.next().ok_or("--out needs a path")?.clone());
             }
@@ -472,16 +500,18 @@ fn build_engine(flags: &Flags) -> Result<std::sync::Arc<psl_service::Engine>, St
     let latest = history.latest_version();
 
     let store = if let Some(path) = &flags.watch {
-        let list = psl_service::load_list_file(std::path::Path::new(path))?;
-        Arc::new(psl_core::SnapshotStore::new(path.clone(), None, list))
+        // --mmap serves a compiled snapshot in place from the page cache;
+        // the watcher republishes new mappings on file change.
+        let served = psl_service::load_served_file(std::path::Path::new(path), flags.mmap)?;
+        Arc::new(psl_core::SnapshotStore::new(path.clone(), None, served))
     } else if flags.embedded {
-        Arc::new(psl_core::SnapshotStore::new("embedded", None, psl_core::embedded_list()))
+        psl_service::owned_store("embedded", None, psl_core::embedded_list())
     } else {
-        Arc::new(psl_core::SnapshotStore::new(
+        psl_service::owned_store(
             format!("history:{latest}"),
             Some(latest),
             history.latest_snapshot(),
-        ))
+        )
     };
     let workers = if flags.threads == 0 { 4 } else { flags.threads };
     Ok(psl_service::Engine::new(
@@ -504,7 +534,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .map(|p| (std::path::PathBuf::from(p), std::time::Duration::from_millis(500)));
     let server = psl_service::Server::bind_with(
         std::sync::Arc::clone(&engine),
-        psl_service::ServerConfig { addr: flags.addr.clone(), watch, ..Default::default() },
+        psl_service::ServerConfig {
+            addr: flags.addr.clone(),
+            watch,
+            mmap: flags.mmap,
+            ..Default::default()
+        },
         psl_service::ReactorOptions {
             http_addr: flags.http_addr.clone(),
             max_conns: flags.max_conns,
@@ -520,7 +555,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         "pslharm serve: listening on {addr} ({} workers, snapshot {} / {} rules)",
         workers,
         snap.label,
-        snap.list.len()
+        snap.list.rules()
     );
     if let Some(http) = server.http_local_addr() {
         let http = http.map_err(|e| e.to_string())?;
@@ -642,6 +677,7 @@ struct BenchReport {
     engine: EngineBench,
     coldstart: ColdstartBench,
     sweep: SweepBench,
+    sweep_scale: SweepScaleBench,
     loadgen: LoadgenBench,
     reactor: ReactorBench,
     agreement: AgreementBench,
@@ -655,6 +691,7 @@ struct EngineBench {
     frozen_str_ns_per_lookup: f64,
     frozen_ids_ns_per_lookup: f64,
     speedup_ids_vs_trie: f64,
+    peak_rss_bytes: Option<u64>,
 }
 
 /// Cold start: parsing + compiling `.dat` text vs. loading the compiled
@@ -678,6 +715,7 @@ struct ColdstartBench {
     /// `parse_compile_us / view_parse_us`: how much faster a process is
     /// answering its first query from a snapshot than from `.dat` text.
     speedup: f64,
+    peak_rss_bytes: Option<u64>,
 }
 
 /// Full-history sweep wall clock: per-version rebuild vs. compiled arenas.
@@ -685,18 +723,53 @@ struct ColdstartBench {
 struct SweepBench {
     versions: usize,
     hosts: usize,
+    /// Worker threads actually used (the configured `0` placeholder is
+    /// resolved to the machine's parallelism before recording).
     threads: usize,
     rebuild_ms: f64,
     compiled_ms: f64,
     speedup: f64,
+    peak_rss_bytes: Option<u64>,
+}
+
+/// Streaming-sweep scale curve: 10^5 → 10^`max_exponent` requests driven
+/// through every list version without materializing the corpus. The host
+/// population is fixed by the corpus configuration, so peak RSS must stay
+/// flat as requests grow — the "scale is a non-event" criterion.
+#[derive(serde::Serialize)]
+struct SweepScaleBench {
+    max_exponent: u32,
+    points: Vec<SweepScalePoint>,
+}
+
+/// One point on the streaming-sweep scale curve. Each point runs the
+/// sweep twice — exact site sets and HyperLogLog sketches — and records
+/// the worst per-version cardinality error between them (gated at 1%).
+#[derive(serde::Serialize)]
+struct SweepScalePoint {
+    requests_target: u64,
+    requests_streamed: u64,
+    versions: usize,
+    threads: usize,
+    shards: usize,
+    version_blocks: usize,
+    wall_seconds: f64,
+    requests_per_s: f64,
+    peak_rss_bytes: Option<u64>,
+    sites_latest_exact: usize,
+    sites_latest_sketch: usize,
+    sketch_max_rel_error: f64,
 }
 
 /// Loopback server throughput under the replayed corpus.
 #[derive(serde::Serialize)]
 struct LoadgenBench {
     requests: u64,
+    /// Engine worker threads the loopback server ran with.
+    threads: usize,
     lookups_per_s: f64,
     cache_hit_ratio: f64,
+    peak_rss_bytes: Option<u64>,
 }
 
 /// Connections-vs-throughput curve for the epoll reactor, measured with
@@ -708,7 +781,13 @@ struct ReactorBench {
     nofile_limit: u64,
     batch: usize,
     window: usize,
+    /// Reactor worker threads the child server ran with.
+    server_threads: usize,
+    /// Loadgen driver threads multiplexing the client sockets.
+    driver_threads: usize,
     points: Vec<ReactorPoint>,
+    /// Client-side peak RSS (the server is a child process).
+    peak_rss_bytes: Option<u64>,
 }
 
 /// One point on the reactor curve.
@@ -729,6 +808,7 @@ struct AgreementBench {
     shipped_vectors: usize,
     sweep_comparisons: u64,
     divergences: usize,
+    peak_rss_bytes: Option<u64>,
 }
 
 /// Best-of-`reps` wall clock for `f` after `warmup` discarded runs. The
@@ -762,6 +842,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     // 1. Engine micro-bench: the same 1,000-host batch through the three
     //    lookup paths (pointer-chasing trie, compiled arena from string
     //    labels, compiled arena from pre-interned ids).
+    psl_stats::reset_peak_rss();
     let trie = psl_core::SuffixTrie::from_rules(latest.rules());
     let opts = config.sweep.opts;
     let hosts_rev: Vec<Vec<&str>> =
@@ -797,6 +878,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         frozen_str_ns_per_lookup: per(frozen_str_best),
         frozen_ids_ns_per_lookup: per(frozen_ids_best),
         speedup_ids_vs_trie: per(trie_best) / per(frozen_ids_best).max(f64::EPSILON),
+        peak_rss_bytes: psl_stats::peak_rss_bytes(),
     };
     eprintln!(
         "engine: trie {:.1} ns/lookup, frozen(str) {:.1}, frozen(ids) {:.1} ({:.2}x vs trie)",
@@ -808,6 +890,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 
     // 2. Cold start: text parse+compile vs. binary snapshot load for the
     //    same list — the number that justifies shipping snapshots at all.
+    psl_stats::reset_peak_rss();
     let dat_text = latest.to_dat();
     let snap_bytes = latest.write_snapshot();
     let parse_best = time_best(2, 10, || psl_core::List::parse(&dat_text).len() as u64);
@@ -834,6 +917,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         arena_load_us: us(arena_load_best),
         full_load_us: us(full_load_best),
         speedup: us(parse_best) / us(view_parse_best).max(f64::EPSILON),
+        peak_rss_bytes: psl_stats::peak_rss_bytes(),
     };
     eprintln!(
         "coldstart: {} rules: parse+compile {:.0} us, snapshot view {:.0} us ({:.1}x), \
@@ -850,6 +934,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     // 3. Agreement gate: the shipped vectors plus a four-way differential
     //    sweep over every history version. Nonzero divergences fail the
     //    whole bench (numbers from a wrong matcher are worthless).
+    psl_stats::reset_peak_rss();
     let vectors = psl_conformance::parse_vectors(psl_conformance::SHIPPED_VECTORS)
         .map_err(|e| e.to_string())?;
     let shipped =
@@ -860,6 +945,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         shipped_vectors: shipped.total,
         sweep_comparisons: oracle.comparisons as u64,
         divergences: oracle.divergences.len() + shipped.failures.len(),
+        peak_rss_bytes: psl_stats::peak_rss_bytes(),
     };
     eprintln!(
         "agreement: {} shipped vectors, {} differential comparisons, {} divergences",
@@ -868,6 +954,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 
     // 4. Full-history sweep wall clock: snapshot-rebuild ablation vs. the
     //    compiled production path, same thread budget.
+    psl_stats::reset_peak_rss();
     let t = std::time::Instant::now();
     let rebuild = psl_analysis::sweep_rebuild(&history, &corpus, &config.sweep);
     let rebuild_ms = t.elapsed().as_secs_f64() * 1e3;
@@ -880,10 +967,11 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let sweep = SweepBench {
         versions: compiled.len(),
         hosts: corpus.host_count(),
-        threads: config.sweep.threads,
+        threads: psl_analysis::resolved_threads(config.sweep.threads, compiled.len()),
         rebuild_ms,
         compiled_ms,
         speedup: rebuild_ms / compiled_ms.max(f64::EPSILON),
+        peak_rss_bytes: psl_stats::peak_rss_bytes(),
     };
     eprintln!(
         "sweep: {} versions x {} hosts: rebuild {:.0} ms, compiled {:.0} ms ({:.2}x)",
@@ -891,12 +979,13 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     );
 
     // 5. Loopback server + load generator: end-to-end lookups/s over TCP.
+    psl_stats::reset_peak_rss();
     let bench_history = std::sync::Arc::new(history);
-    let bench_store = std::sync::Arc::new(psl_core::SnapshotStore::new(
+    let bench_store = psl_service::owned_store(
         format!("history:{}", bench_history.latest_version()),
         Some(bench_history.latest_version()),
         bench_history.latest_snapshot(),
-    ));
+    );
     let loadgen = {
         use std::sync::Arc;
         let history = Arc::clone(&bench_history);
@@ -913,7 +1002,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             psl_service::ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 read_timeout: std::time::Duration::from_millis(50),
-                watch: None,
+                ..Default::default()
             },
         )
         .map_err(|e| format!("bench: binding loopback server: {e}"))?;
@@ -940,8 +1029,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         }
         LoadgenBench {
             requests: report.requests,
+            threads: workers,
             lookups_per_s: report.throughput_rps,
             cache_hit_ratio: report.cache_hit_ratio,
+            peak_rss_bytes: psl_stats::peak_rss_bytes(),
         }
     };
     eprintln!(
@@ -955,6 +1046,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     //    process every connection costs two fds and a 20k hard cap (a
     //    common container ceiling) tops out below 10k connections.
     let reactor = {
+        psl_stats::reset_peak_rss();
         let nofile_limit = psl_service::reactor::epoll::raise_nofile_limit(24_000);
         let top = 10_000.min(nofile_limit.saturating_sub(1_024) as usize).max(1);
         let exe = std::env::current_exe().map_err(|e| format!("bench: current_exe: {e}"))?;
@@ -1039,11 +1131,109 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         psl_service::query_once(&addr, "SHUTDOWN")
             .map_err(|e| format!("bench: shutting down reactor server: {e}"))?;
         guard.0.wait().map_err(|e| format!("bench: reaping reactor server: {e}"))?;
-        ReactorBench { nofile_limit, batch, window, points }
+        ReactorBench {
+            nofile_limit,
+            batch,
+            window,
+            server_threads: if flags.threads == 0 { 4 } else { flags.threads },
+            driver_threads: 2,
+            points,
+            peak_rss_bytes: psl_stats::peak_rss_bytes(),
+        }
     };
 
-    let report =
-        BenchReport { seed: flags.seed, engine, coldstart, sweep, loadgen, reactor, agreement };
+    // 7. Streaming sweep scale curve: 10^5 → 10^scale_max requests through
+    //    every list version, exact and sketch site counting. The host
+    //    population is fixed by the corpus configuration, so peak RSS must
+    //    plateau as the request count grows — that flat line is the
+    //    "paper scale is a non-event" claim in one number.
+    let sweep_scale = {
+        let mut points = Vec::new();
+        for exp in 5..=flags.scale_max {
+            let target = 10u64.pow(exp);
+            let corpus_cfg = config.corpus.clone().with_target_requests(target);
+            let stream = psl_webcorpus::build_stream(&bench_history, &corpus_cfg);
+            let base = psl_analysis::StreamSweepConfig {
+                opts: config.sweep.opts,
+                threads: flags.threads,
+                ..Default::default()
+            };
+            psl_stats::reset_peak_rss();
+            let t = std::time::Instant::now();
+            let exact = psl_analysis::sweep_stream(&bench_history, &stream, &base);
+            let wall = t.elapsed().as_secs_f64();
+            let peak = psl_stats::peak_rss_bytes();
+            // Precision 16 (64 KiB/accumulator) rather than the default 14:
+            // the bench gates the sketch at 1% relative error *maximised
+            // over every version and scale point*, and p=14's 0.81%
+            // standard error leaves no margin for that max — a ~1.3σ tail
+            // draw fails the run. At this corpus's site counts p=16 is in
+            // the linear-counting regime with ~0.1% expected error.
+            let sketch = psl_analysis::sweep_stream(
+                &bench_history,
+                &stream,
+                &psl_analysis::StreamSweepConfig {
+                    counter: psl_analysis::SiteCounter::Sketch { precision: 16 },
+                    ..base
+                },
+            );
+            let mut max_err = 0f64;
+            for (e, s) in exact.stats.iter().zip(&sketch.stats) {
+                if e.third_party_requests != s.third_party_requests
+                    || e.hosts_in_different_site_vs_latest != s.hosts_in_different_site_vs_latest
+                {
+                    return Err("bench: sketch mode diverged on an exactly-counted column".into());
+                }
+                let err = (s.sites as f64 - e.sites as f64).abs() / e.sites.max(1) as f64;
+                max_err = max_err.max(err);
+            }
+            if max_err > 0.01 {
+                return Err(format!(
+                    "bench: sketch cardinality error {max_err:.4} exceeds the 1% bound"
+                ));
+            }
+            let point = SweepScalePoint {
+                requests_target: target,
+                requests_streamed: exact.total_requests,
+                versions: exact.stats.len(),
+                threads: exact.threads,
+                shards: exact.shards,
+                version_blocks: exact.version_blocks,
+                wall_seconds: wall,
+                requests_per_s: exact.total_requests as f64 / wall.max(f64::EPSILON),
+                peak_rss_bytes: peak,
+                sites_latest_exact: exact.stats.last().map_or(0, |s| s.sites),
+                sites_latest_sketch: sketch.stats.last().map_or(0, |s| s.sites),
+                sketch_max_rel_error: max_err,
+            };
+            eprintln!(
+                "sweep_scale 10^{exp}: {} requests in {:.2} s ({:.2}M req/s, {} shards x {} \
+                 threads{})",
+                point.requests_streamed,
+                point.wall_seconds,
+                point.requests_per_s / 1e6,
+                point.shards,
+                point.threads,
+                point
+                    .peak_rss_bytes
+                    .map(|b| format!(", peak rss {} MiB", b >> 20))
+                    .unwrap_or_default()
+            );
+            points.push(point);
+        }
+        SweepScaleBench { max_exponent: flags.scale_max, points }
+    };
+
+    let report = BenchReport {
+        seed: flags.seed,
+        engine,
+        coldstart,
+        sweep,
+        sweep_scale,
+        loadgen,
+        reactor,
+        agreement,
+    };
     let payload = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     if let Some(path) = &flags.json {
         std::fs::write(path, &payload).map_err(|e| format!("writing {path}: {e}"))?;
@@ -1056,6 +1246,126 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "bench: {} executor divergences — numbers rejected",
             report.agreement.divergences
         ));
+    }
+    Ok(())
+}
+
+// ---- Streaming paper-scale sweep -------------------------------------------
+
+/// JSON payload for `pslharm sweep --json`: run provenance and throughput
+/// around the same Figures 5–7 report the pipeline produces.
+#[derive(serde::Serialize)]
+struct SweepRunReport {
+    seed: u64,
+    requests_target: u64,
+    requests_streamed: u64,
+    mode: &'static str,
+    threads: usize,
+    shards: usize,
+    version_blocks: usize,
+    wall_seconds: f64,
+    requests_per_s: f64,
+    peak_rss_bytes: Option<u64>,
+    report: psl_analysis::figs567::SweepReport,
+}
+
+/// `pslharm sweep`: the Figures 5–7 experiment at paper scale. The corpus
+/// is streamed shard-by-shard — never materialized — so `--requests
+/// 100000000` (the paper's 498M-request order of magnitude) runs in the
+/// same peak memory as `--requests 100000`.
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    if !flags.extra.is_empty() {
+        return Err(format!("sweep: unexpected arguments {:?}", flags.extra));
+    }
+    let config = config_for(&flags);
+    eprintln!(
+        "generating history + corpus population (seed {}, target {} requests) ...",
+        flags.seed, flags.requests
+    );
+    let history = psl_history::generate(&config.history);
+    let corpus_cfg = config.corpus.clone().with_target_requests(flags.requests);
+    let stream = psl_webcorpus::build_stream(&history, &corpus_cfg);
+    let sweep_cfg = psl_analysis::StreamSweepConfig {
+        opts: config.sweep.opts,
+        threads: flags.threads,
+        shards: flags.shards,
+        counter: if flags.sketch {
+            psl_analysis::SiteCounter::DEFAULT_SKETCH
+        } else {
+            psl_analysis::SiteCounter::Exact
+        },
+        ..Default::default()
+    };
+    eprintln!(
+        "sweeping {} versions x {} hosts, ~{} streamed requests ...",
+        history.version_count(),
+        stream.host_count(),
+        stream.expected_requests()
+    );
+    psl_stats::reset_peak_rss();
+    let t = std::time::Instant::now();
+    let out = psl_analysis::sweep_stream(&history, &stream, &sweep_cfg);
+    let wall = t.elapsed().as_secs_f64();
+    let peak = psl_stats::peak_rss_bytes();
+    let report = psl_analysis::figs567::package_totals(
+        &out.stats,
+        stream.host_count(),
+        out.total_requests as usize,
+    );
+
+    println!("\n== Figures 5-7 at scale: {} streamed requests ==", out.total_requests);
+    let rows: Vec<Vec<String>> = report::downsample(&report.rows, 18)
+        .iter()
+        .map(|r| {
+            vec![
+                r.date.clone(),
+                r.rules.to_string(),
+                r.sites.to_string(),
+                r.third_party_requests.to_string(),
+                r.hosts_moved_vs_latest.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            &["version", "rules", "sites (F5)", "3rd-party reqs (F6)", "hosts moved (F7)"],
+            &rows
+        )
+    );
+    println!(
+        "latest vs first: +{} sites over {} hostnames / {} requests (paper: +359,966 sites on 498M requests)",
+        report.extra_sites_latest_vs_first, report.unique_hostnames, report.total_requests,
+    );
+    let run = SweepRunReport {
+        seed: flags.seed,
+        requests_target: flags.requests,
+        requests_streamed: out.total_requests,
+        mode: if flags.sketch { "sketch" } else { "exact" },
+        threads: out.threads,
+        shards: out.shards,
+        version_blocks: out.version_blocks,
+        wall_seconds: wall,
+        requests_per_s: out.total_requests as f64 / wall.max(f64::EPSILON),
+        peak_rss_bytes: peak,
+        report,
+    };
+    eprintln!(
+        "sweep: {} requests in {:.2} s ({:.2}M req/s) on {} shards x {} threads, {} version \
+         block(s){}",
+        run.requests_streamed,
+        run.wall_seconds,
+        run.requests_per_s / 1e6,
+        run.shards,
+        run.threads,
+        run.version_blocks,
+        run.peak_rss_bytes.map(|b| format!(", peak rss {} MiB", b >> 20)).unwrap_or_default()
+    );
+    if let Some(path) = &flags.json {
+        let payload = serde_json::to_string_pretty(&run).map_err(|e| e.to_string())?;
+        std::fs::write(path, &payload).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
     }
     Ok(())
 }

@@ -10,7 +10,6 @@
 //! ```
 
 use psl_conformance::assert_golden;
-use psl_core::SnapshotStore;
 use psl_history::GeneratorConfig;
 use psl_service::{Engine, EngineConfig};
 use std::path::PathBuf;
@@ -25,11 +24,11 @@ fn golden_service_stats() {
     let history = Arc::new(psl_history::generate(&GeneratorConfig::small(2023)));
     let first = history.first_version();
     let latest = history.latest_version();
-    let store = Arc::new(SnapshotStore::new(
+    let store = psl_service::owned_store(
         format!("history:{latest}"),
         Some(latest),
         history.latest_snapshot(),
-    ));
+    );
     let engine = Engine::new(
         store,
         Some(Arc::clone(&history)),

@@ -6,9 +6,8 @@
 //! history (RELOAD mutates engine state, so the two sides must not share a
 //! store), the same single-worker config, and a frozen clock.
 
-use psl_core::SnapshotStore;
 use psl_history::{GeneratorConfig, History};
-use psl_service::{frozen_clock, Engine, EngineConfig, Server, ServerConfig};
+use psl_service::{frozen_clock, owned_store, Engine, EngineConfig, Server, ServerConfig};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, OnceLock};
@@ -27,11 +26,7 @@ pub fn shared_history() -> &'static Arc<History> {
 fn build_engine() -> Arc<Engine> {
     let history = shared_history();
     let latest = history.latest_version();
-    let store = Arc::new(SnapshotStore::new(
-        format!("history:{latest}"),
-        Some(latest),
-        history.latest_snapshot(),
-    ));
+    let store = owned_store(format!("history:{latest}"), Some(latest), history.latest_snapshot());
     Engine::new(
         store,
         Some(Arc::clone(history)),
@@ -64,7 +59,7 @@ pub fn check_session(lines: &[String]) -> Result<(), String> {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             read_timeout: Duration::from_millis(20),
-            watch: None,
+            ..Default::default()
         },
     )
     .map_err(|e| format!("bind loopback server: {e}"))?;

@@ -14,7 +14,8 @@ use crate::cache::LruCache;
 use crate::lookup;
 use crate::metrics::{CommandKind, Metrics, SnapshotInfo, StatsReport};
 use crate::protocol::{parse_command, Command, Limits, ProtoError};
-use psl_core::{Date, DomainName, List, MatchOpts, SnapshotReader, SnapshotStore};
+use crate::served::{ServedList, ServedStore};
+use psl_core::{Date, DomainName, List, MatchOpts, SnapshotReader};
 use psl_history::History;
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -105,7 +106,7 @@ impl ConnState {
 #[derive(Debug)]
 pub struct WorkerState {
     id: usize,
-    reader: SnapshotReader,
+    reader: SnapshotReader<ServedList>,
     cache: LruCache<Box<[u32]>, u32>,
     cache_epoch: u64,
     ids_scratch: Vec<u32>,
@@ -139,7 +140,7 @@ const PUBLISH_LOG_CAP: usize = 64;
 
 /// The shared query engine.
 pub struct Engine {
-    store: Arc<SnapshotStore>,
+    store: Arc<ServedStore>,
     history: Option<Arc<History>>,
     version_cache: Mutex<VersionCache>,
     publish_log: Mutex<VecDeque<PublishEvent>>,
@@ -152,7 +153,7 @@ impl Engine {
     /// Build an engine over a snapshot store, optionally backed by a dated
     /// history (enables `ASOF` and `RELOAD <date>`).
     pub fn new(
-        store: Arc<SnapshotStore>,
+        store: Arc<ServedStore>,
         history: Option<Arc<History>>,
         config: EngineConfig,
         clock: ClockFn,
@@ -164,7 +165,7 @@ impl Engine {
                 epoch: snap.epoch,
                 label: snap.label.clone(),
                 version: snap.version.map(|v| v.to_string()),
-                rules: snap.list.len(),
+                rules: snap.list.rules(),
                 at_us: now,
             }
         };
@@ -185,7 +186,7 @@ impl Engine {
     }
 
     /// The snapshot store (for observing epochs in tests).
-    pub fn store(&self) -> &Arc<SnapshotStore> {
+    pub fn store(&self) -> &Arc<ServedStore> {
         &self.store
     }
 
@@ -322,7 +323,7 @@ impl Engine {
             epoch: snap.epoch,
             label: snap.label.clone(),
             version: snap.version.map(|v| v.to_string()),
-            rules: snap.list.len(),
+            rules: snap.list.rules(),
             age_seconds: self.metrics.snapshot_age_seconds(now),
         };
         self.metrics.report(now, info)
@@ -330,9 +331,20 @@ impl Engine {
 
     /// Publish an externally built list (file-watch reloads).
     pub fn publish_list(&self, label: impl Into<String>, version: Option<Date>, list: List) -> u64 {
+        self.publish_served(label, version, ServedList::Owned(list))
+    }
+
+    /// Publish any served payload — owned or mmap-backed (`--mmap`
+    /// file-watch reloads map the new snapshot instead of copying it).
+    pub fn publish_served(
+        &self,
+        label: impl Into<String>,
+        version: Option<Date>,
+        served: ServedList,
+    ) -> u64 {
         let label = label.into();
-        let rules = list.len();
-        let epoch = self.store.publish(label.clone(), version, list);
+        let rules = served.rules();
+        let epoch = self.store.publish(label.clone(), version, served);
         let now = (self.clock)();
         self.metrics.record_publish(now);
         let mut log = self.publish_log.lock().expect("publish log poisoned");
@@ -356,7 +368,7 @@ impl Engine {
         serde_json::json!({
             "status": "ok",
             "epoch": snap.epoch,
-            "rules": snap.list.len(),
+            "rules": snap.list.rules(),
             "uptime_seconds": self.metrics.uptime_seconds(now),
             "snapshot_age_seconds": self.metrics.snapshot_age_seconds(now),
         })
@@ -385,7 +397,7 @@ impl Engine {
                 "epoch": snap.epoch,
                 "label": snap.label,
                 "version": snap.version.map(|v| v.to_string()),
-                "rules": snap.list.len(),
+                "rules": snap.list.rules(),
             }),
             "history_versions": self.history.as_ref().map(|h| h.versions().len()),
             "events": events,
@@ -442,7 +454,7 @@ impl Engine {
             }
             None => {
                 self.metrics.record_cache(ws.id, 0, 1);
-                let code = lookup::suffix_code_ids(&snap.list, &ids, self.config.opts);
+                let code = snap.list.suffix_code_ids(&ids, self.config.opts);
                 ws.cache.insert(ids.as_slice().into(), code);
                 self.metrics.set_cache_entries(ws.id, ws.cache.len() as u64);
                 code
@@ -611,11 +623,11 @@ mod tests {
     fn engine_with_history() -> (Arc<Engine>, Arc<History>) {
         let history = Arc::new(psl_history::generate(&GeneratorConfig::small(7)));
         let latest = history.latest_version();
-        let store = Arc::new(SnapshotStore::new(
+        let store = crate::served::owned_store(
             format!("history:{latest}"),
             Some(latest),
             history.latest_snapshot(),
-        ));
+        );
         let engine = Engine::new(
             Arc::clone(&store),
             Some(Arc::clone(&history)),
@@ -714,7 +726,7 @@ mod tests {
 
     #[test]
     fn engine_without_history_rejects_time_travel() {
-        let store = Arc::new(SnapshotStore::new("embedded", None, psl_core::embedded_list()));
+        let store = crate::served::owned_store("embedded", None, psl_core::embedded_list());
         let engine = Engine::new(store, None, EngineConfig::default(), frozen_clock());
         let mut ws = engine.worker_state(0);
         assert!(one(&engine, &mut ws, "ASOF 2020-01-01 a.com").starts_with("ERR state "));
@@ -835,7 +847,7 @@ mod tests {
         assert_eq!(out["version"], format!("history:{first}"));
         assert!(engine.reload_target("not-a-date").is_err());
 
-        let store = Arc::new(SnapshotStore::new("embedded", None, psl_core::embedded_list()));
+        let store = crate::served::owned_store("embedded", None, psl_core::embedded_list());
         let engine = Engine::new(store, None, EngineConfig::default(), frozen_clock());
         let err = engine.reload_target("latest").unwrap_err();
         assert_eq!(err.code, "state");

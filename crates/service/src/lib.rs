@@ -12,6 +12,8 @@
 //! - [`lookup`] — the suffix/site resolution path shared with the CLI;
 //! - [`cache`] — the bounded per-worker LRU for lookup results;
 //! - [`metrics`] — counters + sharded latency histograms, dumped by `STATS`;
+//! - [`served`] — the published payload: an owned list or an mmap-backed
+//!   snapshot view (`serve --mmap` answers from page-cache bytes);
 //! - [`engine`] — protocol semantics over a [`psl_core::SnapshotStore`]
 //!   (epoch-based hot reload) and a [`psl_history::History`] (`ASOF`
 //!   time-travel lookups, `RELOAD <version>`);
@@ -47,6 +49,7 @@ pub mod lookup;
 pub mod metrics;
 pub mod protocol;
 pub mod reactor;
+pub mod served;
 pub mod server;
 
 pub use engine::{
@@ -58,4 +61,5 @@ pub use loadgen::{
 pub use metrics::{Metrics, NetStats, StatsReport};
 pub use protocol::{parse_command, Command, Limits, ProtoError};
 pub use reactor::ReactorOptions;
-pub use server::{load_list_file, Server, ServerConfig, StopHandle};
+pub use served::{owned_store, MappedSnapshot, ServedList, ServedStore};
+pub use server::{load_list_file, load_served_file, Server, ServerConfig, StopHandle};

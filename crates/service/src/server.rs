@@ -44,6 +44,10 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Optional `.dat` file to watch: `(path, poll interval)`.
     pub watch: Option<(PathBuf, Duration)>,
+    /// Serve watched compiled snapshots via `mmap` instead of copying them
+    /// onto the heap ([`crate::served::MappedSnapshot`]). Text `.dat` files
+    /// still parse to an owned list.
+    pub mmap: bool,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +56,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7378".to_string(),
             read_timeout: Duration::from_millis(250),
             watch: None,
+            mmap: false,
         }
     }
 }
@@ -64,6 +69,11 @@ pub struct Server {
     config: ServerConfig,
     options: ReactorOptions,
     stop: Arc<StopState>,
+    /// Signature of the watched file as it stood at bind time — i.e. the
+    /// state the caller's initial load served. Captured here (not on the
+    /// watcher's first poll tick) so a replacement that lands between bind
+    /// and the first tick still registers as a change.
+    watch_baseline: Option<FileSignature>,
 }
 
 /// Cooperative stop handle for a running server.
@@ -106,7 +116,16 @@ impl Server {
             Some(addr) => Some(bind_listener(addr)?),
             None => None,
         };
-        Ok(Server { listener, http_listener, engine, config, options, stop: StopState::new() })
+        let watch_baseline = config.watch.as_ref().and_then(|(path, _)| file_signature(path).ok());
+        Ok(Server {
+            listener,
+            http_listener,
+            engine,
+            config,
+            options,
+            stop: StopState::new(),
+            watch_baseline,
+        })
     }
 
     /// The bound line-protocol address (resolves port 0).
@@ -144,7 +163,9 @@ impl Server {
             if let Some((path, interval)) = self.config.watch.clone() {
                 let engine = Arc::clone(&self.engine);
                 let stop = &*self.stop;
-                scope.spawn(move |_| watch_loop(engine, path, interval, stop));
+                let mmap = self.config.mmap;
+                let baseline = self.watch_baseline;
+                scope.spawn(move |_| watch_loop(engine, path, interval, mmap, baseline, stop));
             }
         })
         .map_err(|_| std::io::Error::other("a server worker panicked"))?;
@@ -176,24 +197,63 @@ pub fn load_list_file(path: &std::path::Path) -> Result<psl_core::List, String> 
     }
 }
 
-/// Reload-relevant identity of the watched file: (mtime, length). Compared
-/// for equality, not ordering, so an mtime that goes *backwards* (a restore
-/// from backup, a delete/re-create that lands on an older timestamp) still
-/// registers as a change whenever either component differs.
-type FileSignature = (SystemTime, u64);
-
-fn file_signature(path: &std::path::Path) -> std::io::Result<FileSignature> {
-    let meta = std::fs::metadata(path)?;
-    Ok((meta.modified()?, meta.len()))
+/// As [`load_list_file`], but producing the serving payload directly. With
+/// `mmap` set, a compiled snapshot is validated and served in place from a
+/// read-only mapping — no [`psl_core::FrozenList`] is materialised, and
+/// the heap cost of a reload is the sidecar label index alone. Text files
+/// (and `mmap: false`) take the owned path unchanged.
+pub fn load_served_file(
+    path: &std::path::Path,
+    mmap: bool,
+) -> Result<crate::served::ServedList, String> {
+    if mmap {
+        let magic = {
+            use std::io::Read as _;
+            let mut head = [0u8; psl_core::LIST_MAGIC.len()];
+            let mut f = std::fs::File::open(path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            f.read_exact(&mut head).map(|_| head == psl_core::LIST_MAGIC).unwrap_or(false)
+        };
+        if magic {
+            return Ok(crate::served::ServedList::Mapped(crate::served::MappedSnapshot::open(
+                path,
+            )?));
+        }
+    }
+    load_list_file(path).map(crate::served::ServedList::Owned)
 }
 
-fn watch_loop(engine: Arc<Engine>, path: PathBuf, interval: Duration, stop: &StopState) {
-    // Signature of the last file state we successfully published (or the
-    // startup baseline). Committed only after a successful read + publish,
-    // so a transient read failure is retried on the next tick rather than
-    // being skipped until the file happens to change again.
-    let mut published: Option<FileSignature> = None;
-    let mut baseline_recorded = false;
+/// Reload-relevant identity of the watched file: (mtime, length, inode).
+/// Compared for equality, not ordering, so an mtime that goes *backwards*
+/// (a restore from backup, a delete/re-create that lands on an older
+/// timestamp) still registers as a change whenever any component differs.
+/// The inode is load-bearing: an atomic replace (write temp + rename) of a
+/// same-length file can land inside the filesystem's timestamp granularity
+/// (a few ms on some kernels), leaving mtime and length both unchanged —
+/// but the rename always installs a fresh inode.
+type FileSignature = (SystemTime, u64, u64);
+
+fn file_signature(path: &std::path::Path) -> std::io::Result<FileSignature> {
+    use std::os::unix::fs::MetadataExt as _;
+    let meta = std::fs::metadata(path)?;
+    Ok((meta.modified()?, meta.len(), meta.ino()))
+}
+
+fn watch_loop(
+    engine: Arc<Engine>,
+    path: PathBuf,
+    interval: Duration,
+    mmap: bool,
+    baseline: Option<FileSignature>,
+    stop: &StopState,
+) {
+    // Signature of the last file state we successfully published (seeded
+    // with the startup baseline captured at bind time). Committed only
+    // after a successful read + publish, so a transient read failure is
+    // retried on the next tick rather than being skipped until the file
+    // happens to change again.
+    let mut published: Option<FileSignature> = baseline;
+    let mut baseline_recorded = baseline.is_some();
     // Set while the file is missing or unstatable. Forces a reload on the
     // next successful stat even if the signature matches — a delete +
     // re-create can reproduce the old mtime and length exactly.
@@ -210,10 +270,11 @@ fn watch_loop(engine: Arc<Engine>, path: PathBuf, interval: Duration, stop: &Sto
                     baseline_recorded = true;
                     failures = 0;
                 } else if published != Some(sig) || saw_missing {
-                    match load_list_file(&path) {
-                        Ok(list) => {
-                            let rules = list.len();
-                            let epoch = engine.publish_list(path.display().to_string(), None, list);
+                    match load_served_file(&path, mmap) {
+                        Ok(served) => {
+                            let rules = served.rules();
+                            let epoch =
+                                engine.publish_served(path.display().to_string(), None, served);
                             eprintln!(
                                 "psl-service: reloaded {} (epoch {epoch}, {rules} rules)",
                                 path.display()

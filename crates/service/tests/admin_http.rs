@@ -3,7 +3,6 @@
 //! unknown routes 404, wrong methods 405, and `POST /reload` actually
 //! republishes the served snapshot.
 
-use psl_core::SnapshotStore;
 use psl_history::GeneratorConfig;
 use psl_service::{Engine, EngineConfig, ReactorOptions, Server, ServerConfig, StopHandle};
 use std::io::{Read, Write};
@@ -23,11 +22,11 @@ impl TestServer {
     fn spawn(seed: u64, with_history: bool) -> TestServer {
         let history = Arc::new(psl_history::generate(&GeneratorConfig::small(seed)));
         let latest = history.latest_version();
-        let store = Arc::new(SnapshotStore::new(
+        let store = psl_service::owned_store(
             format!("history:{latest}"),
             Some(latest),
             history.latest_snapshot(),
-        ));
+        );
         let engine = Engine::new(
             store,
             with_history.then(|| Arc::clone(&history)),
@@ -39,7 +38,7 @@ impl TestServer {
             ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 read_timeout: Duration::from_millis(50),
-                watch: None,
+                ..Default::default()
             },
             ReactorOptions {
                 http_addr: Some("127.0.0.1:0".to_string()),

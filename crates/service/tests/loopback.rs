@@ -2,7 +2,7 @@
 //! clients, answers checked against direct `psl-core` / `psl-history`
 //! computation.
 
-use psl_core::{DomainName, MatchOpts, SnapshotStore};
+use psl_core::{DomainName, MatchOpts};
 use psl_history::{GeneratorConfig, History};
 use psl_service::{Engine, EngineConfig, Server, ServerConfig, StopHandle};
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -23,11 +23,11 @@ impl TestServer {
     fn spawn(seed: u64, workers: usize) -> TestServer {
         let history = Arc::new(psl_history::generate(&GeneratorConfig::small(seed)));
         let latest = history.latest_version();
-        let store = Arc::new(SnapshotStore::new(
+        let store = psl_service::owned_store(
             format!("history:{latest}"),
             Some(latest),
             history.latest_snapshot(),
-        ));
+        );
         let engine = Engine::new(
             store,
             Some(Arc::clone(&history)),
@@ -39,7 +39,7 @@ impl TestServer {
             ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 read_timeout: Duration::from_millis(50),
-                watch: None,
+                ..Default::default()
             },
         )
         .expect("bind ephemeral port");

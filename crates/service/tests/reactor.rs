@@ -3,7 +3,7 @@
 //! must not wedge a worker, backpressure-driven disconnects, admission
 //! control, and bounded shutdown latency.
 
-use psl_core::{DomainName, MatchOpts, SnapshotStore};
+use psl_core::MatchOpts;
 use psl_history::GeneratorConfig;
 use psl_service::{Engine, EngineConfig, ReactorOptions, Server, ServerConfig, StopHandle};
 use std::io::{BufRead, BufReader, Write};
@@ -23,11 +23,11 @@ impl TestServer {
     fn spawn(seed: u64, workers: usize, options: ReactorOptions) -> TestServer {
         let history = Arc::new(psl_history::generate(&GeneratorConfig::small(seed)));
         let latest = history.latest_version();
-        let store = Arc::new(SnapshotStore::new(
+        let store = psl_service::owned_store(
             format!("history:{latest}"),
             Some(latest),
             history.latest_snapshot(),
-        ));
+        );
         let engine = Engine::new(
             store,
             Some(history),
@@ -39,7 +39,7 @@ impl TestServer {
             ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 read_timeout: Duration::from_millis(50),
-                watch: None,
+                ..Default::default()
             },
             options,
         )
@@ -106,8 +106,7 @@ fn hundred_pipelined_batches_answer_in_order() {
     for host in &hosts {
         line.clear();
         reader.read_line(&mut line).unwrap();
-        let dom = DomainName::parse(host).unwrap();
-        let expected = format!("OK {}", snapshot.list.site(&dom, opts).as_str());
+        let expected = format!("OK {}", snapshot.list.site_str(host, opts));
         assert_eq!(line.trim_end(), expected, "answer for {host} out of order or wrong");
     }
 }

@@ -2,7 +2,7 @@
 //! snapshot — every answer must be exactly correct for *some* published
 //! version, and no reload may produce a protocol error.
 
-use psl_core::{DomainName, MatchOpts, SnapshotStore};
+use psl_core::{DomainName, MatchOpts};
 use psl_history::GeneratorConfig;
 use psl_service::{Engine, EngineConfig, Server, ServerConfig};
 use std::collections::HashSet;
@@ -41,11 +41,11 @@ fn queries_never_observe_a_torn_snapshot_across_reloads() {
     .collect();
     assert_eq!(valid.len(), 2, "probe host must distinguish the versions");
 
-    let store = Arc::new(SnapshotStore::new(
+    let store = psl_service::owned_store(
         format!("history:{latest}"),
         Some(latest),
         history.latest_snapshot(),
-    ));
+    );
     let engine = Engine::new(
         store,
         Some(Arc::clone(&history)),
@@ -57,7 +57,7 @@ fn queries_never_observe_a_torn_snapshot_across_reloads() {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             read_timeout: Duration::from_millis(50),
-            watch: None,
+            ..Default::default()
         },
     )
     .unwrap();

@@ -3,7 +3,7 @@
 //! the old mtime and length exactly — and must retry transient read errors
 //! instead of skipping the new content or tight-looping.
 
-use psl_core::{List, SnapshotStore};
+use psl_core::List;
 use psl_service::{Engine, EngineConfig, Server, ServerConfig, StopHandle};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -27,14 +27,23 @@ struct WatchedServer {
 impl WatchedServer {
     /// Start a server watching `<tmp>/<name>/list.dat` seeded with `initial`.
     fn spawn(name: &str, initial: &str) -> WatchedServer {
+        WatchedServer::spawn_with(name, initial.as_bytes(), false)
+    }
+
+    /// As [`WatchedServer::spawn`], but seeding the watched file with raw
+    /// bytes (text or compiled snapshot) and loading the initial payload
+    /// through the server's own `load_served_file` path, so `mmap: true`
+    /// serves from a live file mapping from the very first query.
+    fn spawn_with(name: &str, initial: &[u8], mmap: bool) -> WatchedServer {
         let dir = std::env::temp_dir().join(format!("psl-watch-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("list.dat");
         std::fs::write(&path, initial).unwrap();
 
+        let served = psl_service::load_served_file(&path, mmap).expect("load initial file");
         let store =
-            Arc::new(SnapshotStore::new(path.display().to_string(), None, List::parse(initial)));
+            Arc::new(psl_service::ServedStore::new(path.display().to_string(), None, served));
         let engine = Engine::new(
             store,
             None,
@@ -47,6 +56,7 @@ impl WatchedServer {
                 addr: "127.0.0.1:0".to_string(),
                 read_timeout: Duration::from_millis(50),
                 watch: Some((path.clone(), INTERVAL)),
+                mmap,
             },
         )
         .expect("bind ephemeral port");
@@ -209,4 +219,52 @@ fn watcher_retries_after_transient_read_errors() {
 
     // And the server is still fully alive.
     assert_eq!(roundtrip(&mut reader, &mut writer, "PING"), "OK pong");
+}
+
+/// End-to-end `--mmap` reload: a server started in mmap mode over a
+/// compiled snapshot answers from the file mapping, survives an atomic
+/// replacement of the watched file (the old mapping keeps serving old
+/// bytes until the watcher republishes — MAP_PRIVATE semantics), and
+/// serves the new rules from a *fresh* mapping after the epoch bump.
+#[test]
+fn mmap_watcher_serves_and_hot_reloads_mapped_snapshots() {
+    let snap_v1 = List::parse("alpha\nv1.alpha\n").write_snapshot();
+    let server = WatchedServer::spawn_with("mmap", &snap_v1, true);
+    let (mut reader, mut writer) = server.connect();
+
+    // The initial payload really is the mapped arm, not a fallback parse.
+    {
+        let published = server.engine.store().load();
+        assert!(
+            matches!(published.list, psl_service::ServedList::Mapped(_)),
+            "mmap server must publish the mapped arm at startup"
+        );
+    }
+    assert_eq!(roundtrip(&mut reader, &mut writer, "SUFFIX x.v1.alpha"), "OK v1.alpha");
+    assert_eq!(roundtrip(&mut reader, &mut writer, "SITE a.b.v1.alpha"), "OK b.v1.alpha");
+    assert_eq!(server.epoch(), 1);
+
+    // Atomically replace the snapshot on disk; the watcher must republish
+    // a fresh mapping with the new rules.
+    let snap_v2 = List::parse("alpha\nv2.alpha\n").write_snapshot();
+    write_atomic(&server.path, &snap_v2, None);
+    await_suffix(&mut reader, &mut writer, "x.v2.alpha", "v2.alpha");
+    assert_eq!(server.epoch(), 2);
+    {
+        let published = server.engine.store().load();
+        assert!(
+            matches!(published.list, psl_service::ServedList::Mapped(_)),
+            "hot reload must stay on the mapped arm"
+        );
+    }
+    // The old rule is gone from the new mapping.
+    assert_eq!(roundtrip(&mut reader, &mut writer, "SUFFIX x.v1.alpha"), "OK alpha");
+
+    // Swapping the watched file back to *text* downgrades gracefully to
+    // the owned arm — mmap mode only maps compiled snapshots.
+    write_atomic(&server.path, "alpha\ntext.alpha\n", None);
+    await_suffix(&mut reader, &mut writer, "x.text.alpha", "text.alpha");
+    assert_eq!(server.epoch(), 3);
+    let published = server.engine.store().load();
+    assert!(matches!(published.list, psl_service::ServedList::Owned(_)));
 }

@@ -1,0 +1,248 @@
+//! Hand-rolled HyperLogLog cardinality sketch.
+//!
+//! The streaming sweep counts distinct *sites* per list version without
+//! keeping the site set in memory. A sketch with `2^p` one-byte registers
+//! estimates cardinality with standard error `1.04 / sqrt(2^p)` — at the
+//! default `p = 14` that is 0.81%, inside the pipeline's ≤1% contract —
+//! and merges by per-register max, which is associative, commutative and
+//! idempotent, so per-shard sketches combine in any order to exactly the
+//! sketch a single pass would have produced.
+//!
+//! Estimation follows the original Flajolet et al. construction with the
+//! small-range linear-counting correction. Inputs are 64-bit hashes, so
+//! the 32-bit large-range correction is unnecessary.
+
+use serde::{Deserialize, Serialize};
+
+/// A HyperLogLog sketch over 64-bit hashes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HyperLogLog {
+    precision: u8,
+    registers: Vec<u8>,
+}
+
+impl HyperLogLog {
+    /// Default precision: 16384 registers, 0.81% standard error.
+    pub const DEFAULT_PRECISION: u8 = 14;
+
+    /// Create a sketch with `2^precision` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `4 <= precision <= 18` (a construction-time
+    /// programming error; the range covers 16 bytes to 256 KiB).
+    pub fn new(precision: u8) -> Self {
+        assert!((4..=18).contains(&precision), "precision {precision} out of range 4..=18");
+        HyperLogLog { precision, registers: vec![0; 1 << precision] }
+    }
+
+    /// The precision this sketch was built with.
+    pub fn precision(&self) -> u8 {
+        self.precision
+    }
+
+    /// The sketch's standard error, `1.04 / sqrt(2^precision)`.
+    pub fn standard_error(&self) -> f64 {
+        1.04 / (self.registers.len() as f64).sqrt()
+    }
+
+    /// Observe a 64-bit hash. The top `precision` bits pick a register;
+    /// the register keeps the maximum leading-zero rank of the rest.
+    pub fn insert_hash(&mut self, hash: u64) {
+        let p = self.precision as u32;
+        let idx = (hash >> (64 - p)) as usize;
+        // Rank of the remaining 64-p bits: position of the first set bit,
+        // counting from 1; all-zero tail saturates at 64-p+1.
+        let tail = hash << p;
+        let rank = (tail.leading_zeros().min(64 - p) + 1) as u8;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Observe an item by hashing its bytes (see [`hash64`]).
+    pub fn insert_bytes(&mut self, bytes: &[u8]) {
+        self.insert_hash(hash64(bytes));
+    }
+
+    /// Observe a `u64` item (finalizer-mixed, not used raw).
+    pub fn insert_u64(&mut self, item: u64) {
+        self.insert_hash(mix64(item));
+    }
+
+    /// Estimate the number of distinct hashes observed.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let mut sum = 0.0;
+        let mut zeros = 0usize;
+        for &r in &self.registers {
+            sum += f64::powi(2.0, -i32::from(r));
+            if r == 0 {
+                zeros += 1;
+            }
+        }
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            n => 0.7213 / (1.0 + 1.079 / n as f64),
+        };
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m && zeros > 0 {
+            // Small-range correction: linear counting on empty registers.
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+
+    /// [`Self::estimate`] rounded to a count.
+    pub fn count(&self) -> u64 {
+        self.estimate().round() as u64
+    }
+
+    /// Merge another sketch into this one (per-register max). After the
+    /// merge this sketch is exactly what a single sketch fed both input
+    /// streams would hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the precisions differ (mixing them is a programming
+    /// error: their register indices partition the hash differently).
+    pub fn merge(&mut self, other: &HyperLogLog) {
+        assert_eq!(self.precision, other.precision, "cannot merge sketches of different precision");
+        for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
+            if b > *a {
+                *a = b;
+            }
+        }
+    }
+}
+
+/// 64-bit hash of a byte string: FNV-1a folded through the splitmix64
+/// finalizer so the high bits (which pick HLL registers) are well mixed.
+pub fn hash64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix64(h)
+}
+
+/// The splitmix64 finalizer: a cheap, invertible 64-bit mix.
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn filled(items: impl Iterator<Item = u64>, p: u8) -> HyperLogLog {
+        let mut h = HyperLogLog::new(p);
+        for x in items {
+            h.insert_u64(x);
+        }
+        h
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        assert_eq!(HyperLogLog::new(14).count(), 0);
+    }
+
+    #[test]
+    fn small_counts_are_nearly_exact() {
+        // Linear-counting regime: tiny cardinalities come out exact.
+        for n in [1u64, 10, 100, 1000] {
+            let h = filled(0..n, 14);
+            let err = (h.estimate() - n as f64).abs() / n as f64;
+            assert!(err < 0.01, "n={n} estimate={}", h.estimate());
+        }
+    }
+
+    #[test]
+    fn large_counts_stay_within_three_sigma() {
+        for n in [50_000u64, 200_000, 1_000_000] {
+            let h = filled(0..n, 14);
+            let err = (h.estimate() - n as f64).abs() / n as f64;
+            let bound = 3.0 * h.standard_error();
+            assert!(err < bound, "n={n} estimate={} err={err:.4} bound={bound:.4}", h.estimate());
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let once = filled(0..10_000, 14);
+        let mut thrice = HyperLogLog::new(14);
+        for _ in 0..3 {
+            for x in 0..10_000u64 {
+                thrice.insert_u64(x);
+            }
+        }
+        assert_eq!(once, thrice);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let whole = filled(0..30_000, 12);
+        for k in [2u64, 3, 7] {
+            let mut merged = HyperLogLog::new(12);
+            for s in 0..k {
+                merged.merge(&filled((s..30_000).step_by(k as usize), 12));
+            }
+            assert_eq!(merged, whole, "k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different precision")]
+    fn merge_rejects_mixed_precisions() {
+        HyperLogLog::new(10).merge(&HyperLogLog::new(12));
+    }
+
+    #[test]
+    fn hash64_is_deterministic_and_spread() {
+        assert_eq!(hash64(b"example.com"), hash64(b"example.com"));
+        assert_ne!(hash64(b"example.com"), hash64(b"example.org"));
+        assert_ne!(mix64(1), mix64(2));
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_commutative_and_associative(
+            xs in proptest::collection::vec(0u64..1_000_000, 0..200),
+            ys in proptest::collection::vec(0u64..1_000_000, 0..200),
+            zs in proptest::collection::vec(0u64..1_000_000, 0..200),
+        ) {
+            let (a, b, c) = (
+                filled(xs.iter().copied(), 8),
+                filled(ys.iter().copied(), 8),
+                filled(zs.iter().copied(), 8),
+            );
+            // Commutative: a ∪ b == b ∪ a.
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(&ab, &ba);
+            // Associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+            let mut ab_c = ab;
+            ab_c.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            prop_assert_eq!(&ab_c, &a_bc);
+            // Idempotent: merging a sketch into itself changes nothing.
+            let mut aa = a.clone();
+            aa.merge(&a);
+            prop_assert_eq!(&aa, &a);
+        }
+    }
+}

@@ -16,6 +16,8 @@ pub mod correlation;
 pub mod descriptive;
 pub mod ecdf;
 pub mod histogram;
+pub mod hll;
+pub mod process;
 pub mod regression;
 pub mod sampler;
 
@@ -25,5 +27,7 @@ pub use descriptive::{
 };
 pub use ecdf::Ecdf;
 pub use histogram::Histogram;
+pub use hll::{hash64, mix64, HyperLogLog};
+pub use process::{current_rss_bytes, peak_rss_bytes, reset_peak_rss};
 pub use regression::{classify_trend, linear_fit, trend, LinearFit, Trend};
 pub use sampler::{derive_seed, exponential, log_normal, standard_normal, weighted_index, Zipf};

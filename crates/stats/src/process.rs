@@ -1,0 +1,78 @@
+//! Process memory introspection for the bench harness.
+//!
+//! The scale-curve acceptance criterion is "peak RSS independent of
+//! request count", so the bench needs to *measure* peak RSS per section.
+//! Linux exposes the high-water mark as `VmHWM` in `/proc/self/status`
+//! and lets a process reset it by writing `5` to `/proc/self/clear_refs`
+//! (silently unsupported in some sandboxes — callers treat a failed
+//! reset as "the reading is a monotonic high-water mark, not a
+//! per-section peak"). Everything here degrades to `None`/`false` off
+//! Linux or when procfs is unavailable.
+
+use std::fs;
+
+/// Parse a `kB` field out of `/proc/self/status`.
+fn status_field_bytes(field: &str) -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            let rest = rest.trim_start_matches(':').trim();
+            let kb: u64 = rest.split_whitespace().next()?.parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// The process's peak resident set size in bytes (`VmHWM`), if procfs is
+/// available.
+pub fn peak_rss_bytes() -> Option<u64> {
+    status_field_bytes("VmHWM")
+}
+
+/// The process's current resident set size in bytes (`VmRSS`), if
+/// procfs is available.
+pub fn current_rss_bytes() -> Option<u64> {
+    status_field_bytes("VmRSS")
+}
+
+/// Reset the peak-RSS high-water mark to the current RSS, so the next
+/// [`peak_rss_bytes`] reading reflects only allocations made after this
+/// call. Returns whether the kernel accepted the reset.
+pub fn reset_peak_rss() -> bool {
+    fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_readings_are_plausible_on_linux() {
+        if let (Some(peak), Some(cur)) = (peak_rss_bytes(), current_rss_bytes()) {
+            // A running test binary holds at least a megabyte and the
+            // peak can never undercut the present.
+            assert!(cur > 1 << 20, "current rss {cur}");
+            assert!(peak >= cur / 2, "peak {peak} vs current {cur}");
+        }
+    }
+
+    #[test]
+    fn peak_reset_tracks_new_allocations() {
+        if peak_rss_bytes().is_none() {
+            return; // no procfs
+        }
+        let reset_ok = reset_peak_rss();
+        let before = peak_rss_bytes().unwrap();
+        // Touch 32 MiB so the high-water mark must move.
+        let block = vec![1u8; 32 << 20];
+        std::hint::black_box(&block);
+        let after = peak_rss_bytes().unwrap();
+        drop(block);
+        if reset_ok {
+            assert!(after > before, "peak did not move: {before} -> {after}");
+        } else {
+            assert!(after >= before, "peak regressed: {before} -> {after}");
+        }
+    }
+}

@@ -19,12 +19,17 @@
 //! counts, scaled by `CorpusConfig::scale`.
 
 use crate::model::{CorpusBuilder, HostId, WebCorpus};
+use crate::stream::{Pools, StreamCorpus};
 use psl_core::{Date, DomainName, Rule, RuleKind, Section};
 use psl_history::{seeds, History};
-use psl_stats::Zipf;
+use psl_stats::derive_seed;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+
+/// Stream tag separating the per-page request RNG streams from the
+/// population draws (which consume the raw seed sequentially).
+const PAGE_STREAM_TAG: u64 = 0x7061_6765_7371; // "pagesq"
 
 /// Configuration for [`generate_corpus`].
 #[derive(Debug, Clone)]
@@ -90,23 +95,34 @@ impl CorpusConfig {
             ..Default::default()
         }
     }
-}
 
-/// Host groups the request sampler draws from.
-struct Population {
-    /// Per-organisation host lists (first entry is the "www" page host).
-    orgs: Vec<Vec<HostId>>,
-    /// Per-platform customer host lists, keyed by suffix text.
-    platforms: Vec<(String, Vec<HostId>)>,
-    /// Per-excepted-city sibling host lists.
-    cities: Vec<Vec<HostId>>,
-    /// Tracker hosts.
-    trackers: Vec<HostId>,
+    /// Resize `pages` so the stream's *expected* request count hits
+    /// `target` (each page emits `requests_per_page + ½` requests on
+    /// average). The host population is untouched: request volume and
+    /// memory footprint are decoupled by design.
+    pub fn with_target_requests(mut self, target: u64) -> Self {
+        let per_page = self.requests_per_page.max(1) as f64 + 0.5;
+        self.pages = ((target as f64 / per_page).round() as usize).max(1);
+        self
+    }
 }
 
 /// Generate a corpus against a history (hostnames are placed under the
 /// latest list's suffixes; old versions then misgroup them).
+///
+/// Defined as the fully materialized stream of [`build_stream`]: the
+/// legacy in-memory path and the streaming path agree by construction.
 pub fn generate_corpus(history: &History, config: &CorpusConfig) -> WebCorpus {
+    build_stream(history, config).materialize()
+}
+
+/// Build the host population and sampling pools for `config`, returning
+/// a [`StreamCorpus`] that generates the request stream on demand.
+///
+/// The population is drawn from one sequential RNG seeded with
+/// `config.seed`; per-page request streams are derived seeds, so neither
+/// side perturbs the other and request volume never changes the hosts.
+pub fn build_stream(history: &History, config: &CorpusConfig) -> StreamCorpus {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut b = CorpusBuilder::new();
     let latest_rules = history
@@ -235,65 +251,21 @@ pub fn generate_corpus(history: &History, config: &CorpusConfig) -> WebCorpus {
         trackers.push(b.host(&name));
     }
 
-    let pop = Population { orgs, platforms, cities, trackers };
-
-    // ---- Requests. ----------------------------------------------------------
-    let org_zipf = Zipf::new(pop.orgs.len().max(1), 1.05);
-    let tracker_zipf = Zipf::new(pop.trackers.len().max(1), 1.2);
-    for _ in 0..config.pages {
-        let n_requests = 1 + rng.gen_range(0..config.requests_per_page * 2);
-        // Page type mix: organisations dominate; platform and city pages
-        // carry the version-sensitive pairs.
-        let roll: f64 = rng.gen();
-        if roll < 0.62 || pop.platforms.is_empty() {
-            // Organisation page.
-            let org = &pop.orgs[org_zipf.sample(&mut rng) - 1];
-            let page = org[0];
-            for _ in 0..n_requests {
-                let r: f64 = rng.gen();
-                let target = if r < 0.50 && org.len() > 1 {
-                    org[rng.gen_range(0..org.len())]
-                } else if r < 0.58 && !spike_hosts.is_empty() {
-                    spike_hosts[rng.gen_range(0..spike_hosts.len())]
-                } else {
-                    pop.trackers[tracker_zipf.sample(&mut rng) - 1]
-                };
-                b.request(page, target);
-            }
-        } else if roll < 0.84 {
-            // Platform-customer page: sibling-customer requests are the
-            // late-era (rise) signal.
-            let (_, customers) = &pop.platforms[rng.gen_range(0..pop.platforms.len())];
-            let page = customers[rng.gen_range(0..customers.len())];
-            for _ in 0..n_requests {
-                let r: f64 = rng.gen();
-                let target = if r < 0.40 && customers.len() > 1 {
-                    customers[rng.gen_range(0..customers.len())]
-                } else if r < 0.70 {
-                    page
-                } else {
-                    pop.trackers[tracker_zipf.sample(&mut rng) - 1]
-                };
-                b.request(page, target);
-            }
-        } else if !pop.cities.is_empty() {
-            // Exception-city page: sibling requests are the early-era
-            // (drop) signal.
-            let city = &pop.cities[rng.gen_range(0..pop.cities.len())];
-            let page = city[0];
-            for _ in 0..n_requests {
-                let r: f64 = rng.gen();
-                let target = if r < 0.55 && city.len() > 1 {
-                    city[rng.gen_range(0..city.len())]
-                } else {
-                    pop.trackers[tracker_zipf.sample(&mut rng) - 1]
-                };
-                b.request(page, target);
-            }
-        }
-    }
-
-    b.build(config.snapshot_date)
+    let pools = Pools {
+        orgs,
+        platforms: platforms.into_iter().map(|(_, customers)| customers).collect(),
+        cities,
+        trackers,
+        spike_hosts,
+    };
+    StreamCorpus::new(
+        config.snapshot_date,
+        b.finish_hosts(),
+        pools,
+        config.pages,
+        config.requests_per_page,
+        derive_seed(config.seed, PAGE_STREAM_TAG),
+    )
 }
 
 /// Tiny pronounceable-word generator (stateless).

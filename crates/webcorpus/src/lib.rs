@@ -17,7 +17,9 @@
 pub mod generator;
 pub mod model;
 pub mod stats;
+pub mod stream;
 
-pub use generator::{generate_corpus, CorpusConfig};
+pub use generator::{build_stream, generate_corpus, CorpusConfig};
 pub use model::{CorpusBuilder, HostId, Request, WebCorpus};
 pub use stats::{corpus_stats, CorpusStats};
+pub use stream::{ShardRequests, StreamCorpus};

@@ -124,6 +124,12 @@ impl CorpusBuilder {
         self.hosts.len()
     }
 
+    /// Finish with just the interned host population (discarding any
+    /// recorded requests) — the input a [`crate::StreamCorpus`] needs.
+    pub fn finish_hosts(self) -> Vec<DomainName> {
+        self.hosts
+    }
+
     /// Finish.
     pub fn build(self, snapshot_date: Date) -> WebCorpus {
         WebCorpus::new(snapshot_date, self.hosts, self.requests)
