@@ -29,6 +29,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod figs567;
+pub mod fleet;
 pub mod markdown;
 pub mod pipeline;
 pub mod report;
@@ -41,6 +42,9 @@ pub mod table3;
 pub mod update_failure;
 pub mod walker;
 
+pub use fleet::{
+    execute_session, run_fleet, FleetAccumulator, FleetConfig, FleetOutcome, FleetRow,
+};
 pub use markdown::render_markdown;
 pub use pipeline::{build_substrates, run_all, FullReport, PipelineConfig, Substrates};
 pub use sweep::{

@@ -338,7 +338,7 @@ pub fn sweep_stream(
 /// an id iff their site strings are equal. Keys are borrowed id-slice
 /// prefixes (`ids[..len]`); assignment order is host order, so the ids
 /// are deterministic and shard-independent.
-fn dense_site_ids(host_ids: &[Box<[u32]>], lens: &[u32]) -> Vec<u32> {
+pub(crate) fn dense_site_ids(host_ids: &[Box<[u32]>], lens: &[u32]) -> Vec<u32> {
     let mut interner: HashMap<&[u32], u32> = HashMap::with_capacity(host_ids.len());
     let mut out = Vec::with_capacity(host_ids.len());
     for (ids, &len) in host_ids.iter().zip(lens) {

@@ -7,28 +7,64 @@
 //! driven by one [`List`]. Every decision is recorded so experiments can
 //! diff the decision stream produced by two list versions and count the
 //! privacy-relevant flips.
+//!
+//! Decisions are compact id-based records: host and cookie-name strings
+//! are interned through a [`LabelInterner`] (the same dense-id machinery
+//! `psl-core` uses for its arena matcher), so a decision is a few words
+//! with no heap payload. Interning happens at fixed points of every
+//! event — *before* outcome-dependent branches — so two browsers
+//! replaying the same script assign identical ids and their logs compare
+//! element-wise, whatever each list decides. The log can be drained into
+//! a caller-owned sink ([`Browser::drain_decisions`]) and the whole
+//! browser reset between sessions without releasing capacity
+//! ([`Browser::reset`]), which is what amortizes per-session allocation
+//! to ~zero in fleet use.
 
 use crate::frames::FrameContext;
 use crate::origin::Origin;
-use crate::referrer::{referrer_for, Referrer};
+use crate::referrer::{referrer_for, Referrer, ReferrerKind};
 use crate::storage::{PartitionedStorage, StorageKey};
 use psl_core::jar::{CookieJar, StoreError};
-use psl_core::{List, MatchOpts, Url};
+use psl_core::{LabelInterner, List, MatchOpts, Url};
 use serde::Serialize;
 
-/// One privacy-relevant decision taken while loading.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+/// One privacy-relevant decision taken while loading. String identities
+/// (hosts, cookie names, cookie scopes) are interner ids resolvable via
+/// [`Browser::interner`]; the record itself is `Copy` and allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum Decision {
-    /// A Set-Cookie was accepted (cookie name, scope domain).
-    CookieAccepted(String, String),
-    /// A Set-Cookie was refused.
-    CookieRefused(String),
-    /// Cookies attached to a request (target host, count).
-    CookiesAttached(String, usize),
-    /// A SameSite cookie context was judged same-site (target host).
-    SameSiteContext(String, bool),
-    /// The referrer sent to a target host.
-    ReferrerSent(String, Referrer),
+    /// A Set-Cookie was accepted (interned cookie name, interned scope
+    /// domain — the `Domain` attribute, or the request host if absent).
+    CookieAccepted(u32, u32),
+    /// A Set-Cookie was refused, with the typed refusal reason (the raw
+    /// header is *not* stored: it is attacker-controlled and unbounded).
+    CookieRefused(StoreError),
+    /// Cookies attached to a request (interned target host, count).
+    CookiesAttached(u32, u32),
+    /// A SameSite cookie context was judged same-site (interned target
+    /// host).
+    SameSiteContext(u32, bool),
+    /// The referrer sent to a target host (interned host, kind only —
+    /// the payload is script-determined).
+    ReferrerSent(u32, ReferrerKind),
+}
+
+/// Per-session tallies the engine keeps alongside the decision log —
+/// including the events that produce *no* decision, such as URLs that
+/// fail to parse (previously swallowed silently).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SessionSummary {
+    /// Navigations and subresource loads rejected because the URL did not
+    /// parse or had a non-domain (e.g. IP-literal) host.
+    pub bad_urls: u64,
+    /// Set-Cookie headers accepted into the jar.
+    pub cookies_accepted: u64,
+    /// Set-Cookie headers refused (malformed, bad domain, or PSL-refused).
+    pub cookies_refused: u64,
+    /// Subresource loads performed.
+    pub subresource_loads: u64,
+    /// Top-level navigations performed.
+    pub navigations: u64,
 }
 
 /// The result of a subresource load.
@@ -52,7 +88,9 @@ pub struct Browser<'l> {
     pub jar: CookieJar<'l>,
     /// Partitioned storage.
     pub storage: PartitionedStorage,
+    interner: LabelInterner,
     decisions: Vec<Decision>,
+    summary: SessionSummary,
 }
 
 impl<'l> Browser<'l> {
@@ -63,7 +101,9 @@ impl<'l> Browser<'l> {
             opts,
             jar: CookieJar::new(list, opts),
             storage: PartitionedStorage::new(),
+            interner: LabelInterner::new(),
             decisions: Vec::new(),
+            summary: SessionSummary::default(),
         }
     }
 
@@ -72,56 +112,115 @@ impl<'l> Browser<'l> {
         &self.decisions
     }
 
+    /// The session tallies (bad URLs, cookie accept/refuse counts, …).
+    pub fn summary(&self) -> SessionSummary {
+        self.summary
+    }
+
+    /// The interner mapping decision ids back to strings.
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// Stream the decision log out into `sink`, emptying the internal
+    /// buffer but keeping its capacity. Lets a fleet driver fold
+    /// decisions into a summarizer between events without the log ever
+    /// growing past one session.
+    pub fn drain_decisions(&mut self, mut sink: impl FnMut(Decision)) {
+        for d in self.decisions.drain(..) {
+            sink(d);
+        }
+    }
+
+    /// Reset all per-session state — jar, storage, decision log, summary
+    /// — keeping every allocation (and the interner, whose ids stay
+    /// stable across sessions) for reuse.
+    pub fn reset(&mut self) {
+        self.jar.clear();
+        self.storage.clear();
+        self.decisions.clear();
+        self.summary = SessionSummary::default();
+    }
+
     /// Navigate a tab to `url`, returning its top-level frame context.
+    /// Unparseable URLs (or non-domain hosts) return `None` and are
+    /// counted in [`Browser::summary`].
     pub fn navigate(&mut self, url: &str) -> Option<(FrameContext, Url)> {
-        let parsed = Url::parse(url).ok()?;
-        let origin = Origin::of_url(&parsed)?;
+        let Some(parsed) = Url::parse(url).ok() else {
+            self.summary.bad_urls += 1;
+            return None;
+        };
+        let Some(origin) = Origin::of_url(&parsed) else {
+            self.summary.bad_urls += 1;
+            return None;
+        };
+        self.summary.navigations += 1;
         Some((FrameContext::top_level(origin), parsed))
     }
 
     /// Receive a `Set-Cookie` header on a response from `host`.
+    ///
+    /// The cookie name and scope are interned from the *header* (not the
+    /// stored cookie) before the jar decides, so accepting and refusing
+    /// browsers intern the same strings in the same order.
     pub fn receive_set_cookie(&mut self, host: &psl_core::DomainName, header: &str) {
-        match self.jar.set_from_header(host, header) {
-            Ok(()) => {
-                let c = self.jar.cookies().last().expect("just stored");
-                self.decisions
-                    .push(Decision::CookieAccepted(c.name.clone(), c.domain.as_str().to_string()));
+        let Some(sc) = psl_core::SetCookie::parse(header) else {
+            self.summary.cookies_refused += 1;
+            self.decisions.push(Decision::CookieRefused(StoreError::Malformed));
+            return;
+        };
+        let name = self.interner.intern(&sc.name);
+        let scope = self.interner.intern(sc.domain.as_deref().unwrap_or(host.as_str()));
+        match self.jar.set(host, &sc) {
+            Ok(_stored) => {
+                self.summary.cookies_accepted += 1;
+                self.decisions.push(Decision::CookieAccepted(name, scope));
             }
-            Err(StoreError::Refused | StoreError::BadDomain | StoreError::Malformed) => {
-                self.decisions.push(Decision::CookieRefused(header.to_string()));
+            Err(reason) => {
+                self.summary.cookies_refused += 1;
+                self.decisions.push(Decision::CookieRefused(reason));
             }
         }
     }
 
     /// Load a subresource from `target_url` inside `context`, where the
-    /// page currently at `page_url` initiates the request.
+    /// page currently at `page_url` initiates the request. Unparseable
+    /// target URLs return `None` and are counted in [`Browser::summary`].
     pub fn load_subresource(
         &mut self,
         context: &FrameContext,
         page_url: &Url,
         target_url: &str,
     ) -> Option<LoadResult> {
-        let target = Url::parse(target_url).ok()?;
-        let target_origin = Origin::of_url(&target)?;
-        let host = target_origin.host.clone();
+        let Some(target) = Url::parse(target_url).ok() else {
+            self.summary.bad_urls += 1;
+            return None;
+        };
+        let Some(target_origin) = Origin::of_url(&target) else {
+            self.summary.bad_urls += 1;
+            return None;
+        };
+        self.summary.subresource_loads += 1;
+        let host_id = self.interner.intern(target_origin.host.as_str());
 
         let same_site = context.request_is_same_site(self.list, &target_origin, self.opts);
-        self.decisions.push(Decision::SameSiteContext(host.as_str().to_string(), same_site));
+        self.decisions.push(Decision::SameSiteContext(host_id, same_site));
 
         // Cookie attachment: all domain-matching cookies; SameSite ones
         // only in same-site contexts. (The jar does not store the
         // SameSite attribute; we model the conservative engine that
         // treats every cookie as SameSite=Lax, so cross-site subresource
         // loads get none.)
+        let host = &target_origin.host;
         let attached = if same_site {
-            self.jar.cookies_for(&host, &target.path_and_rest, target.scheme == "https").len()
+            self.jar.cookies_for(host, &target.path_and_rest, target.scheme == "https").len()
         } else {
             0
         };
-        self.decisions.push(Decision::CookiesAttached(host.as_str().to_string(), attached));
+        self.decisions.push(Decision::CookiesAttached(host_id, attached as u32));
 
         let referrer = referrer_for(self.list, page_url, &target_origin, self.opts);
-        self.decisions.push(Decision::ReferrerSent(host.as_str().to_string(), referrer.clone()));
+        self.decisions.push(Decision::ReferrerSent(host_id, referrer.kind()));
 
         let storage_key = StorageKey {
             partition: context.top().site(self.list, self.opts),
@@ -133,6 +232,10 @@ impl<'l> Browser<'l> {
 
 /// Count the decisions that differ between two browsers replaying the
 /// same interaction script — the per-version "wrong decision" metric.
+///
+/// Valid whenever both browsers processed the same event sequence: the
+/// engine interns every event's strings unconditionally, so equal scripts
+/// yield equal id assignments on both sides.
 pub fn decision_divergence(a: &Browser<'_>, b: &Browser<'_>) -> usize {
     let n = a.decisions.len().max(b.decisions.len());
     let mut diff = n - a.decisions.len().min(b.decisions.len());
@@ -203,12 +306,27 @@ mod tests {
         }
         let divergence = decision_divergence(&a, &b);
         assert!(divergence >= 3, "divergence {divergence}");
+        // The two browsers interned the same strings to the same ids even
+        // though one refused the cookie the other accepted.
+        assert_eq!(a.interner().len(), b.interner().len());
         // And identical browsers do not diverge.
         let mut c = Browser::new(&cur, MatchOpts::default());
         let (ctx, page) = c.navigate("https://alice.github.io/").unwrap();
         c.receive_set_cookie(&d("alice.github.io"), "sid=abc; Domain=github.io");
         c.load_subresource(&ctx, &page, "https://bob.github.io/w.js").unwrap();
         assert_eq!(decision_divergence(&a, &c), 0);
+    }
+
+    #[test]
+    fn refusals_record_a_typed_reason_not_the_header() {
+        let cur = current();
+        let mut b = Browser::new(&cur, MatchOpts::default());
+        let giant = format!("sid=abc; Domain=github.io; x={}", "a".repeat(1 << 16));
+        b.receive_set_cookie(&d("alice.github.io"), &giant);
+        assert_eq!(b.decisions(), &[Decision::CookieRefused(StoreError::Refused)]);
+        b.receive_set_cookie(&d("alice.github.io"), "");
+        assert_eq!(b.decisions()[1], Decision::CookieRefused(StoreError::Malformed));
+        assert_eq!(b.summary().cookies_refused, 2);
     }
 
     #[test]
@@ -224,10 +342,53 @@ mod tests {
     }
 
     #[test]
-    fn navigation_rejects_bad_urls() {
+    fn navigation_rejects_bad_urls_and_counts_them() {
         let l = current();
         let mut b = Browser::new(&l, MatchOpts::default());
         assert!(b.navigate("not-a-url").is_none());
         assert!(b.navigate("https://192.168.0.1/").is_none());
+        let (ctx, page) = b.navigate("https://ok.example.com/").unwrap();
+        assert!(b.load_subresource(&ctx, &page, "::broken::").is_none());
+        assert_eq!(b.summary().bad_urls, 3);
+        assert_eq!(b.summary().navigations, 1);
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_interner_ids() {
+        let sta = stale();
+        let mut b = Browser::new(&sta, MatchOpts::default());
+        let (ctx, page) = b.navigate("https://alice.github.io/").unwrap();
+        b.receive_set_cookie(&d("alice.github.io"), "sid=abc; Domain=github.io");
+        b.load_subresource(&ctx, &page, "https://bob.github.io/w.js").unwrap();
+        assert!(!b.decisions().is_empty());
+        assert!(!b.jar.is_empty());
+        let id_before = b.interner().id("bob.github.io");
+        assert!(id_before.is_some());
+
+        b.reset();
+        assert!(b.decisions().is_empty());
+        assert!(b.jar.is_empty());
+        assert_eq!(b.summary(), SessionSummary::default());
+        // Interner survives: ids stay comparable across sessions.
+        assert_eq!(b.interner().id("bob.github.io"), id_before);
+
+        // The next session behaves like a fresh browser.
+        let (ctx, page) = b.navigate("https://alice.github.io/").unwrap();
+        let r = b.load_subresource(&ctx, &page, "https://bob.github.io/w.js").unwrap();
+        assert_eq!(r.cookies_attached, 0, "jar was emptied by reset");
+    }
+
+    #[test]
+    fn drain_decisions_streams_and_empties_the_log() {
+        let sta = stale();
+        let mut b = Browser::new(&sta, MatchOpts::default());
+        let (ctx, page) = b.navigate("https://alice.github.io/").unwrap();
+        b.receive_set_cookie(&d("alice.github.io"), "sid=abc; Domain=github.io");
+        b.load_subresource(&ctx, &page, "https://bob.github.io/w.js").unwrap();
+        let mut seen = Vec::new();
+        b.drain_decisions(|d| seen.push(d));
+        assert_eq!(seen.len(), 4);
+        assert!(b.decisions().is_empty());
+        assert!(matches!(seen[0], Decision::CookieAccepted(..)));
     }
 }

@@ -14,9 +14,13 @@
 //! - [`referrer`]: `strict-origin-when-cross-origin` trimming with
 //!   site-level cross-ness;
 //! - [`autofill`]: the §2 password-manager scenario as a library;
-//! - [`engine`]: [`Browser`] gluing it all together with a decision log,
-//!   plus [`engine::decision_divergence`] for diffing two list versions'
-//!   behaviour on the same interaction script.
+//! - [`engine`]: [`Browser`] gluing it all together with a compact
+//!   id-based decision log, plus [`engine::decision_divergence`] for
+//!   diffing two list versions' behaviour on the same interaction script;
+//! - [`session`]: the allocation-free fleet engine — precomputed
+//!   per-version [`ListView`]s, a reusable [`SessionEngine`] scratch, and
+//!   the [`SessionHarm`] fold-as-you-go summarizer for executing millions
+//!   of sessions against pairs of list versions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,11 +30,13 @@ pub mod engine;
 pub mod frames;
 pub mod origin;
 pub mod referrer;
+pub mod session;
 pub mod storage;
 
 pub use autofill::{Credential, Vault};
-pub use engine::{decision_divergence, Browser, Decision, LoadResult};
+pub use engine::{decision_divergence, Browser, Decision, LoadResult, SessionSummary};
 pub use frames::{samesite_cookie_attached, FrameContext};
 pub use origin::{address_bar_highlight, Origin, Site};
-pub use referrer::{referrer_for, Referrer};
+pub use referrer::{referrer_for, Referrer, ReferrerKind};
+pub use session::{ListView, SessionEngine, SessionHarm};
 pub use storage::{PartitionedStorage, StorageKey};

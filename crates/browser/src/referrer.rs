@@ -22,6 +22,31 @@ pub enum Referrer {
     None,
 }
 
+/// The shape of a [`Referrer`] without its payload — what the compact
+/// decision log records. On a fixed interaction script the payload is
+/// determined by the script, so the kind alone distinguishes two list
+/// versions' decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ReferrerKind {
+    /// Full URL sent.
+    Full,
+    /// Origin only.
+    OriginOnly,
+    /// Nothing sent.
+    None,
+}
+
+impl Referrer {
+    /// The payload-free kind of this referrer.
+    pub fn kind(&self) -> ReferrerKind {
+        match self {
+            Referrer::Full(_) => ReferrerKind::Full,
+            Referrer::OriginOnly(_) => ReferrerKind::OriginOnly,
+            Referrer::None => ReferrerKind::None,
+        }
+    }
+}
+
 /// Compute the referrer for a navigation from `from_url` to `to`, under
 /// `strict-origin-when-cross-origin` with the cross-ness decided at the
 /// *site* level by `list`.

@@ -47,6 +47,12 @@ impl PartitionedStorage {
         self.buckets.len()
     }
 
+    /// Drop every bucket, keeping the top-level table allocation for
+    /// reuse across sessions.
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+    }
+
     /// Can a script at `origin` embedded under top-level `partition_a`
     /// observe a value written by the *same origin* embedded under
     /// `partition_b`? True iff the partitions are the same site — the

@@ -12,6 +12,7 @@
 //! pslharm loadgen [--addr A] [--requests N] [--check]        replay load, report throughput
 //! pslharm bench   [--seed N] [--json PATH]                   quick perf report + agreement gate
 //! pslharm sweep   [--requests N] [--shards auto] [--sketch]  streaming Figs 5-7 at paper scale
+//! pslharm fleet   [--sessions N] [--shards auto] [--sketch]  executed per-version-age harms
 //! ```
 //!
 //! Scale: the default is a laptop-scale configuration (small history and
@@ -45,6 +46,7 @@ fn main() -> ExitCode {
         "loadgen" => cmd_loadgen(rest),
         "bench" => cmd_bench(rest),
         "sweep" => cmd_sweep(rest),
+        "fleet" => cmd_fleet(rest),
         "compile" => cmd_compile(rest),
         "inspect" => cmd_inspect(rest),
         "lint" => cmd_lint(rest),
@@ -66,8 +68,9 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: pslharm <all|fig2..fig7|table1..table3|cookieharm|dbound|certharm|updatefail|replay|notify|conformance|suffix|serve|query|loadgen|bench|sweep|fuzz> \
+const USAGE: &str = "usage: pslharm <all|fig2..fig7|table1..table3|cookieharm|dbound|certharm|updatefail|replay|notify|conformance|suffix|serve|query|loadgen|bench|sweep|fleet|fuzz> \
 [--seed N] [--paper-scale] [--threads N] [--json PATH] [--addr HOST:PORT] [domains...]
+       pslharm fleet [--seed N] [--sessions N] [--shards N|auto] [--threads N] [--sketch] [--max-versions N] [--json PATH]
        pslharm serve [--addr HOST:PORT] [--http-addr HOST:PORT] [--max-conns N] [--reactor-workers N] [--watch PATH] [--mmap]
        pslharm loadgen [--addr HOST:PORT] [--requests N] [--connections N] [--batch N] [--check | --pipeline [--window N]]
        pslharm fuzz <hostname|dat|cookie|service|snapshot|all> [--seed N] [--iters N] [--time-budget SECS] [--write-corpus]
@@ -104,6 +107,9 @@ struct Flags {
     shards: usize,
     sketch: bool,
     scale_max: u32,
+    sessions: u64,
+    fleet_max: u32,
+    max_versions: usize,
     mmap: bool,
     extra: Vec<String>,
 }
@@ -136,6 +142,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         shards: 0,
         sketch: false,
         scale_max: 6,
+        sessions: 10_000,
+        fleet_max: 6,
+        max_versions: 0,
         mmap: false,
         extra: Vec::new(),
     };
@@ -212,6 +221,21 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 };
             }
             "--sketch" => flags.sketch = true,
+            "--sessions" => {
+                let v = it.next().ok_or("--sessions needs a value")?;
+                flags.sessions = v.parse().map_err(|_| format!("bad session count {v:?}"))?;
+            }
+            "--fleet-max" => {
+                let v = it.next().ok_or("--fleet-max needs an exponent")?;
+                flags.fleet_max = v.parse().map_err(|_| format!("bad --fleet-max {v:?}"))?;
+                if !(4..=8).contains(&flags.fleet_max) {
+                    return Err("--fleet-max must be in 4..=8".into());
+                }
+            }
+            "--max-versions" => {
+                let v = it.next().ok_or("--max-versions needs a value")?;
+                flags.max_versions = v.parse().map_err(|_| format!("bad --max-versions {v:?}"))?;
+            }
             "--scale-max" => {
                 let v = it.next().ok_or("--scale-max needs an exponent")?;
                 flags.scale_max = v.parse().map_err(|_| format!("bad --scale-max {v:?}"))?;
@@ -674,13 +698,39 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
 #[derive(serde::Serialize)]
 struct BenchReport {
     seed: u64,
+    environment: BenchEnv,
     engine: EngineBench,
     coldstart: ColdstartBench,
     sweep: SweepBench,
     sweep_scale: SweepScaleBench,
+    fleet_scale: FleetScaleBench,
     loadgen: LoadgenBench,
     reactor: ReactorBench,
     agreement: AgreementBench,
+}
+
+/// Where the numbers came from: without this block a benchmark file is
+/// uninterpretable once the machine changes.
+#[derive(serde::Serialize)]
+struct BenchEnv {
+    /// Logical CPU count visible to the process.
+    logical_cores: usize,
+    /// Kernel release string (`/proc/sys/kernel/osrelease`).
+    kernel: String,
+    /// Compiler that produced this binary (captured at build time).
+    rustc: String,
+}
+
+impl BenchEnv {
+    fn capture() -> BenchEnv {
+        BenchEnv {
+            logical_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0),
+            kernel: std::fs::read_to_string("/proc/sys/kernel/osrelease")
+                .map(|s| s.trim().to_string())
+                .unwrap_or_else(|_| "unknown".into()),
+            rustc: env!("PSLHARM_RUSTC_VERSION").to_string(),
+        }
+    }
 }
 
 /// Single-host lookup latency for each matching path.
@@ -759,6 +809,37 @@ struct SweepScalePoint {
     sites_latest_exact: usize,
     sites_latest_sketch: usize,
     sketch_max_rel_error: f64,
+}
+
+/// Fleet scale curve: 10^4 → 10^`max_exponent` sessions executed against
+/// every sampled version paired with the latest. Sessions are derived
+/// from seeds and harms fold into fixed-size accumulators, so peak RSS
+/// must stay flat as the session count grows while sessions/s holds.
+#[derive(serde::Serialize)]
+struct FleetScaleBench {
+    max_exponent: u32,
+    /// The smallest point was re-run at a different thread and shard
+    /// count and produced a byte-identical harm table.
+    determinism_checked: bool,
+    points: Vec<FleetScalePoint>,
+}
+
+/// One point on the fleet scale curve.
+#[derive(serde::Serialize)]
+struct FleetScalePoint {
+    sessions: u64,
+    versions: usize,
+    threads: usize,
+    shards: usize,
+    wall_seconds: f64,
+    sessions_per_s: f64,
+    /// `sessions × versions` paired replays per second — the raw engine
+    /// throughput.
+    session_executions_per_s: f64,
+    peak_rss_bytes: Option<u64>,
+    /// Leaked-cookie count for the oldest sampled version (sanity: the
+    /// fleet must execute real harm, not stream zeros quickly).
+    leaked_cookies_oldest: u64,
 }
 
 /// Loopback server throughput under the replayed corpus.
@@ -1224,12 +1305,91 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         SweepScaleBench { max_exponent: flags.scale_max, points }
     };
 
+    // 8. Fleet scale curve: 10^4 → 10^fleet_max scripted sessions executed
+    //    against every sampled version paired with the latest. The host
+    //    population and accumulators are fixed-size, so peak RSS must stay
+    //    flat while sessions/s holds — and the harm table must be
+    //    byte-identical across thread/shard counts (the merge-law gate).
+    let fleet_scale = {
+        let fleet_stream = psl_webcorpus::build_stream(&bench_history, &config.corpus);
+        let base = psl_analysis::FleetConfig {
+            opts: config.sweep.opts,
+            threads: flags.threads,
+            ..Default::default()
+        };
+        // Determinism gate at the smallest point: 1 thread x 1 shard vs. a
+        // deliberately awkward 3 threads x 7 shards.
+        let small = 10_000;
+        let a = psl_analysis::run_fleet(
+            &bench_history,
+            &fleet_stream,
+            &psl_analysis::FleetConfig { sessions: small, threads: 1, shards: 1, ..base },
+        );
+        let b = psl_analysis::run_fleet(
+            &bench_history,
+            &fleet_stream,
+            &psl_analysis::FleetConfig { sessions: small, threads: 3, shards: 7, ..base },
+        );
+        let (aj, bj) = (
+            serde_json::to_string(&a.rows).map_err(|e| e.to_string())?,
+            serde_json::to_string(&b.rows).map_err(|e| e.to_string())?,
+        );
+        if aj != bj {
+            return Err("bench: fleet harm table differs across thread/shard counts".into());
+        }
+        let mut points = Vec::new();
+        for exp in 4..=flags.fleet_max {
+            let sessions = 10u64.pow(exp);
+            psl_stats::reset_peak_rss();
+            let t = std::time::Instant::now();
+            let out = psl_analysis::run_fleet(
+                &bench_history,
+                &fleet_stream,
+                &psl_analysis::FleetConfig { sessions, ..base },
+            );
+            let wall = t.elapsed().as_secs_f64();
+            let executions = out.sessions * out.versions_sampled as u64;
+            let point = FleetScalePoint {
+                sessions,
+                versions: out.versions_sampled,
+                threads: out.threads,
+                shards: out.shards,
+                wall_seconds: wall,
+                sessions_per_s: sessions as f64 / wall.max(f64::EPSILON),
+                session_executions_per_s: executions as f64 / wall.max(f64::EPSILON),
+                peak_rss_bytes: psl_stats::peak_rss_bytes(),
+                leaked_cookies_oldest: out.rows.first().map_or(0, |r| r.leaked_cookies),
+            };
+            if point.leaked_cookies_oldest == 0 {
+                return Err("bench: fleet executed no leaked cookies at the oldest version".into());
+            }
+            eprintln!(
+                "fleet_scale 10^{exp}: {} sessions in {:.2} s ({:.2}M sessions/min, {} versions, \
+                 {} shards x {} threads{})",
+                sessions,
+                point.wall_seconds,
+                point.sessions_per_s * 60.0 / 1e6,
+                point.versions,
+                point.shards,
+                point.threads,
+                point
+                    .peak_rss_bytes
+                    .map(|b| format!(", peak rss {} MiB", b >> 20))
+                    .unwrap_or_default()
+            );
+            points.push(point);
+        }
+        FleetScaleBench { max_exponent: flags.fleet_max, determinism_checked: true, points }
+    };
+
     let report = BenchReport {
         seed: flags.seed,
+        environment: BenchEnv::capture(),
         engine,
         coldstart,
         sweep,
         sweep_scale,
+        fleet_scale,
         loadgen,
         reactor,
         agreement,
@@ -1360,6 +1520,135 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         run.shards,
         run.threads,
         run.version_blocks,
+        run.peak_rss_bytes.map(|b| format!(", peak rss {} MiB", b >> 20)).unwrap_or_default()
+    );
+    if let Some(path) = &flags.json {
+        let payload = serde_json::to_string_pretty(&run).map_err(|e| e.to_string())?;
+        std::fs::write(path, &payload).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+// ---- Browser fleet ---------------------------------------------------------
+
+/// JSON payload for `pslharm fleet --json`: run provenance and throughput
+/// around the per-version-age harm-divergence table.
+#[derive(serde::Serialize)]
+struct FleetRunReport {
+    seed: u64,
+    sessions: u64,
+    versions_sampled: usize,
+    hosts: usize,
+    mode: &'static str,
+    threads: usize,
+    shards: usize,
+    wall_seconds: f64,
+    sessions_per_s: f64,
+    session_executions_per_s: f64,
+    peak_rss_bytes: Option<u64>,
+    rows: Vec<psl_analysis::FleetRow>,
+}
+
+/// `pslharm fleet`: execute scripted browser sessions against sampled
+/// list versions paired with the latest, and report the harms that
+/// actually happened — leaked cookies, supercookie set flips, same-site
+/// flips, wrong autofill, merged storage partitions — per version age.
+/// Sessions are derived from seeds shard-by-shard, so memory is flat in
+/// `--sessions` and the table is byte-identical for any `--threads` /
+/// `--shards` choice.
+fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    if !flags.extra.is_empty() {
+        return Err(format!("fleet: unexpected arguments {:?}", flags.extra));
+    }
+    let config = config_for(&flags);
+    eprintln!(
+        "generating history + host population (seed {}, {} sessions) ...",
+        flags.seed, flags.sessions
+    );
+    let history = psl_history::generate(&config.history);
+    let stream = psl_webcorpus::build_stream(&history, &config.corpus);
+    let fleet_cfg = psl_analysis::FleetConfig {
+        opts: config.sweep.opts,
+        sessions: flags.sessions,
+        threads: flags.threads,
+        shards: flags.shards,
+        counter: if flags.sketch {
+            psl_analysis::SiteCounter::DEFAULT_SKETCH
+        } else {
+            psl_analysis::SiteCounter::Exact
+        },
+        max_versions: flags.max_versions,
+    };
+    psl_stats::reset_peak_rss();
+    let t = std::time::Instant::now();
+    let out = psl_analysis::run_fleet(&history, &stream, &fleet_cfg);
+    let wall = t.elapsed().as_secs_f64();
+    let peak = psl_stats::peak_rss_bytes();
+
+    println!(
+        "\n== Browser fleet: {} sessions x {} versions over {} hosts ==",
+        out.sessions, out.versions_sampled, out.hosts
+    );
+    let rows: Vec<Vec<String>> = out
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.date),
+                r.age_days.to_string(),
+                r.cookie_set_flips.to_string(),
+                r.leaked_cookies.to_string(),
+                r.same_site_flips.to_string(),
+                r.wrong_autofill.to_string(),
+                r.merged_partitions.to_string(),
+                r.split_partitions.to_string(),
+                r.distinct_victims.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            &[
+                "version",
+                "age (d)",
+                "set flips",
+                "leaked cookies",
+                "same-site flips",
+                "wrong autofill",
+                "merged parts",
+                "split parts",
+                "victims",
+            ],
+            &rows
+        )
+    );
+    let executions = out.sessions * out.versions_sampled as u64;
+    let run = FleetRunReport {
+        seed: flags.seed,
+        sessions: out.sessions,
+        versions_sampled: out.versions_sampled,
+        hosts: out.hosts,
+        mode: if flags.sketch { "sketch" } else { "exact" },
+        threads: out.threads,
+        shards: out.shards,
+        wall_seconds: wall,
+        sessions_per_s: out.sessions as f64 / wall.max(f64::EPSILON),
+        session_executions_per_s: executions as f64 / wall.max(f64::EPSILON),
+        peak_rss_bytes: peak,
+        rows: out.rows,
+    };
+    eprintln!(
+        "fleet: {} sessions ({} paired executions) in {:.2} s ({:.2}M sessions/min) on {} shards \
+         x {} threads{}",
+        run.sessions,
+        executions,
+        run.wall_seconds,
+        run.sessions_per_s * 60.0 / 1e6,
+        run.shards,
+        run.threads,
         run.peak_rss_bytes.map(|b| format!(", peak rss {} MiB", b >> 20)).unwrap_or_default()
     );
     if let Some(path) = &flags.json {

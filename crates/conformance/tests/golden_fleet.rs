@@ -1,0 +1,47 @@
+//! Golden snapshot of the browser-fleet harm-divergence table.
+//!
+//! A small fleet (a few hundred sessions, a handful of sampled versions)
+//! over the deterministic small-scale substrates pins the *executed*
+//! harm counts exactly: any change to session script derivation, the
+//! paired session engine, the list views, or the accumulator merges
+//! shows up as a readable fixture diff. Re-bless intentional changes
+//! with:
+//!
+//! ```text
+//! PSL_BLESS=1 cargo test -p psl-conformance --test golden_fleet
+//! ```
+
+use psl_analysis::{run_fleet, FleetConfig};
+use psl_conformance::assert_golden;
+use psl_history::{generate, GeneratorConfig};
+use psl_webcorpus::{build_stream, CorpusConfig};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.json"))
+}
+
+#[test]
+fn golden_fleet_harm_table() {
+    let history = generate(&GeneratorConfig::small(2023));
+    let stream = build_stream(&history, &CorpusConfig::small(2024));
+    let out = run_fleet(
+        &history,
+        &stream,
+        &FleetConfig { sessions: 300, max_versions: 6, ..Default::default() },
+    );
+    assert_golden(&fixture("fleet"), &out.rows);
+}
+
+#[test]
+fn golden_fleet_table_is_thread_and_shard_invariant() {
+    let history = generate(&GeneratorConfig::small(2023));
+    let stream = build_stream(&history, &CorpusConfig::small(2024));
+    let base = FleetConfig { sessions: 300, max_versions: 6, ..Default::default() };
+    // The golden above ran with auto threads/shards; the same table must
+    // come out of deliberately different execution shapes.
+    for (threads, shards) in [(1usize, 1usize), (2, 5), (4, 13)] {
+        let out = run_fleet(&history, &stream, &FleetConfig { threads, shards, ..base });
+        assert_golden(&fixture("fleet"), &out.rows);
+    }
+}

@@ -96,7 +96,7 @@ impl SetCookie {
 }
 
 /// Why a `Set-Cookie` was refused by the jar.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StoreError {
     /// The header could not be parsed.
     Malformed,
@@ -105,6 +105,20 @@ pub enum StoreError {
     /// Refused by the PSL / domain-match checks
     /// ([`crate::cookie::evaluate_set_cookie`]).
     Refused,
+}
+
+/// Identity of the cookie a successful [`CookieJar::set`] stored: where
+/// it landed and whether it replaced an existing cookie. Returning this
+/// lets callers reach the stored cookie directly (`jar.cookies()[index]`)
+/// instead of re-reading `cookies().last()` — which is both a panic path
+/// and wrong under replacement semantics, where the stored cookie need
+/// not be the last one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredCookie {
+    /// Index of the stored cookie in [`CookieJar::cookies`].
+    pub index: usize,
+    /// True when an existing `(name, domain, path)` cookie was replaced.
+    pub replaced: bool,
 }
 
 /// A cookie jar bound to one list snapshot.
@@ -136,23 +150,35 @@ impl<'l> CookieJar<'l> {
         &self.cookies
     }
 
+    /// Drop every stored cookie, keeping the allocation for reuse (the
+    /// per-session reset path of the browser fleet engine).
+    pub fn clear(&mut self) {
+        self.cookies.clear();
+    }
+
     /// Process a `Set-Cookie` header received from `request_host`.
     ///
     /// Implements RFC 6265 §5.3: a `Domain` attribute scopes the cookie to
     /// that domain (subject to the public-suffix and domain-match checks);
     /// no attribute makes it host-only. A new cookie replaces an existing
-    /// one with the same (name, domain, path).
+    /// one with the same (name, domain, path). On success, returns where
+    /// the cookie was stored.
     pub fn set_from_header(
         &mut self,
         request_host: &DomainName,
         header: &str,
-    ) -> Result<(), StoreError> {
+    ) -> Result<StoredCookie, StoreError> {
         let parsed = SetCookie::parse(header).ok_or(StoreError::Malformed)?;
         self.set(request_host, &parsed)
     }
 
-    /// Process a parsed `Set-Cookie`.
-    pub fn set(&mut self, request_host: &DomainName, sc: &SetCookie) -> Result<(), StoreError> {
+    /// Process a parsed `Set-Cookie`. On success, returns where the
+    /// cookie was stored.
+    pub fn set(
+        &mut self,
+        request_host: &DomainName,
+        sc: &SetCookie,
+    ) -> Result<StoredCookie, StoreError> {
         let (domain, host_only) = match &sc.domain {
             Some(d) => {
                 // `DomainName::parse` strips one trailing dot as DNS-root
@@ -177,16 +203,15 @@ impl<'l> CookieJar<'l> {
             path: sc.path.clone().unwrap_or_else(|| "/".to_string()),
             secure: sc.secure,
         };
-        if let Some(existing) = self
-            .cookies
-            .iter_mut()
-            .find(|c| c.name == cookie.name && c.domain == cookie.domain && c.path == cookie.path)
-        {
-            *existing = cookie;
+        if let Some(index) = self.cookies.iter().position(|c| {
+            c.name == cookie.name && c.domain == cookie.domain && c.path == cookie.path
+        }) {
+            self.cookies[index] = cookie;
+            Ok(StoredCookie { index, replaced: true })
         } else {
             self.cookies.push(cookie);
+            Ok(StoredCookie { index: self.cookies.len() - 1, replaced: false })
         }
-        Ok(())
     }
 
     /// Cookies that would be sent with a request to `host` at `path` over
@@ -336,6 +361,36 @@ mod tests {
         // Different path = different cookie.
         jar.set_from_header(&host, "sid=scoped; Path=/app").unwrap();
         assert_eq!(jar.len(), 2);
+    }
+
+    #[test]
+    fn set_reports_where_the_cookie_landed() {
+        let l = list();
+        let mut jar = CookieJar::new(&l, MatchOpts::default());
+        let host = d("www.example.com");
+        let a = jar.set_from_header(&host, "a=1").unwrap();
+        assert_eq!(a, StoredCookie { index: 0, replaced: false });
+        let b = jar.set_from_header(&host, "b=1").unwrap();
+        assert_eq!(b, StoredCookie { index: 1, replaced: false });
+        // Replacing the *first* cookie must point at index 0, not last().
+        let a2 = jar.set_from_header(&host, "a=2").unwrap();
+        assert_eq!(a2, StoredCookie { index: 0, replaced: true });
+        assert_eq!(jar.cookies()[a2.index].value, "2");
+        assert_eq!(jar.len(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let l = list();
+        let mut jar = CookieJar::new(&l, MatchOpts::default());
+        let host = d("www.example.com");
+        for i in 0..8 {
+            jar.set_from_header(&host, &format!("c{i}=v")).unwrap();
+        }
+        jar.clear();
+        assert!(jar.is_empty());
+        jar.set_from_header(&host, "again=1").unwrap();
+        assert_eq!(jar.len(), 1);
     }
 
     #[test]

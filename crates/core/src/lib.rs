@@ -62,7 +62,7 @@ pub use domain::DomainName;
 pub use embedded::{embedded_list, MINI_PSL_DAT};
 pub use error::{Error, Result};
 pub use frozen::{FnvBuild, FnvHasher, FrozenList, LabelInterner, UNKNOWN_LABEL};
-pub use jar::{Cookie, CookieJar, SetCookie};
+pub use jar::{Cookie, CookieJar, SetCookie, StoreError, StoredCookie};
 pub use lint::{lint, Finding};
 pub use list::List;
 pub use naive::NaiveMap;

@@ -16,10 +16,12 @@
 
 pub mod generator;
 pub mod model;
+pub mod sessions;
 pub mod stats;
 pub mod stream;
 
 pub use generator::{build_stream, generate_corpus, CorpusConfig};
 pub use model::{CorpusBuilder, HostId, Request, WebCorpus};
+pub use sessions::{SessionEvent, SessionStream};
 pub use stats::{corpus_stats, CorpusStats};
 pub use stream::{ShardRequests, StreamCorpus};

@@ -106,6 +106,34 @@ impl StreamCorpus {
         self.pages as f64 * (self.requests_per_page as f64 + 0.5)
     }
 
+    /// The sampling pools (session derivation draws from the same host
+    /// groups as the page stream).
+    pub(crate) fn pools(&self) -> &Pools {
+        &self.pools
+    }
+
+    /// Zipf sampler over organisations.
+    pub(crate) fn org_zipf(&self) -> &Zipf {
+        &self.org_zipf
+    }
+
+    /// Zipf sampler over trackers.
+    pub(crate) fn tracker_zipf(&self) -> &Zipf {
+        &self.tracker_zipf
+    }
+
+    /// Base seed of the derived per-page / per-session streams.
+    pub(crate) fn stream_seed(&self) -> u64 {
+        self.page_stream_seed
+    }
+
+    /// A deterministic per-session event stream over this corpus's host
+    /// population: `n` sessions, each derived from its own seed (see
+    /// [`crate::sessions::SessionStream`]).
+    pub fn sessions(&self, n: u64) -> crate::sessions::SessionStream<'_> {
+        crate::sessions::SessionStream::new(self, n)
+    }
+
     /// The page indices owned by shard `s` of `k`: `s, s+k, s+2k, …`.
     ///
     /// # Panics

@@ -7,7 +7,7 @@
 //! cargo run --example browser_session
 //! ```
 
-use psl_browser::{address_bar_highlight, decision_divergence, Browser, Referrer};
+use psl_browser::{address_bar_highlight, decision_divergence, Browser, ReferrerKind};
 use psl_core::{DomainName, List, MatchOpts};
 
 fn session<'l>(list: &'l List) -> Browser<'l> {
@@ -38,27 +38,30 @@ fn main() {
 
     for (label, browser) in [("current", &b_current), ("stale", &b_stale)] {
         println!("-- {label} list --");
+        // Decisions are compact id records; the browser's interner maps
+        // them back to strings for display.
+        let name_of = |id: u32| browser.interner().resolve(id).unwrap_or("?").to_string();
         for decision in browser.decisions() {
-            match decision {
+            match *decision {
                 psl_browser::Decision::CookieAccepted(name, scope) => {
-                    println!("  cookie {name:8} ACCEPTED for Domain={scope}")
+                    println!("  cookie {:8} ACCEPTED for Domain={}", name_of(name), name_of(scope))
                 }
-                psl_browser::Decision::CookieRefused(_) => {
-                    println!("  cookie          REFUSED (supercookie)")
+                psl_browser::Decision::CookieRefused(reason) => {
+                    println!("  cookie          REFUSED ({reason:?})")
                 }
                 psl_browser::Decision::SameSiteContext(host, same) => {
-                    println!("  context to {host:28} same-site: {same}")
+                    println!("  context to {:28} same-site: {same}", name_of(host))
                 }
                 psl_browser::Decision::CookiesAttached(host, n) => {
-                    println!("  request to {host:28} cookies attached: {n}")
+                    println!("  request to {:28} cookies attached: {n}", name_of(host))
                 }
-                psl_browser::Decision::ReferrerSent(host, r) => {
-                    let shown = match r {
-                        Referrer::Full(u) => format!("FULL {u}"),
-                        Referrer::OriginOnly(o) => format!("origin {o}"),
-                        Referrer::None => "none".into(),
+                psl_browser::Decision::ReferrerSent(host, kind) => {
+                    let shown = match kind {
+                        ReferrerKind::Full => "FULL url (path + query leak)",
+                        ReferrerKind::OriginOnly => "origin only",
+                        ReferrerKind::None => "none",
                     };
-                    println!("  referrer to {host:27} {shown}")
+                    println!("  referrer to {:27} {shown}", name_of(host))
                 }
             }
         }

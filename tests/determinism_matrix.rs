@@ -97,3 +97,34 @@ fn substrates_are_pure_functions_of_config() {
         }
     }
 }
+
+#[test]
+fn fleet_harm_table_is_identical_across_threads_and_shards() {
+    // The ISSUE's acceptance matrix: for a fixed seed the executed fleet
+    // harm table must be byte-identical across --threads 1/4/8 and
+    // --shards 1/4/13 (accumulator merges are order-independent and the
+    // scripts derive from per-session seeds).
+    let h = generate(&GeneratorConfig::small(42));
+    let stream = psl_webcorpus::build_stream(&h, &CorpusConfig::small(43));
+    let base = psl_analysis::FleetConfig { sessions: 500, max_versions: 4, ..Default::default() };
+    let reference = psl_analysis::run_fleet(
+        &h,
+        &stream,
+        &psl_analysis::FleetConfig { threads: 1, shards: 1, ..base },
+    );
+    let ref_json = serde_json::to_string(&reference.rows).unwrap();
+    for threads in [1usize, 4, 8] {
+        for shards in [1usize, 4, 13] {
+            let out = psl_analysis::run_fleet(
+                &h,
+                &stream,
+                &psl_analysis::FleetConfig { threads, shards, ..base },
+            );
+            assert_eq!(
+                serde_json::to_string(&out.rows).unwrap(),
+                ref_json,
+                "threads={threads} shards={shards}"
+            );
+        }
+    }
+}
